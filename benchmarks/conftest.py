@@ -1,0 +1,43 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates (a tiny version of) one figure or table of the
+paper and attaches the resulting rows to the pytest-benchmark record via
+``benchmark.extra_info`` so the numbers can be inspected in the benchmark
+report.  Benchmarks run the experiment exactly once (``pedantic`` with one
+round) because a single experiment already aggregates many simulation runs.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the benchmarks without installing the package first.
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def attach_rows(benchmark, result):
+    """Record experiment rows and notes on the benchmark for the report."""
+    benchmark.extra_info["experiment"] = result.name
+    benchmark.extra_info["rows"] = result.rows
+    if result.notes:
+        benchmark.extra_info["notes"] = result.notes
+    return result
+
+
+@pytest.fixture
+def bench_experiment(benchmark):
+    """Fixture returning a runner that times an experiment and keeps its rows."""
+
+    def runner(func, *args, **kwargs):
+        result = run_once(benchmark, func, *args, **kwargs)
+        return attach_rows(benchmark, result)
+
+    return runner

@@ -1,0 +1,38 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* updateSIC dissemination on/off (Figure 4 mechanism);
+* within-query tuple selection order (Algorithm 1 line 16);
+* STW duration (§6 approximation).
+"""
+
+from repro.core.balance_sic import SelectionStrategy
+from repro.experiments import ablations
+
+
+def test_ablation_updatesic(bench_experiment):
+    result = bench_experiment(ablations.run_update_sic_ablation, scale="small", num_nodes=3)
+    modes = {row["update_sic"] for row in result.rows}
+    assert modes == {"enabled", "disabled"}
+    assert all(row["jains_index"] > 0.7 for row in result.rows)
+
+
+def test_ablation_selection_strategy(bench_experiment):
+    result = bench_experiment(ablations.run_selection_ablation, scale="small", num_nodes=3)
+    strategies = {row["selection"] for row in result.rows}
+    assert strategies == set(SelectionStrategy.ALL)
+    by_strategy = {row["selection"]: row for row in result.rows}
+    # Keeping the highest-SIC tuples never yields a lower mean SIC than
+    # keeping the lowest-SIC tuples (it may tie when shedding is light).
+    assert (
+        by_strategy[SelectionStrategy.HIGHEST_SIC]["mean_sic"]
+        >= by_strategy[SelectionStrategy.LOWEST_SIC]["mean_sic"] - 0.03
+    )
+
+
+def test_ablation_stw_duration(bench_experiment):
+    result = bench_experiment(
+        ablations.run_stw_ablation, scale="small", stw_values=(2.0, 6.0)
+    )
+    rows = sorted(result.rows, key=lambda r: r["stw_seconds"])
+    # A longer STW measures the (underloaded) deployment closer to 1.
+    assert rows[-1]["mean_sic"] >= rows[0]["mean_sic"] - 0.02

@@ -1,0 +1,24 @@
+"""Benchmark regenerating Figure 6 (SIC vs result error, aggregate workload)."""
+
+from repro.experiments import fig06_sic_correlation_aggregate as fig06
+
+
+def test_fig06_sic_correlation_aggregate(bench_experiment):
+    result = bench_experiment(
+        fig06.run,
+        scale="small",
+        kinds=("avg", "count", "max"),
+        datasets=("gaussian", "planetlab"),
+        overload_fractions=(0.3, 0.7),
+        rate=60.0,
+    )
+    # Shape check: within each (query, dataset) series the higher-SIC point
+    # has the lower error.
+    series = {}
+    for row in result.rows:
+        series.setdefault((row["query"], row["dataset"]), []).append(
+            (row["sic"], row["error"])
+        )
+    for points in series.values():
+        points.sort()
+        assert points[0][1] >= points[-1][1] - 0.05

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 7 (SIC vs result error, complex workload)."""
+
+from repro.experiments import fig07_sic_correlation_complex as fig07
+
+
+def test_fig07_sic_correlation_complex(bench_experiment):
+    result = bench_experiment(
+        fig07.run,
+        scale="small",
+        datasets=("gaussian", "planetlab"),
+        overload_fractions=(0.3, 0.7),
+    )
+    assert {row["query"] for row in result.rows} == {"top5", "cov"}
+    # TOP-5 Kendall distance shrinks as SIC grows.
+    top5 = sorted(
+        [(r["sic"], r["error"]) for r in result.rows if r["query"] == "top5"]
+    )
+    assert top5[0][1] >= top5[-1][1] - 0.1

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 8 (single-node fairness vs number of queries)."""
+
+from repro.experiments import fig08_single_node_fairness as fig08
+
+
+def test_fig08_single_node_fairness(bench_experiment):
+    result = bench_experiment(
+        fig08.run, scale="small", query_counts=(4, 8, 12), source_rate=8.0
+    )
+    means = [row["mean_sic"] for row in result.rows]
+    jains = [row["jains_index"] for row in result.rows]
+    # Load grows -> mean SIC falls; fairness stays high throughout.
+    assert means[0] > means[-1]
+    assert min(jains) > 0.85

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 9 (shedding interval sweep)."""
+
+from repro.experiments import fig09_shedding_interval as fig09
+
+
+def test_fig09_shedding_interval(bench_experiment):
+    result = bench_experiment(
+        fig09.run,
+        scale="small",
+        intervals=(0.05, 0.25),
+        num_queries=8,
+        num_nodes=2,
+    )
+    jains = [row["jains_index"] for row in result.rows]
+    means = [row["mean_sic"] for row in result.rows]
+    # Fairness is insensitive to the shedding interval.
+    assert min(jains) > 0.85
+    assert max(means) - min(means) < 0.2

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 10 (BALANCE-SIC vs random across fragment counts)."""
+
+from repro.experiments import fig10_multinode_comparison as fig10
+
+
+def test_fig10_multinode_comparison(bench_experiment):
+    result = bench_experiment(
+        fig10.run,
+        scale="small",
+        cases=(2, "mixed"),
+        num_nodes=4,
+        total_fragments=48,
+    )
+    by_key = {(str(r["fragments"]), r["shedder"]): r for r in result.rows}
+    for case in ("2", "mixed"):
+        fair = by_key[(case, "balance-sic")]
+        rand = by_key[(case, "random")]
+        # The paper's headline: the fair shedder beats random on Jain's index
+        # and does not lose on mean SIC.
+        assert fair["jains_index"] >= rand["jains_index"] - 0.02
+        assert fair["mean_sic"] >= rand["mean_sic"] - 0.05

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 11 (ratio of multi-fragment queries)."""
+
+from repro.experiments import fig11_multifragment_ratio as fig11
+
+
+def test_fig11_multifragment_ratio(bench_experiment):
+    result = bench_experiment(
+        fig11.run,
+        scale="small",
+        ratios=(0.2, 1.0),
+        num_nodes=3,
+        total_fragments=30,
+    )
+    jains = [row["jains_index"] for row in result.rows]
+    assert len(jains) == 2
+    assert min(jains) > 0.7
+    # More multi-fragment queries -> at least as fair.
+    assert jains[-1] >= jains[0] - 0.05

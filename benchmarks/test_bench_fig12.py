@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 12 (scalability with the number of nodes)."""
+
+from repro.experiments import fig12_scalability_nodes as fig12
+
+
+def test_fig12_scalability_nodes(bench_experiment):
+    result = bench_experiment(
+        fig12.run, scale="small", node_counts=(2, 4), num_queries=12
+    )
+    rows = result.rows
+    # More nodes -> more capacity -> mean SIC does not decrease; fairness holds.
+    assert rows[-1]["mean_sic"] >= rows[0]["mean_sic"] - 0.05
+    assert all(row["jains_index"] > 0.8 for row in rows)

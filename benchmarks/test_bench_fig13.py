@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 13 (scalability with the number of queries)."""
+
+from repro.experiments import fig13_scalability_queries as fig13
+
+
+def test_fig13_scalability_queries(bench_experiment):
+    result = bench_experiment(
+        fig13.run, scale="small", query_counts=(8, 20), num_nodes=3
+    )
+    rows = result.rows
+    # More queries on fixed capacity -> mean SIC drops; shedding stays fair.
+    assert rows[-1]["mean_sic"] <= rows[0]["mean_sic"] + 0.02
+    assert all(row["jains_index"] > 0.8 for row in rows)

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 14 (burstiness and wide-area latencies)."""
+
+from repro.experiments import fig14_burstiness_wan as fig14
+
+
+def test_fig14_burstiness_wan(bench_experiment):
+    result = bench_experiment(
+        fig14.run, scale="small", query_counts=(6,), num_nodes=3
+    )
+    means = [row["mean_sic"] for row in result.rows]
+    assert len(means) == 4  # LAN / FSPS x bursty / not
+    # The paper's claim: mean SIC is essentially unchanged across set-ups.
+    assert max(means) - min(means) < 0.25
+    assert all(row["jains_index"] > 0.75 for row in result.rows)

@@ -1,0 +1,39 @@
+"""Benchmarks for §7.6: shedder execution-time overhead.
+
+Two measurements:
+
+* a micro-benchmark timing one shedder invocation on identical synthetic
+  input-buffer contents for the fair and the random shedder (this is the
+  direct analogue of the paper's per-batch execution-time comparison);
+* the full overhead experiment, which also reports meta-data counters.
+"""
+
+import pytest
+
+from repro.core.shedding import BalanceSicShedder, RandomShedder
+from repro.experiments import overhead
+from repro.experiments.overhead import make_synthetic_buffer
+
+
+BUFFER = make_synthetic_buffer(num_queries=20, batches_per_query=10, tuples_per_batch=40)
+CAPACITY = sum(len(b) for b in BUFFER) // 3
+REPORTED = {f"q{i}": 0.05 * (i % 5) for i in range(20)}
+
+
+def test_overhead_balance_sic_shedder_invocation(benchmark):
+    shedder = BalanceSicShedder(seed=0)
+    decision = benchmark(shedder.shed, BUFFER, CAPACITY, REPORTED)
+    assert decision.kept_tuples <= CAPACITY
+
+
+def test_overhead_random_shedder_invocation(benchmark):
+    shedder = RandomShedder(seed=0)
+    decision = benchmark(shedder.shed, BUFFER, CAPACITY, REPORTED)
+    assert decision.kept_tuples <= CAPACITY
+
+
+def test_overhead_experiment_reports_metadata(bench_experiment):
+    result = bench_experiment(overhead.run, scale="small", num_queries=8, num_nodes=2)
+    shedders = {row["shedder"] for row in result.rows}
+    assert shedders == {"balance-sic", "random"}
+    assert all(row["bytes_sent"] > 0 for row in result.rows)

@@ -1,0 +1,16 @@
+"""Benchmark regenerating the §7.5 comparison against FIT [34] and Zhao [44]."""
+
+from repro.experiments import related_work_comparison as related
+
+
+def test_related_work_comparison(bench_experiment):
+    result = bench_experiment(related.run, scale="small")
+    by_key = {(row["setup"], row["approach"]): row for row in result.rows}
+    fit = by_key[("simple", "FIT [34]")]
+    zhao = by_key[("simple", "Zhao [44]")]
+    themis = by_key[("simple", "BALANCE-SIC")]
+    # FIT starves most queries; the fair approaches do not.
+    assert fit["jains_index"] < zhao["jains_index"]
+    assert fit["starved"] > 0
+    assert themis["jains_index"] > 0.9
+    assert ("complex", "BALANCE-SIC") in by_key

@@ -1,0 +1,22 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so the package can also be installed in environments whose tooling predates
+PEP 660 editable installs (e.g. ``python setup.py develop`` in offline
+environments without the ``wheel`` package).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "THEMIS: fairness in federated stream processing under overload "
+        "(SIGMOD 2016 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy", "networkx"],
+)

@@ -1,0 +1,124 @@
+"""THEMIS reproduction: fairness in federated stream processing under overload.
+
+This package reproduces the system described in "THEMIS: Fairness in Federated
+Stream Processing under Overload" (Kalyvianaki, Fiscato, Salonidis, Pietzuch —
+SIGMOD 2016):
+
+* :mod:`repro.core` — the source information content (SIC) metric, the
+  sliding source time window, and the BALANCE-SIC fair load-shedding
+  algorithm (Algorithm 1) together with baseline shedders.
+* :mod:`repro.streaming` — the stream-processing substrate: operators with
+  black-box SIC propagation, windows, query graphs/fragments and a CQL-like
+  query language.
+* :mod:`repro.federation` — autonomous nodes, the inter-site network, query
+  coordinators and fragment placement.
+* :mod:`repro.simulation` — the time-stepped simulator standing in for the
+  paper's physical test-beds.
+* :mod:`repro.workloads` — the Table 1 aggregate and complex workloads,
+  datasets and population generators.
+* :mod:`repro.baselines` — the centralised FIT and utility-maximisation
+  baselines of §7.5.
+* :mod:`repro.experiments` — one module per paper figure/table.
+
+Quickstart::
+
+    from repro import LocalEngine, SimulationConfig, make_avg_all_query
+
+    engine = LocalEngine(SimulationConfig(duration_seconds=10, capacity_fraction=0.5))
+    engine.add_queries(make_avg_all_query(num_fragments=1, rate=50, seed=i)
+                       for i in range(5))
+    result = engine.run()
+    print(result.per_query_sic, result.jains_index)
+"""
+
+from .core import (
+    BalanceSicConfig,
+    BalanceSicPolicy,
+    BalanceSicShedder,
+    Batch,
+    CostModel,
+    NoShedder,
+    RandomShedder,
+    SelectionStrategy,
+    ShedDecision,
+    Shedder,
+    SicAssigner,
+    StwConfig,
+    TailDropShedder,
+    Tuple,
+    jains_index,
+    make_shedder,
+    propagate_sic,
+    source_tuple_sic,
+)
+from .federation import (
+    FederatedSystem,
+    FspsNode,
+    Network,
+    Placement,
+    RandomPlacement,
+    RoundRobinPlacement,
+    UniformLatency,
+    ZipfPlacement,
+)
+from .simulation import RunResult, SimulationConfig, Simulator
+from .streaming import LocalEngine, QueryFragment, QueryGraph, compile_query
+from .workloads import (
+    WorkloadQuery,
+    WorkloadSpec,
+    generate_complex_workload,
+    make_avg_all_query,
+    make_avg_query,
+    make_count_query,
+    make_cov_query,
+    make_max_query,
+    make_top5_query,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BalanceSicConfig",
+    "BalanceSicPolicy",
+    "BalanceSicShedder",
+    "Batch",
+    "CostModel",
+    "NoShedder",
+    "RandomShedder",
+    "SelectionStrategy",
+    "ShedDecision",
+    "Shedder",
+    "SicAssigner",
+    "StwConfig",
+    "TailDropShedder",
+    "Tuple",
+    "jains_index",
+    "make_shedder",
+    "propagate_sic",
+    "source_tuple_sic",
+    "FederatedSystem",
+    "FspsNode",
+    "Network",
+    "Placement",
+    "RandomPlacement",
+    "RoundRobinPlacement",
+    "UniformLatency",
+    "ZipfPlacement",
+    "RunResult",
+    "SimulationConfig",
+    "Simulator",
+    "LocalEngine",
+    "QueryFragment",
+    "QueryGraph",
+    "compile_query",
+    "WorkloadQuery",
+    "WorkloadSpec",
+    "generate_complex_workload",
+    "make_avg_all_query",
+    "make_avg_query",
+    "make_count_query",
+    "make_cov_query",
+    "make_max_query",
+    "make_top5_query",
+    "__version__",
+]

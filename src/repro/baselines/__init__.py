@@ -1,0 +1,19 @@
+"""Centralised related-work baselines: FIT LP and concave utility maximisation."""
+
+from .fit import FitOptimizer
+from .problem import (
+    AllocationProblem,
+    AllocationResult,
+    QueryDemand,
+    problem_from_deployment,
+)
+from .utility_max import UtilityMaxOptimizer
+
+__all__ = [
+    "FitOptimizer",
+    "AllocationProblem",
+    "AllocationResult",
+    "QueryDemand",
+    "problem_from_deployment",
+    "UtilityMaxOptimizer",
+]

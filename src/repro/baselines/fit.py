@@ -1,0 +1,82 @@
+"""FIT-style centralised shedding baseline (Tatbul et al. [34], §7.5).
+
+FIT maximises the *sum of weighted query throughputs* subject to node
+capacities.  The paper shows that this objective, while optimal in aggregate,
+is grossly unfair: in the two-node set-up of §7.5 the LP serves a handful of
+queries completely and starves everybody else.
+
+The optimisation problem is a linear program::
+
+    maximise    Σ_q  w_q · r_q · x_q
+    subject to  Σ_q  cost_{q,n} · r_q · x_q ≤ C_n     for every node n
+                0 ≤ x_q ≤ 1
+
+solved with :func:`scipy.optimize.linprog` (the paper used GLPK; the solution
+is solver-independent).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+from scipy.optimize import linprog
+
+from .problem import AllocationProblem, AllocationResult
+
+__all__ = ["FitOptimizer"]
+
+
+class FitOptimizer:
+    """Solve the FIT weighted-throughput LP for an allocation problem."""
+
+    name = "fit"
+
+    def __init__(self, method: str = "highs") -> None:
+        self.method = method
+
+    def solve(self, problem: AllocationProblem) -> AllocationResult:
+        """Return the throughput-maximising admitted fractions."""
+        num_queries = problem.num_queries
+        # linprog minimises, so negate the weighted throughput.
+        objective = np.array(
+            [-(q.weight * q.input_rate) for q in problem.queries], dtype=float
+        )
+
+        node_ids = problem.node_ids
+        a_ub: List[List[float]] = []
+        b_ub: List[float] = []
+        for node_id in node_ids:
+            row = [
+                q.node_costs.get(node_id, 0.0) * q.input_rate for q in problem.queries
+            ]
+            if any(value > 0 for value in row):
+                a_ub.append(row)
+                b_ub.append(problem.node_capacities[node_id])
+
+        bounds = [(0.0, 1.0)] * num_queries
+        if a_ub:
+            solution = linprog(
+                objective,
+                A_ub=np.array(a_ub, dtype=float),
+                b_ub=np.array(b_ub, dtype=float),
+                bounds=bounds,
+                method=self.method,
+            )
+        else:
+            solution = linprog(
+                objective, bounds=bounds, method=self.method
+            )
+        if not solution.success:  # pragma: no cover - solver failure is exceptional
+            raise RuntimeError(f"FIT LP failed to solve: {solution.message}")
+
+        fractions: Dict[str, float] = {}
+        for demand, value in zip(problem.queries, solution.x):
+            fractions[demand.query_id] = float(min(1.0, max(0.0, value)))
+        achieved = sum(
+            demand.weight * demand.input_rate * fractions[demand.query_id]
+            for demand in problem.queries
+        )
+        return AllocationResult(
+            fractions=fractions, objective=achieved, solver=self.name
+        )

@@ -1,0 +1,166 @@
+"""Centralised load-shedding allocation problems (§7.5).
+
+The two related-work baselines the paper compares against — FIT [34] and the
+network-utility-maximisation framework of Zhao et al. [44] — both formulate
+load shedding as a *centralised* optimisation problem: choose, for every
+query, the fraction of its input to admit so that node capacities are
+respected and an objective over the query outputs is maximised.
+
+:class:`AllocationProblem` captures that formulation in a solver-independent
+way; :func:`problem_from_deployment` derives a problem instance from a THEMIS
+deployment (queries, placement, node budgets) so the same workload can be
+solved centrally and compared with the distributed BALANCE-SIC outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..core.fairness import jains_index
+from ..federation.deployment import Placement
+from ..workloads.generators import estimate_source_path_cost
+
+__all__ = ["QueryDemand", "AllocationProblem", "AllocationResult", "problem_from_deployment"]
+
+
+@dataclass
+class QueryDemand:
+    """One query's demand in the centralised formulation.
+
+    Attributes:
+        query_id: query identifier.
+        input_rate: total source tuple rate of the query (tuples/second).
+        weight: weight of the query in the FIT objective (1.0 in §7.5).
+        node_costs: per-node processing cost of one admitted tuple of this
+            query (cost units); only nodes hosting fragments appear.
+    """
+
+    query_id: str
+    input_rate: float
+    weight: float = 1.0
+    node_costs: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.input_rate <= 0:
+            raise ValueError(
+                f"query {self.query_id!r}: input_rate must be positive, "
+                f"got {self.input_rate}"
+            )
+        if self.weight < 0:
+            raise ValueError(f"query {self.query_id!r}: weight must be non-negative")
+
+
+@dataclass
+class AllocationProblem:
+    """A centralised allocation problem over queries and node capacities."""
+
+    queries: List[QueryDemand]
+    node_capacities: Dict[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.queries:
+            raise ValueError("an allocation problem needs at least one query")
+        if not self.node_capacities:
+            raise ValueError("an allocation problem needs at least one node")
+        for demand in self.queries:
+            for node in demand.node_costs:
+                if node not in self.node_capacities:
+                    raise ValueError(
+                        f"query {demand.query_id!r} references unknown node {node!r}"
+                    )
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.queries)
+
+    @property
+    def node_ids(self) -> List[str]:
+        return list(self.node_capacities)
+
+    def query_ids(self) -> List[str]:
+        return [q.query_id for q in self.queries]
+
+
+@dataclass
+class AllocationResult:
+    """Solution of a centralised allocation problem.
+
+    Attributes:
+        fractions: admitted fraction of each query's input (0..1).
+        objective: the solver's objective value.
+        solver: name of the baseline that produced the solution.
+    """
+
+    fractions: Dict[str, float]
+    objective: float
+    solver: str
+
+    def output_rates(self, problem: AllocationProblem) -> Dict[str, float]:
+        rates: Dict[str, float] = {}
+        for demand in problem.queries:
+            rates[demand.query_id] = self.fractions.get(demand.query_id, 0.0) * demand.input_rate
+        return rates
+
+    def jains_index_of_fractions(self) -> float:
+        """Fairness of the admitted fractions (the quantity SIC approximates)."""
+        return jains_index(self.fractions.values())
+
+    def queries_fully_served(self, threshold: float = 0.999) -> int:
+        return sum(1 for f in self.fractions.values() if f >= threshold)
+
+    def queries_fully_starved(self, threshold: float = 1e-3) -> int:
+        return sum(1 for f in self.fractions.values() if f <= threshold)
+
+
+def problem_from_deployment(
+    queries: Sequence[object],
+    placement: Placement,
+    node_budgets: Mapping[str, float],
+    shedding_interval: float,
+    weights: Optional[Mapping[str, float]] = None,
+) -> AllocationProblem:
+    """Build an :class:`AllocationProblem` from a THEMIS deployment.
+
+    Every workload query contributes a demand whose per-node cost is the cost
+    of its fragments placed on that node (per admitted source tuple, using the
+    same path-cost estimate that sizes node budgets), so the centralised
+    baselines and the distributed system face exactly the same constraints.
+    """
+    demands: List[QueryDemand] = []
+    for query in queries:
+        source_rates = {
+            getattr(s, "source_id"): float(getattr(s, "rate", 0.0))
+            for s in query.sources
+        }
+        total_rate = sum(source_rates.values())
+        if total_rate <= 0:
+            continue
+        node_costs: Dict[str, float] = {}
+        for fragment in query.fragments.values():
+            node_id = placement.node_for(fragment.fragment_id)
+            fragment_rate = sum(
+                source_rates.get(source_id, 0.0)
+                for source_id in fragment.source_bindings
+            )
+            if fragment_rate <= 0:
+                continue
+            path_cost = estimate_source_path_cost(fragment)
+            # Cost per admitted query tuple, weighted by the share of the
+            # query's tuples that flow through this fragment.
+            share = fragment_rate / total_rate
+            node_costs[node_id] = node_costs.get(node_id, 0.0) + path_cost * share
+        weight = float(weights.get(query.query_id, 1.0)) if weights else 1.0
+        demands.append(
+            QueryDemand(
+                query_id=query.query_id,
+                input_rate=total_rate,
+                weight=weight,
+                node_costs=node_costs,
+            )
+        )
+    capacities = {
+        node_id: float(budget) / shedding_interval
+        for node_id, budget in node_budgets.items()
+    }
+    return AllocationProblem(queries=demands, node_capacities=capacities)

@@ -1,0 +1,58 @@
+"""Core THEMIS contribution: the SIC metric and BALANCE-SIC fair shedding."""
+
+from .balance_sic import (
+    BalanceSicConfig,
+    BalanceSicPolicy,
+    SelectionStrategy,
+    ShedDecision,
+)
+from .cost_model import CostModel, CostModelConfig
+from .fairness import FairnessSummary, jains_index, relative_spread, summarize_fairness
+from .shedding import (
+    BalanceSicShedder,
+    NoShedder,
+    RandomShedder,
+    Shedder,
+    TailDropShedder,
+    make_shedder,
+)
+from .sic import (
+    SicAssigner,
+    SourceRateEstimator,
+    propagate_sic,
+    query_result_sic,
+    source_tuple_sic,
+)
+from .stw import ResultSicTracker, StwConfig, StwRegistry
+from .tuples import Batch, BatchHeader, Tuple, merge_batches
+
+__all__ = [
+    "BalanceSicConfig",
+    "BalanceSicPolicy",
+    "SelectionStrategy",
+    "ShedDecision",
+    "CostModel",
+    "CostModelConfig",
+    "FairnessSummary",
+    "jains_index",
+    "relative_spread",
+    "summarize_fairness",
+    "BalanceSicShedder",
+    "NoShedder",
+    "RandomShedder",
+    "Shedder",
+    "TailDropShedder",
+    "make_shedder",
+    "SicAssigner",
+    "SourceRateEstimator",
+    "propagate_sic",
+    "query_result_sic",
+    "source_tuple_sic",
+    "ResultSicTracker",
+    "StwConfig",
+    "StwRegistry",
+    "Batch",
+    "BatchHeader",
+    "Tuple",
+    "merge_batches",
+]

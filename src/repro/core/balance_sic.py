@@ -1,0 +1,339 @@
+"""BALANCE-SIC fair tuple selection — Algorithm 1 of the paper (§5).
+
+Each overloaded node runs the same procedure once per shedding interval: given
+the batches waiting in its input buffer, the node capacity ``c`` (tuples it can
+process during the interval) and the latest known result SIC value of every
+locally hosted query, it selects which batches to keep so that the result SIC
+values of all queries converge towards the same value, and sheds the rest.
+
+The implementation follows the paper's gradient-ascent structure:
+
+* iteratively pick the query ``q'`` with the minimum (projected) result SIC
+  that still has pending tuples;
+* find ``q''``, the next-lowest *distinct* SIC value among the other queries;
+* accept tuples from ``q'`` — highest SIC value first (``max(x_SIC)`` in
+  line 16), which maximises the SIC gain per accepted tuple and therefore uses
+  the node's capacity efficiently — until ``q'`` catches up with ``q''`` or
+  capacity runs out;
+* when all queries are tied, accept one more batch from a randomly chosen
+  query so the node's remaining capacity is not wasted.
+
+The per-node projection heuristic of §6 is also implemented here: before the
+selection starts, each query's reported result SIC is reduced by the total SIC
+currently sitting in the input buffer for that query, i.e. the node plans as if
+it shed everything and then "earns back" SIC for every batch it accepts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple as PyTuple
+
+from .tuples import Batch, Tuple
+
+__all__ = [
+    "SelectionStrategy",
+    "BalanceSicConfig",
+    "ShedDecision",
+    "BalanceSicPolicy",
+]
+
+
+class SelectionStrategy:
+    """How tuples are ordered *within* the selected query.
+
+    ``HIGHEST_SIC`` is the paper's choice (line 16, ``max(x_SIC)``); the other
+    two exist for the ablation benchmarks.
+    """
+
+    HIGHEST_SIC = "highest_sic"
+    LOWEST_SIC = "lowest_sic"
+    RANDOM = "random"
+
+    ALL = (HIGHEST_SIC, LOWEST_SIC, RANDOM)
+
+
+@dataclass(frozen=True)
+class BalanceSicConfig:
+    """Tunables of the BALANCE-SIC selection procedure.
+
+    Attributes:
+        selection_strategy: ordering of batches within the selected query.
+        allow_batch_splitting: when the remaining capacity is smaller than the
+            next batch, split the batch instead of leaving capacity unused.
+        use_projection: apply the §6 heuristic that subtracts the SIC of
+            buffered batches from the reported result SIC before selecting.
+        epsilon: numerical tolerance when comparing SIC values for equality.
+    """
+
+    selection_strategy: str = SelectionStrategy.HIGHEST_SIC
+    allow_batch_splitting: bool = True
+    use_projection: bool = True
+    epsilon: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if self.selection_strategy not in SelectionStrategy.ALL:
+            raise ValueError(
+                f"unknown selection strategy {self.selection_strategy!r}; "
+                f"expected one of {SelectionStrategy.ALL}"
+            )
+        if self.epsilon < 0:
+            raise ValueError(f"epsilon must be non-negative, got {self.epsilon}")
+
+
+@dataclass
+class ShedDecision:
+    """Outcome of one shedding round.
+
+    Attributes:
+        kept: batches selected for processing, in selection order.
+        shed: batches to discard.
+        kept_tuples: total number of tuples kept.
+        shed_tuples: total number of tuples shed.
+        iterations: number of iterations of the selection loop.
+        projected_sic: the per-query SIC values the node projects after this
+            round (its own local view; the coordinator later reconciles it).
+    """
+
+    kept: List[Batch] = field(default_factory=list)
+    shed: List[Batch] = field(default_factory=list)
+    kept_tuples: int = 0
+    shed_tuples: int = 0
+    iterations: int = 0
+    projected_sic: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_tuples(self) -> int:
+        return self.kept_tuples + self.shed_tuples
+
+    def kept_sic_per_query(self) -> Dict[str, float]:
+        """Sum of the SIC values of kept batches, per query."""
+        totals: Dict[str, float] = {}
+        for batch in self.kept:
+            totals[batch.query_id] = totals.get(batch.query_id, 0.0) + batch.sic
+        return totals
+
+
+@dataclass
+class _QueryState:
+    """Per-query working state during one selection round."""
+
+    query_id: str
+    working_sic: float
+    pending: List[Batch]
+
+
+class BalanceSicPolicy:
+    """Implementation of Algorithm 1's ``selectTuplesToKeep`` procedure."""
+
+    def __init__(
+        self,
+        config: Optional[BalanceSicConfig] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.config = config or BalanceSicConfig()
+        self.rng = rng or random.Random(0)
+
+    # ------------------------------------------------------------------ public
+    def select(
+        self,
+        batches: Sequence[Batch],
+        capacity: int,
+        reported_sic: Mapping[str, float],
+    ) -> ShedDecision:
+        """Select which batches to keep given capacity ``c``.
+
+        Args:
+            batches: the content of the node's input buffer for this interval.
+            capacity: the number of tuples the node can process (``c``).
+            reported_sic: last known result SIC per query, as disseminated by
+                the query coordinators (``updateSIC``).  Queries that have
+                batches in the buffer but no reported value default to 0.
+
+        Returns:
+            A :class:`ShedDecision` with the kept and shed batches.
+        """
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+
+        decision = ShedDecision()
+        states = self._initial_states(batches, reported_sic)
+        if not states:
+            return decision
+
+        total_tuples = sum(len(b) for b in batches)
+        if total_tuples <= capacity:
+            # Not overloaded: keep everything (the node only sheds when the
+            # buffer exceeds its capacity, §6 "Overload detection").
+            decision.kept = list(batches)
+            decision.kept_tuples = total_tuples
+            decision.projected_sic = {
+                s.query_id: s.working_sic + sum(b.sic for b in s.pending)
+                for s in states.values()
+            }
+            return decision
+
+        remaining = capacity
+        kept_ids = set()
+
+        while remaining > 0:
+            candidates = [s for s in states.values() if s.pending]
+            if not candidates:
+                break
+            decision.iterations += 1
+
+            q_prime = self._argmin_query(candidates)
+            target = self._next_distinct_sic(states.values(), q_prime.working_sic)
+
+            accepted_any = False
+            while q_prime.pending and remaining > 0:
+                if target is not None and (
+                    q_prime.working_sic >= target - self.config.epsilon
+                ):
+                    break
+                batch = q_prime.pending[0]
+                # Take only as many tuples as needed to reach the target
+                # (line 15-16 of Algorithm 1): if accepting the whole batch
+                # would overshoot q'', split it at the required tuple count.
+                if (
+                    target is not None
+                    and self.config.allow_batch_splitting
+                    and len(batch) > 1
+                    and batch.sic > 0
+                ):
+                    deficit = target - q_prime.working_sic
+                    per_tuple = batch.sic / len(batch)
+                    needed = int(-(-deficit // per_tuple)) if per_tuple > 0 else len(batch)
+                    if 0 < needed < len(batch):
+                        head, tail = self._split_batch(batch, needed)
+                        q_prime.pending[0] = head
+                        q_prime.pending.insert(1, tail)
+                        batch = head
+                if len(batch) <= remaining:
+                    q_prime.pending.pop(0)
+                    decision.kept.append(batch)
+                    kept_ids.add(batch.batch_id)
+                    decision.kept_tuples += len(batch)
+                    remaining -= len(batch)
+                    q_prime.working_sic += batch.sic
+                    accepted_any = True
+                elif self.config.allow_batch_splitting and remaining > 0:
+                    kept_part, rest = self._split_batch(batch, remaining)
+                    q_prime.pending[0] = rest
+                    decision.kept.append(kept_part)
+                    kept_ids.add(kept_part.batch_id)
+                    decision.kept_tuples += len(kept_part)
+                    remaining = 0
+                    q_prime.working_sic += kept_part.sic
+                    accepted_any = True
+                else:
+                    remaining = 0
+                    break
+                if target is None and accepted_any:
+                    # All queries tied: accept a single batch then re-evaluate,
+                    # matching iteration 5 of the paper's Figure 3 example.
+                    break
+
+            if not accepted_any:
+                # The minimum-SIC query could not accept anything (e.g. its
+                # next batch does not fit and splitting is disabled); drop its
+                # pending tuples into the shed set to guarantee progress.
+                decision.shed.extend(q_prime.pending)
+                decision.shed_tuples += sum(len(b) for b in q_prime.pending)
+                q_prime.pending = []
+
+        # Whatever was not selected is shed (Algorithm 1, line 7).  Batches
+        # split along the way leave their unkept remainder in the pending
+        # lists, so the pending lists are exactly the shed set.
+        for state in states.values():
+            for batch in state.pending:
+                decision.shed.append(batch)
+                decision.shed_tuples += len(batch)
+        decision.projected_sic = {
+            s.query_id: s.working_sic for s in states.values()
+        }
+        return decision
+
+    # ----------------------------------------------------------------- helpers
+    def _initial_states(
+        self,
+        batches: Sequence[Batch],
+        reported_sic: Mapping[str, float],
+    ) -> Dict[str, _QueryState]:
+        per_query: Dict[str, List[Batch]] = {}
+        for batch in batches:
+            per_query.setdefault(batch.query_id, []).append(batch)
+
+        states: Dict[str, _QueryState] = {}
+        for query_id, pending in per_query.items():
+            self._order_pending(pending)
+            reported = float(reported_sic.get(query_id, 0.0))
+            if self.config.use_projection:
+                buffered = sum(b.sic for b in pending)
+                working = max(0.0, reported - buffered)
+            else:
+                working = reported
+            states[query_id] = _QueryState(
+                query_id=query_id, working_sic=working, pending=pending
+            )
+        # Queries known to the node (via the coordinator) but without buffered
+        # tuples still participate as comparison points for q''.
+        for query_id, value in reported_sic.items():
+            if query_id not in states:
+                states[query_id] = _QueryState(
+                    query_id=query_id, working_sic=float(value), pending=[]
+                )
+        return states
+
+    def _order_pending(self, pending: List[Batch]) -> None:
+        strategy = self.config.selection_strategy
+        if strategy == SelectionStrategy.HIGHEST_SIC:
+            pending.sort(key=lambda b: b.sic, reverse=True)
+        elif strategy == SelectionStrategy.LOWEST_SIC:
+            pending.sort(key=lambda b: b.sic)
+        else:
+            self.rng.shuffle(pending)
+
+    def _argmin_query(self, candidates: Sequence[_QueryState]) -> _QueryState:
+        minimum = min(s.working_sic for s in candidates)
+        tied = [
+            s
+            for s in candidates
+            if s.working_sic <= minimum + self.config.epsilon
+        ]
+        if len(tied) == 1:
+            return tied[0]
+        return self.rng.choice(tied)
+
+    def _next_distinct_sic(
+        self, states: Iterable[_QueryState], reference: float
+    ) -> Optional[float]:
+        higher = [
+            s.working_sic
+            for s in states
+            if s.working_sic > reference + self.config.epsilon
+        ]
+        if not higher:
+            return None
+        return min(higher)
+
+    def _split_batch(self, batch: Batch, keep_tuples: int) -> PyTuple[Batch, Batch]:
+        """Split ``batch`` into a kept part of ``keep_tuples`` tuples and a rest."""
+        kept_tuples = batch.tuples[:keep_tuples]
+        rest_tuples = batch.tuples[keep_tuples:]
+        kept = Batch(
+            batch.query_id,
+            kept_tuples,
+            created_at=batch.created_at,
+            fragment_id=batch.fragment_id,
+            origin_fragment_id=batch.origin_fragment_id,
+        )
+        rest = Batch(
+            batch.query_id,
+            rest_tuples,
+            created_at=batch.created_at,
+            fragment_id=batch.fragment_id,
+            origin_fragment_id=batch.origin_fragment_id,
+        )
+        return kept, rest

@@ -1,0 +1,110 @@
+"""Online cost model for node capacity estimation (§6, Assumption 1).
+
+Algorithm 1 needs to know ``c``, the number of tuples a node can process
+during one shedding interval.  THEMIS estimates it online: the node measures
+how much processing effort past tuples required, keeps a moving average of the
+per-tuple cost, and divides the node's per-interval processing budget by that
+average.  The model is independent of the node's hardware: it adapts to
+whatever throughput the node actually achieves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+__all__ = ["CostModel", "CostModelConfig"]
+
+
+@dataclass(frozen=True)
+class CostModelConfig:
+    """Configuration of the moving-average cost model.
+
+    Attributes:
+        window: number of past observations kept in the moving average.
+        initial_cost_per_tuple: cost assumed before any observation exists.
+        min_capacity: lower bound on the estimated capacity, so a node never
+            reports that it can process zero tuples (which would shed
+            everything forever and prevent the estimate from recovering).
+    """
+
+    window: int = 16
+    initial_cost_per_tuple: float = 1.0
+    min_capacity: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError(f"window must be positive, got {self.window}")
+        if self.initial_cost_per_tuple <= 0:
+            raise ValueError(
+                "initial_cost_per_tuple must be positive, got "
+                f"{self.initial_cost_per_tuple}"
+            )
+        if self.min_capacity < 1:
+            raise ValueError(f"min_capacity must be >= 1, got {self.min_capacity}")
+
+
+class CostModel:
+    """Moving-average estimate of per-tuple processing cost → capacity.
+
+    The node calls :meth:`observe` after every processing round with the
+    number of tuples it processed and the total cost (in the node's budget
+    units — simulated CPU-time in this reproduction) that they required.
+    :meth:`capacity` then converts the node's per-interval budget into the
+    input-buffer threshold ``c`` used by the overload detector and Algorithm 1.
+    """
+
+    def __init__(self, config: Optional[CostModelConfig] = None) -> None:
+        self.config = config or CostModelConfig()
+        self._samples: Deque[float] = deque(maxlen=self.config.window)
+        self._total_tuples = 0
+        self._total_cost = 0.0
+
+    def observe(self, tuples_processed: int, total_cost: float) -> None:
+        """Record one processing round.
+
+        Rounds that processed nothing carry no information and are ignored.
+        """
+        if tuples_processed < 0:
+            raise ValueError(
+                f"tuples_processed must be non-negative, got {tuples_processed}"
+            )
+        if total_cost < 0:
+            raise ValueError(f"total_cost must be non-negative, got {total_cost}")
+        if tuples_processed == 0:
+            return
+        self._samples.append(total_cost / tuples_processed)
+        self._total_tuples += tuples_processed
+        self._total_cost += total_cost
+
+    def cost_per_tuple(self) -> float:
+        """Current moving-average cost of processing one tuple."""
+        if not self._samples:
+            return self.config.initial_cost_per_tuple
+        return sum(self._samples) / len(self._samples)
+
+    def capacity(self, budget_per_interval: float) -> int:
+        """Return the tuple capacity ``c`` for a given per-interval budget."""
+        if budget_per_interval < 0:
+            raise ValueError(
+                f"budget_per_interval must be non-negative, got {budget_per_interval}"
+            )
+        cost = self.cost_per_tuple()
+        estimate = int(budget_per_interval / cost)
+        return max(self.config.min_capacity, estimate)
+
+    @property
+    def observations(self) -> int:
+        """Number of cost samples currently in the moving-average window."""
+        return len(self._samples)
+
+    @property
+    def lifetime_tuples(self) -> int:
+        """Total tuples observed over the model's lifetime."""
+        return self._total_tuples
+
+    @property
+    def lifetime_cost(self) -> float:
+        """Total cost observed over the model's lifetime."""
+        return self._total_cost

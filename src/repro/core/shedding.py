@@ -1,0 +1,197 @@
+"""Tuple shedders (§6, "Tuple shedder" and the random-shedding baseline).
+
+A shedder is invoked by a node's overload detector once per shedding interval
+with the batches currently waiting in the input buffer, the node capacity and
+the latest per-query result SIC values.  It returns a :class:`ShedDecision`
+naming the batches to keep and the batches to discard.
+
+Implementations:
+
+* :class:`BalanceSicShedder` — the THEMIS fair shedder (Algorithm 1).
+* :class:`RandomShedder` — the baseline used throughout §7: keeps uniformly
+  random batches until the capacity is filled.
+* :class:`TailDropShedder` — keeps the oldest batches and drops the tail of
+  the buffer (classic queue overflow behaviour; useful as a second baseline).
+* :class:`NoShedder` — keeps everything (perfect processing reference).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Mapping, Optional, Sequence
+
+from .balance_sic import BalanceSicConfig, BalanceSicPolicy, ShedDecision
+from .tuples import Batch
+
+__all__ = [
+    "Shedder",
+    "BalanceSicShedder",
+    "RandomShedder",
+    "TailDropShedder",
+    "NoShedder",
+    "make_shedder",
+]
+
+
+class Shedder(ABC):
+    """Interface shared by all shedders."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def shed(
+        self,
+        batches: Sequence[Batch],
+        capacity: int,
+        reported_sic: Mapping[str, float],
+    ) -> ShedDecision:
+        """Decide which batches to keep given the node capacity."""
+
+    # Helper shared by the non-SIC-aware shedders.
+    @staticmethod
+    def _keep_prefix(
+        ordered: Sequence[Batch],
+        capacity: int,
+        allow_splitting: bool = True,
+    ) -> ShedDecision:
+        decision = ShedDecision()
+        remaining = capacity
+        kept_ids = set()
+        for batch in ordered:
+            if remaining <= 0:
+                break
+            if len(batch) <= remaining:
+                decision.kept.append(batch)
+                kept_ids.add(batch.batch_id)
+                decision.kept_tuples += len(batch)
+                remaining -= len(batch)
+            elif allow_splitting:
+                kept_part = Batch(
+                    batch.query_id,
+                    batch.tuples[:remaining],
+                    created_at=batch.created_at,
+                    fragment_id=batch.fragment_id,
+                    origin_fragment_id=batch.origin_fragment_id,
+                )
+                decision.kept.append(kept_part)
+                decision.kept_tuples += len(kept_part)
+                # The original batch is recorded as shed: routing keeps the
+                # kept part, so no tuples are lost or duplicated.
+                remaining = 0
+            else:
+                break
+        for batch in ordered:
+            if batch.batch_id not in kept_ids:
+                decision.shed.append(batch)
+                decision.shed_tuples += len(batch)
+        # Splitting counts the dropped remainder of a split batch as shed.
+        decision.shed_tuples = max(
+            0,
+            sum(len(b) for b in ordered) - decision.kept_tuples,
+        )
+        return decision
+
+
+class BalanceSicShedder(Shedder):
+    """The THEMIS fair shedder: wraps :class:`BalanceSicPolicy`."""
+
+    name = "balance-sic"
+
+    def __init__(
+        self,
+        config: Optional[BalanceSicConfig] = None,
+        seed: Optional[int] = 0,
+    ) -> None:
+        self.policy = BalanceSicPolicy(config=config, rng=random.Random(seed))
+
+    def shed(
+        self,
+        batches: Sequence[Batch],
+        capacity: int,
+        reported_sic: Mapping[str, float],
+    ) -> ShedDecision:
+        return self.policy.select(batches, capacity, reported_sic)
+
+
+class RandomShedder(Shedder):
+    """Baseline: keep uniformly random batches up to the capacity."""
+
+    name = "random"
+
+    def __init__(self, seed: Optional[int] = 0, allow_splitting: bool = True) -> None:
+        self.rng = random.Random(seed)
+        self.allow_splitting = allow_splitting
+
+    def shed(
+        self,
+        batches: Sequence[Batch],
+        capacity: int,
+        reported_sic: Mapping[str, float],
+    ) -> ShedDecision:
+        total = sum(len(b) for b in batches)
+        if total <= capacity:
+            decision = ShedDecision()
+            decision.kept = list(batches)
+            decision.kept_tuples = total
+            return decision
+        shuffled = list(batches)
+        self.rng.shuffle(shuffled)
+        return self._keep_prefix(shuffled, capacity, self.allow_splitting)
+
+
+class TailDropShedder(Shedder):
+    """Keep the oldest batches and drop the newest ones beyond capacity."""
+
+    name = "tail-drop"
+
+    def __init__(self, allow_splitting: bool = True) -> None:
+        self.allow_splitting = allow_splitting
+
+    def shed(
+        self,
+        batches: Sequence[Batch],
+        capacity: int,
+        reported_sic: Mapping[str, float],
+    ) -> ShedDecision:
+        ordered = sorted(batches, key=lambda b: b.created_at)
+        return self._keep_prefix(ordered, capacity, self.allow_splitting)
+
+
+class NoShedder(Shedder):
+    """Never sheds; used as the perfect-processing reference."""
+
+    name = "none"
+
+    def shed(
+        self,
+        batches: Sequence[Batch],
+        capacity: int,
+        reported_sic: Mapping[str, float],
+    ) -> ShedDecision:
+        decision = ShedDecision()
+        decision.kept = list(batches)
+        decision.kept_tuples = sum(len(b) for b in batches)
+        return decision
+
+
+def make_shedder(name: str, seed: Optional[int] = 0, **kwargs) -> Shedder:
+    """Factory used by simulation configs and the experiment CLI.
+
+    Args:
+        name: one of ``"balance-sic"``, ``"random"``, ``"tail-drop"``,
+            ``"none"``.
+        seed: RNG seed for the stochastic shedders.
+        **kwargs: forwarded to the shedder constructor (e.g. a
+            :class:`BalanceSicConfig` via ``config=``).
+    """
+    normalized = name.strip().lower().replace("_", "-")
+    if normalized in ("balance-sic", "balancesic", "fair", "themis"):
+        return BalanceSicShedder(seed=seed, **kwargs)
+    if normalized == "random":
+        return RandomShedder(seed=seed, **kwargs)
+    if normalized in ("tail-drop", "taildrop", "fifo"):
+        return TailDropShedder(**kwargs)
+    if normalized in ("none", "no-shedding", "perfect"):
+        return NoShedder()
+    raise ValueError(f"unknown shedder {name!r}")

@@ -1,0 +1,208 @@
+"""Source information content (SIC) assignment and propagation (§4).
+
+The SIC metric quantifies, in a query-independent way, how much of the source
+data actually contributed to a query result:
+
+* Equation (1): a source tuple from source ``s`` is worth
+  ``1 / (|T_s^S| * |S|)`` where ``|T_s^S|`` is the number of tuples the source
+  produces during a source time window (STW) and ``|S|`` is the number of
+  sources feeding the query.
+* Equation (3): an operator that atomically consumes a set of input tuples and
+  emits ``k`` output tuples divides the summed input SIC equally across the
+  ``k`` outputs.
+* Equations (2)/(4): the query result SIC over a STW is the sum of the SIC
+  values of the result tuples emitted during that STW; it is 1 for perfect
+  processing and falls towards 0 as tuples are shed.
+
+Source rates are generally unknown and time-varying, so THEMIS estimates
+``|T_s^S|`` online from the observed arrivals over a sliding STW
+(Assumption 2, §6).  :class:`SourceRateEstimator` implements that estimation
+and :class:`SicAssigner` stamps source tuples accordingly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple as PyTuple
+
+from .tuples import Tuple
+
+__all__ = [
+    "source_tuple_sic",
+    "propagate_sic",
+    "query_result_sic",
+    "SourceRateEstimator",
+    "SicAssigner",
+]
+
+
+def source_tuple_sic(tuples_per_stw: float, num_sources: int) -> float:
+    """Return the SIC value of one source tuple (Equation 1).
+
+    Args:
+        tuples_per_stw: number of tuples the source emits during one STW
+            (``|T_s^S|``).  Fractional values are accepted because the online
+            estimator works with average rates.
+        num_sources: number of sources feeding the query (``|S|``).
+
+    Raises:
+        ValueError: if either argument is not positive.
+    """
+    if tuples_per_stw <= 0:
+        raise ValueError(f"tuples_per_stw must be positive, got {tuples_per_stw}")
+    if num_sources <= 0:
+        raise ValueError(f"num_sources must be positive, got {num_sources}")
+    return 1.0 / (tuples_per_stw * num_sources)
+
+
+def propagate_sic(input_sics: Sequence[float], num_outputs: int) -> List[float]:
+    """Distribute input SIC across operator outputs (Equation 3).
+
+    The summed SIC of the atomically-processed input set is divided equally
+    over the ``num_outputs`` derived tuples.  When an operator emits no tuples
+    (e.g. a filter discarding its whole window) the SIC is lost, exactly as in
+    the paper's model, and an empty list is returned.
+    """
+    if num_outputs < 0:
+        raise ValueError(f"num_outputs must be non-negative, got {num_outputs}")
+    if num_outputs == 0:
+        return []
+    total = float(sum(input_sics))
+    share = total / num_outputs
+    return [share] * num_outputs
+
+
+def query_result_sic(result_tuple_sics: Iterable[float]) -> float:
+    """Return the query result SIC over one STW (Equation 4)."""
+    return float(sum(result_tuple_sics))
+
+
+@dataclass
+class _SourceWindow:
+    """Arrival bookkeeping for one source over a sliding STW."""
+
+    timestamps: Deque[float]
+    last_estimate: float
+    seeded: Optional[float] = None
+
+
+class SourceRateEstimator:
+    """Online estimator of per-source tuple counts over a sliding STW.
+
+    THEMIS does not assume source rates are known a-priori; it observes
+    arrivals and estimates ``|T_s^S|`` per source over the last STW seconds.
+    Until a full STW of history has accumulated, the observed count is scaled
+    up by ``STW / observed-span`` so the estimate converges to the true
+    per-STW count from the very first batches (otherwise early tuples would be
+    grossly over-valued and the result SIC would transiently exceed 1).  The
+    estimator can also be *seeded* with a nominal rate, used while no arrivals
+    at all have been observed.
+    """
+
+    def __init__(self, stw_seconds: float, min_count: float = 1.0) -> None:
+        if stw_seconds <= 0:
+            raise ValueError(f"stw_seconds must be positive, got {stw_seconds}")
+        self.stw_seconds = float(stw_seconds)
+        self.min_count = float(min_count)
+        self._windows: Dict[str, _SourceWindow] = {}
+
+    def seed_rate(self, source_id: str, tuples_per_second: float) -> None:
+        """Seed the estimate for a source from a nominal per-second rate."""
+        estimate = max(self.min_count, tuples_per_second * self.stw_seconds)
+        window = self._windows.setdefault(
+            source_id, _SourceWindow(timestamps=deque(), last_estimate=estimate)
+        )
+        window.last_estimate = estimate
+        window.seeded = estimate
+
+    def observe(self, source_id: str, timestamp: float, count: int = 1) -> None:
+        """Record ``count`` arrivals from ``source_id`` at ``timestamp``."""
+        window = self._windows.setdefault(
+            source_id,
+            _SourceWindow(timestamps=deque(), last_estimate=self.min_count),
+        )
+        for _ in range(count):
+            window.timestamps.append(timestamp)
+        self._expire(window, timestamp)
+        window.last_estimate = self._estimate(window)
+
+    def _estimate(self, window: _SourceWindow) -> float:
+        timestamps = window.timestamps
+        observed = float(len(timestamps))
+        if observed == 0:
+            if window.seeded is not None:
+                return window.seeded
+            return self.min_count
+        span = timestamps[-1] - timestamps[0]
+        if observed >= 2 and span > 0:
+            # Scale the partially observed window up to a full STW; once a
+            # full STW of history exists the scale factor tends to 1.
+            scale = self.stw_seconds / min(self.stw_seconds, span * observed / (observed - 1))
+            estimate = observed * max(1.0, scale)
+        elif window.seeded is not None:
+            estimate = window.seeded
+        else:
+            estimate = observed
+        return max(self.min_count, estimate)
+
+    def tuples_per_stw(self, source_id: str) -> float:
+        """Return the current estimate of ``|T_s^S|`` for ``source_id``."""
+        window = self._windows.get(source_id)
+        if window is None:
+            return self.min_count
+        return window.last_estimate
+
+    def known_sources(self) -> List[str]:
+        return list(self._windows)
+
+    def _expire(self, window: _SourceWindow, now: float) -> None:
+        horizon = now - self.stw_seconds
+        timestamps = window.timestamps
+        while timestamps and timestamps[0] < horizon:
+            timestamps.popleft()
+
+
+class SicAssigner:
+    """Stamps source tuples with SIC values for one query.
+
+    The assigner knows how many sources feed the query (``|S|`` is fixed per
+    query, §6) and uses a :class:`SourceRateEstimator` to track per-source
+    arrival counts over the sliding STW.
+    """
+
+    def __init__(
+        self,
+        query_id: str,
+        num_sources: int,
+        stw_seconds: float,
+        nominal_rates: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if num_sources <= 0:
+            raise ValueError(f"num_sources must be positive, got {num_sources}")
+        self.query_id = query_id
+        self.num_sources = int(num_sources)
+        self.estimator = SourceRateEstimator(stw_seconds)
+        for source_id, rate in (nominal_rates or {}).items():
+            self.estimator.seed_rate(source_id, rate)
+
+    def assign(self, tuples: Sequence[Tuple]) -> List[Tuple]:
+        """Assign SIC values in place and return the same tuples.
+
+        Arrivals are first recorded so that the estimate reflects the batch
+        being stamped, then every tuple receives
+        ``1 / (estimate(source) * |S|)``.
+        """
+        for t in tuples:
+            source = t.source_id or "__anonymous__"
+            self.estimator.observe(source, t.timestamp)
+        for t in tuples:
+            source = t.source_id or "__anonymous__"
+            per_stw = self.estimator.tuples_per_stw(source)
+            t.sic = source_tuple_sic(per_stw, self.num_sources)
+        return list(tuples)
+
+    def sic_for(self, source_id: str) -> float:
+        """Return the SIC value a new tuple from ``source_id`` would receive."""
+        per_stw = self.estimator.tuples_per_stw(source_id)
+        return source_tuple_sic(per_stw, self.num_sources)

@@ -1,0 +1,15 @@
+"""Experiment harness: one module per figure/table of the paper's evaluation.
+
+See DESIGN.md for the experiment index and EXPERIMENTS.md for a reference run
+of every experiment with the paper-vs-measured comparison.
+"""
+
+from .common import ExperimentResult, build_federation, config_with, format_table, run_workload
+
+__all__ = [
+    "ExperimentResult",
+    "build_federation",
+    "config_with",
+    "format_table",
+    "run_workload",
+]

@@ -1,0 +1,105 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments.cli --list
+    python -m repro.experiments.cli fig10 --scale small
+    python -m repro.experiments.cli all --scale medium --output results.txt
+
+Every experiment prints the rows the corresponding paper figure/table plots;
+EXPERIMENTS.md records a reference run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from . import (
+    ablations,
+    fig06_sic_correlation_aggregate,
+    fig07_sic_correlation_complex,
+    fig08_single_node_fairness,
+    fig09_shedding_interval,
+    fig10_multinode_comparison,
+    fig11_multifragment_ratio,
+    fig12_scalability_nodes,
+    fig13_scalability_queries,
+    fig14_burstiness_wan,
+    overhead,
+    related_work_comparison,
+)
+from .common import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "main", "run_experiment"]
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig06": fig06_sic_correlation_aggregate.run,
+    "fig07": fig07_sic_correlation_complex.run,
+    "fig08": fig08_single_node_fairness.run,
+    "fig09": fig09_shedding_interval.run,
+    "fig10": fig10_multinode_comparison.run,
+    "fig11": fig11_multifragment_ratio.run,
+    "fig12": fig12_scalability_nodes.run,
+    "fig13": fig13_scalability_queries.run,
+    "fig14": fig14_burstiness_wan.run,
+    "related_work": related_work_comparison.run,
+    "overhead": overhead.run,
+    "ablation_updatesic": ablations.run_update_sic_ablation,
+    "ablation_selection": ablations.run_selection_ablation,
+    "ablation_stw": ablations.run_stw_ablation,
+}
+
+
+def run_experiment(name: str, scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Run one experiment by name."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(scale=scale, seed=seed)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help="experiment name (e.g. fig10) or 'all'",
+    )
+    parser.add_argument("--scale", default="small", choices=("small", "medium", "paper"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--list", action="store_true", help="list experiments and exit")
+    parser.add_argument("--output", default=None, help="also write the tables to a file")
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        print("available experiments:")
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name}")
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    chunks: List[str] = []
+    for name in names:
+        started = time.perf_counter()
+        result = run_experiment(name, scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        table = result.to_table() + f"\n(completed in {elapsed:.1f}s)"
+        print(table)
+        print()
+        chunks.append(table)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n\n".join(chunks) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

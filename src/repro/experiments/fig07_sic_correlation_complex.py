@@ -1,0 +1,152 @@
+"""Figure 7 — correlation of the SIC metric with result correctness (complex workload).
+
+* TOP-5 queries: the error metric is the normalised Kendall's distance between
+  the degraded and the perfect top-5 lists of every window (Figure 7a).
+* COV queries: random shedding produces a series of sample covariance values
+  whose expectation matches the true covariance; the error metric is their
+  standard deviation around the perfect value (Figure 7b).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence
+
+from ..metrics.errors import normalized_kendall_distance, std_around_reference
+from ..workloads.complex import make_cov_query, make_top5_query
+from .common import ExperimentResult, config_with, run_workload
+from .testbeds import scaled_config
+
+__all__ = ["run", "top5_lists_per_window", "cov_values"]
+
+DATASETS = ("gaussian", "uniform", "exponential", "mixed", "planetlab")
+
+
+def top5_lists_per_window(
+    result_values: Sequence[Dict[str, object]]
+) -> Dict[float, List[object]]:
+    """Group TOP-5 result tuples into ranked id lists per window timestamp."""
+    per_window: Dict[float, List[tuple]] = defaultdict(list)
+    for values in result_values:
+        ts = values.get("_ts")
+        ident = values.get("id")
+        rank = values.get("rank")
+        if ts is None or ident is None or rank is None:
+            continue
+        per_window[round(float(ts), 6)].append((int(rank), ident))
+    return {
+        ts: [ident for _, ident in sorted(entries)]
+        for ts, entries in per_window.items()
+    }
+
+
+def cov_values(result_values: Sequence[Dict[str, object]]) -> Dict[float, float]:
+    """Per-window covariance values of a COV query."""
+    series: Dict[float, float] = {}
+    for values in result_values:
+        ts = values.get("_ts")
+        cov = values.get("cov")
+        if ts is None or cov is None:
+            continue
+        series[round(float(ts), 6)] = float(cov)
+    return series
+
+
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    datasets: Sequence[str] = DATASETS,
+    overload_fractions: Optional[Sequence[float]] = None,
+) -> ExperimentResult:
+    """Reproduce Figure 7: (SIC, error) points for TOP-5 and COV queries."""
+    base_config = scaled_config(scale, seed=seed)
+    if overload_fractions is None:
+        overload_fractions = (0.2, 0.4, 0.6, 0.8)
+    top5_rate = 20.0
+    cov_rate = 100.0 if scale == "small" else 400.0
+
+    experiment = ExperimentResult(
+        name="fig07",
+        description="SIC vs result error for TOP-5 (Kendall distance) and COV (std)",
+    )
+    experiment.add_note(
+        "single-fragment deployments on one node with random shedding, matching §7.1"
+    )
+
+    for dataset in datasets:
+        # ------------------------------------------------------------- TOP-5
+        def top5_builder(dataset=dataset):
+            return [
+                make_top5_query(
+                    query_id=f"top5-{dataset}",
+                    num_fragments=1,
+                    machines_per_fragment=5,
+                    rate=top5_rate,
+                    dataset=dataset,
+                    seed=seed,
+                )
+            ]
+
+        perfect_cfg = config_with(base_config, shedder="none", capacity_fraction=1e6)
+        perfect = run_workload(top5_builder, num_nodes=1, config=perfect_cfg)
+        perfect_lists = top5_lists_per_window(perfect.result_values[f"top5-{dataset}"])
+
+        for fraction in overload_fractions:
+            degraded_cfg = config_with(
+                base_config, shedder="random", capacity_fraction=fraction
+            )
+            degraded = run_workload(top5_builder, num_nodes=1, config=degraded_cfg)
+            degraded_lists = top5_lists_per_window(
+                degraded.result_values[f"top5-{dataset}"]
+            )
+            common = sorted(set(perfect_lists) & set(degraded_lists))
+            if common:
+                distance = sum(
+                    normalized_kendall_distance(degraded_lists[ts], perfect_lists[ts])
+                    for ts in common
+                ) / len(common)
+            else:
+                distance = 1.0
+            experiment.add_row(
+                query="top5",
+                dataset=dataset,
+                capacity_fraction=fraction,
+                sic=degraded.mean_sic,
+                error=distance,
+            )
+
+        # --------------------------------------------------------------- COV
+        def cov_builder(dataset=dataset):
+            return [
+                make_cov_query(
+                    query_id=f"cov-{dataset}",
+                    num_fragments=1,
+                    rate=cov_rate,
+                    dataset=dataset,
+                    seed=seed,
+                )
+            ]
+
+        perfect = run_workload(cov_builder, num_nodes=1, config=perfect_cfg)
+        perfect_cov = cov_values(perfect.result_values[f"cov-{dataset}"])
+        perfect_mean = (
+            sum(perfect_cov.values()) / len(perfect_cov) if perfect_cov else 0.0
+        )
+
+        for fraction in overload_fractions:
+            degraded_cfg = config_with(
+                base_config, shedder="random", capacity_fraction=fraction
+            )
+            degraded = run_workload(cov_builder, num_nodes=1, config=degraded_cfg)
+            degraded_cov = cov_values(degraded.result_values[f"cov-{dataset}"])
+            spread = std_around_reference(
+                list(degraded_cov.values()), reference=perfect_mean
+            )
+            experiment.add_row(
+                query="cov",
+                dataset=dataset,
+                capacity_fraction=fraction,
+                sic=degraded.mean_sic,
+                error=spread,
+            )
+    return experiment

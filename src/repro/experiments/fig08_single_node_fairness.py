@@ -1,0 +1,92 @@
+"""Figure 8 — BALANCE-SIC fairness on a single node under increasing load.
+
+The paper deploys an increasing number of complex-workload queries (30–330) on
+one node with a fixed capacity; as the load grows the mean result SIC drops
+(more tuples are shed) while Jain's Fairness Index stays close to 1 — the
+shedder keeps penalising every query equally.
+
+The reproduction keeps the node budget constant across the sweep (sized so the
+smallest population roughly fits) and scales the population sizes to the
+requested scale level.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..workloads.generators import WorkloadSpec, generate_complex_workload
+from .common import ExperimentResult, config_with, run_workload
+from .testbeds import scaled_config
+
+__all__ = ["run", "query_counts_for_scale"]
+
+
+def query_counts_for_scale(scale: str) -> List[int]:
+    """Population sweep per scale (the paper uses 30–330 queries)."""
+    if scale == "small":
+        return [6, 12, 18, 24]
+    if scale == "medium":
+        return [15, 30, 45, 60, 75]
+    return [30, 60, 90, 120, 150, 180, 210, 240, 270, 300, 330]
+
+
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    query_counts: Optional[Sequence[int]] = None,
+    source_rate: Optional[float] = None,
+) -> ExperimentResult:
+    """Reproduce Figure 8: mean SIC and Jain's index vs number of queries."""
+    config = scaled_config(scale, seed=seed)
+    counts = list(query_counts) if query_counts else query_counts_for_scale(scale)
+    rate = source_rate if source_rate is not None else (10.0 if scale == "small" else 20.0)
+
+    experiment = ExperimentResult(
+        name="fig08",
+        description="single-node BALANCE-SIC fairness vs number of queries",
+    )
+    experiment.add_note(
+        f"node budget fixed at the offered load of the smallest population "
+        f"({counts[0]} queries); larger populations overload the node further"
+    )
+
+    def spec_for(count: int) -> WorkloadSpec:
+        return WorkloadSpec(
+            num_queries=count,
+            fragments_per_query=1,
+            kinds=("avg-all", "top5", "cov"),
+            source_rate=rate,
+            sources_per_avg_all_fragment=3,
+            machines_per_top5_fragment=2,
+            seed=seed,
+        )
+
+    # Size the node budget once, from the smallest population at full capacity.
+    from ..federation.deployment import RoundRobinPlacement
+    from ..workloads.generators import compute_node_budgets
+
+    base_queries = generate_complex_workload(spec_for(counts[0]))
+    base_fragments = [f for q in base_queries for f in q.fragment_list()]
+    base_placement = RoundRobinPlacement().place(base_fragments, ["node-0"])
+    fixed_budgets = compute_node_budgets(
+        base_queries,
+        base_placement,
+        shedding_interval=config.shedding_interval,
+        capacity_fraction=1.0,
+        node_ids=["node-0"],
+    )
+
+    for count in counts:
+        result = run_workload(
+            lambda count=count: generate_complex_workload(spec_for(count)),
+            num_nodes=1,
+            config=config_with(config, shedder="balance-sic"),
+            node_budgets=fixed_budgets,
+        )
+        experiment.add_row(
+            queries=count,
+            mean_sic=result.mean_sic,
+            jains_index=result.jains_index,
+            shed_fraction=result.shed_fraction,
+        )
+    return experiment

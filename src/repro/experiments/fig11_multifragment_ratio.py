@@ -1,0 +1,98 @@
+"""Figure 11 — effect of the ratio of multi-fragment queries on fairness.
+
+BALANCE-SIC relies on queries spanning nodes to propagate shedding information
+across the federation.  The paper varies the ratio of three-fragment queries
+over single-fragment queries (total fragments held constant on 10 nodes) and
+shows that fairness improves as more queries are multi-fragmented.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..federation.deployment import RandomPlacement
+from ..workloads.complex import make_avg_all_query, make_cov_query, make_top5_query
+from ..workloads.spec import WorkloadQuery
+from .common import ExperimentResult, config_with, run_workload
+from .testbeds import scaled_config
+
+__all__ = ["run", "RATIOS"]
+
+RATIOS = (0.1, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _build_population(
+    ratio: float,
+    total_fragments: int,
+    source_rate: float,
+    seed: int,
+) -> List[WorkloadQuery]:
+    """Build a population with ``ratio`` of the queries having 3 fragments."""
+    rng = random.Random(seed)
+    queries: List[WorkloadQuery] = []
+    fragments_used = 0
+    index = 0
+    builders = (make_avg_all_query, make_top5_query, make_cov_query)
+    while fragments_used < total_fragments:
+        multi = rng.random() < ratio
+        num_fragments = 3 if multi else 1
+        builder = builders[index % len(builders)]
+        kwargs = dict(
+            query_id=f"q{index}-r{int(ratio * 100)}",
+            num_fragments=num_fragments,
+            rate=source_rate,
+            seed=seed * 7919 + index,
+        )
+        if builder is make_avg_all_query:
+            kwargs["sources_per_fragment"] = 3
+        elif builder is make_top5_query:
+            kwargs["machines_per_fragment"] = 2
+        queries.append(builder(**kwargs))
+        fragments_used += num_fragments
+        index += 1
+    return queries
+
+
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    ratios: Sequence[float] = RATIOS,
+    num_nodes: Optional[int] = None,
+    total_fragments: Optional[int] = None,
+) -> ExperimentResult:
+    """Reproduce Figure 11: fairness vs ratio of three-fragment queries."""
+    config = scaled_config(scale, seed=seed, capacity_fraction=0.4)
+    if num_nodes is None:
+        num_nodes = {"small": 4, "medium": 6}.get(scale, 10)
+    if total_fragments is None:
+        total_fragments = {"small": 60, "medium": 300}.get(scale, 2000)
+    source_rate = 8.0 if scale == "small" else 20.0
+
+    experiment = ExperimentResult(
+        name="fig11",
+        description="BALANCE-SIC fairness vs ratio of multi-fragment queries",
+    )
+    experiment.add_note(
+        f"~{total_fragments} fragments on {num_nodes} nodes; ratio = share of "
+        "3-fragment queries (remainder are single-fragment)"
+    )
+
+    for ratio in ratios:
+        result = run_workload(
+            lambda ratio=ratio: _build_population(
+                ratio, total_fragments, source_rate, seed
+            ),
+            num_nodes=num_nodes,
+            config=config,
+            shedder_name="balance-sic",
+            placement_strategy=RandomPlacement(seed=seed),
+            budget_mode="uniform",
+        )
+        experiment.add_row(
+            ratio=ratio,
+            mean_sic=result.mean_sic,
+            jains_index=result.jains_index,
+            queries=len(result.per_query_sic),
+        )
+    return experiment

@@ -1,0 +1,93 @@
+"""Figure 13 — scalability with the number of queries.
+
+The deployment (18 nodes in the paper) is fixed and the number of complex
+queries grows from 180 to 900.  More queries mean more offered load on the
+same capacity, so the mean SIC decreases, but the shedding stays fair (Jain's
+index close to 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..federation.deployment import RandomPlacement, RoundRobinPlacement
+from ..workloads.generators import (
+    WorkloadSpec,
+    compute_node_budgets,
+    generate_complex_workload,
+)
+from .common import ExperimentResult, run_workload
+from .testbeds import scaled_config
+
+__all__ = ["run", "query_counts_for_scale"]
+
+
+def query_counts_for_scale(scale: str) -> List[int]:
+    if scale == "small":
+        return [20, 40, 60, 80]
+    if scale == "medium":
+        return [60, 120, 180, 240]
+    return [180, 240, 300, 360, 420, 480, 540, 600, 660, 720, 780, 840, 900]
+
+
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    query_counts: Optional[Sequence[int]] = None,
+    num_nodes: Optional[int] = None,
+) -> ExperimentResult:
+    """Reproduce Figure 13: fairness and mean SIC vs number of queries."""
+    config = scaled_config(scale, seed=seed)
+    counts = list(query_counts) if query_counts else query_counts_for_scale(scale)
+    if num_nodes is None:
+        num_nodes = {"small": 6, "medium": 9}.get(scale, 18)
+    source_rate = 8.0 if scale == "small" else 20.0
+
+    experiment = ExperimentResult(
+        name="fig13",
+        description="BALANCE-SIC fairness for an increasing number of queries",
+    )
+    experiment.add_note(
+        f"fixed deployment on {num_nodes} nodes; node budgets sized for the "
+        f"smallest population ({counts[0]} queries) and held constant"
+    )
+
+    def spec_for(count: int) -> WorkloadSpec:
+        return WorkloadSpec(
+            num_queries=count,
+            fragments_per_query=(1, 2, 3),
+            kinds=("avg-all", "top5", "cov"),
+            source_rate=source_rate,
+            sources_per_avg_all_fragment=3,
+            machines_per_top5_fragment=2,
+            seed=seed,
+        )
+
+    node_ids = [f"node-{i}" for i in range(num_nodes)]
+    base_queries = generate_complex_workload(spec_for(counts[0]))
+    base_fragments = [f for q in base_queries for f in q.fragment_list()]
+    base_placement = RoundRobinPlacement().place(base_fragments, node_ids)
+    fixed_budgets = compute_node_budgets(
+        base_queries,
+        base_placement,
+        shedding_interval=config.shedding_interval,
+        capacity_fraction=1.0,
+        node_ids=node_ids,
+    )
+
+    for count in counts:
+        result = run_workload(
+            lambda count=count: generate_complex_workload(spec_for(count)),
+            num_nodes=num_nodes,
+            config=config,
+            shedder_name="balance-sic",
+            placement_strategy=RandomPlacement(seed=seed),
+            node_budgets=fixed_budgets,
+        )
+        experiment.add_row(
+            queries=count,
+            mean_sic=result.mean_sic,
+            jains_index=result.jains_index,
+            shed_fraction=result.shed_fraction,
+        )
+    return experiment

@@ -1,0 +1,124 @@
+"""Test-bed configurations (Table 2) mapped onto simulation configurations.
+
+The paper evaluates THEMIS on two physical test-beds; the reproduction maps
+them onto simulation configurations and, because a pure-Python simulator
+cannot push millions of tuples per second, also defines *scaled* variants used
+by default by the experiment modules and the benchmarks.  The scaling factors
+are documented in EXPERIMENTS.md; they reduce source rates and population
+sizes while keeping every structural property of the deployments (overload
+factor, fragment counts, placement skew, latencies) intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..simulation.config import SimulationConfig
+
+__all__ = [
+    "TestbedProfile",
+    "LOCAL_TESTBED",
+    "EMULAB_TESTBED",
+    "scaled_config",
+    "SCALES",
+]
+
+SCALES = ("small", "medium", "paper")
+
+
+@dataclass(frozen=True)
+class TestbedProfile:
+    """A named test-bed profile (Table 2).
+
+    Attributes:
+        name: profile name.
+        num_processing_nodes: number of THEMIS processing nodes.
+        source_rate: per-source rate in tuples/second.
+        batches_per_second: source batching granularity (informational).
+        network_latency_seconds: one-way latency between nodes.
+    """
+
+    name: str
+    num_processing_nodes: int
+    source_rate: float
+    batches_per_second: float
+    network_latency_seconds: float
+
+
+LOCAL_TESTBED = TestbedProfile(
+    name="local",
+    num_processing_nodes=1,
+    source_rate=400.0,
+    batches_per_second=5.0,
+    network_latency_seconds=0.001,
+)
+
+EMULAB_TESTBED = TestbedProfile(
+    name="emulab",
+    num_processing_nodes=18,
+    source_rate=150.0,
+    batches_per_second=3.0,
+    network_latency_seconds=0.005,
+)
+
+
+def scaled_config(
+    scale: str = "small",
+    seed: int = 0,
+    capacity_fraction: float = 0.5,
+    shedder: str = "balance-sic",
+    network_latency_seconds: float = 0.005,
+) -> SimulationConfig:
+    """Return the :class:`SimulationConfig` for a scale level.
+
+    ``small`` keeps unit-test and benchmark runs in the seconds range,
+    ``medium`` matches the defaults used to produce EXPERIMENTS.md, and
+    ``paper`` uses the paper's durations (minutes of simulated time — slow in
+    pure Python, provided for completeness).
+    """
+    if scale == "small":
+        return SimulationConfig(
+            duration_seconds=12.0,
+            warmup_seconds=6.0,
+            shedding_interval=0.25,
+            stw_seconds=6.0,
+            shedder=shedder,
+            capacity_fraction=capacity_fraction,
+            network_latency_seconds=network_latency_seconds,
+            seed=seed,
+        )
+    if scale == "medium":
+        return SimulationConfig(
+            duration_seconds=30.0,
+            warmup_seconds=10.0,
+            shedding_interval=0.25,
+            stw_seconds=10.0,
+            shedder=shedder,
+            capacity_fraction=capacity_fraction,
+            network_latency_seconds=network_latency_seconds,
+            seed=seed,
+        )
+    if scale == "paper":
+        return SimulationConfig(
+            duration_seconds=300.0,
+            warmup_seconds=20.0,
+            shedding_interval=0.25,
+            stw_seconds=10.0,
+            shedder=shedder,
+            capacity_fraction=capacity_fraction,
+            network_latency_seconds=network_latency_seconds,
+            seed=seed,
+        )
+    raise ValueError(f"unknown scale {scale!r}; expected one of {SCALES}")
+
+
+def workload_scale_factors(scale: str) -> Dict[str, float]:
+    """Population/rate multipliers per scale, used by the experiment modules."""
+    if scale == "small":
+        return {"queries": 0.1, "nodes": 0.34, "rate": 0.25}
+    if scale == "medium":
+        return {"queries": 0.25, "nodes": 0.5, "rate": 0.4}
+    if scale == "paper":
+        return {"queries": 1.0, "nodes": 1.0, "rate": 1.0}
+    raise ValueError(f"unknown scale {scale!r}; expected one of {SCALES}")

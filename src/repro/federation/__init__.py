@@ -1,0 +1,53 @@
+"""Federation substrate: nodes, network, coordinators, placement, the FSPS."""
+
+from .coordinator import CoordinatorRegistry, QueryCoordinator
+from .deployment import (
+    ExplicitPlacement,
+    Placement,
+    PlacementStrategy,
+    RandomPlacement,
+    RoundRobinPlacement,
+    ZipfPlacement,
+    make_placement_strategy,
+)
+from .fsps import DeployedQuery, FederatedSystem
+from .network import (
+    LAN_LATENCY_SECONDS,
+    WAN_LATENCY_SECONDS,
+    DataMessage,
+    LatencyMatrix,
+    LatencyModel,
+    Message,
+    Network,
+    ResultMessage,
+    SicUpdateMessage,
+    UniformLatency,
+)
+from .node import FspsNode, NodeStats, NodeTickResult
+
+__all__ = [
+    "CoordinatorRegistry",
+    "QueryCoordinator",
+    "ExplicitPlacement",
+    "Placement",
+    "PlacementStrategy",
+    "RandomPlacement",
+    "RoundRobinPlacement",
+    "ZipfPlacement",
+    "make_placement_strategy",
+    "DeployedQuery",
+    "FederatedSystem",
+    "LAN_LATENCY_SECONDS",
+    "WAN_LATENCY_SECONDS",
+    "DataMessage",
+    "LatencyMatrix",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "ResultMessage",
+    "SicUpdateMessage",
+    "UniformLatency",
+    "FspsNode",
+    "NodeStats",
+    "NodeTickResult",
+]

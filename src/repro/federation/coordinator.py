@@ -1,0 +1,139 @@
+"""Query coordinators (§6, "SIC maintenance").
+
+Every query has a logically-centralised coordinator, instantiated when the
+query is deployed.  The coordinator receives the query's result batches,
+maintains the result SIC over the sliding STW and, at regular intervals
+(matching the shedding interval in the paper's evaluation), disseminates the
+current result SIC value to every node hosting one of the query's fragments —
+the ``updateSIC`` step of Algorithm 1 that lets autonomous nodes converge to
+globally fair shedding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..core.stw import ResultSicTracker, StwConfig
+from ..core.tuples import Batch
+
+__all__ = ["QueryCoordinator", "CoordinatorRegistry"]
+
+
+class QueryCoordinator:
+    """Coordinator of a single query.
+
+    Args:
+        query_id: the query this coordinator manages.
+        stw_config: STW configuration for result-SIC accounting.
+        update_interval: how often (seconds) SIC updates are disseminated.
+        home_node: identifier of the endpoint where the coordinator runs; used
+            as the network source of its update messages.
+    """
+
+    def __init__(
+        self,
+        query_id: str,
+        stw_config: StwConfig,
+        update_interval: float = 0.25,
+        home_node: str = "coordinator",
+    ) -> None:
+        if update_interval <= 0:
+            raise ValueError(f"update_interval must be positive, got {update_interval}")
+        self.query_id = query_id
+        self.update_interval = float(update_interval)
+        self.home_node = home_node
+        self.tracker = ResultSicTracker(query_id, stw_config)
+        self.hosting_nodes: Set[str] = set()
+        self.result_tuples = 0
+        self.result_values: List[Dict[str, object]] = []
+        self.updates_sent = 0
+        self._last_update_time: Optional[float] = None
+
+    def register_hosting_node(self, node_id: str) -> None:
+        """Record that ``node_id`` hosts a fragment of this query."""
+        self.hosting_nodes.add(node_id)
+
+    def record_result(self, batch: Batch, now: float) -> None:
+        """Account a result batch received from the query's root fragment."""
+        for t in batch:
+            self.tracker.record_result(t.timestamp, t.sic)
+            self.result_tuples += 1
+            # Result values are kept (with their logical timestamp) so the
+            # SIC-correlation experiments can align degraded and perfect runs.
+            values = dict(t.values)
+            values["_ts"] = t.timestamp
+            self.result_values.append(values)
+
+    def current_sic(self, now: float) -> float:
+        return self.tracker.current_sic(now)
+
+    def snapshot(self, now: float) -> float:
+        return self.tracker.snapshot(now)
+
+    def due_for_update(self, now: float) -> bool:
+        """Whether an ``updateSIC`` dissemination round is due at ``now``."""
+        if self._last_update_time is None:
+            return True
+        return now - self._last_update_time >= self.update_interval - 1e-9
+
+    def make_updates(self, now: float) -> List[Dict[str, object]]:
+        """Build the update payloads for every hosting node (if due).
+
+        Returns a list of dictionaries with keys ``node_id``, ``query_id`` and
+        ``sic``; the caller (the FSPS) wraps them into network messages so the
+        coordinator itself stays transport-agnostic.
+        """
+        if not self.due_for_update(now):
+            return []
+        self._last_update_time = now
+        sic = self.current_sic(now)
+        updates = [
+            {"node_id": node_id, "query_id": self.query_id, "sic": sic}
+            for node_id in sorted(self.hosting_nodes)
+        ]
+        self.updates_sent += len(updates)
+        return updates
+
+
+class CoordinatorRegistry:
+    """All coordinators of a federated deployment."""
+
+    def __init__(
+        self,
+        stw_config: StwConfig,
+        update_interval: float = 0.25,
+    ) -> None:
+        self.stw_config = stw_config
+        self.update_interval = update_interval
+        self._coordinators: Dict[str, QueryCoordinator] = {}
+
+    def coordinator(self, query_id: str) -> QueryCoordinator:
+        if query_id not in self._coordinators:
+            self._coordinators[query_id] = QueryCoordinator(
+                query_id,
+                self.stw_config,
+                update_interval=self.update_interval,
+            )
+        return self._coordinators[query_id]
+
+    def all(self) -> List[QueryCoordinator]:
+        return list(self._coordinators.values())
+
+    def query_ids(self) -> List[str]:
+        return list(self._coordinators)
+
+    def current_sic_values(self, now: float) -> Dict[str, float]:
+        return {qid: c.current_sic(now) for qid, c in self._coordinators.items()}
+
+    def mean_sic_per_query(self, skip_initial: int = 0) -> Dict[str, float]:
+        return {
+            qid: c.tracker.mean_sic(skip_initial=skip_initial)
+            for qid, c in self._coordinators.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self._coordinators)
+
+    def __contains__(self, query_id: str) -> bool:
+        return query_id in self._coordinators

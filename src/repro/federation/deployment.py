@@ -1,0 +1,206 @@
+"""Fragment placement strategies (§2.1 C1, §3 "Query deployment").
+
+In an FSPS the mapping of query fragments to nodes is decided by users and
+constrained by local policies; it is therefore an *input* to THEMIS rather
+than something the system optimises.  The evaluation nevertheless needs to
+generate placements with controlled properties: balanced round-robin layouts,
+uniformly random layouts and Zipf-skewed layouts (used in the node-scalability
+experiment, §7.3, to model sites that host far more fragments than others).
+
+A placement is simply a mapping ``fragment_id -> node_id``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..streaming.query import QueryFragment
+
+__all__ = [
+    "Placement",
+    "PlacementStrategy",
+    "ExplicitPlacement",
+    "RoundRobinPlacement",
+    "RandomPlacement",
+    "ZipfPlacement",
+    "make_placement_strategy",
+]
+
+
+@dataclass
+class Placement:
+    """The result of placing a set of fragments on a set of nodes."""
+
+    assignments: Dict[str, str] = field(default_factory=dict)
+
+    def node_for(self, fragment_id: str) -> str:
+        try:
+            return self.assignments[fragment_id]
+        except KeyError:
+            raise KeyError(f"fragment {fragment_id!r} has not been placed") from None
+
+    def fragments_on(self, node_id: str) -> List[str]:
+        return [f for f, n in self.assignments.items() if n == node_id]
+
+    def load_per_node(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for node_id in self.assignments.values():
+            counts[node_id] = counts.get(node_id, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.assignments)
+
+
+class PlacementStrategy:
+    """Interface of placement strategies."""
+
+    def place(
+        self, fragments: Sequence[QueryFragment], node_ids: Sequence[str]
+    ) -> Placement:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(fragments: Sequence[QueryFragment], node_ids: Sequence[str]) -> None:
+        if not node_ids:
+            raise ValueError("cannot place fragments on an empty set of nodes")
+        if not fragments:
+            raise ValueError("no fragments to place")
+
+
+class ExplicitPlacement(PlacementStrategy):
+    """Use a user-provided ``fragment_id -> node_id`` mapping."""
+
+    def __init__(self, assignments: Mapping[str, str]) -> None:
+        self.assignments = dict(assignments)
+
+    def place(
+        self, fragments: Sequence[QueryFragment], node_ids: Sequence[str]
+    ) -> Placement:
+        self._check(fragments, node_ids)
+        placement = Placement()
+        nodes = set(node_ids)
+        for fragment in fragments:
+            node = self.assignments.get(fragment.fragment_id)
+            if node is None:
+                raise ValueError(f"no node assigned for fragment {fragment.fragment_id}")
+            if node not in nodes:
+                raise ValueError(f"unknown node {node!r} for fragment {fragment.fragment_id}")
+            placement.assignments[fragment.fragment_id] = node
+        return placement
+
+
+class RoundRobinPlacement(PlacementStrategy):
+    """Spread fragments evenly over nodes, in deterministic order.
+
+    Fragments of the same query are spread over distinct nodes whenever there
+    are at least as many nodes as fragments per query, which matches the
+    paper's assumption that each fragment of a query runs on a different node.
+    """
+
+    def place(
+        self, fragments: Sequence[QueryFragment], node_ids: Sequence[str]
+    ) -> Placement:
+        self._check(fragments, node_ids)
+        placement = Placement()
+        cursor = 0
+        per_query_used: Dict[str, set] = {}
+        for fragment in fragments:
+            used = per_query_used.setdefault(fragment.query_id, set())
+            node = None
+            for offset in range(len(node_ids)):
+                candidate = node_ids[(cursor + offset) % len(node_ids)]
+                if candidate not in used or len(used) >= len(node_ids):
+                    node = candidate
+                    cursor = (cursor + offset + 1) % len(node_ids)
+                    break
+            if node is None:
+                node = node_ids[cursor % len(node_ids)]
+                cursor += 1
+            used.add(node)
+            placement.assignments[fragment.fragment_id] = node
+        return placement
+
+
+class RandomPlacement(PlacementStrategy):
+    """Place every fragment on a uniformly random node (same-query fragments
+    avoid sharing a node when possible)."""
+
+    def __init__(self, seed: Optional[int] = 0) -> None:
+        self.rng = random.Random(seed)
+
+    def place(
+        self, fragments: Sequence[QueryFragment], node_ids: Sequence[str]
+    ) -> Placement:
+        self._check(fragments, node_ids)
+        placement = Placement()
+        per_query_used: Dict[str, set] = {}
+        for fragment in fragments:
+            used = per_query_used.setdefault(fragment.query_id, set())
+            available = [n for n in node_ids if n not in used] or list(node_ids)
+            node = self.rng.choice(available)
+            used.add(node)
+            placement.assignments[fragment.fragment_id] = node
+        return placement
+
+
+class ZipfPlacement(PlacementStrategy):
+    """Skewed placement: node ``i`` is chosen with probability ∝ 1 / (i+1)^s.
+
+    Reproduces the skewed workload distribution of characteristic C1 and the
+    Zipf deployment of the scalability experiment (§7.3).
+    """
+
+    def __init__(self, exponent: float = 1.0, seed: Optional[int] = 0) -> None:
+        if exponent < 0:
+            raise ValueError(f"exponent must be non-negative, got {exponent}")
+        self.exponent = float(exponent)
+        self.rng = random.Random(seed)
+
+    def _weights(self, count: int) -> List[float]:
+        return [1.0 / ((rank + 1) ** self.exponent) for rank in range(count)]
+
+    def place(
+        self, fragments: Sequence[QueryFragment], node_ids: Sequence[str]
+    ) -> Placement:
+        self._check(fragments, node_ids)
+        weights = self._weights(len(node_ids))
+        placement = Placement()
+        per_query_used: Dict[str, set] = {}
+        for fragment in fragments:
+            used = per_query_used.setdefault(fragment.query_id, set())
+            candidates = [
+                (node, weight)
+                for node, weight in zip(node_ids, weights)
+                if node not in used
+            ]
+            if not candidates:
+                candidates = list(zip(node_ids, weights))
+            nodes, node_weights = zip(*candidates)
+            node = self.rng.choices(nodes, weights=node_weights, k=1)[0]
+            used.add(node)
+            placement.assignments[fragment.fragment_id] = node
+        return placement
+
+
+def make_placement_strategy(
+    name: str,
+    seed: Optional[int] = 0,
+    zipf_exponent: float = 1.0,
+    explicit: Optional[Mapping[str, str]] = None,
+) -> PlacementStrategy:
+    """Factory used by experiment configurations."""
+    normalized = name.strip().lower().replace("_", "-")
+    if normalized in ("round-robin", "roundrobin", "rr"):
+        return RoundRobinPlacement()
+    if normalized == "random":
+        return RandomPlacement(seed=seed)
+    if normalized == "zipf":
+        return ZipfPlacement(exponent=zipf_exponent, seed=seed)
+    if normalized == "explicit":
+        if explicit is None:
+            raise ValueError("explicit placement requires the 'explicit' mapping")
+        return ExplicitPlacement(explicit)
+    raise ValueError(f"unknown placement strategy {name!r}")

@@ -1,0 +1,316 @@
+"""The federated stream processing system (FSPS).
+
+This module ties together the federation substrate: autonomous nodes hosting
+query fragments (:mod:`repro.federation.node`), the inter-site network
+(:mod:`repro.federation.network`) and the per-query coordinators
+(:mod:`repro.federation.coordinator`).  A :class:`FederatedSystem` owns the
+deployment state — which fragment runs where, which sources feed which query —
+and advances the whole federation one shedding interval at a time:
+
+1. sources generate tuples for the elapsed interval, the SIC assigner stamps
+   them (Equation 1) and the batches are sent towards the nodes hosting the
+   fragments bound to those sources;
+2. the network delivers due messages: data batches enter node input buffers,
+   coordinator updates refresh the nodes' view of query result SIC values, and
+   result batches reach the coordinators;
+3. every node runs its overload detector / tuple shedder / fragment processing
+   round (Algorithm 1 when the BALANCE-SIC shedder is configured);
+4. coordinators disseminate fresh result SIC values (``updateSIC``).
+
+The FSPS is deliberately decentralised: nodes only ever see their own input
+buffer and the coordinator updates, mirroring the paper's site-autonomy
+constraint (C3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.fairness import FairnessSummary, summarize_fairness
+from ..core.sic import SicAssigner
+from ..core.stw import StwConfig
+from ..core.tuples import Batch, Tuple
+from ..streaming.query import QueryFragment
+from .coordinator import CoordinatorRegistry, QueryCoordinator
+from .network import (
+    DataMessage,
+    Message,
+    Network,
+    ResultMessage,
+    SicUpdateMessage,
+    UniformLatency,
+)
+from .node import FspsNode
+
+__all__ = ["DeployedQuery", "FederatedSystem"]
+
+# Endpoint name used by coordinators when exchanging messages with nodes.
+COORDINATOR_ENDPOINT = "coordinator"
+
+
+@dataclass
+class DeployedQuery:
+    """A query deployed on the FSPS.
+
+    Attributes:
+        query_id: query identifier.
+        fragments: the query's fragments, keyed by fragment id.
+        sources: the source objects feeding the query.  A source must expose a
+            ``source_id`` attribute, a ``rate`` attribute (tuples/second) and a
+            ``generate(start, end)`` method returning payload tuples.
+        sic_assigner: stamps the query's source tuples with SIC values.
+        source_fragment: maps source id → fragment id of the fragment whose
+            receiver is bound to that source.
+    """
+
+    query_id: str
+    fragments: Dict[str, QueryFragment]
+    sources: List[object]
+    sic_assigner: SicAssigner
+    source_fragment: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def num_fragments(self) -> int:
+        return len(self.fragments)
+
+
+class FederatedSystem:
+    """A multi-site federated stream processing deployment."""
+
+    def __init__(
+        self,
+        stw_config: Optional[StwConfig] = None,
+        shedding_interval: float = 0.25,
+        network: Optional[Network] = None,
+        coordinator_update_interval: Optional[float] = None,
+        enable_sic_updates: bool = True,
+    ) -> None:
+        if shedding_interval <= 0:
+            raise ValueError(
+                f"shedding_interval must be positive, got {shedding_interval}"
+            )
+        self.stw_config = stw_config or StwConfig(slide_seconds=shedding_interval)
+        self.shedding_interval = float(shedding_interval)
+        self.network = network or Network(UniformLatency())
+        self.enable_sic_updates = enable_sic_updates
+        update_interval = coordinator_update_interval or shedding_interval
+        self.coordinators = CoordinatorRegistry(
+            self.stw_config, update_interval=update_interval
+        )
+        self.nodes: Dict[str, FspsNode] = {}
+        self.queries: Dict[str, DeployedQuery] = {}
+        # fragment id -> node id
+        self.placement: Dict[str, str] = {}
+        self.now = 0.0
+        self.ticks = 0
+
+    # ------------------------------------------------------------------ set-up
+    def add_node(self, node: FspsNode) -> FspsNode:
+        if node.node_id in self.nodes:
+            raise ValueError(f"node {node.node_id!r} already exists")
+        node.set_coordinator_updates(self.enable_sic_updates)
+        self.nodes[node.node_id] = node
+        return node
+
+    def node_ids(self) -> List[str]:
+        return list(self.nodes)
+
+    def deploy_query(
+        self,
+        query_id: str,
+        fragments: Mapping[str, QueryFragment],
+        sources: Sequence[object],
+        placement: Mapping[str, str],
+        nominal_rates: Optional[Dict[str, float]] = None,
+    ) -> DeployedQuery:
+        """Deploy a fragmented query.
+
+        Args:
+            query_id: the query identifier.
+            fragments: fragment id → fragment.
+            sources: source objects feeding the query (see
+                :class:`DeployedQuery` for the expected protocol).
+            placement: fragment id → node id; every fragment must be placed on
+                an existing node.
+            nominal_rates: optional source id → tuples/second seed for the SIC
+                assigner's rate estimator.
+        """
+        if query_id in self.queries:
+            raise ValueError(f"query {query_id!r} already deployed")
+        if not fragments:
+            raise ValueError("a query needs at least one fragment")
+        if not sources:
+            raise ValueError("a query needs at least one source")
+
+        rates = dict(nominal_rates or {})
+        for source in sources:
+            rate = getattr(source, "rate", None)
+            source_id = getattr(source, "source_id")
+            if rate and source_id not in rates:
+                rates[source_id] = float(rate)
+
+        assigner = SicAssigner(
+            query_id=query_id,
+            num_sources=len(sources),
+            stw_seconds=self.stw_config.stw_seconds,
+            nominal_rates=rates,
+        )
+
+        source_fragment: Dict[str, str] = {}
+        for fragment_id, fragment in fragments.items():
+            for source_id in fragment.source_bindings:
+                source_fragment[source_id] = fragment_id
+
+        deployed = DeployedQuery(
+            query_id=query_id,
+            fragments=dict(fragments),
+            sources=list(sources),
+            sic_assigner=assigner,
+            source_fragment=source_fragment,
+        )
+
+        coordinator = self.coordinators.coordinator(query_id)
+        for fragment_id, fragment in fragments.items():
+            node_id = placement.get(fragment_id)
+            if node_id is None:
+                raise ValueError(f"fragment {fragment_id!r} has no placement")
+            node = self.nodes.get(node_id)
+            if node is None:
+                raise ValueError(f"placement targets unknown node {node_id!r}")
+            node.host_fragment(fragment)
+            self.placement[fragment_id] = node_id
+            coordinator.register_hosting_node(node_id)
+
+        self.queries[query_id] = deployed
+        return deployed
+
+    def query_ids(self) -> List[str]:
+        return list(self.queries)
+
+    # --------------------------------------------------------------- main loop
+    def tick(self, timer: Optional[Callable[[], float]] = None) -> None:
+        """Advance the federation by one shedding interval."""
+        start = self.now
+        self.now = start + self.shedding_interval
+        self.ticks += 1
+
+        self._generate_sources(start, self.now)
+        self._deliver_messages(self.now)
+        self._run_nodes(self.now, timer)
+        self._disseminate_sic(self.now)
+        # Record a snapshot of every query's result SIC for the run summary.
+        for coordinator in self.coordinators.all():
+            coordinator.snapshot(self.now)
+
+    def run(
+        self,
+        duration_seconds: float,
+        timer: Optional[Callable[[], float]] = None,
+    ) -> None:
+        """Run the federation for ``duration_seconds`` of simulated time."""
+        if duration_seconds <= 0:
+            raise ValueError(f"duration must be positive, got {duration_seconds}")
+        ticks = int(round(duration_seconds / self.shedding_interval))
+        for _ in range(max(1, ticks)):
+            self.tick(timer=timer)
+
+    # ----------------------------------------------------------------- results
+    def mean_sic_per_query(self, skip_initial: int = 0) -> Dict[str, float]:
+        return self.coordinators.mean_sic_per_query(skip_initial=skip_initial)
+
+    def current_sic_per_query(self) -> Dict[str, float]:
+        return self.coordinators.current_sic_values(self.now)
+
+    def fairness_summary(self, skip_initial: int = 0) -> FairnessSummary:
+        return summarize_fairness(self.mean_sic_per_query(skip_initial=skip_initial))
+
+    def total_shed_tuples(self) -> int:
+        return sum(node.stats.shed_tuples for node in self.nodes.values())
+
+    def total_received_tuples(self) -> int:
+        return sum(node.stats.received_tuples for node in self.nodes.values())
+
+    # ----------------------------------------------------------------- helpers
+    def _generate_sources(self, start: float, end: float) -> None:
+        for query in self.queries.values():
+            for source in query.sources:
+                source_id = getattr(source, "source_id")
+                payload_tuples: List[Tuple] = source.generate(start, end)
+                if not payload_tuples:
+                    continue
+                query.sic_assigner.assign(payload_tuples)
+                fragment_id = query.source_fragment.get(source_id)
+                if fragment_id is None:
+                    continue
+                node_id = self.placement[fragment_id]
+                batch = Batch(
+                    query.query_id,
+                    payload_tuples,
+                    created_at=end,
+                    fragment_id=fragment_id,
+                    origin_fragment_id=None,
+                )
+                message = DataMessage(
+                    destination=node_id,
+                    batch=batch,
+                    target_fragment_id=fragment_id,
+                )
+                self.network.send(message, sent_at=end, source=source_id)
+
+    def _deliver_messages(self, now: float) -> None:
+        for message in self.network.deliver_due(now):
+            self._dispatch(message, now)
+
+    def _dispatch(self, message: Message, now: float) -> None:
+        if isinstance(message, DataMessage):
+            node = self.nodes.get(message.destination)
+            if node is not None:
+                node.enqueue(message.batch)
+        elif isinstance(message, ResultMessage):
+            coordinator = self.coordinators.coordinator(message.batch.query_id)
+            coordinator.record_result(message.batch, now)
+        elif isinstance(message, SicUpdateMessage):
+            node = self.nodes.get(message.destination)
+            if node is not None:
+                node.receive_sic_update(message.query_id, message.sic_value)
+
+    def _run_nodes(
+        self, now: float, timer: Optional[Callable[[], float]] = None
+    ) -> None:
+        for node in self.nodes.values():
+            result = node.tick(now, timer=timer)
+            for batch in result.downstream:
+                target_fragment = batch.fragment_id
+                target_node = self.placement.get(target_fragment)
+                if target_node is None:
+                    continue
+                self.network.send(
+                    DataMessage(
+                        destination=target_node,
+                        batch=batch,
+                        target_fragment_id=target_fragment,
+                    ),
+                    sent_at=now,
+                    source=node.node_id,
+                )
+            for batch in result.results:
+                self.network.send(
+                    ResultMessage(destination=COORDINATOR_ENDPOINT, batch=batch),
+                    sent_at=now,
+                    source=node.node_id,
+                )
+
+    def _disseminate_sic(self, now: float) -> None:
+        if not self.enable_sic_updates:
+            return
+        for coordinator in self.coordinators.all():
+            for update in coordinator.make_updates(now):
+                message = SicUpdateMessage(
+                    destination=update["node_id"],
+                    query_id=update["query_id"],
+                    sic_value=float(update["sic"]),
+                )
+                self.network.send(
+                    message, sent_at=now, source=COORDINATOR_ENDPOINT
+                )

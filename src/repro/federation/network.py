@@ -1,0 +1,175 @@
+"""Inter-site network model.
+
+FSPS sites belong to different administrative domains and are connected by a
+network whose latencies matter for two things: the delivery of data batches
+between fragments placed on different nodes, and the delivery of the query
+coordinators' result-SIC updates (``updateSIC``).  The paper evaluates a LAN
+setting (5 ms between Emulab nodes) and an emulated wide-area setting (50 ms,
+§7.4); this module provides the corresponding latency models and an in-flight
+message queue with deterministic delivery order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple as PyTuple
+
+from ..core.tuples import Batch
+
+__all__ = [
+    "Message",
+    "DataMessage",
+    "SicUpdateMessage",
+    "ResultMessage",
+    "LatencyModel",
+    "UniformLatency",
+    "LatencyMatrix",
+    "Network",
+    "LAN_LATENCY_SECONDS",
+    "WAN_LATENCY_SECONDS",
+]
+
+LAN_LATENCY_SECONDS = 0.005
+WAN_LATENCY_SECONDS = 0.050
+
+_message_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """Base class of all network messages."""
+
+    destination: str
+
+    def size_bytes(self) -> int:
+        return 0
+
+
+@dataclass
+class DataMessage(Message):
+    """A batch of tuples travelling towards the node hosting a fragment."""
+
+    batch: Batch = None  # type: ignore[assignment]
+    target_fragment_id: str = ""
+
+    def size_bytes(self) -> int:
+        payload = sum(len(t.values) * 8 for t in self.batch.tuples)
+        return payload + self.batch.meta_data_bytes()
+
+
+@dataclass
+class ResultMessage(Message):
+    """Result batch travelling from a root fragment to its query coordinator."""
+
+    batch: Batch = None  # type: ignore[assignment]
+
+    def size_bytes(self) -> int:
+        payload = sum(len(t.values) * 8 for t in self.batch.tuples)
+        return payload + self.batch.meta_data_bytes()
+
+
+@dataclass
+class SicUpdateMessage(Message):
+    """``updateSIC`` message from a query coordinator to a hosting node.
+
+    The prototype uses 30-byte messages sent every shedding interval (§7.6).
+    """
+
+    query_id: str = ""
+    sic_value: float = 0.0
+
+    def size_bytes(self) -> int:
+        return 30
+
+
+class LatencyModel:
+    """Interface of latency models between named endpoints."""
+
+    def latency(self, source: str, destination: str) -> float:
+        raise NotImplementedError
+
+
+class UniformLatency(LatencyModel):
+    """A single latency between every pair of distinct endpoints."""
+
+    def __init__(self, seconds: float = LAN_LATENCY_SECONDS) -> None:
+        if seconds < 0:
+            raise ValueError(f"latency must be non-negative, got {seconds}")
+        self.seconds = float(seconds)
+
+    def latency(self, source: str, destination: str) -> float:
+        if source == destination:
+            return 0.0
+        return self.seconds
+
+
+class LatencyMatrix(LatencyModel):
+    """Per-pair latencies with a default for unspecified pairs."""
+
+    def __init__(
+        self,
+        default_seconds: float = LAN_LATENCY_SECONDS,
+        pairs: Optional[Dict[PyTuple[str, str], float]] = None,
+    ) -> None:
+        self.default_seconds = float(default_seconds)
+        self._pairs: Dict[PyTuple[str, str], float] = dict(pairs or {})
+
+    def set_latency(self, source: str, destination: str, seconds: float) -> None:
+        self._pairs[(source, destination)] = float(seconds)
+        self._pairs[(destination, source)] = float(seconds)
+
+    def latency(self, source: str, destination: str) -> float:
+        if source == destination:
+            return 0.0
+        return self._pairs.get((source, destination), self.default_seconds)
+
+
+@dataclass(order=True)
+class _InFlight:
+    deliver_at: float
+    sequence: int
+    message: Message = field(compare=False)
+
+
+class Network:
+    """In-flight message queue with latency-based delivery times.
+
+    Delivery is deterministic: messages are delivered ordered by delivery time
+    and, for equal times, by send order.
+    """
+
+    def __init__(self, latency_model: Optional[LatencyModel] = None) -> None:
+        self.latency_model = latency_model or UniformLatency()
+        self._queue: List[_InFlight] = []
+        self.sent_messages = 0
+        self.delivered_messages = 0
+        self.bytes_sent = 0
+
+    def send(self, message: Message, sent_at: float, source: str) -> float:
+        """Enqueue ``message`` and return its delivery time."""
+        latency = self.latency_model.latency(source, message.destination)
+        deliver_at = sent_at + latency
+        heapq.heappush(
+            self._queue, _InFlight(deliver_at, next(_message_ids), message)
+        )
+        self.sent_messages += 1
+        self.bytes_sent += message.size_bytes()
+        return deliver_at
+
+    def deliver_due(self, now: float) -> List[Message]:
+        """Pop and return every message whose delivery time is ``<= now``."""
+        due: List[Message] = []
+        while self._queue and self._queue[0].deliver_at <= now:
+            due.append(heapq.heappop(self._queue).message)
+        self.delivered_messages += len(due)
+        return due
+
+    def in_flight(self) -> int:
+        return len(self._queue)
+
+    def next_delivery_time(self) -> Optional[float]:
+        if not self._queue:
+            return None
+        return self._queue[0].deliver_at

@@ -1,0 +1,231 @@
+"""A THEMIS node (Figure 5 of the paper).
+
+Each node hosts query fragments and owns the components of Figure 5: an input
+buffer where incoming batches wait, an overload detector that compares the
+buffer occupancy against the capacity estimated by the cost model, and a tuple
+shedder that is invoked when the node is overloaded.  Kept batches are routed
+to their fragments, which process them and emit derived batches for downstream
+fragments or result batches for the query user.
+
+Nodes are autonomous: the only global information they receive are the result
+SIC values disseminated by the query coordinators (``updateSIC``).  When those
+updates are disabled (the Figure 4 ablation) a node falls back to a purely
+local estimate of each hosted query's result SIC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple as PyTuple
+
+from ..core.cost_model import CostModel, CostModelConfig
+from ..core.shedding import Shedder
+from ..core.stw import ResultSicTracker, StwConfig
+from ..core.tuples import Batch
+from ..streaming.query import FragmentOutput, QueryFragment
+
+__all__ = ["NodeStats", "NodeTickResult", "FspsNode"]
+
+
+@dataclass
+class NodeStats:
+    """Cumulative per-node statistics over a run."""
+
+    ticks: int = 0
+    overloaded_ticks: int = 0
+    received_tuples: int = 0
+    kept_tuples: int = 0
+    shed_tuples: int = 0
+    processed_cost: float = 0.0
+    shedder_invocations: int = 0
+    shedder_time_seconds: float = 0.0
+
+    @property
+    def shed_fraction(self) -> float:
+        if self.received_tuples == 0:
+            return 0.0
+        return self.shed_tuples / self.received_tuples
+
+
+@dataclass
+class NodeTickResult:
+    """Output of one node tick: batches to forward plus bookkeeping."""
+
+    downstream: List[Batch] = field(default_factory=list)
+    results: List[Batch] = field(default_factory=list)
+    kept_tuples: int = 0
+    shed_tuples: int = 0
+    capacity: int = 0
+    overloaded: bool = False
+
+
+class FspsNode:
+    """A single FSPS node hosting query fragments.
+
+    Args:
+        node_id: unique node identifier (also used as the network endpoint).
+        shedder: the tuple shedder invoked under overload.
+        budget_per_interval: processing budget (cost units) available per
+            shedding interval; together with the cost model this yields the
+            input-buffer threshold ``c``.
+        stw_config: STW configuration used for the node's local result-SIC
+            estimates.
+        site: name of the administrative site the node belongs to.
+        cost_model_config: optional cost-model tuning.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        shedder: Shedder,
+        budget_per_interval: float,
+        stw_config: Optional[StwConfig] = None,
+        site: Optional[str] = None,
+        cost_model_config: Optional[CostModelConfig] = None,
+    ) -> None:
+        if budget_per_interval <= 0:
+            raise ValueError(
+                f"budget_per_interval must be positive, got {budget_per_interval}"
+            )
+        self.node_id = node_id
+        self.site = site or node_id
+        self.shedder = shedder
+        self.budget_per_interval = float(budget_per_interval)
+        self.stw_config = stw_config or StwConfig()
+        self.cost_model = CostModel(cost_model_config)
+        self.fragments: Dict[str, QueryFragment] = {}
+        self.stats = NodeStats()
+        self._input_buffer: List[Batch] = []
+        # Result SIC per query as last reported by the query coordinators.
+        self._reported_sic: Dict[str, float] = {}
+        self._use_coordinator_updates = True
+        # Purely local estimates, used when coordinator updates are disabled.
+        self._local_trackers: Dict[str, ResultSicTracker] = {}
+
+    # ------------------------------------------------------------------ wiring
+    def host_fragment(self, fragment: QueryFragment) -> None:
+        """Deploy ``fragment`` on this node."""
+        if fragment.fragment_id in self.fragments:
+            raise ValueError(
+                f"fragment {fragment.fragment_id} already hosted on {self.node_id}"
+            )
+        self.fragments[fragment.fragment_id] = fragment
+        self._local_trackers.setdefault(
+            fragment.query_id, ResultSicTracker(fragment.query_id, self.stw_config)
+        )
+
+    def hosted_queries(self) -> List[str]:
+        """Identifiers of queries with at least one fragment on this node."""
+        return sorted({f.query_id for f in self.fragments.values()})
+
+    def set_coordinator_updates(self, enabled: bool) -> None:
+        """Enable or disable the use of coordinator SIC updates (Figure 4 ablation)."""
+        self._use_coordinator_updates = enabled
+
+    # --------------------------------------------------------------- messaging
+    def enqueue(self, batch: Batch) -> None:
+        """Add an incoming batch to the input buffer."""
+        self._input_buffer.append(batch)
+        self.stats.received_tuples += len(batch)
+
+    def receive_sic_update(self, query_id: str, sic_value: float) -> None:
+        """Handle an ``updateSIC`` message from a query coordinator."""
+        self._reported_sic[query_id] = float(sic_value)
+
+    def input_buffer_size(self) -> int:
+        """Number of tuples currently waiting in the input buffer."""
+        return sum(len(b) for b in self._input_buffer)
+
+    # --------------------------------------------------------------- main loop
+    def tick(self, now: float, timer: Optional[callable] = None) -> NodeTickResult:
+        """Run one shedding interval: detect overload, shed, process.
+
+        Args:
+            now: current simulation time (end of the interval).
+            timer: optional callable returning wall-clock seconds, used to
+                measure the shedder's execution time for the §7.6 experiment.
+        """
+        result = NodeTickResult()
+        self.stats.ticks += 1
+        capacity = self.cost_model.capacity(self.budget_per_interval)
+        result.capacity = capacity
+
+        buffered = self._input_buffer
+        self._input_buffer = []
+        buffered_tuples = sum(len(b) for b in buffered)
+        overloaded = buffered_tuples > capacity
+        result.overloaded = overloaded
+        if overloaded:
+            self.stats.overloaded_ticks += 1
+
+        reported = self._current_sic_view(now)
+        if overloaded:
+            self.stats.shedder_invocations += 1
+            start = timer() if timer else None
+            decision = self.shedder.shed(buffered, capacity, reported)
+            if timer and start is not None:
+                self.stats.shedder_time_seconds += timer() - start
+            kept = decision.kept
+            result.shed_tuples = decision.shed_tuples
+            self.stats.shed_tuples += decision.shed_tuples
+        else:
+            kept = buffered
+
+        result.kept_tuples = sum(len(b) for b in kept)
+        self.stats.kept_tuples += result.kept_tuples
+
+        # Route kept batches to their fragments and record the kept SIC in the
+        # node's local estimate of each query's result SIC.
+        for batch in kept:
+            fragment = self._resolve_fragment(batch)
+            if fragment is None:
+                continue
+            fragment.deliver(batch, origin_fragment_id=batch.origin_fragment_id)
+            tracker = self._local_trackers.get(batch.query_id)
+            if tracker is not None:
+                tracker.record_result(now, batch.sic)
+
+        # Process every hosted fragment.
+        total_cost = 0.0
+        for fragment in self.fragments.values():
+            output: FragmentOutput = fragment.process(now)
+            total_cost += output.processing_cost
+            result.downstream.extend(output.downstream)
+            result.results.extend(output.results)
+        if result.kept_tuples:
+            # The capacity threshold counts input-buffer tuples, so the cost
+            # model is fed the per-IB-tuple cost (the fragment-internal fan-out
+            # is folded into the cost, not into the tuple count).
+            self.cost_model.observe(result.kept_tuples, total_cost)
+            self.stats.processed_cost += total_cost
+        return result
+
+    # ----------------------------------------------------------------- helpers
+    def _current_sic_view(self, now: float) -> Dict[str, float]:
+        """The per-query result SIC values the shedder should balance."""
+        view: Dict[str, float] = {}
+        for query_id in self.hosted_queries():
+            if self._use_coordinator_updates and query_id in self._reported_sic:
+                view[query_id] = self._reported_sic[query_id]
+            else:
+                tracker = self._local_trackers.get(query_id)
+                view[query_id] = tracker.current_sic(now) if tracker else 0.0
+        return view
+
+    def _resolve_fragment(self, batch: Batch) -> Optional[QueryFragment]:
+        fragment_id = batch.fragment_id
+        if fragment_id and fragment_id in self.fragments:
+            return self.fragments[fragment_id]
+        # Fall back to the only hosted fragment of the batch's query, if any.
+        candidates = [
+            f for f in self.fragments.values() if f.query_id == batch.query_id
+        ]
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FspsNode(id={self.node_id!r}, fragments={len(self.fragments)}, "
+            f"budget={self.budget_per_interval})"
+        )

@@ -1,0 +1,21 @@
+"""Error metrics and metric collectors."""
+
+from .collectors import MetricsCollector, SummaryStats, TimeSeries
+from .errors import (
+    align_series,
+    kendall_distance,
+    mean_absolute_relative_error,
+    normalized_kendall_distance,
+    std_around_reference,
+)
+
+__all__ = [
+    "MetricsCollector",
+    "SummaryStats",
+    "TimeSeries",
+    "align_series",
+    "kendall_distance",
+    "mean_absolute_relative_error",
+    "normalized_kendall_distance",
+    "std_around_reference",
+]

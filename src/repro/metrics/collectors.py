@@ -1,0 +1,131 @@
+"""Metric collectors and small time-series helpers.
+
+Experiments accumulate per-query and per-run observations; these helpers keep
+that bookkeeping out of the experiment code and provide the summary statistics
+reported in EXPERIMENTS.md (mean ± std, confidence-style spreads, series
+down-sampling for the SIC time series).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["SummaryStats", "TimeSeries", "MetricsCollector"]
+
+
+@dataclass
+class SummaryStats:
+    """Mean, standard deviation and extrema of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "SummaryStats":
+        values = [float(v) for v in samples]
+        if not values:
+            return cls(count=0, mean=0.0, std=0.0, minimum=0.0, maximum=0.0)
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        return cls(
+            count=len(values),
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=min(values),
+            maximum=max(values),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {self.std:.4f} (n={self.count})"
+
+
+class TimeSeries:
+    """An append-only (time, value) series with summary helpers."""
+
+    def __init__(self, name: str = "series") -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def append(self, time: float, value: float) -> None:
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"time series {self.name!r} requires non-decreasing times"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def times(self) -> List[float]:
+        return list(self._times)
+
+    def values(self) -> List[float]:
+        return list(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def last(self) -> Optional[float]:
+        return self._values[-1] if self._values else None
+
+    def summary(self, skip_initial: int = 0) -> SummaryStats:
+        return SummaryStats.from_samples(self._values[skip_initial:])
+
+    def downsample(self, max_points: int) -> List[Tuple[float, float]]:
+        """Return at most ``max_points`` evenly spaced (time, value) pairs."""
+        if max_points <= 0:
+            raise ValueError(f"max_points must be positive, got {max_points}")
+        n = len(self._values)
+        if n <= max_points:
+            return list(zip(self._times, self._values))
+        step = n / max_points
+        indices = [min(n - 1, int(i * step)) for i in range(max_points)]
+        return [(self._times[i], self._values[i]) for i in indices]
+
+
+class MetricsCollector:
+    """Keyed collection of samples (e.g. per query, per configuration)."""
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[float]] = {}
+
+    def record(self, key: str, value: float) -> None:
+        self._samples.setdefault(key, []).append(float(value))
+
+    def record_many(self, values: Mapping[str, float]) -> None:
+        for key, value in values.items():
+            self.record(key, value)
+
+    def keys(self) -> List[str]:
+        return list(self._samples)
+
+    def samples(self, key: str) -> List[float]:
+        return list(self._samples.get(key, []))
+
+    def summary(self, key: str) -> SummaryStats:
+        return SummaryStats.from_samples(self._samples.get(key, []))
+
+    def summaries(self) -> Dict[str, SummaryStats]:
+        return {key: self.summary(key) for key in self._samples}
+
+    def means(self) -> Dict[str, float]:
+        return {key: self.summary(key).mean for key in self._samples}
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._samples
+
+    def __len__(self) -> int:
+        return len(self._samples)

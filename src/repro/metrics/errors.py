@@ -1,0 +1,122 @@
+"""Result-error metrics used by the SIC-correlation experiments (§7.1).
+
+* mean absolute relative error — compares degraded aggregate values with the
+  values produced by perfect processing (AVG, MAX, COUNT queries, Figure 6);
+* normalised Kendall's distance — compares degraded and perfect top-k lists
+  (TOP-5 query, Figure 7a);
+* sample standard deviation — spread of the degraded covariance estimates
+  around the perfect covariance (COV query, Figure 7b).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "mean_absolute_relative_error",
+    "kendall_distance",
+    "normalized_kendall_distance",
+    "std_around_reference",
+    "align_series",
+]
+
+
+def mean_absolute_relative_error(
+    degraded: Sequence[float], perfect: Sequence[float], epsilon: float = 1e-9
+) -> float:
+    """Mean of ``|degraded - perfect| / |perfect|`` over paired samples.
+
+    Pairs where the perfect value is (near) zero fall back to the absolute
+    error to avoid dividing by zero.  Raises ``ValueError`` when no pairs are
+    available.
+    """
+    pairs = list(zip(degraded, perfect))
+    if not pairs:
+        raise ValueError("cannot compute an error over empty series")
+    total = 0.0
+    for approx, exact in pairs:
+        if abs(exact) < epsilon:
+            total += abs(approx - exact)
+        else:
+            total += abs(approx - exact) / abs(exact)
+    return total / len(pairs)
+
+
+def kendall_distance(list_a: Sequence[object], list_b: Sequence[object]) -> int:
+    """Kendall's distance with penalty 1 for top-k lists [Fagin et al.].
+
+    Counts (i) pairs of elements ranked in opposite order by the two lists and
+    (ii) pairs where one or both elements appear in only one of the lists and
+    the order cannot be confirmed.  Duplicates are ignored beyond their first
+    occurrence.
+    """
+    a = list(dict.fromkeys(list_a))
+    b = list(dict.fromkeys(list_b))
+    pos_a = {item: rank for rank, item in enumerate(a)}
+    pos_b = {item: rank for rank, item in enumerate(b)}
+    universe = list(dict.fromkeys(a + b))
+    distance = 0
+    for x, y in itertools.combinations(universe, 2):
+        both_a = x in pos_a and y in pos_a
+        both_b = x in pos_b and y in pos_b
+        if both_a and both_b:
+            # Case 1: ranked by both lists — count order inversions.
+            if (pos_a[x] - pos_a[y]) * (pos_b[x] - pos_b[y]) < 0:
+                distance += 1
+        elif both_a or both_b:
+            # Case 2/4: one list ranks both elements.
+            present = pos_a if both_a else pos_b
+            other = pos_b if both_a else pos_a
+            x_in_other = x in other
+            y_in_other = y in other
+            if x_in_other == y_in_other:
+                # Case 4: neither element appears in the other top-k list —
+                # pessimistic penalty of 1.
+                distance += 1
+            else:
+                # Case 2: the other list implicitly ranks its present element
+                # above the absent one; disagreement if the full list says the
+                # opposite.
+                ranked_elsewhere = x if x_in_other else y
+                missing_elsewhere = y if x_in_other else x
+                if present[missing_elsewhere] < present[ranked_elsewhere]:
+                    distance += 1
+        else:
+            # Case 3: x only in one list, y only in the other — each list
+            # implicitly ranks its own element above the other's: disagreement.
+            distance += 1
+    return distance
+
+
+def normalized_kendall_distance(
+    list_a: Sequence[object], list_b: Sequence[object]
+) -> float:
+    """Kendall's distance normalised to [0, 1] (0 = identical rankings)."""
+    a = list(dict.fromkeys(list_a))
+    b = list(dict.fromkeys(list_b))
+    universe = list(dict.fromkeys(a + b))
+    max_pairs = len(universe) * (len(universe) - 1) / 2
+    if max_pairs == 0:
+        return 0.0
+    return min(1.0, kendall_distance(a, b) / max_pairs)
+
+
+def std_around_reference(
+    samples: Sequence[float], reference: Optional[float] = None
+) -> float:
+    """Standard deviation of ``samples`` around ``reference`` (or their mean)."""
+    values = [float(v) for v in samples]
+    if not values:
+        return 0.0
+    center = reference if reference is not None else sum(values) / len(values)
+    return math.sqrt(sum((v - center) ** 2 for v in values) / len(values))
+
+
+def align_series(
+    degraded: Dict[float, float], perfect: Dict[float, float]
+) -> List[tuple]:
+    """Align two keyed series (e.g. per-window results) on their common keys."""
+    common = sorted(set(degraded) & set(perfect))
+    return [(degraded[key], perfect[key]) for key in common]

@@ -1,0 +1,14 @@
+"""Time-stepped simulation substrate."""
+
+from .clock import SimulationClock
+from .config import SimulationConfig
+from .results import NodeSummary, RunResult
+from .simulator import Simulator
+
+__all__ = [
+    "SimulationClock",
+    "SimulationConfig",
+    "NodeSummary",
+    "RunResult",
+    "Simulator",
+]

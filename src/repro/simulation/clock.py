@@ -1,0 +1,62 @@
+"""Simulation clock.
+
+A tiny helper that advances simulated time in fixed steps (the shedding
+interval) and answers periodicity questions ("is a coordinator update due?").
+Kept separate so components that need a notion of time do not depend on the
+simulator itself.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["SimulationClock"]
+
+
+class SimulationClock:
+    """Fixed-step simulated clock."""
+
+    def __init__(self, step_seconds: float, start: float = 0.0) -> None:
+        if step_seconds <= 0:
+            raise ValueError(f"step_seconds must be positive, got {step_seconds}")
+        self.step_seconds = float(step_seconds)
+        self.start = float(start)
+        self._now = float(start)
+        self._ticks = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def ticks(self) -> int:
+        return self._ticks
+
+    @property
+    def elapsed(self) -> float:
+        return self._now - self.start
+
+    def advance(self) -> float:
+        """Advance by one step and return the new time."""
+        self._ticks += 1
+        self._now = self.start + self._ticks * self.step_seconds
+        return self._now
+
+    def iterate(self, duration_seconds: float) -> Iterator[float]:
+        """Yield successive tick times until ``duration_seconds`` have elapsed."""
+        if duration_seconds <= 0:
+            raise ValueError(f"duration must be positive, got {duration_seconds}")
+        steps = max(1, int(round(duration_seconds / self.step_seconds)))
+        for _ in range(steps):
+            yield self.advance()
+
+    def is_multiple_of(self, period_seconds: float, tolerance: float = 1e-9) -> bool:
+        """True when the current time is (approximately) a multiple of ``period_seconds``."""
+        if period_seconds <= 0:
+            raise ValueError(f"period must be positive, got {period_seconds}")
+        ratio = self._now / period_seconds
+        return abs(ratio - round(ratio)) < tolerance
+
+    def reset(self) -> None:
+        self._now = self.start
+        self._ticks = 0

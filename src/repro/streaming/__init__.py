@@ -1,0 +1,27 @@
+"""Streaming substrate: schemas, windows, operators, query graphs, CQL, engine."""
+
+from .cql import CqlError, QuerySpec, compile_query, parse, plan
+from .engine import LocalEngine
+from .query import Edge, FragmentOutput, QueryFragment, QueryGraph
+from .schema import Field, Schema
+from .windows import CountWindow, ImmediateWindow, TimeWindow, WindowBuffer, WindowPane
+
+__all__ = [
+    "CqlError",
+    "QuerySpec",
+    "compile_query",
+    "parse",
+    "plan",
+    "LocalEngine",
+    "Edge",
+    "FragmentOutput",
+    "QueryFragment",
+    "QueryGraph",
+    "Field",
+    "Schema",
+    "CountWindow",
+    "ImmediateWindow",
+    "TimeWindow",
+    "WindowBuffer",
+    "WindowPane",
+]

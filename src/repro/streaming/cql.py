@@ -1,0 +1,493 @@
+"""A small CQL-like query language (Table 1 of the paper).
+
+The paper expresses its workloads in CQL-like syntax [8]::
+
+    Select Avg(t.v) From Src[Range 1 sec]
+    Select Count(t.v) From Src[Range 1 sec] Having t.v >= 50
+    Select Top5(AllSrcCPU.id)
+      From AllSrcCPU[Range 1 sec], AllSrcMem[Range 1 sec]
+      Where AllSrcMem.free >= 100000 and AllSrcCPU.id = AllSrcMem.id
+    Select Cov(SrcCPU1.value, SrcCPU2.value)
+      From SrcCPU1[Range 1 sec], SrcCPU2[Range 1 sec]
+
+This module provides a tokenizer, a recursive-descent parser producing a small
+AST (:class:`QuerySpec`) and a planner that turns the AST into an executable
+:class:`~repro.streaming.query.QueryGraph` built from the operator library.
+It intentionally covers the query shapes used in the paper (single aggregates,
+top-k with a join, covariance over two streams) rather than full CQL.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple as PyTuple
+
+from .operators import (
+    Average,
+    Count,
+    Covariance,
+    Filter,
+    Max,
+    Min,
+    OutputOperator,
+    SourceReceiver,
+    Sum,
+    TopK,
+    Union,
+    WindowEquiJoin,
+)
+from .query import QueryGraph
+
+__all__ = [
+    "CqlError",
+    "FieldRef",
+    "Comparison",
+    "StreamRef",
+    "SelectFunction",
+    "QuerySpec",
+    "tokenize",
+    "parse",
+    "plan",
+    "compile_query",
+]
+
+
+class CqlError(ValueError):
+    """Raised when a CQL statement cannot be parsed or planned."""
+
+
+# --------------------------------------------------------------------------- AST
+@dataclass(frozen=True)
+class FieldRef:
+    """A qualified field reference such as ``AllSrcCPU.id`` or ``t.v``."""
+
+    stream: str
+    field: str
+
+    def __str__(self) -> str:
+        return f"{self.stream}.{self.field}"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A binary comparison in a ``Where`` or ``Having`` clause."""
+
+    left: FieldRef
+    op: str
+    right: object  # either a FieldRef (join predicate) or a constant
+
+    @property
+    def is_join(self) -> bool:
+        return isinstance(self.right, FieldRef)
+
+
+@dataclass(frozen=True)
+class StreamRef:
+    """A stream in the ``From`` clause with its window specification."""
+
+    name: str
+    range_seconds: float
+    slide_seconds: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class SelectFunction:
+    """The aggregate in the ``Select`` clause (Avg, Max, Count, TopN, Cov...)."""
+
+    name: str
+    args: PyTuple[FieldRef, ...]
+    top_k: Optional[int] = None
+
+
+@dataclass
+class QuerySpec:
+    """Parsed representation of one CQL statement."""
+
+    select: SelectFunction
+    streams: List[StreamRef]
+    where: List[Comparison] = field(default_factory=list)
+    having: List[Comparison] = field(default_factory=list)
+
+    def stream(self, name: str) -> StreamRef:
+        for ref in self.streams:
+            if ref.name.lower() == name.lower():
+                return ref
+        raise CqlError(f"unknown stream {name!r} in From clause")
+
+
+# ---------------------------------------------------------------------- lexer
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>\d+(?:\.\d+)?|\.\d+)
+  | (?P<comma>,)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<op>>=|<=|!=|=|>|<)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<dot>\.)
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+
+
+def tokenize(statement: str) -> List[_Token]:
+    """Tokenize a CQL statement; raises :class:`CqlError` on bad characters."""
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(statement):
+        match = _TOKEN_RE.match(statement, position)
+        if match is None:
+            raise CqlError(
+                f"unexpected character {statement[position]!r} at offset {position}"
+            )
+        position = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind, match.group()))
+    return tokens
+
+
+# --------------------------------------------------------------------- parser
+_KEYWORDS = {"select", "from", "where", "having", "and", "range", "slide", "sec",
+             "secs", "second", "seconds"}
+
+
+class _Parser:
+    def __init__(self, tokens: Sequence[_Token]) -> None:
+        self.tokens = list(tokens)
+        self.index = 0
+
+    # primitive helpers -------------------------------------------------------
+    def peek(self) -> Optional[_Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise CqlError("unexpected end of statement")
+        self.index += 1
+        return token
+
+    def expect_name(self, *expected: str) -> _Token:
+        token = self.next()
+        if token.kind != "name" or (
+            expected and token.text.lower() not in {e.lower() for e in expected}
+        ):
+            raise CqlError(
+                f"expected {' or '.join(expected) if expected else 'identifier'}, "
+                f"got {token.text!r}"
+            )
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.next()
+        if token.kind != kind:
+            raise CqlError(f"expected {kind}, got {token.text!r}")
+        return token
+
+    def at_keyword(self, keyword: str) -> bool:
+        token = self.peek()
+        return (
+            token is not None
+            and token.kind == "name"
+            and token.text.lower() == keyword.lower()
+        )
+
+    # grammar -----------------------------------------------------------------
+    def parse_statement(self) -> QuerySpec:
+        self.expect_name("Select")
+        select = self.parse_select_function()
+        self.expect_name("From")
+        streams = [self.parse_stream_ref()]
+        while self.peek() is not None and self.peek().kind == "comma":
+            self.next()
+            streams.append(self.parse_stream_ref())
+        where: List[Comparison] = []
+        having: List[Comparison] = []
+        while self.peek() is not None:
+            if self.at_keyword("Where"):
+                self.next()
+                where.extend(self.parse_predicates())
+            elif self.at_keyword("Having"):
+                self.next()
+                having.extend(self.parse_predicates())
+            else:
+                raise CqlError(f"unexpected token {self.peek().text!r}")
+        return QuerySpec(select=select, streams=streams, where=where, having=having)
+
+    def parse_select_function(self) -> SelectFunction:
+        name_token = self.expect_name()
+        name = name_token.text
+        top_match = re.fullmatch(r"[Tt]op(\d+)", name)
+        self.expect("lparen")
+        args: List[FieldRef] = [self.parse_field_ref()]
+        while self.peek() is not None and self.peek().kind == "comma":
+            self.next()
+            args.append(self.parse_field_ref())
+        self.expect("rparen")
+        if top_match:
+            return SelectFunction(name="top", args=tuple(args), top_k=int(top_match.group(1)))
+        return SelectFunction(name=name.lower(), args=tuple(args))
+
+    def parse_field_ref(self) -> FieldRef:
+        stream = self.expect_name().text
+        self.expect("dot")
+        field_name = self.expect_name().text
+        return FieldRef(stream=stream, field=field_name)
+
+    def parse_stream_ref(self) -> StreamRef:
+        name = self.expect_name().text
+        self.expect("lbracket")
+        self.expect_name("Range")
+        range_seconds = float(self.expect("number").text)
+        self.expect_name("sec", "secs", "second", "seconds")
+        slide_seconds: Optional[float] = None
+        if self.at_keyword("Slide"):
+            self.next()
+            slide_seconds = float(self.expect("number").text)
+            self.expect_name("sec", "secs", "second", "seconds")
+        self.expect("rbracket")
+        return StreamRef(name=name, range_seconds=range_seconds, slide_seconds=slide_seconds)
+
+    def parse_predicates(self) -> List[Comparison]:
+        predicates = [self.parse_comparison()]
+        while self.at_keyword("and"):
+            self.next()
+            predicates.append(self.parse_comparison())
+        return predicates
+
+    def parse_comparison(self) -> Comparison:
+        left = self.parse_field_ref()
+        op = self.expect("op").text
+        token = self.peek()
+        if token is None:
+            raise CqlError("unexpected end of predicate")
+        if token.kind == "number":
+            self.next()
+            return Comparison(left=left, op=op, right=float(token.text))
+        right = self.parse_field_ref()
+        return Comparison(left=left, op=op, right=right)
+
+
+def parse(statement: str) -> QuerySpec:
+    """Parse a CQL statement into a :class:`QuerySpec`."""
+    # Allow thousands separators such as 100,000 by removing commas that sit
+    # between digits before tokenizing.
+    cleaned = re.sub(r"(?<=\d),(?=\d)", "", statement)
+    parser = _Parser(tokenize(cleaned))
+    return parser.parse_statement()
+
+
+# -------------------------------------------------------------------- planner
+def _normalize_sources(
+    spec: QuerySpec, sources: Optional[Mapping[str, Sequence[str]]]
+) -> Dict[str, List[str]]:
+    """Resolve the source ids feeding each stream of the From clause."""
+    resolved: Dict[str, List[str]] = {}
+    for stream in spec.streams:
+        if sources and stream.name in sources:
+            ids = list(sources[stream.name])
+            if not ids:
+                raise CqlError(f"stream {stream.name!r} has an empty source list")
+        else:
+            ids = [stream.name]
+        resolved[stream.name] = ids
+    return resolved
+
+
+def _build_stream_input(
+    graph: QueryGraph, stream: StreamRef, source_ids: Sequence[str]
+):
+    """Create receivers (and a union if needed) for one From-clause stream."""
+    receivers = []
+    for source_id in source_ids:
+        receiver = graph.add_operator(SourceReceiver(source_id))
+        graph.bind_source(source_id, receiver)
+        receivers.append(receiver)
+    if len(receivers) == 1:
+        return receivers[0]
+    union = graph.add_operator(Union(num_ports=len(receivers)))
+    for port, receiver in enumerate(receivers):
+        graph.connect(receiver, union, port=port)
+    return union
+
+
+def _resolve_stream_name(spec: QuerySpec, stream_heads: Dict[str, object], name: str) -> str:
+    """Resolve a stream or tuple-alias name to a From-clause stream.
+
+    CQL statements may refer to tuples through an alias (``t.v``) rather than
+    the stream name; with a single stream in the From clause the alias
+    unambiguously denotes that stream.
+    """
+    if name in stream_heads:
+        return name
+    if len(spec.streams) == 1:
+        return spec.streams[0].name
+    raise CqlError(
+        f"cannot resolve {name!r}: it is not a stream of the From clause and the "
+        f"query reads more than one stream"
+    )
+
+
+def _constant_filters(
+    graph: QueryGraph, spec: QuerySpec, stream_heads: Dict[str, object]
+) -> None:
+    """Apply constant Where-comparisons as filters on their stream."""
+    for comparison in spec.where:
+        if comparison.is_join:
+            continue
+        stream_name = _resolve_stream_name(spec, stream_heads, comparison.left.stream)
+        filter_op = graph.add_operator(
+            Filter.field_threshold(
+                comparison.left.field, comparison.op, float(comparison.right)
+            )
+        )
+        graph.connect(stream_heads[stream_name], filter_op)
+        stream_heads[stream_name] = filter_op
+
+
+_AGGREGATES = {
+    "avg": Average,
+    "max": Max,
+    "min": Min,
+    "sum": Sum,
+    "count": Count,
+}
+
+
+def plan(
+    spec: QuerySpec,
+    query_id: str,
+    sources: Optional[Mapping[str, Sequence[str]]] = None,
+) -> QueryGraph:
+    """Turn a parsed :class:`QuerySpec` into an executable query graph.
+
+    Args:
+        spec: the parsed statement.
+        query_id: identifier of the resulting query graph.
+        sources: optional mapping from stream name (as used in the statement)
+            to the list of physical source ids feeding it; defaults to one
+            source named after the stream.
+    """
+    graph = QueryGraph(query_id)
+    resolved_sources = _normalize_sources(spec, sources)
+    stream_heads: Dict[str, object] = {}
+    for stream in spec.streams:
+        stream_heads[stream.name] = _build_stream_input(
+            graph, stream, resolved_sources[stream.name]
+        )
+    _constant_filters(graph, spec, stream_heads)
+
+    select = spec.select
+    primary_stream = spec.streams[0]
+    window_seconds = primary_stream.range_seconds
+    slide_seconds = primary_stream.slide_seconds
+
+    if select.name in _AGGREGATES:
+        head = stream_heads[
+            _resolve_stream_name(spec, stream_heads, select.args[0].stream)
+        ]
+        predicate = None
+        if spec.having:
+            having = spec.having[0]
+            predicate = Filter.field_threshold(
+                having.left.field, having.op, float(having.right)
+            ).predicate
+        aggregate_cls = _AGGREGATES[select.name]
+        aggregate = graph.add_operator(
+            aggregate_cls(
+                field=select.args[0].field,
+                window_seconds=window_seconds,
+                slide_seconds=slide_seconds,
+                predicate=predicate,
+            )
+        )
+        graph.connect(head, aggregate)
+        tail = aggregate
+    elif select.name == "top":
+        tail = _plan_topk(graph, spec, stream_heads)
+    elif select.name == "cov":
+        tail = _plan_covariance(graph, spec, stream_heads)
+    else:
+        raise CqlError(f"unsupported Select function {select.name!r}")
+
+    output = graph.add_operator(OutputOperator())
+    graph.connect(tail, output)
+    graph.set_root(output)
+    graph.validate()
+    return graph
+
+
+def _plan_topk(
+    graph: QueryGraph, spec: QuerySpec, stream_heads: Dict[str, object]
+):
+    select = spec.select
+    id_ref = select.args[0]
+    join_predicates = [c for c in spec.where if c.is_join]
+    ranked_stream = id_ref.stream
+    head = stream_heads[ranked_stream]
+    value_field = "value"
+    if join_predicates:
+        join = join_predicates[0]
+        left_stream = join.left.stream
+        right_ref = join.right
+        assert isinstance(right_ref, FieldRef)
+        window = spec.stream(left_stream).range_seconds
+        join_op = graph.add_operator(
+            WindowEquiJoin(
+                left_key=join.left.field,
+                right_key=right_ref.field,
+                window_seconds=window,
+            )
+        )
+        graph.connect(stream_heads[left_stream], join_op, port=0)
+        graph.connect(stream_heads[right_ref.stream], join_op, port=1)
+        head = join_op
+    topk = graph.add_operator(
+        TopK(
+            k=select.top_k or 1,
+            value_field=value_field,
+            id_field=id_ref.field,
+            window_seconds=spec.stream(ranked_stream).range_seconds,
+        )
+    )
+    graph.connect(head, topk)
+    return topk
+
+
+def _plan_covariance(
+    graph: QueryGraph, spec: QuerySpec, stream_heads: Dict[str, object]
+):
+    select = spec.select
+    if len(select.args) != 2:
+        raise CqlError("Cov() requires exactly two field arguments")
+    x_ref, y_ref = select.args
+    window = spec.stream(x_ref.stream).range_seconds
+    cov = graph.add_operator(
+        Covariance(field_x=x_ref.field, field_y=y_ref.field, window_seconds=window)
+    )
+    graph.connect(stream_heads[x_ref.stream], cov, port=0)
+    graph.connect(stream_heads[y_ref.stream], cov, port=1)
+    return cov
+
+
+def compile_query(
+    statement: str,
+    query_id: str,
+    sources: Optional[Mapping[str, Sequence[str]]] = None,
+) -> QueryGraph:
+    """Parse and plan a CQL statement in one call."""
+    return plan(parse(statement), query_id=query_id, sources=sources)

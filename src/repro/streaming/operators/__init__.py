@@ -1,0 +1,48 @@
+"""Streaming operators with black-box SIC propagation."""
+
+from .aggregate import (
+    Average,
+    Count,
+    GroupByAggregate,
+    Max,
+    Min,
+    Sum,
+    WindowedAggregate,
+)
+from .base import Operator, PaneGroup
+from .join import WindowEquiJoin
+from .statistics import (
+    AverageMerge,
+    Covariance,
+    CovarianceMerge,
+    CovarianceStats,
+    PartialAverage,
+)
+from .stateless import Filter, MapValues, OutputOperator, Project, SourceReceiver, Union
+from .topk import TopK, TopKMerge
+
+__all__ = [
+    "Operator",
+    "PaneGroup",
+    "Average",
+    "Count",
+    "GroupByAggregate",
+    "Max",
+    "Min",
+    "Sum",
+    "WindowedAggregate",
+    "WindowEquiJoin",
+    "AverageMerge",
+    "Covariance",
+    "CovarianceMerge",
+    "CovarianceStats",
+    "PartialAverage",
+    "Filter",
+    "MapValues",
+    "OutputOperator",
+    "Project",
+    "SourceReceiver",
+    "Union",
+    "TopK",
+    "TopKMerge",
+]

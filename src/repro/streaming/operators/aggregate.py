@@ -1,0 +1,219 @@
+"""Windowed aggregate operators: average, sum, count, max, min, group-by.
+
+These implement the aggregate workload of Table 1 (``AVG``, ``MAX``,
+``COUNT ... Having``) and the aggregation steps of the complex workload.  Each
+operator consumes a time window atomically and emits one tuple per window
+(or one per group for :class:`GroupByAggregate`), so Equation (3) assigns the
+whole window's SIC to the emitted result.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ...core.tuples import Tuple
+from ..windows import TimeWindow
+from .base import Operator, PaneGroup
+
+__all__ = [
+    "WindowedAggregate",
+    "Average",
+    "Sum",
+    "Count",
+    "Max",
+    "Min",
+    "GroupByAggregate",
+]
+
+
+class WindowedAggregate(Operator):
+    """Base class for single-field aggregates over a time window.
+
+    Args:
+        field: payload field the aggregate is computed over.
+        output_field: name of the output payload field.
+        window_seconds: window range (``[Range n sec]``).
+        slide_seconds: optional slide for sliding windows.
+        predicate: optional per-tuple predicate applied before aggregation
+            (CQL ``Having``); tuples failing it still count towards the SIC of
+            the window (the operator consumed them) but not towards the value.
+    """
+
+    aggregate_name = "agg"
+
+    def __init__(
+        self,
+        field: str,
+        output_field: Optional[str] = None,
+        window_seconds: float = 1.0,
+        slide_seconds: Optional[float] = None,
+        predicate: Optional[Callable[[Tuple], bool]] = None,
+        cost_per_tuple: float = 0.5,
+    ) -> None:
+        super().__init__(
+            name=f"{self.aggregate_name}({field})",
+            cost_per_tuple=cost_per_tuple,
+            window_factory=lambda: TimeWindow(window_seconds, slide_seconds),
+        )
+        self.field = field
+        self.output_field = output_field or self.aggregate_name
+        self.predicate = predicate
+
+    def _values(self, panes: PaneGroup) -> List[float]:
+        values: List[float] = []
+        for t in self._all_tuples(panes):
+            if self.predicate is not None and not self.predicate(t):
+                continue
+            value = t.values.get(self.field)
+            if value is None:
+                continue
+            values.append(float(value))
+        return values
+
+    def _compute(self, values: List[float]) -> Optional[float]:
+        raise NotImplementedError
+
+    def _process(self, panes: PaneGroup, now: float) -> List[Tuple]:
+        values = self._values(panes)
+        result = self._compute(values)
+        if result is None:
+            return []
+        timestamp = self._pane_timestamp(panes, now)
+        return [Tuple(timestamp=timestamp, sic=0.0, values={self.output_field: result})]
+
+
+class Average(WindowedAggregate):
+    """``Select Avg(t.v) From Src[Range n sec]``."""
+
+    aggregate_name = "avg"
+
+    def _compute(self, values: List[float]) -> Optional[float]:
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+
+class Sum(WindowedAggregate):
+    """Windowed sum."""
+
+    aggregate_name = "sum"
+
+    def _compute(self, values: List[float]) -> Optional[float]:
+        if not values:
+            return None
+        return float(sum(values))
+
+
+class Count(WindowedAggregate):
+    """``Select Count(t.v) From Src[Range n sec] Having <predicate>``.
+
+    A window with zero qualifying tuples still emits a count of 0 when the
+    window itself was non-empty: the query consumed data and produced a
+    (perfectly valid) result of zero.
+    """
+
+    aggregate_name = "count"
+
+    def _process(self, panes: PaneGroup, now: float) -> List[Tuple]:
+        window_tuples = self._all_tuples(panes)
+        if not window_tuples:
+            return []
+        values = self._values(panes)
+        timestamp = self._pane_timestamp(panes, now)
+        return [
+            Tuple(
+                timestamp=timestamp,
+                sic=0.0,
+                values={self.output_field: float(len(values))},
+            )
+        ]
+
+    def _compute(self, values: List[float]) -> Optional[float]:  # pragma: no cover
+        return float(len(values))
+
+
+class Max(WindowedAggregate):
+    """``Select Max(t.v) From Src[Range n sec]``."""
+
+    aggregate_name = "max"
+
+    def _compute(self, values: List[float]) -> Optional[float]:
+        if not values:
+            return None
+        return max(values)
+
+
+class Min(WindowedAggregate):
+    """Windowed minimum."""
+
+    aggregate_name = "min"
+
+    def _compute(self, values: List[float]) -> Optional[float]:
+        if not values:
+            return None
+        return min(values)
+
+
+class GroupByAggregate(Operator):
+    """Group tuples by a key field and aggregate a value field per group.
+
+    Emits one tuple per group and window; the window SIC is divided equally
+    across the emitted groups (Equation 3).
+    """
+
+    _AGGREGATES: Dict[str, Callable[[List[float]], float]] = {
+        "avg": lambda vs: sum(vs) / len(vs),
+        "sum": lambda vs: float(sum(vs)),
+        "count": lambda vs: float(len(vs)),
+        "max": max,
+        "min": min,
+    }
+
+    def __init__(
+        self,
+        key_field: str,
+        value_field: str,
+        aggregate: str = "avg",
+        window_seconds: float = 1.0,
+        slide_seconds: Optional[float] = None,
+        cost_per_tuple: float = 0.6,
+    ) -> None:
+        if aggregate not in self._AGGREGATES:
+            raise ValueError(
+                f"unknown aggregate {aggregate!r}; expected one of "
+                f"{sorted(self._AGGREGATES)}"
+            )
+        super().__init__(
+            name=f"groupby[{key_field}].{aggregate}({value_field})",
+            cost_per_tuple=cost_per_tuple,
+            window_factory=lambda: TimeWindow(window_seconds, slide_seconds),
+        )
+        self.key_field = key_field
+        self.value_field = value_field
+        self.aggregate = aggregate
+
+    def _process(self, panes: PaneGroup, now: float) -> List[Tuple]:
+        groups: Dict[Any, List[float]] = {}
+        for t in self._all_tuples(panes):
+            key = t.values.get(self.key_field)
+            value = t.values.get(self.value_field)
+            if key is None or value is None:
+                continue
+            groups.setdefault(key, []).append(float(value))
+        if not groups:
+            return []
+        timestamp = self._pane_timestamp(panes, now)
+        compute = self._AGGREGATES[self.aggregate]
+        outputs = []
+        for key in sorted(groups, key=str):
+            outputs.append(
+                Tuple(
+                    timestamp=timestamp,
+                    sic=0.0,
+                    values={
+                        self.key_field: key,
+                        self.aggregate: compute(groups[key]),
+                    },
+                )
+            )
+        return outputs

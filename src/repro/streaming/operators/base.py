@@ -1,0 +1,138 @@
+"""Operator base class with built-in SIC propagation.
+
+THEMIS treats operators as black boxes: the system never inspects operator
+semantics, it only observes the sets of tuples an operator consumes and emits
+atomically and applies Equation (3) — the summed SIC of the consumed set is
+divided equally over the emitted tuples.  This base class implements that
+bookkeeping once so every concrete operator only has to provide its
+``_process`` transformation.
+
+Operators may have several input ports (joins, covariance, merges).  Each port
+owns a window buffer; when the operator is advanced to the current time, the
+closed panes of all ports are aligned by their end time and each aligned group
+is processed atomically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ...core.sic import propagate_sic
+from ...core.tuples import Tuple
+from ..windows import ImmediateWindow, WindowBuffer, WindowPane
+
+__all__ = ["Operator", "PaneGroup"]
+
+_operator_ids = itertools.count()
+
+# A pane group maps port number -> the pane closed on that port for one
+# processing round.  Ports with no data for the round are simply absent.
+PaneGroup = Dict[int, WindowPane]
+
+
+class Operator:
+    """Base class of all streaming operators.
+
+    Args:
+        name: human-readable operator name (used in query-graph dumps).
+        cost_per_tuple: simulated processing cost of one input tuple, in the
+            node budget units used by the cost model.
+        num_ports: number of input ports.
+        window_factory: zero-argument callable building the window buffer for
+            each port; defaults to :class:`ImmediateWindow` (stateless
+            operators).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        cost_per_tuple: float = 1.0,
+        num_ports: int = 1,
+        window_factory: Optional[Callable[[], WindowBuffer]] = None,
+    ) -> None:
+        if num_ports < 1:
+            raise ValueError(f"num_ports must be >= 1, got {num_ports}")
+        if cost_per_tuple < 0:
+            raise ValueError(f"cost_per_tuple must be >= 0, got {cost_per_tuple}")
+        self.operator_id = f"op-{next(_operator_ids)}"
+        self.name = name
+        self.cost_per_tuple = float(cost_per_tuple)
+        self.num_ports = int(num_ports)
+        factory = window_factory or ImmediateWindow
+        self._windows: List[WindowBuffer] = [factory() for _ in range(self.num_ports)]
+        self.ingested_tuples = 0
+        self.emitted_tuples = 0
+        self.lost_sic = 0.0
+
+    # ------------------------------------------------------------------ wiring
+    def ingest(self, tuples: Sequence[Tuple], port: int = 0) -> None:
+        """Buffer ``tuples`` on ``port``."""
+        if not tuples:
+            return
+        if port < 0 or port >= self.num_ports:
+            raise ValueError(
+                f"operator {self.name!r} has {self.num_ports} ports, got port {port}"
+            )
+        self._windows[port].insert(tuples)
+        self.ingested_tuples += len(tuples)
+
+    def advance(self, now: float) -> List[Tuple]:
+        """Process every window pane closed by ``now`` and return the outputs."""
+        groups = self._collect_pane_groups(now)
+        outputs: List[Tuple] = []
+        for group in groups:
+            input_sic = sum(pane.total_sic for pane in group.values())
+            produced = self._process(group, now)
+            if produced:
+                shares = propagate_sic([input_sic], len(produced))
+                for t, share in zip(produced, shares):
+                    t.sic = share
+                outputs.extend(produced)
+                self.emitted_tuples += len(produced)
+            else:
+                self.lost_sic += input_sic
+        return outputs
+
+    def pending_tuples(self) -> int:
+        """Tuples buffered in the operator's windows (all ports)."""
+        return sum(w.pending_count() for w in self._windows)
+
+    # ----------------------------------------------------------- customisation
+    def _process(self, panes: PaneGroup, now: float) -> List[Tuple]:
+        """Transform one atomically-processed pane group into output tuples.
+
+        Implementations build output tuples with ``sic=0.0``; the base class
+        overwrites the SIC according to Equation (3).
+        """
+        raise NotImplementedError
+
+    # ----------------------------------------------------------------- helpers
+    def _collect_pane_groups(self, now: float) -> List[PaneGroup]:
+        if self.num_ports == 1:
+            return [{0: pane} for pane in self._windows[0].advance(now)]
+        grouped: Dict[float, PaneGroup] = {}
+        for port, window in enumerate(self._windows):
+            for pane in window.advance(now):
+                grouped.setdefault(round(pane.end, 9), {})[port] = pane
+        return [grouped[key] for key in sorted(grouped)]
+
+    @staticmethod
+    def _pane_timestamp(panes: PaneGroup, now: float) -> float:
+        """Output timestamp for a processing round: pane end, or ``now``."""
+        ends = [pane.end for pane in panes.values() if pane.end != float("inf")]
+        finite = [e for e in ends if e != float("-inf")]
+        if not finite:
+            return now
+        end = max(finite)
+        return now if end == float("inf") else min(end, now)
+
+    @staticmethod
+    def _all_tuples(panes: PaneGroup) -> List[Tuple]:
+        tuples: List[Tuple] = []
+        for port in sorted(panes):
+            tuples.extend(panes[port].tuples)
+        return tuples
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(id={self.operator_id}, name={self.name!r})"

@@ -1,0 +1,145 @@
+"""Stateless operators: receivers, projection, mapping, filtering, union, output.
+
+These operators process tuples as they arrive (through an
+:class:`~repro.streaming.windows.ImmediateWindow`) and do not maintain window
+state.  They still propagate SIC through the base-class machinery: the SIC of
+an atomically processed group is preserved as long as at least one tuple
+survives the transformation, which is exactly the paper's model — information
+content is only lost when an operator emits nothing (or when tuples are shed).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ...core.tuples import Tuple
+from .base import Operator, PaneGroup
+
+__all__ = [
+    "SourceReceiver",
+    "Project",
+    "MapValues",
+    "Filter",
+    "Union",
+    "OutputOperator",
+]
+
+
+class SourceReceiver(Operator):
+    """Entry operator bound to a single data source.
+
+    A receiver simply forwards the source tuples into the query graph.  It is
+    modelled explicitly because the paper counts receivers when reporting the
+    number of operators per fragment (e.g. the TOP-5 fragment has 10 CPU and
+    10 memory receivers).
+    """
+
+    def __init__(self, source_id: str, cost_per_tuple: float = 0.1) -> None:
+        super().__init__(name=f"recv[{source_id}]", cost_per_tuple=cost_per_tuple)
+        self.source_id = source_id
+
+    def _process(self, panes: PaneGroup, now: float) -> List[Tuple]:
+        return [t.copy() for t in self._all_tuples(panes)]
+
+
+class Project(Operator):
+    """Keep only a subset of payload fields."""
+
+    def __init__(self, fields: Sequence[str], cost_per_tuple: float = 0.1) -> None:
+        super().__init__(name=f"project{list(fields)}", cost_per_tuple=cost_per_tuple)
+        self.fields = list(fields)
+
+    def _process(self, panes: PaneGroup, now: float) -> List[Tuple]:
+        outputs = []
+        for t in self._all_tuples(panes):
+            values = {f: t.values.get(f) for f in self.fields}
+            outputs.append(Tuple(timestamp=t.timestamp, sic=0.0, values=values))
+        return outputs
+
+
+class MapValues(Operator):
+    """Apply a per-tuple payload transformation."""
+
+    def __init__(
+        self,
+        func: Callable[[Dict[str, Any]], Dict[str, Any]],
+        name: str = "map",
+        cost_per_tuple: float = 0.2,
+    ) -> None:
+        super().__init__(name=name, cost_per_tuple=cost_per_tuple)
+        self.func = func
+
+    def _process(self, panes: PaneGroup, now: float) -> List[Tuple]:
+        outputs = []
+        for t in self._all_tuples(panes):
+            outputs.append(
+                Tuple(timestamp=t.timestamp, sic=0.0, values=dict(self.func(t.values)))
+            )
+        return outputs
+
+
+class Filter(Operator):
+    """Keep tuples satisfying a predicate (CQL ``Where`` / ``Having``)."""
+
+    def __init__(
+        self,
+        predicate: Callable[[Tuple], bool],
+        name: str = "filter",
+        cost_per_tuple: float = 0.2,
+    ) -> None:
+        super().__init__(name=name, cost_per_tuple=cost_per_tuple)
+        self.predicate = predicate
+
+    @classmethod
+    def field_threshold(
+        cls, field: str, op: str, threshold: float, cost_per_tuple: float = 0.2
+    ) -> "Filter":
+        """Build a filter comparing one payload field with a constant."""
+        comparators: Dict[str, Callable[[Any, Any], bool]] = {
+            ">=": lambda a, b: a >= b,
+            "<=": lambda a, b: a <= b,
+            ">": lambda a, b: a > b,
+            "<": lambda a, b: a < b,
+            "==": lambda a, b: a == b,
+            "!=": lambda a, b: a != b,
+            "=": lambda a, b: a == b,
+        }
+        if op not in comparators:
+            raise ValueError(f"unsupported comparison operator {op!r}")
+        compare = comparators[op]
+
+        def predicate(t: Tuple) -> bool:
+            value = t.values.get(field)
+            return value is not None and compare(value, threshold)
+
+        return cls(predicate, name=f"filter[{field} {op} {threshold}]",
+                   cost_per_tuple=cost_per_tuple)
+
+    def _process(self, panes: PaneGroup, now: float) -> List[Tuple]:
+        return [t.copy() for t in self._all_tuples(panes) if self.predicate(t)]
+
+
+class Union(Operator):
+    """Merge several input streams into one (pass-through, multi-port)."""
+
+    def __init__(self, num_ports: int = 2, cost_per_tuple: float = 0.1) -> None:
+        super().__init__(
+            name=f"union[{num_ports}]",
+            cost_per_tuple=cost_per_tuple,
+            num_ports=num_ports,
+        )
+
+    def _process(self, panes: PaneGroup, now: float) -> List[Tuple]:
+        merged = [t.copy() for t in self._all_tuples(panes)]
+        merged.sort(key=lambda t: t.timestamp)
+        return merged
+
+
+class OutputOperator(Operator):
+    """Root operator emitting result tuples to the query user."""
+
+    def __init__(self, cost_per_tuple: float = 0.1) -> None:
+        super().__init__(name="output", cost_per_tuple=cost_per_tuple)
+
+    def _process(self, panes: PaneGroup, now: float) -> List[Tuple]:
+        return [t.copy() for t in self._all_tuples(panes)]

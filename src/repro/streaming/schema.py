@@ -1,0 +1,99 @@
+"""Relational stream schemas.
+
+THEMIS follows a relational streaming model [8]: every tuple has fields of a
+given schema.  The schema objects here are deliberately lightweight — they
+carry field names and optional types, validate payloads, and are mainly used
+by the CQL planner and by tests to document what each stream carries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Type
+
+__all__ = ["Field", "Schema"]
+
+
+@dataclass(frozen=True)
+class Field:
+    """A single schema field.
+
+    Attributes:
+        name: field name as used in tuple payloads and CQL expressions.
+        dtype: expected Python type; ``None`` means "any".
+    """
+
+    name: str
+    dtype: Optional[type] = None
+
+    def validate(self, value: Any) -> bool:
+        """Return ``True`` when ``value`` conforms to the field type."""
+        if self.dtype is None or value is None:
+            return True
+        if self.dtype is float:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        return isinstance(value, self.dtype)
+
+
+class Schema:
+    """An ordered collection of named fields."""
+
+    def __init__(self, fields: Sequence[Field], name: str = "stream") -> None:
+        names = [f.name for f in fields]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate field names in schema: {names}")
+        self.name = name
+        self.fields: List[Field] = list(fields)
+        self._by_name: Dict[str, Field] = {f.name: f for f in fields}
+
+    @classmethod
+    def of(cls, *names: str, name: str = "stream") -> "Schema":
+        """Build an untyped schema from field names."""
+        return cls([Field(n) for n in names], name=name)
+
+    def field_names(self) -> List[str]:
+        return [f.name for f in self.fields]
+
+    def has_field(self, name: str) -> bool:
+        return name in self._by_name
+
+    def field(self, name: str) -> Field:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"schema {self.name!r} has no field {name!r}; "
+                f"known fields: {self.field_names()}"
+            ) from None
+
+    def validate(self, values: Mapping[str, Any]) -> bool:
+        """Return ``True`` when ``values`` contains valid entries for all fields."""
+        for f in self.fields:
+            if f.name not in values:
+                return False
+            if not f.validate(values[f.name]):
+                return False
+        return True
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Return a schema restricted to ``names`` (order preserved)."""
+        return Schema([self.field(n) for n in names], name=f"{self.name}.projected")
+
+    def extend(self, *fields: Field) -> "Schema":
+        """Return a schema with additional fields appended."""
+        return Schema(self.fields + list(fields), name=self.name)
+
+    def __contains__(self, name: str) -> bool:
+        return self.has_field(name)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Schema({self.name!r}, fields={self.field_names()})"
+
+
+# Schemas used by the paper's workloads (Table 1).
+VALUE_SCHEMA = Schema([Field("v", float)], name="Src")
+CPU_SCHEMA = Schema([Field("id", str), Field("value", float)], name="SrcCPU")
+MEMORY_SCHEMA = Schema([Field("id", str), Field("free", float)], name="SrcMem")

@@ -1,0 +1,209 @@
+"""Time- and count-based windows.
+
+Every operator in the THEMIS model consumes its input through a window that
+emits tuples *atomically* (§3): the SIC propagation rule (Equation 3) is
+defined over the set of tuples a window hands to the operator in one go.
+
+Two window families are provided:
+
+* :class:`TimeWindow` — tumbling or sliding windows over tuple timestamps
+  (``[Range n sec]`` / ``[Range n sec Slide m sec]`` in CQL terms).
+* :class:`CountWindow` — tumbling windows over tuple counts.
+
+A window buffer collects tuples and, when asked to ``advance`` to the current
+time, returns the closed panes in order.  For sliding time windows a tuple can
+belong to several panes; following §6 ("we also provide a practical way to
+divide the SIC value of an input tuple across all its derived tuples per
+slide"), the tuple's SIC is divided equally across the panes it participates
+in, so no information content is double-counted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.tuples import Tuple
+
+__all__ = ["WindowPane", "WindowBuffer", "TimeWindow", "CountWindow", "ImmediateWindow"]
+
+
+@dataclass
+class WindowPane:
+    """A closed window pane handed atomically to an operator.
+
+    Attributes:
+        start: pane start time (inclusive) — or first tuple index for count
+            windows.
+        end: pane end time (exclusive).
+        tuples: the tuples assigned to the pane, in arrival order.
+    """
+
+    start: float
+    end: float
+    tuples: List[Tuple]
+
+    @property
+    def total_sic(self) -> float:
+        return sum(t.sic for t in self.tuples)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+
+class WindowBuffer:
+    """Interface of all window buffers."""
+
+    def insert(self, tuples: Sequence[Tuple]) -> None:
+        raise NotImplementedError
+
+    def advance(self, now: float) -> List[WindowPane]:
+        """Close and return all panes whose end time is ``<= now``."""
+        raise NotImplementedError
+
+    def pending_count(self) -> int:
+        """Number of buffered tuples not yet emitted in a pane."""
+        raise NotImplementedError
+
+
+class ImmediateWindow(WindowBuffer):
+    """Degenerate window that releases tuples as soon as they arrive.
+
+    Used by stateless operators (filters, projections, receivers, unions)
+    whose semantics do not require buffering.  Each ``advance`` call emits a
+    single pane with everything inserted since the previous call.
+    """
+
+    def __init__(self) -> None:
+        self._buffer: List[Tuple] = []
+
+    def insert(self, tuples: Sequence[Tuple]) -> None:
+        self._buffer.extend(tuples)
+
+    def advance(self, now: float) -> List[WindowPane]:
+        if not self._buffer:
+            return []
+        pane = WindowPane(start=float("-inf"), end=now, tuples=self._buffer)
+        self._buffer = []
+        return [pane]
+
+    def pending_count(self) -> int:
+        return len(self._buffer)
+
+
+class TimeWindow(WindowBuffer):
+    """Tumbling or sliding time window over tuple timestamps.
+
+    Args:
+        size_seconds: window range.
+        slide_seconds: slide; defaults to ``size_seconds`` (tumbling).
+        allowed_lateness: how long after a pane's end time the pane stays open.
+            Tuples routinely arrive slightly after their pane's logical end
+            (network latency plus one shedding interval of batching), so panes
+            are closed once ``now >= end + allowed_lateness``; tuples that
+            arrive after their pane has closed are dropped and their SIC is
+            lost, like any late tuple in a real system.
+    """
+
+    DEFAULT_ALLOWED_LATENESS = 0.5
+
+    def __init__(
+        self,
+        size_seconds: float,
+        slide_seconds: Optional[float] = None,
+        allowed_lateness: Optional[float] = None,
+    ) -> None:
+        if size_seconds <= 0:
+            raise ValueError(f"size_seconds must be positive, got {size_seconds}")
+        slide = slide_seconds if slide_seconds is not None else size_seconds
+        if slide <= 0:
+            raise ValueError(f"slide_seconds must be positive, got {slide}")
+        if slide > size_seconds:
+            raise ValueError("slide_seconds cannot exceed size_seconds")
+        self.size = float(size_seconds)
+        self.slide = float(slide)
+        if allowed_lateness is None:
+            allowed_lateness = self.DEFAULT_ALLOWED_LATENESS
+        if allowed_lateness < 0:
+            raise ValueError(
+                f"allowed_lateness must be non-negative, got {allowed_lateness}"
+            )
+        self.allowed_lateness = float(allowed_lateness)
+        self._panes: Dict[int, List[Tuple]] = {}
+        self._last_closed_end: float = float("-inf")
+
+    @property
+    def is_sliding(self) -> bool:
+        return self.slide < self.size
+
+    def _pane_indices(self, timestamp: float) -> List[int]:
+        """Indices of all panes a tuple with ``timestamp`` belongs to.
+
+        Pane ``i`` covers ``[i * slide, i * slide + size)``; a tuple belongs to
+        every pane whose interval contains its timestamp, i.e.
+        ``floor((t - size) / slide) + 1 <= i <= floor(t / slide)``.
+        """
+        last = int(math.floor(timestamp / self.slide))
+        first = int(math.floor((timestamp - self.size) / self.slide)) + 1
+        return list(range(first, last + 1))
+
+    def insert(self, tuples: Sequence[Tuple]) -> None:
+        for t in tuples:
+            indices = self._pane_indices(t.timestamp)
+            # Panes whose end time has already been closed cannot accept the
+            # tuple any more; its share of SIC for those panes is lost.
+            indices = [
+                i for i in indices if i * self.slide + self.size > self._last_closed_end
+            ]
+            if not indices:
+                continue
+            if len(indices) == 1:
+                self._panes.setdefault(indices[0], []).append(t)
+                continue
+            # Sliding window: split the tuple's SIC across its panes so that
+            # the total information content is conserved.
+            share = t.sic / len(indices)
+            for idx in indices:
+                self._panes.setdefault(idx, []).append(t.with_sic(share))
+
+    def advance(self, now: float) -> List[WindowPane]:
+        closed: List[WindowPane] = []
+        for idx in sorted(self._panes):
+            start = idx * self.slide
+            end = start + self.size
+            if end + self.allowed_lateness <= now:
+                tuples = self._panes.pop(idx)
+                tuples.sort(key=lambda t: t.timestamp)
+                closed.append(WindowPane(start=start, end=end, tuples=tuples))
+                self._last_closed_end = max(self._last_closed_end, end)
+        return closed
+
+    def pending_count(self) -> int:
+        return sum(len(ts) for ts in self._panes.values())
+
+
+class CountWindow(WindowBuffer):
+    """Tumbling count-based window: emits a pane every ``count`` tuples."""
+
+    def __init__(self, count: int) -> None:
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self.count = int(count)
+        self._buffer: List[Tuple] = []
+
+    def insert(self, tuples: Sequence[Tuple]) -> None:
+        self._buffer.extend(tuples)
+
+    def advance(self, now: float) -> List[WindowPane]:
+        panes: List[WindowPane] = []
+        while len(self._buffer) >= self.count:
+            chunk = self._buffer[: self.count]
+            self._buffer = self._buffer[self.count:]
+            start = chunk[0].timestamp
+            end = chunk[-1].timestamp
+            panes.append(WindowPane(start=start, end=end, tuples=chunk))
+        return panes
+
+    def pending_count(self) -> int:
+        return len(self._buffer)

@@ -1,0 +1,73 @@
+"""Workloads: datasets, sources, Table-1 queries and population generators."""
+
+from .aggregate import (
+    AGGREGATE_KINDS,
+    AVG_STATEMENT,
+    COUNT_STATEMENT,
+    MAX_STATEMENT,
+    make_aggregate_query,
+    make_avg_query,
+    make_count_query,
+    make_max_query,
+)
+from .complex import (
+    COMPLEX_KINDS,
+    make_avg_all_query,
+    make_complex_query,
+    make_cov_query,
+    make_top5_query,
+)
+from .datasets import (
+    DATASET_NAMES,
+    ExponentialValues,
+    GaussianValues,
+    MixedValues,
+    PlanetLabLikeValues,
+    UniformValues,
+    ValueDistribution,
+    make_dataset,
+)
+from .generators import (
+    WorkloadSpec,
+    compute_node_budgets,
+    estimate_source_path_cost,
+    generate_complex_workload,
+    offered_cost_per_node,
+)
+from .sources import BurstySource, CpuSource, MemorySource, StreamSource, ValueSource
+from .spec import WorkloadQuery
+
+__all__ = [
+    "AGGREGATE_KINDS",
+    "AVG_STATEMENT",
+    "COUNT_STATEMENT",
+    "MAX_STATEMENT",
+    "make_aggregate_query",
+    "make_avg_query",
+    "make_count_query",
+    "make_max_query",
+    "COMPLEX_KINDS",
+    "make_avg_all_query",
+    "make_complex_query",
+    "make_cov_query",
+    "make_top5_query",
+    "DATASET_NAMES",
+    "ExponentialValues",
+    "GaussianValues",
+    "MixedValues",
+    "PlanetLabLikeValues",
+    "UniformValues",
+    "ValueDistribution",
+    "make_dataset",
+    "WorkloadSpec",
+    "compute_node_budgets",
+    "estimate_source_path_cost",
+    "generate_complex_workload",
+    "offered_cost_per_node",
+    "BurstySource",
+    "CpuSource",
+    "MemorySource",
+    "StreamSource",
+    "ValueSource",
+    "WorkloadQuery",
+]

@@ -1,0 +1,104 @@
+"""The aggregate workload (Table 1, top half).
+
+Three single-source, single-fragment queries expressed in the CQL-like syntax
+of the paper and compiled through :mod:`repro.streaming.cql`:
+
+* ``AVG``   — average value of tuples every second.
+* ``MAX``   — maximum value of tuples every second.
+* ``COUNT`` — number of tuples with values ≥ 50 every second.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from ..streaming.cql import compile_query
+from ..streaming.query import QueryFragment, QueryGraph
+from .sources import ValueSource
+from .spec import WorkloadQuery
+
+__all__ = [
+    "AVG_STATEMENT",
+    "MAX_STATEMENT",
+    "COUNT_STATEMENT",
+    "make_aggregate_query",
+    "make_avg_query",
+    "make_max_query",
+    "make_count_query",
+    "AGGREGATE_KINDS",
+]
+
+AVG_STATEMENT = "Select Avg(t.v) From Src[Range 1 sec]"
+MAX_STATEMENT = "Select Max(t.v) From Src[Range 1 sec]"
+COUNT_STATEMENT = "Select Count(t.v) From Src[Range 1 sec] Having t.v >= 50"
+
+AGGREGATE_KINDS = ("avg", "max", "count")
+
+_STATEMENTS = {
+    "avg": AVG_STATEMENT,
+    "max": MAX_STATEMENT,
+    "count": COUNT_STATEMENT,
+}
+
+_query_counter = itertools.count()
+
+
+def _single_fragment(graph: QueryGraph, name: str = "f0") -> Dict[str, QueryFragment]:
+    """Wrap a whole query graph into one fragment."""
+    assignment = {op_id: name for op_id in graph.operators}
+    fragments = graph.partition(assignment)
+    return {fragment.fragment_id: fragment for fragment in fragments.values()}
+
+
+def make_aggregate_query(
+    kind: str,
+    query_id: Optional[str] = None,
+    rate: float = 400.0,
+    dataset: str = "gaussian",
+    seed: Optional[int] = 0,
+) -> WorkloadQuery:
+    """Build one aggregate-workload query.
+
+    Args:
+        kind: ``"avg"``, ``"max"`` or ``"count"``.
+        query_id: optional identifier; generated when omitted.
+        rate: source rate in tuples/second (400 t/s in the local test-bed).
+        dataset: value distribution name (gaussian, uniform, exponential,
+            mixed, planetlab).
+        seed: RNG seed for the data source.
+    """
+    normalized = kind.strip().lower()
+    if normalized not in _STATEMENTS:
+        raise ValueError(
+            f"unknown aggregate query kind {kind!r}; expected one of {AGGREGATE_KINDS}"
+        )
+    if query_id is None:
+        query_id = f"{normalized}-{next(_query_counter)}"
+    source_id = f"{query_id}/src"
+    graph = compile_query(
+        _STATEMENTS[normalized], query_id=query_id, sources={"Src": [source_id]}
+    )
+    fragments = _single_fragment(graph)
+    source = ValueSource(source_id, rate=rate, dataset=dataset, seed=seed)
+    return WorkloadQuery(
+        query_id=query_id,
+        kind=normalized,
+        fragments=fragments,
+        sources=[source],
+    )
+
+
+def make_avg_query(**kwargs) -> WorkloadQuery:
+    """``Select Avg(t.v) From Src[Range 1 sec]``."""
+    return make_aggregate_query("avg", **kwargs)
+
+
+def make_max_query(**kwargs) -> WorkloadQuery:
+    """``Select Max(t.v) From Src[Range 1 sec]``."""
+    return make_aggregate_query("max", **kwargs)
+
+
+def make_count_query(**kwargs) -> WorkloadQuery:
+    """``Select Count(t.v) From Src[Range 1 sec] Having t.v >= 50``."""
+    return make_aggregate_query("count", **kwargs)

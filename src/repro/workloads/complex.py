@@ -1,0 +1,392 @@
+"""The complex workload (Table 1, bottom half).
+
+Three data-centre monitoring queries deployed as multi-fragment queries:
+
+* ``AVG-all`` — average CPU usage over all monitored machines, deployed as a
+  *tree*: every fragment aggregates its own sources into partial averages and
+  the root fragment merges the partials into the final average.
+* ``TOP-5`` — the five machines with the largest CPU value among machines with
+  enough free memory, deployed as a *chain*: every fragment joins its local
+  CPU/memory sources, ranks its local candidates and merges them with the
+  candidates arriving from the upstream fragment.
+* ``COV`` — covariance of the CPU usage of two machines, deployed as a chain
+  of fragments exchanging mergeable partial covariance statistics.
+
+The number of fragments, sources per fragment and source rates are
+parameters; the paper's values (10 sources per AVG-all fragment, 20 per TOP-5
+fragment, 2 per COV fragment) are the defaults, but the simulation-scale
+experiments typically use smaller numbers to keep runs laptop-sized (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple as PyTuple
+
+from ..streaming.operators import (
+    AverageMerge,
+    Covariance,
+    CovarianceMerge,
+    Filter,
+    OutputOperator,
+    PartialAverage,
+    SourceReceiver,
+    TopK,
+    TopKMerge,
+    Union,
+)
+from ..streaming.query import QueryFragment
+from .sources import BurstySource, CpuSource, MemorySource, StreamSource, ValueSource
+from .spec import WorkloadQuery
+
+__all__ = [
+    "make_avg_all_query",
+    "make_top5_query",
+    "make_cov_query",
+    "make_complex_query",
+    "COMPLEX_KINDS",
+]
+
+COMPLEX_KINDS = ("avg-all", "top5", "cov")
+
+_query_counter = itertools.count()
+
+
+def _next_query_id(prefix: str) -> str:
+    return f"{prefix}-{next(_query_counter)}"
+
+
+def _maybe_bursty(
+    source: StreamSource, bursty: bool, seed: int
+) -> object:
+    if not bursty:
+        return source
+    return BurstySource(source, seed=seed)
+
+
+# --------------------------------------------------------------------- AVG-all
+def make_avg_all_query(
+    query_id: Optional[str] = None,
+    num_fragments: int = 3,
+    sources_per_fragment: int = 10,
+    rate: float = 150.0,
+    dataset: str = "gaussian",
+    window_seconds: float = 1.0,
+    seed: int = 0,
+    bursty: bool = False,
+) -> WorkloadQuery:
+    """Build an ``AVG-all`` query deployed as a tree of fragments."""
+    if num_fragments < 1:
+        raise ValueError(f"num_fragments must be >= 1, got {num_fragments}")
+    if sources_per_fragment < 1:
+        raise ValueError(
+            f"sources_per_fragment must be >= 1, got {sources_per_fragment}"
+        )
+    query_id = query_id or _next_query_id("avg-all")
+    sources: List[object] = []
+    fragments: Dict[str, QueryFragment] = {}
+    order: List[str] = []
+
+    leaf_names = [f"leaf{i}" for i in range(num_fragments - 1)]
+    root_name = "root"
+
+    def build_local_chain(
+        fragment: QueryFragment, fragment_index: int
+    ) -> PyTuple[List[SourceReceiver], PartialAverage]:
+        """Receivers → union → partial average, shared by leaves and root."""
+        receivers = []
+        for s in range(sources_per_fragment):
+            source_id = f"{query_id}/{fragment.name}/src{s}"
+            source = ValueSource(
+                source_id,
+                rate=rate,
+                dataset=dataset,
+                seed=seed * 100_003 + fragment_index * 1_009 + s,
+            )
+            sources.append(_maybe_bursty(source, bursty, seed + s))
+            receiver = fragment.add_operator(SourceReceiver(source_id))
+            fragment.bind_source(source_id, receiver.operator_id)
+            receivers.append(receiver)
+        union = fragment.add_operator(Union(num_ports=len(receivers)))
+        for port, receiver in enumerate(receivers):
+            fragment.connect(receiver, union, port=port)
+        partial = fragment.add_operator(
+            PartialAverage(field="v", window_seconds=window_seconds)
+        )
+        fragment.connect(union, partial)
+        return receivers, partial
+
+    # Root fragment: local partial + merge of every leaf's partial + output.
+    root = QueryFragment(query_id, name=root_name)
+    _, root_partial = build_local_chain(root, num_fragments - 1)
+    merge_ports = max(1, num_fragments)
+    merge = root.add_operator(
+        AverageMerge(num_ports=merge_ports, window_seconds=window_seconds)
+    )
+    root.connect(root_partial, merge, port=0)
+    output = root.add_operator(OutputOperator())
+    root.connect(merge, output)
+    root.set_exit(output.operator_id)
+    root.set_downstream(None)
+
+    # Leaf fragments stream their partials to the root.
+    for index, leaf_name in enumerate(leaf_names):
+        leaf = QueryFragment(query_id, name=leaf_name)
+        _, leaf_partial = build_local_chain(leaf, index)
+        leaf.set_exit(leaf_partial.operator_id)
+        leaf.set_downstream(root.fragment_id)
+        root.bind_upstream(leaf.fragment_id, merge.operator_id, port=index + 1)
+        leaf.finalize()
+        fragments[leaf.fragment_id] = leaf
+        order.append(leaf.fragment_id)
+
+    root.finalize()
+    fragments[root.fragment_id] = root
+    order.append(root.fragment_id)
+
+    return WorkloadQuery(
+        query_id=query_id,
+        kind="avg-all",
+        fragments=fragments,
+        sources=sources,
+        fragment_order=order,
+    )
+
+
+# ----------------------------------------------------------------------- TOP-5
+def make_top5_query(
+    query_id: Optional[str] = None,
+    num_fragments: int = 2,
+    machines_per_fragment: int = 10,
+    k: int = 5,
+    rate: float = 20.0,
+    dataset: str = "planetlab",
+    memory_threshold_kb: float = 100_000.0,
+    window_seconds: float = 1.0,
+    seed: int = 0,
+    bursty: bool = False,
+) -> WorkloadQuery:
+    """Build a ``TOP-5`` query deployed as a chain of fragments.
+
+    Every fragment monitors ``machines_per_fragment`` machines via one CPU and
+    one memory source per machine (20 sources per fragment with the paper's
+    default of 10 machines), filters machines by free memory, joins CPU and
+    memory streams on the machine id, ranks the local top-``k`` and merges it
+    with the candidates received from the upstream fragment.
+    """
+    if num_fragments < 1:
+        raise ValueError(f"num_fragments must be >= 1, got {num_fragments}")
+    if machines_per_fragment < 1:
+        raise ValueError(
+            f"machines_per_fragment must be >= 1, got {machines_per_fragment}"
+        )
+    query_id = query_id or _next_query_id("top5")
+    sources: List[object] = []
+    fragments: Dict[str, QueryFragment] = {}
+    order: List[str] = []
+    previous: Optional[QueryFragment] = None
+
+    for index in range(num_fragments):
+        is_last = index == num_fragments - 1
+        fragment = QueryFragment(query_id, name=f"f{index}")
+
+        cpu_receivers = []
+        mem_receivers = []
+        for m in range(machines_per_fragment):
+            machine_id = f"machine-{index}-{m}"
+            cpu_id = f"{query_id}/f{index}/cpu{m}"
+            mem_id = f"{query_id}/f{index}/mem{m}"
+            base_seed = seed * 100_003 + index * 1_009 + m
+            cpu_source = CpuSource(
+                cpu_id, monitored_id=machine_id, rate=rate, dataset=dataset,
+                seed=base_seed,
+            )
+            mem_source = MemorySource(
+                mem_id, monitored_id=machine_id, rate=rate, dataset=dataset,
+                seed=base_seed + 7,
+            )
+            sources.append(_maybe_bursty(cpu_source, bursty, base_seed + 11))
+            sources.append(_maybe_bursty(mem_source, bursty, base_seed + 13))
+            cpu_recv = fragment.add_operator(SourceReceiver(cpu_id))
+            mem_recv = fragment.add_operator(SourceReceiver(mem_id))
+            fragment.bind_source(cpu_id, cpu_recv.operator_id)
+            fragment.bind_source(mem_id, mem_recv.operator_id)
+            cpu_receivers.append(cpu_recv)
+            mem_receivers.append(mem_recv)
+
+        cpu_union = fragment.add_operator(Union(num_ports=len(cpu_receivers)))
+        mem_union = fragment.add_operator(Union(num_ports=len(mem_receivers)))
+        for port, receiver in enumerate(cpu_receivers):
+            fragment.connect(receiver, cpu_union, port=port)
+        for port, receiver in enumerate(mem_receivers):
+            fragment.connect(receiver, mem_union, port=port)
+
+        mem_filter = fragment.add_operator(
+            Filter.field_threshold("free", ">=", memory_threshold_kb)
+        )
+        fragment.connect(mem_union, mem_filter)
+
+        join = fragment.add_operator(
+            WindowEquiJoin_factory(window_seconds)
+        )
+        fragment.connect(cpu_union, join, port=0)
+        fragment.connect(mem_filter, join, port=1)
+
+        local_topk = fragment.add_operator(
+            TopK(k=k, value_field="value", id_field="id", window_seconds=window_seconds)
+        )
+        fragment.connect(join, local_topk)
+
+        tail = local_topk
+        if previous is not None:
+            merge = fragment.add_operator(
+                TopKMerge(
+                    k=k,
+                    value_field="value",
+                    id_field="id",
+                    num_ports=2,
+                    window_seconds=window_seconds,
+                )
+            )
+            fragment.connect(local_topk, merge, port=0)
+            fragment.bind_upstream(previous.fragment_id, merge.operator_id, port=1)
+            tail = merge
+
+        if is_last:
+            output = fragment.add_operator(OutputOperator())
+            fragment.connect(tail, output)
+            fragment.set_exit(output.operator_id)
+            fragment.set_downstream(None)
+        else:
+            fragment.set_exit(tail.operator_id)
+
+        if previous is not None:
+            previous.set_downstream(fragment.fragment_id)
+            previous.finalize()
+        fragments[fragment.fragment_id] = fragment
+        order.append(fragment.fragment_id)
+        previous = fragment
+
+    previous.finalize()
+    return WorkloadQuery(
+        query_id=query_id,
+        kind="top5",
+        fragments=fragments,
+        sources=sources,
+        fragment_order=order,
+    )
+
+
+def WindowEquiJoin_factory(window_seconds: float):
+    """Build the CPU/memory equi-join used by the TOP-5 fragments."""
+    from ..streaming.operators import WindowEquiJoin
+
+    return WindowEquiJoin(
+        left_key="id", right_key="id", window_seconds=window_seconds
+    )
+
+
+# ------------------------------------------------------------------------- COV
+def make_cov_query(
+    query_id: Optional[str] = None,
+    num_fragments: int = 2,
+    rate: float = 400.0,
+    dataset: str = "planetlab",
+    window_seconds: float = 1.0,
+    seed: int = 0,
+    bursty: bool = False,
+) -> WorkloadQuery:
+    """Build a ``COV`` query deployed as a chain of fragments.
+
+    Every fragment computes the covariance of the CPU usage of its own pair of
+    machines (two sources) and forwards mergeable partial statistics; the last
+    fragment in the chain merges everything and reports the covariance.
+    """
+    if num_fragments < 1:
+        raise ValueError(f"num_fragments must be >= 1, got {num_fragments}")
+    query_id = query_id or _next_query_id("cov")
+    sources: List[object] = []
+    fragments: Dict[str, QueryFragment] = {}
+    order: List[str] = []
+    previous: Optional[QueryFragment] = None
+
+    for index in range(num_fragments):
+        is_last = index == num_fragments - 1
+        fragment = QueryFragment(query_id, name=f"f{index}")
+
+        receivers = []
+        for s in range(2):
+            source_id = f"{query_id}/f{index}/cpu{s}"
+            source = CpuSource(
+                source_id,
+                monitored_id=f"machine-{index}-{s}",
+                rate=rate,
+                dataset=dataset,
+                seed=seed * 100_003 + index * 1_009 + s,
+            )
+            sources.append(_maybe_bursty(source, bursty, seed + index * 10 + s))
+            receiver = fragment.add_operator(SourceReceiver(source_id))
+            fragment.bind_source(source_id, receiver.operator_id)
+            receivers.append(receiver)
+
+        local_cov = fragment.add_operator(
+            Covariance(
+                field_x="value",
+                field_y="value",
+                window_seconds=window_seconds,
+                emit_partials=True,
+            )
+        )
+        fragment.connect(receivers[0], local_cov, port=0)
+        fragment.connect(receivers[1], local_cov, port=1)
+
+        tail = local_cov
+        if previous is not None:
+            merge = fragment.add_operator(
+                CovarianceMerge(
+                    num_ports=2,
+                    window_seconds=window_seconds,
+                    emit_partials=not is_last,
+                )
+            )
+            fragment.connect(local_cov, merge, port=0)
+            fragment.bind_upstream(previous.fragment_id, merge.operator_id, port=1)
+            tail = merge
+
+        if is_last:
+            output = fragment.add_operator(OutputOperator())
+            fragment.connect(tail, output)
+            fragment.set_exit(output.operator_id)
+            fragment.set_downstream(None)
+        else:
+            fragment.set_exit(tail.operator_id)
+
+        if previous is not None:
+            previous.set_downstream(fragment.fragment_id)
+            previous.finalize()
+        fragments[fragment.fragment_id] = fragment
+        order.append(fragment.fragment_id)
+        previous = fragment
+
+    previous.finalize()
+    return WorkloadQuery(
+        query_id=query_id,
+        kind="cov",
+        fragments=fragments,
+        sources=sources,
+        fragment_order=order,
+    )
+
+
+# ------------------------------------------------------------------- dispatcher
+def make_complex_query(kind: str, **kwargs) -> WorkloadQuery:
+    """Build a complex-workload query by kind (``avg-all``, ``top5``, ``cov``)."""
+    normalized = kind.strip().lower().replace("_", "-")
+    if normalized in ("avg-all", "avgall", "avg_all"):
+        return make_avg_all_query(**kwargs)
+    if normalized in ("top5", "top-5", "topk", "top-k"):
+        return make_top5_query(**kwargs)
+    if normalized == "cov":
+        return make_cov_query(**kwargs)
+    raise ValueError(f"unknown complex query kind {kind!r}; expected {COMPLEX_KINDS}")

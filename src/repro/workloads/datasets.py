@@ -1,0 +1,174 @@
+"""Value distributions for the evaluation datasets (§7, "Experimental set-up").
+
+The paper's queries process either synthetic data — gaussian, uniform or
+exponential with a mean of 50, plus a *mixed* dataset that randomly draws from
+any of the three — or a real-world dataset of CPU and memory utilisation
+measurements from PlanetLab nodes (the CoTop traces).
+
+The PlanetLab traces are not redistributable, so this module provides a
+*PlanetLab-like* synthetic generator with the properties that matter for the
+SIC-correlation experiment: non-stationary, heavy-tailed CPU utilisation in
+``[0, 100]`` with temporal correlation and occasional load-level shifts, and a
+correlated free-memory series.  See DESIGN.md ("Substitutions").
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "ValueDistribution",
+    "GaussianValues",
+    "UniformValues",
+    "ExponentialValues",
+    "MixedValues",
+    "PlanetLabLikeValues",
+    "make_dataset",
+    "DATASET_NAMES",
+]
+
+DATASET_NAMES = ("gaussian", "uniform", "exponential", "mixed", "planetlab")
+
+
+class ValueDistribution:
+    """Interface of scalar value generators."""
+
+    name = "abstract"
+
+    def __init__(self, seed: Optional[int] = 0) -> None:
+        self.rng = random.Random(seed)
+
+    def sample(self) -> float:
+        raise NotImplementedError
+
+    def sample_many(self, count: int) -> List[float]:
+        return [self.sample() for _ in range(count)]
+
+
+class GaussianValues(ValueDistribution):
+    """Gaussian values with mean 50 (clipped at zero)."""
+
+    name = "gaussian"
+
+    def __init__(self, mean: float = 50.0, std: float = 10.0, seed: Optional[int] = 0):
+        super().__init__(seed)
+        self.mean = float(mean)
+        self.std = float(std)
+
+    def sample(self) -> float:
+        return max(0.0, self.rng.gauss(self.mean, self.std))
+
+
+class UniformValues(ValueDistribution):
+    """Uniform values with mean 50 (range [0, 100] by default)."""
+
+    name = "uniform"
+
+    def __init__(self, low: float = 0.0, high: float = 100.0, seed: Optional[int] = 0):
+        super().__init__(seed)
+        if high <= low:
+            raise ValueError(f"high must exceed low, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self) -> float:
+        return self.rng.uniform(self.low, self.high)
+
+
+class ExponentialValues(ValueDistribution):
+    """Exponential values with mean 50."""
+
+    name = "exponential"
+
+    def __init__(self, mean: float = 50.0, seed: Optional[int] = 0):
+        super().__init__(seed)
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        self.mean = float(mean)
+
+    def sample(self) -> float:
+        return self.rng.expovariate(1.0 / self.mean)
+
+
+class MixedValues(ValueDistribution):
+    """Each sample is drawn from a randomly chosen synthetic distribution."""
+
+    name = "mixed"
+
+    def __init__(self, seed: Optional[int] = 0):
+        super().__init__(seed)
+        self._components: List[ValueDistribution] = [
+            GaussianValues(seed=self.rng.randrange(1 << 30)),
+            UniformValues(seed=self.rng.randrange(1 << 30)),
+            ExponentialValues(seed=self.rng.randrange(1 << 30)),
+        ]
+
+    def sample(self) -> float:
+        return self.rng.choice(self._components).sample()
+
+
+class PlanetLabLikeValues(ValueDistribution):
+    """Synthetic stand-in for the PlanetLab CoTop utilisation traces.
+
+    CPU utilisation follows an AR(1) process around a load level that jumps
+    occasionally (machines switching between idle and busy regimes), clipped
+    to ``[0, 100]``; bursts push the value towards saturation.  The generator
+    is deliberately non-stationary and skewed so that dropping samples changes
+    aggregates noticeably — the property that distinguishes the real-world
+    dataset from the stationary synthetic ones in Figures 6 and 7.
+    """
+
+    name = "planetlab"
+
+    def __init__(
+        self,
+        seed: Optional[int] = 0,
+        level_shift_probability: float = 0.02,
+        burst_probability: float = 0.05,
+        correlation: float = 0.9,
+    ):
+        super().__init__(seed)
+        self.level_shift_probability = float(level_shift_probability)
+        self.burst_probability = float(burst_probability)
+        self.correlation = float(correlation)
+        self._level = self.rng.uniform(5.0, 60.0)
+        self._value = self._level
+
+    def sample(self) -> float:
+        if self.rng.random() < self.level_shift_probability:
+            # Regime change: jump to a new utilisation level, biased low
+            # (most PlanetLab nodes idle most of the time).
+            self._level = min(100.0, self.rng.expovariate(1.0 / 25.0))
+        noise = self.rng.gauss(0.0, 5.0)
+        self._value = (
+            self.correlation * self._value
+            + (1.0 - self.correlation) * self._level
+            + noise
+        )
+        if self.rng.random() < self.burst_probability:
+            self._value = self.rng.uniform(80.0, 100.0)
+        self._value = min(100.0, max(0.0, self._value))
+        return self._value
+
+    def memory_free_kb(self, cpu_value: float) -> float:
+        """A correlated free-memory figure (KB): busier nodes have less free memory."""
+        base = 2_000_000.0 * (1.0 - 0.6 * cpu_value / 100.0)
+        return max(10_000.0, base + self.rng.gauss(0.0, 100_000.0))
+
+
+def make_dataset(name: str, seed: Optional[int] = 0) -> ValueDistribution:
+    """Factory for the datasets used throughout the evaluation."""
+    normalized = name.strip().lower()
+    if normalized == "gaussian":
+        return GaussianValues(seed=seed)
+    if normalized == "uniform":
+        return UniformValues(seed=seed)
+    if normalized == "exponential":
+        return ExponentialValues(seed=seed)
+    if normalized == "mixed":
+        return MixedValues(seed=seed)
+    if normalized in ("planetlab", "planetlab-like", "cotop"):
+        return PlanetLabLikeValues(seed=seed)
+    raise ValueError(f"unknown dataset {name!r}; expected one of {DATASET_NAMES}")

@@ -1,0 +1,216 @@
+"""Workload population generation and deployment sizing.
+
+The evaluation deploys populations of hundreds of complex queries whose
+fragment counts follow controlled mixes (all 3-fragment, mixed 1–6 fragments,
+a given ratio of multi-fragment queries, ...).  This module generates those
+populations, estimates the load each fragment offers and derives per-node
+processing budgets from a target overload factor, so experiments can say
+"build me N mixed queries on M nodes at 50 % capacity" in one call.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple as PyTuple
+
+from ..federation.deployment import Placement, PlacementStrategy, RoundRobinPlacement
+from ..streaming.query import QueryFragment
+from .complex import make_avg_all_query, make_cov_query, make_top5_query
+from .spec import WorkloadQuery
+
+__all__ = [
+    "WorkloadSpec",
+    "generate_complex_workload",
+    "estimate_source_path_cost",
+    "offered_cost_per_node",
+    "compute_node_budgets",
+]
+
+
+@dataclass
+class WorkloadSpec:
+    """Parameters of a generated complex-workload population.
+
+    Attributes:
+        num_queries: number of queries to generate.
+        fragments_per_query: either a single int (every query has that many
+            fragments) or a sequence to draw from uniformly ("mixed").
+        kinds: complex-query kinds to cycle through.
+        source_rate: per-source rate in tuples/second.
+        sources_per_avg_all_fragment: sources for each AVG-all fragment.
+        machines_per_top5_fragment: machines (2 sources each) per TOP-5
+            fragment.
+        dataset: value distribution.
+        bursty: whether sources are bursty (§7.4).
+        seed: base RNG seed.
+    """
+
+    num_queries: int = 60
+    fragments_per_query: object = 2
+    kinds: Sequence[str] = ("avg-all", "top5", "cov")
+    source_rate: float = 20.0
+    sources_per_avg_all_fragment: int = 4
+    machines_per_top5_fragment: int = 2
+    dataset: str = "gaussian"
+    bursty: bool = False
+    seed: int = 0
+
+    def fragment_count_for(self, rng: random.Random) -> int:
+        if isinstance(self.fragments_per_query, int):
+            return self.fragments_per_query
+        choices = list(self.fragments_per_query)
+        if not choices:
+            raise ValueError("fragments_per_query sequence is empty")
+        return int(rng.choice(choices))
+
+
+def generate_complex_workload(spec: WorkloadSpec) -> List[WorkloadQuery]:
+    """Generate a population of complex-workload queries from ``spec``."""
+    if spec.num_queries <= 0:
+        raise ValueError(f"num_queries must be positive, got {spec.num_queries}")
+    rng = random.Random(spec.seed)
+    queries: List[WorkloadQuery] = []
+    for index in range(spec.num_queries):
+        kind = spec.kinds[index % len(spec.kinds)]
+        fragments = spec.fragment_count_for(rng)
+        seed = spec.seed * 7919 + index
+        if kind in ("avg-all", "avgall", "avg_all"):
+            query = make_avg_all_query(
+                query_id=f"q{index}-avgall",
+                num_fragments=fragments,
+                sources_per_fragment=spec.sources_per_avg_all_fragment,
+                rate=spec.source_rate,
+                dataset=spec.dataset,
+                seed=seed,
+                bursty=spec.bursty,
+            )
+        elif kind in ("top5", "top-5"):
+            query = make_top5_query(
+                query_id=f"q{index}-top5",
+                num_fragments=fragments,
+                machines_per_fragment=spec.machines_per_top5_fragment,
+                rate=spec.source_rate,
+                dataset=spec.dataset,
+                seed=seed,
+                bursty=spec.bursty,
+            )
+        elif kind == "cov":
+            query = make_cov_query(
+                query_id=f"q{index}-cov",
+                num_fragments=fragments,
+                rate=spec.source_rate,
+                dataset=spec.dataset,
+                seed=seed,
+                bursty=spec.bursty,
+            )
+        else:
+            raise ValueError(f"unknown complex query kind {kind!r}")
+        queries.append(query)
+    return queries
+
+
+def estimate_source_path_cost(fragment: QueryFragment) -> float:
+    """Estimate the processing cost of one source tuple entering ``fragment``.
+
+    The estimate walks the fragment's internal edges from each source-bound
+    operator towards the exit, summing the per-tuple cost of every operator on
+    the path, and averages over the fragment's sources.  It is only used to
+    size node budgets before a run; the online cost model measures the real
+    cost during the run.
+    """
+    if not fragment.source_bindings:
+        # Fragment fed purely by upstream fragments: charge its operators once.
+        return sum(op.cost_per_tuple for op in fragment.operators.values())
+    adjacency: Dict[str, List[str]] = {}
+    for edge in fragment.internal_edges:
+        adjacency.setdefault(edge.source, []).append(edge.target)
+
+    total = 0.0
+    for op_id, _port in fragment.source_bindings.values():
+        visited = set()
+        frontier = [op_id]
+        path_cost = 0.0
+        while frontier:
+            current = frontier.pop()
+            if current in visited:
+                continue
+            visited.add(current)
+            path_cost += fragment.operators[current].cost_per_tuple
+            frontier.extend(adjacency.get(current, ()))
+        total += path_cost
+    return total / len(fragment.source_bindings)
+
+
+def offered_cost_per_node(
+    queries: Sequence[WorkloadQuery],
+    placement: Placement,
+    shedding_interval: float,
+) -> Dict[str, float]:
+    """Processing cost offered to each node per shedding interval.
+
+    For every fragment, the cost of the source tuples it receives per interval
+    is ``rate × interval × path-cost``; the per-node offered cost is the sum
+    over the fragments placed on it.  Inter-fragment traffic is small compared
+    to source traffic (one batch per window) and is ignored by this estimate.
+    """
+    offered: Dict[str, float] = {}
+    for query in queries:
+        source_rates = {
+            getattr(s, "source_id"): float(getattr(s, "rate", 0.0))
+            for s in query.sources
+        }
+        for fragment in query.fragments.values():
+            node_id = placement.node_for(fragment.fragment_id)
+            path_cost = estimate_source_path_cost(fragment)
+            fragment_rate = sum(
+                source_rates.get(source_id, 0.0)
+                for source_id in fragment.source_bindings
+            )
+            offered[node_id] = offered.get(node_id, 0.0) + (
+                fragment_rate * shedding_interval * path_cost
+            )
+    return offered
+
+
+def compute_node_budgets(
+    queries: Sequence[WorkloadQuery],
+    placement: Placement,
+    shedding_interval: float,
+    capacity_fraction: float,
+    node_ids: Sequence[str],
+    minimum_budget: float = 1.0,
+    mode: str = "proportional",
+) -> Dict[str, float]:
+    """Per-node processing budgets creating a target overload factor.
+
+    ``capacity_fraction`` below 1.0 yields permanent overload (C2).  Two
+    sizing modes are supported:
+
+    * ``"proportional"`` — every node's budget is a fraction of the load
+      offered *to that node*, so all nodes experience the same relative
+      overload (useful for controlled single-parameter sweeps);
+    * ``"uniform"`` — all nodes get the same budget (a fraction of the mean
+      offered load), modelling the paper's homogeneous test-bed hardware:
+      nodes hosting more fragments are more overloaded, which is exactly the
+      skew (C1) that makes random shedding unfair.
+    """
+    if capacity_fraction <= 0:
+        raise ValueError(
+            f"capacity_fraction must be positive, got {capacity_fraction}"
+        )
+    if mode not in ("proportional", "uniform"):
+        raise ValueError(f"unknown budget mode {mode!r}")
+    offered = offered_cost_per_node(queries, placement, shedding_interval)
+    budgets: Dict[str, float] = {}
+    if mode == "uniform":
+        total_offered = sum(offered.get(node_id, 0.0) for node_id in node_ids)
+        per_node = total_offered * capacity_fraction / max(1, len(node_ids))
+        for node_id in node_ids:
+            budgets[node_id] = max(minimum_budget, per_node)
+        return budgets
+    for node_id in node_ids:
+        budgets[node_id] = max(
+            minimum_budget, offered.get(node_id, 0.0) * capacity_fraction
+        )
+    return budgets

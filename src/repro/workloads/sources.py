@@ -1,0 +1,214 @@
+"""Data sources.
+
+A source produces payload tuples at a configurable rate.  The federation layer
+only relies on a small protocol: ``source_id``, ``rate`` (tuples/second,
+nominal) and ``generate(start, end)`` returning :class:`~repro.core.tuples.Tuple`
+objects with payload values and the originating ``source_id`` (SIC values are
+assigned later by the query's :class:`~repro.core.sic.SicAssigner`).
+
+Three concrete sources cover the paper's workloads:
+
+* :class:`ValueSource` — emits ``{"v": value}`` tuples (aggregate workload).
+* :class:`CpuSource` / :class:`MemorySource` — emit node-monitoring tuples for
+  the complex workload (``{"id", "value"}`` and ``{"id", "free"}``).
+* :class:`BurstySource` — wraps any source and makes it emit at 10× its normal
+  rate 10 % of the time (§7.4).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from ..core.tuples import Tuple
+from .datasets import PlanetLabLikeValues, ValueDistribution, make_dataset
+
+__all__ = [
+    "StreamSource",
+    "ValueSource",
+    "CpuSource",
+    "MemorySource",
+    "BurstySource",
+]
+
+
+class StreamSource:
+    """Base class: constant-rate source emitting payloads from a builder."""
+
+    def __init__(
+        self,
+        source_id: str,
+        rate: float,
+        payload_builder: Callable[[], Dict[str, object]],
+        seed: Optional[int] = 0,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.source_id = source_id
+        self.rate = float(rate)
+        self.payload_builder = payload_builder
+        self.rng = random.Random(seed)
+        self.emitted_tuples = 0
+        self._carry = 0.0
+
+    def tuples_for_interval(self, start: float, end: float) -> int:
+        """Number of tuples to emit for ``[start, end)`` (carrying fractions)."""
+        if end <= start:
+            return 0
+        exact = self.rate * (end - start) + self._carry
+        count = int(exact)
+        self._carry = exact - count
+        return count
+
+    def generate(self, start: float, end: float) -> List[Tuple]:
+        """Emit the tuples for the interval ``[start, end)``."""
+        count = self.tuples_for_interval(start, end)
+        if count <= 0:
+            return []
+        step = (end - start) / count
+        tuples = []
+        for index in range(count):
+            timestamp = start + (index + 0.5) * step
+            tuples.append(
+                Tuple(
+                    timestamp=timestamp,
+                    sic=0.0,
+                    values=self.payload_builder(),
+                    source_id=self.source_id,
+                )
+            )
+        self.emitted_tuples += count
+        return tuples
+
+
+class ValueSource(StreamSource):
+    """Source for the aggregate workload: single ``v`` field."""
+
+    def __init__(
+        self,
+        source_id: str,
+        rate: float = 400.0,
+        dataset: str = "gaussian",
+        seed: Optional[int] = 0,
+        distribution: Optional[ValueDistribution] = None,
+    ) -> None:
+        self.distribution = distribution or make_dataset(dataset, seed=seed)
+        super().__init__(
+            source_id=source_id,
+            rate=rate,
+            payload_builder=lambda: {"v": self.distribution.sample()},
+            seed=seed,
+        )
+
+
+class CpuSource(StreamSource):
+    """CPU utilisation source for the complex workload (``id``, ``value``)."""
+
+    def __init__(
+        self,
+        source_id: str,
+        monitored_id: str,
+        rate: float = 150.0,
+        dataset: str = "planetlab",
+        seed: Optional[int] = 0,
+        distribution: Optional[ValueDistribution] = None,
+    ) -> None:
+        self.monitored_id = monitored_id
+        self.distribution = distribution or make_dataset(dataset, seed=seed)
+        super().__init__(
+            source_id=source_id,
+            rate=rate,
+            payload_builder=lambda: {
+                "id": self.monitored_id,
+                "value": self.distribution.sample(),
+            },
+            seed=seed,
+        )
+
+
+class MemorySource(StreamSource):
+    """Free-memory source for the complex workload (``id``, ``free`` in KB)."""
+
+    def __init__(
+        self,
+        source_id: str,
+        monitored_id: str,
+        rate: float = 150.0,
+        dataset: str = "planetlab",
+        seed: Optional[int] = 0,
+        distribution: Optional[ValueDistribution] = None,
+    ) -> None:
+        self.monitored_id = monitored_id
+        self.distribution = distribution or make_dataset(dataset, seed=seed)
+        self._planetlab = (
+            self.distribution
+            if isinstance(self.distribution, PlanetLabLikeValues)
+            else None
+        )
+        super().__init__(
+            source_id=source_id,
+            rate=rate,
+            payload_builder=self._build_payload,
+            seed=seed,
+        )
+
+    def _build_payload(self) -> Dict[str, object]:
+        value = self.distribution.sample()
+        if self._planetlab is not None:
+            free = self._planetlab.memory_free_kb(value)
+        else:
+            # Scale a generic value into a plausible free-memory range so the
+            # TOP-5 query's filter (free >= 100,000 KB) is selective.
+            free = 50_000.0 + value * 20_000.0
+        return {"id": self.monitored_id, "free": free}
+
+
+class BurstySource:
+    """Wrapper making a source bursty: 10 % of the time it emits at 10× rate.
+
+    Reproduces the burstiness model of §7.4.  The wrapper draws, per
+    generation interval, whether the source is currently in a burst.
+    """
+
+    def __init__(
+        self,
+        base: StreamSource,
+        burst_probability: float = 0.1,
+        burst_multiplier: float = 10.0,
+        seed: Optional[int] = 0,
+    ) -> None:
+        if not 0.0 <= burst_probability <= 1.0:
+            raise ValueError(
+                f"burst_probability must be in [0, 1], got {burst_probability}"
+            )
+        if burst_multiplier < 1.0:
+            raise ValueError(
+                f"burst_multiplier must be >= 1, got {burst_multiplier}"
+            )
+        self.base = base
+        self.burst_probability = float(burst_probability)
+        self.burst_multiplier = float(burst_multiplier)
+        self.rng = random.Random(seed)
+        self.bursts = 0
+
+    @property
+    def source_id(self) -> str:
+        return self.base.source_id
+
+    @property
+    def rate(self) -> float:
+        return self.base.rate
+
+    @property
+    def emitted_tuples(self) -> int:
+        return self.base.emitted_tuples
+
+    def generate(self, start: float, end: float) -> List[Tuple]:
+        original_rate = self.base.rate
+        if self.rng.random() < self.burst_probability:
+            self.bursts += 1
+            self.base.rate = original_rate * self.burst_multiplier
+        try:
+            return self.base.generate(start, end)
+        finally:
+            self.base.rate = original_rate

@@ -1,0 +1,76 @@
+"""Workload query specification.
+
+A :class:`WorkloadQuery` bundles everything needed to deploy one query on the
+federated system: its fragments, its sources and the nominal rates used to
+seed the SIC assigner.  Workload builders (:mod:`repro.workloads.aggregate`,
+:mod:`repro.workloads.complex`) return these objects and the experiment
+harness hands them to :meth:`repro.federation.FederatedSystem.deploy_query`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..streaming.query import QueryFragment
+
+__all__ = ["WorkloadQuery"]
+
+
+@dataclass
+class WorkloadQuery:
+    """A query ready for deployment.
+
+    Attributes:
+        query_id: unique query identifier.
+        kind: workload family (``"avg"``, ``"max"``, ``"count"``,
+            ``"avg-all"``, ``"top5"``, ``"cov"``).
+        fragments: fragment id → fragment, in upstream-to-downstream order.
+        sources: source objects feeding the query.
+        fragment_order: fragment ids ordered from the leaves towards the root;
+            used by placements that want to co-locate or spread chains.
+    """
+
+    query_id: str
+    kind: str
+    fragments: Dict[str, QueryFragment]
+    sources: List[object]
+    fragment_order: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.fragments:
+            raise ValueError(f"query {self.query_id!r} has no fragments")
+        if not self.sources:
+            raise ValueError(f"query {self.query_id!r} has no sources")
+        if not self.fragment_order:
+            self.fragment_order = list(self.fragments)
+
+    @property
+    def num_fragments(self) -> int:
+        return len(self.fragments)
+
+    @property
+    def num_sources(self) -> int:
+        return len(self.sources)
+
+    @property
+    def root_fragment(self) -> QueryFragment:
+        roots = [f for f in self.fragments.values() if f.is_root]
+        if len(roots) != 1:
+            raise ValueError(
+                f"query {self.query_id!r} must have exactly one root fragment, "
+                f"found {len(roots)}"
+            )
+        return roots[0]
+
+    def nominal_rates(self) -> Dict[str, float]:
+        """Source id → nominal tuples/second, for SIC-assigner seeding."""
+        rates: Dict[str, float] = {}
+        for source in self.sources:
+            rate = getattr(source, "rate", None)
+            if rate:
+                rates[getattr(source, "source_id")] = float(rate)
+        return rates
+
+    def fragment_list(self) -> List[QueryFragment]:
+        return [self.fragments[name] for name in self.fragment_order]

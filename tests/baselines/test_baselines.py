@@ -1,0 +1,165 @@
+"""Unit tests for the FIT and utility-maximisation baselines (§7.5)."""
+
+import pytest
+
+from repro.baselines.fit import FitOptimizer
+from repro.baselines.problem import (
+    AllocationProblem,
+    AllocationResult,
+    QueryDemand,
+    problem_from_deployment,
+)
+from repro.baselines.utility_max import UtilityMaxOptimizer
+from repro.federation.deployment import RoundRobinPlacement
+from repro.workloads.generators import (
+    WorkloadSpec,
+    compute_node_budgets,
+    generate_complex_workload,
+)
+
+
+def symmetric_problem(num_queries=10, capacity=200.0):
+    """Identical queries competing for a single node's capacity."""
+    demands = [
+        QueryDemand(query_id=f"q{i}", input_rate=100.0, node_costs={"n0": 1.0})
+        for i in range(num_queries)
+    ]
+    return AllocationProblem(queries=demands, node_capacities={"n0": capacity})
+
+
+class TestProblemValidation:
+    def test_rejects_empty_queries_or_nodes(self):
+        with pytest.raises(ValueError):
+            AllocationProblem(queries=[], node_capacities={"n0": 1.0})
+        with pytest.raises(ValueError):
+            AllocationProblem(
+                queries=[QueryDemand("q", 1.0, node_costs={})], node_capacities={}
+            )
+
+    def test_rejects_unknown_node_reference(self):
+        with pytest.raises(ValueError):
+            AllocationProblem(
+                queries=[QueryDemand("q", 1.0, node_costs={"missing": 1.0})],
+                node_capacities={"n0": 1.0},
+            )
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError):
+            QueryDemand("q", input_rate=0.0)
+
+
+class TestFitOptimizer:
+    def test_respects_node_capacity(self):
+        problem = symmetric_problem(num_queries=10, capacity=200.0)
+        result = FitOptimizer().solve(problem)
+        admitted = sum(
+            result.fractions[d.query_id] * d.input_rate for d in problem.queries
+        )
+        assert admitted <= 200.0 + 1e-6
+
+    def test_maximises_total_throughput(self):
+        problem = symmetric_problem(num_queries=10, capacity=200.0)
+        result = FitOptimizer().solve(problem)
+        admitted = sum(
+            result.fractions[d.query_id] * d.input_rate for d in problem.queries
+        )
+        assert admitted == pytest.approx(200.0, rel=1e-3)
+
+    def test_unfair_when_queries_have_different_costs(self):
+        # Cheap queries are served fully, expensive ones starved: classic FIT.
+        demands = [
+            QueryDemand(f"cheap{i}", input_rate=100.0, node_costs={"n0": 0.5})
+            for i in range(3)
+        ] + [
+            QueryDemand(f"dear{i}", input_rate=100.0, node_costs={"n0": 5.0})
+            for i in range(3)
+        ]
+        problem = AllocationProblem(demands, {"n0": 150.0})
+        result = FitOptimizer().solve(problem)
+        assert result.queries_fully_served() >= 3
+        assert result.queries_fully_starved() >= 2
+        assert result.jains_index_of_fractions() < 0.7
+
+    def test_everything_served_when_capacity_abundant(self):
+        problem = symmetric_problem(num_queries=5, capacity=10_000.0)
+        result = FitOptimizer().solve(problem)
+        assert result.queries_fully_served() == 5
+
+
+class TestUtilityMaxOptimizer:
+    def test_symmetric_queries_get_equal_fractions(self):
+        problem = symmetric_problem(num_queries=8, capacity=400.0)
+        result = UtilityMaxOptimizer().solve(problem)
+        values = list(result.fractions.values())
+        assert max(values) - min(values) < 0.05
+        assert result.jains_index_of_fractions() > 0.99
+
+    def test_respects_capacity(self):
+        problem = symmetric_problem(num_queries=8, capacity=400.0)
+        result = UtilityMaxOptimizer().solve(problem)
+        admitted = sum(
+            result.fractions[d.query_id] * d.input_rate for d in problem.queries
+        )
+        assert admitted <= 400.0 * 1.01
+
+    def test_log_utility_avoids_starvation(self):
+        demands = [
+            QueryDemand(f"cheap{i}", input_rate=100.0, node_costs={"n0": 0.5})
+            for i in range(3)
+        ] + [
+            QueryDemand(f"dear{i}", input_rate=100.0, node_costs={"n0": 5.0})
+            for i in range(3)
+        ]
+        problem = AllocationProblem(demands, {"n0": 150.0})
+        result = UtilityMaxOptimizer().solve(problem)
+        assert result.queries_fully_starved() == 0
+        assert result.jains_index_of_fractions() > FitOptimizer().solve(
+            problem
+        ).jains_index_of_fractions()
+
+    def test_normalized_log_outputs_in_unit_range(self):
+        problem = symmetric_problem()
+        result = UtilityMaxOptimizer().solve(problem)
+        normalized = UtilityMaxOptimizer.normalized_log_outputs(result, problem)
+        assert all(0.0 <= v <= 1.0 for v in normalized.values())
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            UtilityMaxOptimizer(epsilon=0.0)
+
+
+class TestAllocationResultHelpers:
+    def test_output_rates(self):
+        problem = symmetric_problem(num_queries=2, capacity=100.0)
+        result = AllocationResult(
+            fractions={"q0": 0.5, "q1": 0.25}, objective=0.0, solver="test"
+        )
+        rates = result.output_rates(problem)
+        assert rates == {"q0": 50.0, "q1": 25.0}
+
+
+class TestProblemFromDeployment:
+    def test_builds_demands_matching_the_workload(self):
+        spec = WorkloadSpec(
+            num_queries=6,
+            fragments_per_query=2,
+            source_rate=10.0,
+            sources_per_avg_all_fragment=2,
+            machines_per_top5_fragment=1,
+            seed=1,
+        )
+        queries = generate_complex_workload(spec)
+        node_ids = ["n0", "n1", "n2"]
+        placement = RoundRobinPlacement().place(
+            [f for q in queries for f in q.fragment_list()], node_ids
+        )
+        budgets = compute_node_budgets(queries, placement, 0.25, 0.5, node_ids)
+        problem = problem_from_deployment(queries, placement, budgets, 0.25)
+        assert problem.num_queries == len(queries)
+        assert set(problem.node_capacities) == set(node_ids)
+        for demand in problem.queries:
+            assert demand.input_rate > 0
+            assert demand.node_costs
+        # The resulting problem is solvable by both baselines.
+        assert FitOptimizer().solve(problem).fractions
+        assert UtilityMaxOptimizer().solve(problem).fractions

@@ -1,0 +1,197 @@
+"""Unit tests for Algorithm 1 (BALANCE-SIC tuple selection)."""
+
+import random
+
+import pytest
+
+from repro.core.balance_sic import (
+    BalanceSicConfig,
+    BalanceSicPolicy,
+    SelectionStrategy,
+    ShedDecision,
+)
+from repro.core.tuples import Batch, Tuple
+
+
+def make_batch(query_id, tuples_count, sic_per_tuple, ts=0.0):
+    tuples = [
+        Tuple(timestamp=ts + i * 0.01, sic=sic_per_tuple, values={"v": i})
+        for i in range(tuples_count)
+    ]
+    return Batch(query_id, tuples)
+
+
+class TestConfig:
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            BalanceSicConfig(selection_strategy="bogus")
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(ValueError):
+            BalanceSicConfig(epsilon=-1.0)
+
+
+class TestUnderload:
+    def test_everything_kept_when_capacity_sufficient(self):
+        policy = BalanceSicPolicy()
+        batches = [make_batch("q1", 5, 0.01), make_batch("q2", 5, 0.01)]
+        decision = policy.select(batches, capacity=100, reported_sic={})
+        assert decision.kept_tuples == 10
+        assert decision.shed_tuples == 0
+        assert not decision.shed
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BalanceSicPolicy().select([], capacity=-1, reported_sic={})
+
+    def test_empty_buffer_returns_empty_decision(self):
+        decision = BalanceSicPolicy().select([], capacity=10, reported_sic={})
+        assert decision.kept == [] and decision.shed == []
+
+
+class TestCapacityRespected:
+    def test_kept_tuples_never_exceed_capacity(self):
+        policy = BalanceSicPolicy()
+        batches = [make_batch(f"q{i}", 20, 0.005) for i in range(5)]
+        decision = policy.select(batches, capacity=30, reported_sic={})
+        assert decision.kept_tuples <= 30
+        assert decision.kept_tuples + decision.shed_tuples == 100
+
+    def test_capacity_fully_used_when_overloaded(self):
+        policy = BalanceSicPolicy()
+        batches = [make_batch(f"q{i}", 20, 0.005) for i in range(5)]
+        decision = policy.select(batches, capacity=30, reported_sic={})
+        # Splitting is enabled by default, so the capacity is filled exactly.
+        assert decision.kept_tuples == 30
+
+    def test_no_splitting_stays_at_batch_granularity(self):
+        policy = BalanceSicPolicy(BalanceSicConfig(allow_batch_splitting=False))
+        batches = [make_batch("q1", 20, 0.005), make_batch("q2", 20, 0.005)]
+        decision = policy.select(batches, capacity=30, reported_sic={})
+        assert decision.kept_tuples in (20, 30)
+        assert all(len(b) == 20 for b in decision.kept)
+
+
+class TestBalancing:
+    def test_most_degraded_query_is_served_first(self):
+        policy = BalanceSicPolicy()
+        batches = [make_batch("low", 10, 0.01), make_batch("high", 10, 0.01)]
+        reported = {"low": 0.1, "high": 0.8}
+        decision = policy.select(batches, capacity=10, reported_sic=reported)
+        kept_per_query = decision.kept_sic_per_query()
+        assert kept_per_query.get("low", 0.0) > kept_per_query.get("high", 0.0)
+
+    def test_projection_subtracts_buffered_sic(self):
+        config = BalanceSicConfig(use_projection=True)
+        policy = BalanceSicPolicy(config)
+        # Same reported SIC; q1 has much more SIC waiting in the buffer, so
+        # after projection q1 looks *more* degraded is false — both project to
+        # the same baseline minus their own buffered SIC.  The decision should
+        # still keep total tuples within capacity and not crash.
+        batches = [make_batch("q1", 10, 0.05), make_batch("q2", 10, 0.01)]
+        decision = policy.select(batches, capacity=10, reported_sic={"q1": 0.5, "q2": 0.5})
+        assert decision.kept_tuples == 10
+
+    def test_equal_queries_share_capacity_roughly_equally(self):
+        policy = BalanceSicPolicy(rng=random.Random(1))
+        batches = []
+        for q in range(4):
+            for b in range(5):
+                batches.append(make_batch(f"q{q}", 10, 0.002, ts=b))
+        decision = policy.select(batches, capacity=100, reported_sic={})
+        kept = decision.kept_sic_per_query()
+        values = [kept.get(f"q{q}", 0.0) for q in range(4)]
+        assert max(values) <= 2.5 * min(values) + 1e-9
+
+    def test_highest_sic_batches_preferred_within_query(self):
+        policy = BalanceSicPolicy()
+        low = make_batch("q", 10, 0.001)
+        high = make_batch("q", 10, 0.01)
+        decision = policy.select([low, high], capacity=10, reported_sic={})
+        assert len(decision.kept) == 1
+        assert decision.kept[0].sic == pytest.approx(high.sic)
+
+    def test_lowest_sic_strategy_inverts_preference(self):
+        policy = BalanceSicPolicy(
+            BalanceSicConfig(selection_strategy=SelectionStrategy.LOWEST_SIC)
+        )
+        low = make_batch("q", 10, 0.001)
+        high = make_batch("q", 10, 0.01)
+        decision = policy.select([low, high], capacity=10, reported_sic={})
+        assert decision.kept[0].sic == pytest.approx(low.sic)
+
+    def test_queries_without_buffered_tuples_still_act_as_targets(self):
+        policy = BalanceSicPolicy()
+        batches = [make_batch("q1", 100, 0.001)]
+        # q2 is known via the coordinator but has nothing buffered here; it
+        # still serves as the comparison point q'' for the first iteration,
+        # and the spare capacity is then used up by q1 (full utilisation).
+        decision = policy.select(
+            batches, capacity=50, reported_sic={"q1": 0.0, "q2": 0.02}
+        )
+        assert decision.kept_tuples == 50
+        assert decision.iterations >= 2
+        assert decision.projected_sic["q1"] >= 0.02
+
+    def test_catch_up_stops_at_target_when_capacity_remains_for_others(self):
+        # Projection disabled so the reported SIC values are used directly as
+        # the starting point; q1 is behind and q2 ahead, and with fine-grained
+        # batches both converge to nearly equal projected values.
+        policy = BalanceSicPolicy(
+            BalanceSicConfig(use_projection=False), rng=random.Random(3)
+        )
+        batches = [make_batch("q1", 5, 0.002, ts=i) for i in range(10)]
+        batches += [make_batch("q2", 5, 0.002, ts=i) for i in range(10)]
+        decision = policy.select(
+            batches, capacity=60, reported_sic={"q1": 0.0, "q2": 0.04}
+        )
+        projected = decision.projected_sic
+        assert decision.kept_tuples == 60
+        assert abs(projected["q1"] - projected["q2"]) < 0.025
+
+
+class TestShedDecision:
+    def test_total_tuples_property(self):
+        decision = ShedDecision(kept_tuples=3, shed_tuples=7)
+        assert decision.total_tuples == 10
+
+    def test_iterations_counted(self):
+        policy = BalanceSicPolicy()
+        batches = [make_batch(f"q{i}", 10, 0.01) for i in range(3)]
+        decision = policy.select(batches, capacity=15, reported_sic={})
+        assert decision.iterations >= 1
+
+    def test_shed_batches_are_the_complement_of_kept(self):
+        policy = BalanceSicPolicy(BalanceSicConfig(allow_batch_splitting=False))
+        batches = [make_batch(f"q{i}", 10, 0.01) for i in range(4)]
+        decision = policy.select(batches, capacity=20, reported_sic={})
+        kept_ids = {b.batch_id for b in decision.kept}
+        shed_ids = {b.batch_id for b in decision.shed}
+        assert kept_ids.isdisjoint(shed_ids)
+        assert kept_ids | shed_ids == {b.batch_id for b in batches}
+
+
+class TestPaperExample:
+    def test_figure3_single_node_example(self):
+        """Figure 3: four queries, capacity 10, tuples with per-source SIC.
+
+        Tuples are offered as single-tuple batches so the algorithm can select
+        at the same granularity as the paper's walk-through.
+        """
+        policy = BalanceSicPolicy(rng=random.Random(0))
+        # Source rates (tuples per STW of 1 s): q1: 20, q2: 30, q3: 10,
+        # q4: two sources of 20 and 40.  SIC values follow Equation 1.
+        batches = []
+        batches += [make_batch("q1", 1, 1.0 / 20.0, ts=i) for i in range(20)]
+        batches += [make_batch("q2", 1, 1.0 / 30.0, ts=i) for i in range(30)]
+        batches += [make_batch("q3", 1, 1.0 / 10.0, ts=i) for i in range(10)]
+        batches += [make_batch("q4", 1, 1.0 / (20.0 * 2), ts=i) for i in range(20)]
+        batches += [make_batch("q4", 1, 1.0 / (40.0 * 2), ts=i) for i in range(40)]
+        decision = policy.select(batches, capacity=10, reported_sic={})
+        assert decision.kept_tuples == 10
+        projected = decision.projected_sic
+        # All queries converge to roughly the same SIC value (0.1 in the
+        # paper's example); nobody is starved and nobody exceeds ~0.2.
+        for query_id in ("q1", "q2", "q3", "q4"):
+            assert projected[query_id] >= 0.05
+            assert projected[query_id] <= 0.2

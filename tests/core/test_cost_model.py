@@ -1,0 +1,73 @@
+"""Unit tests for the online cost model."""
+
+import pytest
+
+from repro.core.cost_model import CostModel, CostModelConfig
+
+
+class TestCostModelConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            CostModelConfig(window=0)
+        with pytest.raises(ValueError):
+            CostModelConfig(initial_cost_per_tuple=0)
+        with pytest.raises(ValueError):
+            CostModelConfig(min_capacity=0)
+
+
+class TestCostModel:
+    def test_initial_cost_used_before_observations(self):
+        model = CostModel(CostModelConfig(initial_cost_per_tuple=2.0))
+        assert model.cost_per_tuple() == 2.0
+        assert model.capacity(100.0) == 50
+
+    def test_observation_updates_estimate(self):
+        model = CostModel()
+        model.observe(tuples_processed=10, total_cost=5.0)
+        assert model.cost_per_tuple() == pytest.approx(0.5)
+        assert model.capacity(100.0) == 200
+
+    def test_moving_average_over_window(self):
+        model = CostModel(CostModelConfig(window=2))
+        model.observe(10, 10.0)   # 1.0 per tuple
+        model.observe(10, 30.0)   # 3.0 per tuple
+        model.observe(10, 30.0)   # 3.0 per tuple; first sample evicted
+        assert model.cost_per_tuple() == pytest.approx(3.0)
+
+    def test_zero_tuple_round_is_ignored(self):
+        model = CostModel()
+        model.observe(0, 0.0)
+        assert model.observations == 0
+        assert model.cost_per_tuple() == CostModelConfig().initial_cost_per_tuple
+
+    def test_capacity_never_below_minimum(self):
+        model = CostModel(CostModelConfig(min_capacity=3))
+        model.observe(1, 1000.0)
+        assert model.capacity(0.5) == 3
+
+    def test_capacity_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            CostModel().capacity(-1.0)
+
+    def test_observe_rejects_negative_inputs(self):
+        model = CostModel()
+        with pytest.raises(ValueError):
+            model.observe(-1, 1.0)
+        with pytest.raises(ValueError):
+            model.observe(1, -1.0)
+
+    def test_lifetime_counters(self):
+        model = CostModel()
+        model.observe(10, 5.0)
+        model.observe(20, 10.0)
+        assert model.lifetime_tuples == 30
+        assert model.lifetime_cost == pytest.approx(15.0)
+
+    def test_adapts_to_cheaper_tuples(self):
+        model = CostModel(CostModelConfig(window=4))
+        for _ in range(4):
+            model.observe(10, 20.0)  # expensive: 2.0
+        expensive_capacity = model.capacity(100.0)
+        for _ in range(4):
+            model.observe(10, 5.0)   # cheap: 0.5
+        assert model.capacity(100.0) > expensive_capacity

@@ -1,0 +1,63 @@
+"""Unit tests for Jain's Fairness Index and fairness summaries."""
+
+import pytest
+
+from repro.core.fairness import jains_index, relative_spread, summarize_fairness
+
+
+class TestJainsIndex:
+    def test_equal_values_give_one(self):
+        assert jains_index([0.4, 0.4, 0.4]) == pytest.approx(1.0)
+
+    def test_single_winner_gives_one_over_n(self):
+        assert jains_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_range_is_bounded(self):
+        values = [0.9, 0.1, 0.5, 0.7]
+        index = jains_index(values)
+        assert 1.0 / len(values) <= index <= 1.0
+
+    def test_scale_invariance(self):
+        values = [0.2, 0.4, 0.8]
+        assert jains_index(values) == pytest.approx(jains_index([v * 10 for v in values]))
+
+    def test_empty_and_all_zero_conventions(self):
+        assert jains_index([]) == 1.0
+        assert jains_index([0.0, 0.0]) == 1.0
+
+    def test_known_value(self):
+        # (1+2+3)^2 / (3 * (1+4+9)) = 36/42
+        assert jains_index([1, 2, 3]) == pytest.approx(36.0 / 42.0)
+
+
+class TestRelativeSpread:
+    def test_zero_for_equal_values(self):
+        assert relative_spread([2.0, 2.0]) == 0.0
+
+    def test_positive_for_unequal_values(self):
+        assert relative_spread([1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_degenerate_inputs(self):
+        assert relative_spread([]) == 0.0
+        assert relative_spread([0.0, 0.0]) == 0.0
+
+
+class TestSummarizeFairness:
+    def test_summary_fields(self):
+        summary = summarize_fairness({"a": 0.2, "b": 0.4, "c": 0.6})
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(0.4)
+        assert summary.minimum == pytest.approx(0.2)
+        assert summary.maximum == pytest.approx(0.6)
+        assert 0.0 < summary.jains_index <= 1.0
+
+    def test_empty_mapping(self):
+        summary = summarize_fairness({})
+        assert summary.count == 0
+        assert summary.jains_index == 1.0
+
+    def test_as_dict_round_trip(self):
+        summary = summarize_fairness({"a": 0.5})
+        as_dict = summary.as_dict()
+        assert as_dict["count"] == 1
+        assert as_dict["jains_index"] == pytest.approx(1.0)

@@ -1,0 +1,116 @@
+"""Unit tests for the shedder implementations and factory."""
+
+import pytest
+
+from repro.core.shedding import (
+    BalanceSicShedder,
+    NoShedder,
+    RandomShedder,
+    Shedder,
+    TailDropShedder,
+    make_shedder,
+)
+from repro.core.tuples import Batch, Tuple
+
+
+def make_batch(query_id, count, sic=0.01, ts=0.0):
+    return Batch(
+        query_id,
+        [Tuple(timestamp=ts + i * 0.001, sic=sic, values={}) for i in range(count)],
+    )
+
+
+class TestNoShedder:
+    def test_keeps_everything(self):
+        shedder = NoShedder()
+        batches = [make_batch("q", 50)]
+        decision = shedder.shed(batches, capacity=1, reported_sic={})
+        assert decision.kept_tuples == 50
+        assert decision.shed_tuples == 0
+
+
+class TestRandomShedder:
+    def test_keeps_everything_under_capacity(self):
+        shedder = RandomShedder(seed=0)
+        decision = shedder.shed([make_batch("q", 10)], capacity=100, reported_sic={})
+        assert decision.kept_tuples == 10
+
+    def test_respects_capacity_when_overloaded(self):
+        shedder = RandomShedder(seed=0)
+        batches = [make_batch(f"q{i}", 10) for i in range(10)]
+        decision = shedder.shed(batches, capacity=35, reported_sic={})
+        assert decision.kept_tuples == 35
+        assert decision.shed_tuples == 65
+
+    def test_is_deterministic_for_a_seed(self):
+        batches = [make_batch(f"q{i}", 10) for i in range(10)]
+        d1 = RandomShedder(seed=7).shed(batches, 30, {})
+        d2 = RandomShedder(seed=7).shed(batches, 30, {})
+        assert [b.batch_id for b in d1.kept] == [b.batch_id for b in d2.kept]
+
+    def test_different_seeds_differ(self):
+        batches = [make_batch(f"q{i}", 10) for i in range(10)]
+        d1 = RandomShedder(seed=1).shed(batches, 30, {})
+        d2 = RandomShedder(seed=2).shed(batches, 30, {})
+        assert [b.batch_id for b in d1.kept] != [b.batch_id for b in d2.kept]
+
+    def test_without_splitting_keeps_whole_batches(self):
+        shedder = RandomShedder(seed=0, allow_splitting=False)
+        batches = [make_batch(f"q{i}", 10) for i in range(5)]
+        decision = shedder.shed(batches, capacity=25, reported_sic={})
+        assert decision.kept_tuples in (20, 25)
+        assert all(len(b) == 10 for b in decision.kept)
+
+
+class TestTailDropShedder:
+    def test_keeps_oldest_batches(self):
+        shedder = TailDropShedder(allow_splitting=False)
+        old = make_batch("q1", 10, ts=0.0)
+        new = make_batch("q2", 10, ts=5.0)
+        decision = shedder.shed([new, old], capacity=10, reported_sic={})
+        assert decision.kept[0].batch_id == old.batch_id
+        assert decision.shed[0].batch_id == new.batch_id
+
+
+class TestBalanceSicShedder:
+    def test_wraps_policy_and_balances(self):
+        shedder = BalanceSicShedder(seed=0)
+        degraded = make_batch("degraded", 10, sic=0.02)
+        healthy = make_batch("healthy", 10, sic=0.02)
+        decision = shedder.shed(
+            [degraded, healthy], capacity=10,
+            reported_sic={"degraded": 0.1, "healthy": 0.9},
+        )
+        kept = decision.kept_sic_per_query()
+        assert kept.get("degraded", 0.0) > kept.get("healthy", 0.0)
+
+    def test_name_attribute(self):
+        assert BalanceSicShedder().name == "balance-sic"
+
+
+class TestMakeShedder:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("balance-sic", BalanceSicShedder),
+            ("themis", BalanceSicShedder),
+            ("random", RandomShedder),
+            ("tail-drop", TailDropShedder),
+            ("fifo", TailDropShedder),
+            ("none", NoShedder),
+            ("perfect", NoShedder),
+        ],
+    )
+    def test_factory_resolves_names(self, name, cls):
+        assert isinstance(make_shedder(name), cls)
+
+    def test_factory_rejects_unknown_names(self):
+        with pytest.raises(ValueError):
+            make_shedder("unknown-shedder")
+
+    def test_all_shedders_satisfy_the_interface(self):
+        for name in ("balance-sic", "random", "tail-drop", "none"):
+            shedder = make_shedder(name)
+            assert isinstance(shedder, Shedder)
+            decision = shedder.shed([make_batch("q", 5)], capacity=3, reported_sic={})
+            assert decision.kept_tuples + decision.shed_tuples == 5

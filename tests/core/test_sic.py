@@ -1,0 +1,157 @@
+"""Unit tests for SIC assignment and propagation (Equations 1-4)."""
+
+import pytest
+
+from repro.core.sic import (
+    SicAssigner,
+    SourceRateEstimator,
+    propagate_sic,
+    query_result_sic,
+    source_tuple_sic,
+)
+from repro.core.tuples import Tuple
+
+
+class TestSourceTupleSic:
+    def test_equation_one(self):
+        # 1 / (|T_s^S| * |S|)
+        assert source_tuple_sic(100, 2) == pytest.approx(1.0 / 200.0)
+
+    def test_single_tuple_single_source_has_sic_one(self):
+        assert source_tuple_sic(1, 1) == pytest.approx(1.0)
+
+    def test_rejects_non_positive_counts(self):
+        with pytest.raises(ValueError):
+            source_tuple_sic(0, 1)
+        with pytest.raises(ValueError):
+            source_tuple_sic(10, 0)
+
+    def test_paper_figure2_values(self):
+        # Figure 2: 4 tuples from one source, 2 tuples from the other, 2 sources.
+        assert source_tuple_sic(4, 2) == pytest.approx(0.125)
+        assert source_tuple_sic(2, 2) == pytest.approx(0.25)
+
+
+class TestPropagateSic:
+    def test_equation_three_divides_equally(self):
+        shares = propagate_sic([0.125, 0.125, 0.25], 2)
+        assert shares == pytest.approx([0.25, 0.25])
+
+    def test_zero_outputs_returns_empty(self):
+        assert propagate_sic([0.5], 0) == []
+
+    def test_total_sic_is_conserved(self):
+        inputs = [0.1, 0.2, 0.3]
+        outputs = propagate_sic(inputs, 7)
+        assert sum(outputs) == pytest.approx(sum(inputs))
+
+    def test_negative_outputs_rejected(self):
+        with pytest.raises(ValueError):
+            propagate_sic([0.1], -1)
+
+    def test_paper_figure2_pipeline(self):
+        # Operator b: 4 source tuples of 0.125 -> 2 derived tuples of 0.25.
+        derived_b = propagate_sic([0.125] * 4, 2)
+        assert derived_b == pytest.approx([0.25, 0.25])
+        # Operator c: 2 source tuples of 0.25 -> 2 derived tuples of 0.25.
+        derived_c = propagate_sic([0.25] * 2, 2)
+        assert derived_c == pytest.approx([0.25, 0.25])
+        # Operator a: 4 derived tuples -> 2 result tuples of 0.5; qSIC = 1.
+        results = propagate_sic(derived_b + derived_c, 2)
+        assert results == pytest.approx([0.5, 0.5])
+        assert query_result_sic(results) == pytest.approx(1.0)
+
+
+class TestQueryResultSic:
+    def test_sum_of_result_tuples(self):
+        assert query_result_sic([0.25, 0.25, 0.5]) == pytest.approx(1.0)
+
+    def test_empty_result_is_zero(self):
+        assert query_result_sic([]) == 0.0
+
+
+class TestSourceRateEstimator:
+    def test_unknown_source_returns_min_count(self):
+        estimator = SourceRateEstimator(stw_seconds=10.0)
+        assert estimator.tuples_per_stw("unknown") == 1.0
+
+    def test_seed_rate_used_before_observations(self):
+        estimator = SourceRateEstimator(stw_seconds=10.0)
+        estimator.seed_rate("s", 100.0)
+        assert estimator.tuples_per_stw("s") == pytest.approx(1000.0)
+
+    def test_estimate_scales_partial_window_to_full_stw(self):
+        estimator = SourceRateEstimator(stw_seconds=10.0)
+        # 100 tuples over one second -> about 1000 per 10-second STW.
+        for i in range(100):
+            estimator.observe("s", timestamp=i / 100.0)
+        estimate = estimator.tuples_per_stw("s")
+        assert 800 <= estimate <= 1300
+
+    def test_estimate_converges_to_observed_count_over_full_window(self):
+        estimator = SourceRateEstimator(stw_seconds=5.0)
+        for i in range(500):
+            estimator.observe("s", timestamp=i / 100.0)  # 100 t/s for 5 s
+        estimate = estimator.tuples_per_stw("s")
+        assert estimate == pytest.approx(500, rel=0.1)
+
+    def test_old_observations_expire(self):
+        estimator = SourceRateEstimator(stw_seconds=1.0)
+        for i in range(100):
+            estimator.observe("s", timestamp=i / 100.0)
+        for i in range(10):
+            estimator.observe("s", timestamp=10.0 + i / 10.0)
+        # Only the last burst (10 tuples over ~1 s) should remain.
+        assert estimator.tuples_per_stw("s") < 50
+
+    def test_rejects_non_positive_stw(self):
+        with pytest.raises(ValueError):
+            SourceRateEstimator(stw_seconds=0.0)
+
+    def test_known_sources_lists_observed_and_seeded(self):
+        estimator = SourceRateEstimator(stw_seconds=10.0)
+        estimator.seed_rate("a", 10)
+        estimator.observe("b", 0.0)
+        assert set(estimator.known_sources()) == {"a", "b"}
+
+
+class TestSicAssigner:
+    def _tuples(self, source_id, count, start=0.0, spacing=0.01):
+        return [
+            Tuple(timestamp=start + i * spacing, sic=0.0, values={"v": i}, source_id=source_id)
+            for i in range(count)
+        ]
+
+    def test_assign_sets_positive_sic(self):
+        assigner = SicAssigner("q", num_sources=1, stw_seconds=10.0)
+        tuples = assigner.assign(self._tuples("s", 50))
+        assert all(t.sic > 0 for t in tuples)
+
+    def test_steady_state_sums_to_one_per_stw(self):
+        assigner = SicAssigner(
+            "q", num_sources=1, stw_seconds=10.0, nominal_rates={"s": 100.0}
+        )
+        total = 0.0
+        # 10 seconds of arrivals at 100 t/s.
+        for second in range(10):
+            batch = self._tuples("s", 100, start=float(second), spacing=0.01)
+            assigner.assign(batch)
+            if second >= 5:  # steady state only
+                total += sum(t.sic for t in batch)
+        # The last 5 seconds should carry about half of one STW's information.
+        assert total == pytest.approx(0.5, rel=0.25)
+
+    def test_normalised_by_number_of_sources(self):
+        one = SicAssigner("q1", num_sources=1, stw_seconds=10.0, nominal_rates={"s": 10})
+        two = SicAssigner("q2", num_sources=2, stw_seconds=10.0, nominal_rates={"s": 10})
+        t1 = one.assign(self._tuples("s", 10))
+        t2 = two.assign(self._tuples("s", 10))
+        assert t1[0].sic == pytest.approx(2 * t2[0].sic)
+
+    def test_sic_for_reports_current_value(self):
+        assigner = SicAssigner("q", num_sources=1, stw_seconds=10.0, nominal_rates={"s": 100})
+        assert assigner.sic_for("s") == pytest.approx(1.0 / 1000.0)
+
+    def test_rejects_zero_sources(self):
+        with pytest.raises(ValueError):
+            SicAssigner("q", num_sources=0, stw_seconds=10.0)

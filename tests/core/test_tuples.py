@@ -1,0 +1,98 @@
+"""Unit tests for the tuple and batch data model."""
+
+import pytest
+
+from repro.core.tuples import Batch, Tuple, merge_batches
+
+
+class TestTuple:
+    def test_value_accessor_returns_payload_field(self):
+        t = Tuple(timestamp=1.0, sic=0.5, values={"v": 42.0})
+        assert t.value("v") == 42.0
+
+    def test_value_accessor_returns_default_for_missing_field(self):
+        t = Tuple(timestamp=1.0, sic=0.5, values={"v": 42.0})
+        assert t.value("missing", default=-1) == -1
+
+    def test_with_sic_returns_copy_with_new_sic(self):
+        t = Tuple(timestamp=1.0, sic=0.5, values={"v": 1.0}, source_id="s")
+        copy = t.with_sic(0.25)
+        assert copy.sic == 0.25
+        assert copy.timestamp == t.timestamp
+        assert copy.values == t.values
+        assert copy.source_id == "s"
+        assert t.sic == 0.5
+
+    def test_with_sic_does_not_share_payload_dict(self):
+        t = Tuple(timestamp=1.0, sic=0.5, values={"v": 1.0})
+        copy = t.with_sic(0.1)
+        copy.values["v"] = 99.0
+        assert t.values["v"] == 1.0
+
+    def test_copy_is_independent(self):
+        t = Tuple(timestamp=2.0, sic=0.3, values={"a": 1})
+        c = t.copy()
+        c.values["a"] = 2
+        assert t.values["a"] == 1
+
+
+class TestBatch:
+    def _tuples(self, n=4, sic=0.1):
+        return [Tuple(timestamp=float(i), sic=sic, values={"v": i}) for i in range(n)]
+
+    def test_header_sic_is_sum_of_tuple_sic(self):
+        batch = Batch("q1", self._tuples(4, sic=0.25))
+        assert batch.sic == pytest.approx(1.0)
+
+    def test_created_at_defaults_to_earliest_timestamp(self):
+        batch = Batch("q1", self._tuples(3))
+        assert batch.created_at == 0.0
+
+    def test_explicit_created_at_is_kept(self):
+        batch = Batch("q1", self._tuples(3), created_at=9.0)
+        assert batch.created_at == 9.0
+
+    def test_len_and_iteration(self):
+        batch = Batch("q1", self._tuples(5))
+        assert len(batch) == 5
+        assert sum(1 for _ in batch) == 5
+
+    def test_empty_batch_is_falsy(self):
+        assert not Batch("q1", [])
+        assert Batch("q1", self._tuples(1))
+
+    def test_batch_ids_are_unique(self):
+        a = Batch("q1", self._tuples(1))
+        b = Batch("q1", self._tuples(1))
+        assert a.batch_id != b.batch_id
+
+    def test_refresh_sic_tracks_tuple_mutation(self):
+        batch = Batch("q1", self._tuples(2, sic=0.1))
+        batch.tuples[0].sic = 0.9
+        assert batch.refresh_sic() == pytest.approx(1.0)
+        assert batch.sic == pytest.approx(1.0)
+
+    def test_meta_data_bytes_is_constant_per_batch(self):
+        small = Batch("q1", self._tuples(1))
+        large = Batch("q1", self._tuples(100))
+        assert small.meta_data_bytes() == large.meta_data_bytes()
+        assert small.meta_data_bytes() >= 10
+
+    def test_origin_fragment_id_default_and_explicit(self):
+        assert Batch("q1", self._tuples(1)).origin_fragment_id is None
+        tagged = Batch("q1", self._tuples(1), origin_fragment_id="q1/f0")
+        assert tagged.origin_fragment_id == "q1/f0"
+
+
+class TestMergeBatches:
+    def test_groups_by_query_preserving_order(self):
+        b1 = Batch("q1", [Tuple(0.0, 0.1, {})])
+        b2 = Batch("q2", [Tuple(0.0, 0.1, {})])
+        b3 = Batch("q1", [Tuple(1.0, 0.1, {})])
+        grouped = merge_batches([b1, b2, b3])
+        assert list(grouped) == ["q1", "q2"]
+        assert grouped["q1"] == [b1, b3]
+        assert grouped["q2"] == [b2]
+
+    def test_empty_input_yields_empty_mapping(self):
+        assert merge_batches([]) == {}

@@ -1,0 +1,131 @@
+"""Tests for the experiment harness (tiny configurations for speed)."""
+
+import pytest
+
+from repro.experiments import cli
+from repro.experiments.common import ExperimentResult, config_with, format_table
+from repro.experiments.testbeds import (
+    EMULAB_TESTBED,
+    LOCAL_TESTBED,
+    scaled_config,
+    workload_scale_factors,
+)
+from repro.experiments import (
+    fig06_sic_correlation_aggregate as fig06,
+    fig08_single_node_fairness as fig08,
+    fig10_multinode_comparison as fig10,
+    overhead,
+    related_work_comparison as related,
+)
+
+
+class TestExperimentResult:
+    def test_add_row_and_column(self):
+        result = ExperimentResult("x", "demo")
+        result.add_row(a=1, b=2.5)
+        result.add_row(a=3, b=4.5)
+        assert result.column("a") == [1, 3]
+        assert "demo" in result.to_table()
+
+    def test_format_table_aligns_columns(self):
+        table = format_table([{"name": "q", "value": 0.123456}, {"name": "qq", "value": 1.0}])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "0.1235" in table
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_notes_rendered(self):
+        result = ExperimentResult("x", "demo")
+        result.add_row(a=1)
+        result.add_note("scaled down")
+        assert "note: scaled down" in result.to_table()
+
+
+class TestTestbeds:
+    def test_profiles_match_table2(self):
+        assert LOCAL_TESTBED.source_rate == 400.0
+        assert EMULAB_TESTBED.num_processing_nodes == 18
+        assert EMULAB_TESTBED.source_rate == 150.0
+
+    @pytest.mark.parametrize("scale", ["small", "medium", "paper"])
+    def test_scaled_config_is_valid(self, scale):
+        config = scaled_config(scale)
+        assert config.duration_seconds > 0
+        assert workload_scale_factors(scale)["queries"] > 0
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_config("huge")
+        with pytest.raises(ValueError):
+            workload_scale_factors("huge")
+
+    def test_config_with_overrides_fields(self):
+        config = scaled_config("small")
+        other = config_with(config, capacity_fraction=0.123)
+        assert other.capacity_fraction == 0.123
+        assert other.duration_seconds == config.duration_seconds
+
+
+class TestExperimentRunners:
+    def test_fig06_rows_show_anticorrelation(self):
+        result = fig06.run(
+            scale="small",
+            kinds=("count",),
+            datasets=("gaussian",),
+            overload_fractions=(0.3, 0.8),
+            rate=60.0,
+        )
+        rows = {row["capacity_fraction"]: row for row in result.rows}
+        assert rows[0.3]["sic"] < rows[0.8]["sic"]
+        assert rows[0.3]["error"] > rows[0.8]["error"]
+
+    def test_fig08_mean_sic_decreases_with_queries(self):
+        result = fig08.run(scale="small", query_counts=(4, 10), source_rate=8.0)
+        first, second = result.rows
+        assert second["mean_sic"] < first["mean_sic"]
+        assert all(row["jains_index"] > 0.8 for row in result.rows)
+
+    def test_fig10_balance_sic_at_least_as_fair_as_random(self):
+        result = fig10.run(
+            scale="small", cases=(2,), num_nodes=3, total_fragments=24
+        )
+        by_shedder = {row["shedder"]: row for row in result.rows}
+        assert (
+            by_shedder["balance-sic"]["jains_index"]
+            >= by_shedder["random"]["jains_index"] - 0.02
+        )
+        improvements = fig10.improvement_summary(result)
+        assert "2" in improvements
+
+    def test_related_work_fit_is_unfair(self):
+        result = related.run(scale="small")
+        by_key = {(row["setup"], row["approach"]): row for row in result.rows}
+        fit = by_key[("simple", "FIT [34]")]
+        themis = by_key[("simple", "BALANCE-SIC")]
+        assert fit["jains_index"] < 0.7
+        assert fit["starved"] > 0
+        assert themis["jains_index"] > 0.9
+
+    def test_overhead_reports_both_shedders(self):
+        result = overhead.run(scale="small", num_queries=8, num_nodes=2)
+        shedders = {row["shedder"] for row in result.rows}
+        assert shedders == {"balance-sic", "random"}
+        assert all(row["shedder_invocations"] > 0 for row in result.rows)
+
+
+class TestCli:
+    def test_list_mode(self, capsys):
+        assert cli.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "overhead" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ValueError):
+            cli.run_experiment("fig99")
+
+    def test_registry_covers_every_figure(self):
+        expected = {f"fig{n:02d}" for n in range(6, 15)}
+        assert expected <= set(cli.EXPERIMENTS)
+        assert {"related_work", "overhead"} <= set(cli.EXPERIMENTS)

@@ -1,0 +1,68 @@
+"""Unit tests for query coordinators."""
+
+import pytest
+
+from repro.core.stw import StwConfig
+from repro.core.tuples import Batch, Tuple
+from repro.federation.coordinator import CoordinatorRegistry, QueryCoordinator
+
+
+def result_batch(query="q", sic=0.1, ts=1.0):
+    return Batch(query, [Tuple(ts, sic, {"avg": 42.0})])
+
+
+class TestQueryCoordinator:
+    def test_records_results_and_tracks_sic(self):
+        coordinator = QueryCoordinator("q", StwConfig(10.0, 1.0))
+        coordinator.record_result(result_batch(sic=0.2), now=1.0)
+        assert coordinator.result_tuples == 1
+        assert coordinator.current_sic(now=1.5) > 0.0
+        assert coordinator.result_values[0]["avg"] == 42.0
+        assert "_ts" in coordinator.result_values[0]
+
+    def test_updates_only_sent_to_registered_nodes(self):
+        coordinator = QueryCoordinator("q", StwConfig(), update_interval=0.25)
+        coordinator.register_hosting_node("n1")
+        coordinator.register_hosting_node("n2")
+        updates = coordinator.make_updates(now=0.25)
+        assert {u["node_id"] for u in updates} == {"n1", "n2"}
+        assert all(u["query_id"] == "q" for u in updates)
+
+    def test_updates_respect_the_interval(self):
+        coordinator = QueryCoordinator("q", StwConfig(), update_interval=1.0)
+        coordinator.register_hosting_node("n1")
+        assert coordinator.make_updates(now=0.0)  # first call always due
+        assert coordinator.make_updates(now=0.5) == []
+        assert coordinator.make_updates(now=1.0)
+
+    def test_rejects_bad_update_interval(self):
+        with pytest.raises(ValueError):
+            QueryCoordinator("q", StwConfig(), update_interval=0.0)
+
+    def test_snapshot_builds_history(self):
+        coordinator = QueryCoordinator("q", StwConfig(10.0, 1.0))
+        coordinator.record_result(result_batch(sic=0.1), now=1.0)
+        coordinator.snapshot(now=1.0)
+        coordinator.snapshot(now=2.0)
+        assert len(coordinator.tracker.history) == 2
+
+
+class TestCoordinatorRegistry:
+    def test_coordinator_created_once_per_query(self):
+        registry = CoordinatorRegistry(StwConfig())
+        a = registry.coordinator("q1")
+        b = registry.coordinator("q1")
+        assert a is b
+        assert "q1" in registry
+        assert len(registry) == 1
+
+    def test_current_and_mean_sic_per_query(self):
+        registry = CoordinatorRegistry(StwConfig(10.0, 1.0))
+        registry.coordinator("q1").record_result(result_batch("q1", sic=0.3), now=1.0)
+        registry.coordinator("q2").record_result(result_batch("q2", sic=0.1), now=1.0)
+        current = registry.current_sic_values(now=1.5)
+        assert current["q1"] > current["q2"]
+        for coordinator in registry.all():
+            coordinator.snapshot(now=1.5)
+        means = registry.mean_sic_per_query()
+        assert set(means) == {"q1", "q2"}

@@ -1,0 +1,126 @@
+"""Unit tests for fragment placement strategies."""
+
+import pytest
+
+from repro.federation.deployment import (
+    ExplicitPlacement,
+    Placement,
+    RandomPlacement,
+    RoundRobinPlacement,
+    ZipfPlacement,
+    make_placement_strategy,
+)
+from repro.workloads.complex import make_cov_query
+
+
+def fragments_of(num_queries=4, num_fragments=2, seed=0):
+    fragments = []
+    for i in range(num_queries):
+        query = make_cov_query(
+            query_id=f"pq{i}-{seed}", num_fragments=num_fragments, rate=10.0, seed=seed + i
+        )
+        fragments.extend(query.fragment_list())
+    return fragments
+
+
+NODES = ["n0", "n1", "n2"]
+
+
+class TestPlacement:
+    def test_node_for_and_load_per_node(self):
+        placement = Placement(assignments={"f1": "n0", "f2": "n0", "f3": "n1"})
+        assert placement.node_for("f1") == "n0"
+        assert placement.load_per_node() == {"n0": 2, "n1": 1}
+        assert placement.fragments_on("n0") == ["f1", "f2"]
+        assert len(placement) == 3
+
+    def test_node_for_unknown_fragment_raises(self):
+        with pytest.raises(KeyError):
+            Placement().node_for("missing")
+
+
+class TestRoundRobinPlacement:
+    def test_spreads_fragments_evenly(self):
+        fragments = fragments_of(num_queries=6, num_fragments=1, seed=10)
+        placement = RoundRobinPlacement().place(fragments, NODES)
+        loads = placement.load_per_node()
+        assert max(loads.values()) - min(loads.values()) <= 1
+
+    def test_same_query_fragments_on_distinct_nodes(self):
+        fragments = fragments_of(num_queries=3, num_fragments=2, seed=20)
+        placement = RoundRobinPlacement().place(fragments, NODES)
+        for query in {f.query_id for f in fragments}:
+            nodes = {
+                placement.node_for(f.fragment_id)
+                for f in fragments
+                if f.query_id == query
+            }
+            assert len(nodes) == 2
+
+    def test_rejects_empty_inputs(self):
+        with pytest.raises(ValueError):
+            RoundRobinPlacement().place([], NODES)
+        with pytest.raises(ValueError):
+            RoundRobinPlacement().place(fragments_of(seed=30), [])
+
+
+class TestRandomPlacement:
+    def test_deterministic_per_seed(self):
+        fragments = fragments_of(seed=40)
+        p1 = RandomPlacement(seed=5).place(fragments, NODES)
+        p2 = RandomPlacement(seed=5).place(fragments, NODES)
+        assert p1.assignments == p2.assignments
+
+    def test_places_every_fragment(self):
+        fragments = fragments_of(seed=50)
+        placement = RandomPlacement(seed=1).place(fragments, NODES)
+        assert len(placement) == len(fragments)
+        assert set(placement.assignments.values()) <= set(NODES)
+
+
+class TestZipfPlacement:
+    def test_skews_load_towards_first_nodes(self):
+        fragments = fragments_of(num_queries=40, num_fragments=1, seed=60)
+        placement = ZipfPlacement(exponent=1.5, seed=2).place(
+            fragments, ["n0", "n1", "n2", "n3", "n4", "n5"]
+        )
+        loads = placement.load_per_node()
+        assert loads.get("n0", 0) > loads.get("n5", 0)
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ValueError):
+            ZipfPlacement(exponent=-1.0)
+
+
+class TestExplicitPlacement:
+    def test_uses_given_assignments(self):
+        fragments = fragments_of(num_queries=1, num_fragments=2, seed=70)
+        mapping = {fragments[0].fragment_id: "n0", fragments[1].fragment_id: "n1"}
+        placement = ExplicitPlacement(mapping).place(fragments, NODES)
+        assert placement.assignments == mapping
+
+    def test_missing_or_unknown_assignment_raises(self):
+        fragments = fragments_of(num_queries=1, num_fragments=2, seed=80)
+        with pytest.raises(ValueError):
+            ExplicitPlacement({}).place(fragments, NODES)
+        bad = {f.fragment_id: "nope" for f in fragments}
+        with pytest.raises(ValueError):
+            ExplicitPlacement(bad).place(fragments, NODES)
+
+
+class TestFactory:
+    def test_resolves_names(self):
+        assert isinstance(make_placement_strategy("round-robin"), RoundRobinPlacement)
+        assert isinstance(make_placement_strategy("random"), RandomPlacement)
+        assert isinstance(make_placement_strategy("zipf"), ZipfPlacement)
+        assert isinstance(
+            make_placement_strategy("explicit", explicit={"f": "n"}), ExplicitPlacement
+        )
+
+    def test_explicit_requires_mapping(self):
+        with pytest.raises(ValueError):
+            make_placement_strategy("explicit")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_placement_strategy("optimal")

@@ -1,0 +1,147 @@
+"""Integration-style unit tests for the federated system."""
+
+import pytest
+
+from repro.core.shedding import make_shedder
+from repro.core.stw import StwConfig
+from repro.federation.fsps import FederatedSystem
+from repro.federation.network import Network, UniformLatency
+from repro.federation.node import FspsNode
+from repro.workloads.complex import make_avg_all_query, make_cov_query
+
+
+def build_system(num_nodes=2, shedder="none", budget=1e9, latency=0.005,
+                 enable_sic_updates=True, shedding_interval=0.25):
+    stw = StwConfig(stw_seconds=6.0, slide_seconds=shedding_interval)
+    system = FederatedSystem(
+        stw_config=stw,
+        shedding_interval=shedding_interval,
+        network=Network(UniformLatency(latency)),
+        enable_sic_updates=enable_sic_updates,
+    )
+    for i in range(num_nodes):
+        system.add_node(
+            FspsNode(
+                node_id=f"node-{i}",
+                shedder=make_shedder(shedder, seed=i),
+                budget_per_interval=budget,
+                stw_config=stw,
+            )
+        )
+    return system
+
+
+def deploy_two_fragment_query(system, query_id="q0", seed=0, rate=50.0):
+    query = make_cov_query(query_id=query_id, num_fragments=2, rate=rate, seed=seed)
+    order = query.fragment_order
+    placement = {order[0]: "node-0", order[1]: "node-1"}
+    system.deploy_query(query.query_id, query.fragments, query.sources, placement)
+    return query
+
+
+class TestDeployment:
+    def test_deploy_registers_placement_and_coordinator(self):
+        system = build_system()
+        query = deploy_two_fragment_query(system)
+        assert set(system.placement.values()) == {"node-0", "node-1"}
+        coordinator = system.coordinators.coordinator(query.query_id)
+        assert coordinator.hosting_nodes == {"node-0", "node-1"}
+
+    def test_duplicate_query_rejected(self):
+        system = build_system()
+        deploy_two_fragment_query(system, "q0", seed=1)
+        query = make_cov_query(query_id="q0", num_fragments=1, rate=10.0, seed=2)
+        with pytest.raises(ValueError):
+            system.deploy_query(
+                query.query_id, query.fragments, query.sources,
+                {fid: "node-0" for fid in query.fragments},
+            )
+
+    def test_placement_to_unknown_node_rejected(self):
+        system = build_system(num_nodes=1)
+        query = make_cov_query(query_id="qx", num_fragments=1, rate=10.0, seed=3)
+        with pytest.raises(ValueError):
+            system.deploy_query(
+                query.query_id, query.fragments, query.sources,
+                {fid: "node-42" for fid in query.fragments},
+            )
+
+    def test_duplicate_node_rejected(self):
+        system = build_system(num_nodes=1)
+        with pytest.raises(ValueError):
+            system.add_node(
+                FspsNode("node-0", make_shedder("none"), budget_per_interval=1.0)
+            )
+
+
+class TestExecution:
+    def test_multi_fragment_query_produces_results_across_nodes(self):
+        system = build_system(num_nodes=2, shedder="none")
+        query = deploy_two_fragment_query(system, seed=5)
+        system.run(12.0)
+        coordinator = system.coordinators.coordinator(query.query_id)
+        assert coordinator.result_tuples > 0
+        assert coordinator.current_sic(system.now) > 0.5
+
+    def test_perfect_processing_sic_close_to_one(self):
+        system = build_system(num_nodes=2, shedder="none")
+        deploy_two_fragment_query(system, seed=6, rate=80.0)
+        system.run(15.0)
+        sic_values = system.current_sic_per_query()
+        assert all(v > 0.75 for v in sic_values.values())
+        assert all(v < 1.1 for v in sic_values.values())
+
+    def test_overload_causes_shedding_and_lower_sic(self):
+        system = build_system(num_nodes=2, shedder="balance-sic", budget=15.0)
+        deploy_two_fragment_query(system, seed=7, rate=200.0)
+        system.run(12.0)
+        assert system.total_shed_tuples() > 0
+        sic_values = system.current_sic_per_query()
+        assert all(v < 0.9 for v in sic_values.values())
+
+    def test_fairness_summary_and_mean_sic(self):
+        system = build_system(num_nodes=2, shedder="balance-sic", budget=30.0)
+        deploy_two_fragment_query(system, "qa", seed=8, rate=100.0)
+        deploy_two_fragment_query(system, "qb", seed=9, rate=100.0)
+        system.run(12.0)
+        summary = system.fairness_summary(skip_initial=10)
+        assert summary.count == 2
+        assert 0.0 < summary.jains_index <= 1.0
+
+    def test_sic_update_messages_flow_when_enabled(self):
+        system = build_system(num_nodes=2, shedder="balance-sic", budget=20.0)
+        deploy_two_fragment_query(system, seed=10, rate=100.0)
+        system.run(6.0)
+        node = system.nodes["node-0"]
+        assert node._reported_sic, "coordinator updates should reach the node"
+
+    def test_no_sic_updates_when_disabled(self):
+        system = build_system(
+            num_nodes=2, shedder="balance-sic", budget=20.0, enable_sic_updates=False
+        )
+        deploy_two_fragment_query(system, seed=11, rate=100.0)
+        system.run(6.0)
+        assert not system.nodes["node-0"]._reported_sic
+
+    def test_tree_deployment_of_avg_all_query(self):
+        system = build_system(num_nodes=3, shedder="none")
+        query = make_avg_all_query(
+            query_id="tree", num_fragments=3, sources_per_fragment=2, rate=40.0, seed=12
+        )
+        node_ids = system.node_ids()
+        placement = {
+            fragment_id: node_ids[i % len(node_ids)]
+            for i, fragment_id in enumerate(query.fragment_order)
+        }
+        system.deploy_query(query.query_id, query.fragments, query.sources, placement)
+        system.run(12.0)
+        coordinator = system.coordinators.coordinator("tree")
+        assert coordinator.result_tuples > 0
+        # The merged average of gaussian(mean=50) data should be close to 50.
+        averages = [v["avg"] for v in coordinator.result_values if "avg" in v]
+        assert averages and abs(sum(averages) / len(averages) - 50.0) < 10.0
+
+    def test_run_rejects_non_positive_duration(self):
+        system = build_system()
+        with pytest.raises(ValueError):
+            system.run(0.0)

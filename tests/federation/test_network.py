@@ -1,0 +1,83 @@
+"""Unit tests for the inter-site network model."""
+
+import pytest
+
+from repro.core.tuples import Batch, Tuple
+from repro.federation.network import (
+    DataMessage,
+    LatencyMatrix,
+    Network,
+    ResultMessage,
+    SicUpdateMessage,
+    UniformLatency,
+)
+
+
+def batch(query="q", n=3):
+    return Batch(query, [Tuple(0.1 * i, 0.1, {"v": i}) for i in range(n)])
+
+
+class TestLatencyModels:
+    def test_uniform_latency_zero_for_same_endpoint(self):
+        model = UniformLatency(0.005)
+        assert model.latency("a", "a") == 0.0
+        assert model.latency("a", "b") == 0.005
+
+    def test_uniform_latency_rejects_negative(self):
+        with pytest.raises(ValueError):
+            UniformLatency(-1.0)
+
+    def test_latency_matrix_uses_pairs_and_default(self):
+        model = LatencyMatrix(default_seconds=0.005)
+        model.set_latency("a", "b", 0.05)
+        assert model.latency("a", "b") == 0.05
+        assert model.latency("b", "a") == 0.05
+        assert model.latency("a", "c") == 0.005
+        assert model.latency("c", "c") == 0.0
+
+
+class TestMessages:
+    def test_data_message_size_includes_metadata(self):
+        message = DataMessage(destination="n0", batch=batch(), target_fragment_id="f")
+        assert message.size_bytes() > batch().meta_data_bytes() - 1
+
+    def test_sic_update_message_is_30_bytes(self):
+        message = SicUpdateMessage(destination="n0", query_id="q", sic_value=0.5)
+        assert message.size_bytes() == 30
+
+
+class TestNetwork:
+    def test_delivery_after_latency(self):
+        network = Network(UniformLatency(0.05))
+        message = DataMessage(destination="n1", batch=batch(), target_fragment_id="f")
+        deliver_at = network.send(message, sent_at=1.0, source="n0")
+        assert deliver_at == pytest.approx(1.05)
+        assert network.deliver_due(1.04) == []
+        assert network.deliver_due(1.05) == [message]
+        assert network.in_flight() == 0
+
+    def test_delivery_order_is_by_time_then_send_order(self):
+        network = Network(UniformLatency(0.0))
+        first = SicUpdateMessage(destination="n1", query_id="a", sic_value=0.1)
+        second = SicUpdateMessage(destination="n1", query_id="b", sic_value=0.2)
+        network.send(first, sent_at=1.0, source="c")
+        network.send(second, sent_at=1.0, source="c")
+        delivered = network.deliver_due(2.0)
+        assert [m.query_id for m in delivered] == ["a", "b"]
+
+    def test_counters_and_bytes(self):
+        network = Network(UniformLatency(0.0))
+        network.send(ResultMessage(destination="coord", batch=batch()), 0.0, "n0")
+        network.send(
+            SicUpdateMessage(destination="n0", query_id="q", sic_value=0.1), 0.0, "c"
+        )
+        assert network.sent_messages == 2
+        assert network.bytes_sent > 30
+        network.deliver_due(10.0)
+        assert network.delivered_messages == 2
+
+    def test_next_delivery_time(self):
+        network = Network(UniformLatency(0.1))
+        assert network.next_delivery_time() is None
+        network.send(ResultMessage(destination="c", batch=batch()), 1.0, "n0")
+        assert network.next_delivery_time() == pytest.approx(1.1)

@@ -1,0 +1,171 @@
+"""End-to-end integration tests across the whole system.
+
+These tests exercise the paper's central claims at a small scale:
+
+* perfect processing yields result SIC close to 1 for every query type;
+* SIC degrades roughly with the kept fraction under overload;
+* BALANCE-SIC converges query SIC values (high Jain's index) and is at least
+  as fair as random shedding on skewed multi-node deployments;
+* the SIC metric is anti-correlated with result error.
+"""
+
+import pytest
+
+from repro.core.fairness import jains_index
+from repro.experiments.common import build_federation, config_with
+from repro.federation.deployment import RandomPlacement
+from repro.metrics.errors import mean_absolute_relative_error
+from repro.simulation.config import SimulationConfig
+from repro.simulation.simulator import Simulator
+from repro.streaming.engine import LocalEngine
+from repro.workloads.aggregate import make_avg_query, make_count_query
+from repro.workloads.complex import make_avg_all_query, make_cov_query, make_top5_query
+from repro.workloads.generators import WorkloadSpec, generate_complex_workload
+
+
+def small_config(**overrides):
+    values = dict(
+        duration_seconds=8.0,
+        warmup_seconds=4.0,
+        stw_seconds=6.0,
+        shedding_interval=0.25,
+        capacity_fraction=0.5,
+        seed=0,
+    )
+    values.update(overrides)
+    return SimulationConfig(**values)
+
+
+class TestPerfectProcessing:
+    @pytest.mark.parametrize(
+        "builder,kwargs",
+        [
+            (make_avg_query, {"rate": 80.0}),
+            (make_count_query, {"rate": 80.0}),
+            (make_avg_all_query, {"num_fragments": 1, "sources_per_fragment": 3, "rate": 40.0}),
+            (make_top5_query, {"num_fragments": 1, "machines_per_fragment": 2, "rate": 20.0}),
+            (make_cov_query, {"num_fragments": 1, "rate": 80.0}),
+        ],
+    )
+    def test_result_sic_close_to_one_without_shedding(self, builder, kwargs):
+        config = small_config(shedder="none", capacity_fraction=1e6,
+                              duration_seconds=10.0)
+        engine = LocalEngine(config)
+        engine.add_query(builder(seed=1, **kwargs))
+        result = engine.run()
+        for value in result.per_query_sic.values():
+            assert 0.75 <= value <= 1.1
+        assert result.shed_fraction == 0.0
+
+
+class TestOverloadDegradation:
+    def test_sic_tracks_overload_factor(self):
+        measured = {}
+        for fraction in (0.25, 0.5, 0.75):
+            config = small_config(shedder="balance-sic", capacity_fraction=fraction, seed=3)
+            engine = LocalEngine(config)
+            engine.add_queries(
+                make_avg_query(query_id=f"deg-{fraction}-{i}", rate=80.0, seed=i)
+                for i in range(3)
+            )
+            result = engine.run()
+            measured[fraction] = result.mean_sic
+        assert measured[0.25] < measured[0.5] < measured[0.75]
+
+    def test_balance_sic_keeps_queries_balanced_under_heavy_overload(self):
+        config = small_config(shedder="balance-sic", capacity_fraction=0.2, seed=4)
+        engine = LocalEngine(config)
+        engine.add_queries(
+            make_cov_query(query_id=f"bal-{i}", num_fragments=1, rate=80.0, seed=i)
+            for i in range(5)
+        )
+        result = engine.run()
+        assert result.shed_fraction > 0.5
+        assert result.jains_index > 0.9
+
+
+class TestMultiNodeFairness:
+    def _run(self, shedder, seed=5):
+        spec = WorkloadSpec(
+            num_queries=12,
+            fragments_per_query=(1, 2, 3),
+            source_rate=10.0,
+            sources_per_avg_all_fragment=2,
+            machines_per_top5_fragment=1,
+            seed=seed,
+        )
+        config = small_config(shedder=shedder, capacity_fraction=0.4, seed=seed)
+        queries = generate_complex_workload(spec)
+        system = build_federation(
+            queries,
+            num_nodes=3,
+            config=config,
+            shedder_name=shedder,
+            placement_strategy=RandomPlacement(seed=seed),
+            budget_mode="uniform",
+        )
+        return Simulator(system, config).run()
+
+    def test_balance_sic_is_at_least_as_fair_as_random(self):
+        fair = self._run("balance-sic")
+        rand = self._run("random")
+        assert fair.jains_index >= rand.jains_index - 0.02
+        assert fair.jains_index > 0.9
+
+    def test_every_query_receives_some_processing(self):
+        result = self._run("balance-sic")
+        assert all(v > 0.0 for v in result.per_query_sic.values())
+
+
+class TestSicErrorCorrelation:
+    def test_higher_sic_means_lower_count_error(self):
+        points = []
+        for fraction in (0.3, 0.8):
+            degraded_cfg = small_config(shedder="random", capacity_fraction=fraction,
+                                        duration_seconds=10.0, seed=6)
+            perfect_cfg = small_config(shedder="none", capacity_fraction=1e6,
+                                       duration_seconds=10.0, seed=6)
+            runs = {}
+            for label, cfg in (("degraded", degraded_cfg), ("perfect", perfect_cfg)):
+                engine = LocalEngine(cfg)
+                engine.add_query(make_count_query(query_id="corr", rate=80.0, seed=6))
+                runs[label] = engine.run()
+            degraded_series = {
+                round(v["_ts"], 3): v["count"]
+                for v in runs["degraded"].result_values["corr"]
+            }
+            perfect_series = {
+                round(v["_ts"], 3): v["count"]
+                for v in runs["perfect"].result_values["corr"]
+            }
+            common = sorted(set(degraded_series) & set(perfect_series))
+            assert common, "runs should share result windows"
+            error = mean_absolute_relative_error(
+                [degraded_series[t] for t in common],
+                [perfect_series[t] for t in common],
+            )
+            points.append((runs["degraded"].mean_sic, error))
+        (low_sic, high_error), (high_sic, low_error) = points
+        assert high_sic > low_sic
+        assert low_error < high_error
+
+
+class TestCoordinatorUpdates:
+    def test_updates_add_messages_but_little_data(self):
+        config = small_config(shedder="balance-sic", capacity_fraction=0.4, seed=7)
+        queries = [
+            make_cov_query(query_id=f"upd-{i}", num_fragments=2, rate=40.0, seed=i)
+            for i in range(3)
+        ]
+        with_updates = Simulator(
+            build_federation(queries, num_nodes=2, config=config), config
+        ).run()
+        queries2 = [
+            make_cov_query(query_id=f"upd-{i}", num_fragments=2, rate=40.0, seed=i)
+            for i in range(3)
+        ]
+        config_off = config_with(config, enable_sic_updates=False)
+        without_updates = Simulator(
+            build_federation(queries2, num_nodes=2, config=config_off), config_off
+        ).run()
+        assert with_updates.messages_sent > without_updates.messages_sent

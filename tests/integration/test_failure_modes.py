@@ -1,0 +1,139 @@
+"""Failure-injection and edge-case behaviour of the federation.
+
+Overloaded federations routinely hit degenerate situations — silent sources,
+nodes with almost no capacity, queries that never produce results, fragments
+with no local sources — and the system must keep running and keep its
+accounting consistent rather than crash or report SIC values outside [0, 1+ε].
+"""
+
+import pytest
+
+from repro.core import StwConfig, make_shedder
+from repro.core.tuples import Tuple
+from repro.federation import FederatedSystem, FspsNode, Network, UniformLatency
+from repro.simulation.config import SimulationConfig
+from repro.streaming.engine import LocalEngine
+from repro.workloads.complex import make_avg_all_query, make_cov_query
+
+
+class SilentSource:
+    """A source that never emits (e.g. a failed sensor)."""
+
+    def __init__(self, source_id):
+        self.source_id = source_id
+        self.rate = 10.0
+
+    def generate(self, start, end):
+        return []
+
+
+class FlakySource:
+    """A source that only emits during the first half of the run."""
+
+    def __init__(self, source_id, rate=50.0, cutoff=5.0, seed=0):
+        from repro.workloads.sources import ValueSource
+
+        self._inner = ValueSource(source_id, rate=rate, seed=seed)
+        self.source_id = source_id
+        self.rate = rate
+        self.cutoff = cutoff
+
+    def generate(self, start, end):
+        if start >= self.cutoff:
+            return []
+        return self._inner.generate(start, end)
+
+
+def build_system(budget=1e9, shedder="balance-sic"):
+    stw = StwConfig(stw_seconds=5.0, slide_seconds=0.25)
+    system = FederatedSystem(
+        stw_config=stw,
+        shedding_interval=0.25,
+        network=Network(UniformLatency(0.005)),
+    )
+    system.add_node(
+        FspsNode("node-0", make_shedder(shedder, seed=0), budget, stw_config=stw)
+    )
+    return system
+
+
+class TestDegenerateSources:
+    def test_silent_source_yields_zero_sic_but_no_crash(self):
+        system = build_system()
+        query = make_cov_query(query_id="silent", num_fragments=1, rate=20.0, seed=0)
+        query.sources[1] = SilentSource(query.sources[1].source_id)
+        system.deploy_query(
+            query.query_id, query.fragments, query.sources,
+            {fid: "node-0" for fid in query.fragments},
+        )
+        system.run(8.0)
+        # The covariance join never matches, so the query result SIC is 0 —
+        # a degraded but well-defined outcome.
+        assert system.current_sic_per_query()["silent"] == pytest.approx(0.0)
+
+    def test_flaky_source_degrades_gracefully(self):
+        system = build_system()
+        query = make_avg_all_query(
+            query_id="flaky", num_fragments=1, sources_per_fragment=2, rate=40.0, seed=1
+        )
+        query.sources[0] = FlakySource(query.sources[0].source_id, cutoff=4.0, seed=1)
+        system.deploy_query(
+            query.query_id, query.fragments, query.sources,
+            {fid: "node-0" for fid in query.fragments},
+        )
+        system.run(12.0)
+        final = system.current_sic_per_query()["flaky"]
+        # Half of the sources went quiet: the result SIC reflects the loss but
+        # stays within bounds.
+        assert 0.0 <= final <= 1.1
+
+
+class TestExtremeCapacity:
+    def test_minimal_budget_sheds_almost_everything_but_stays_fair(self):
+        config = SimulationConfig(
+            duration_seconds=6.0, warmup_seconds=2.0, stw_seconds=4.0,
+            capacity_fraction=0.05, seed=0,
+        )
+        engine = LocalEngine(config)
+        engine.add_queries(
+            make_cov_query(query_id=f"tiny-{i}", num_fragments=1, rate=80.0, seed=i)
+            for i in range(4)
+        )
+        result = engine.run()
+        assert result.shed_fraction > 0.85
+        assert result.jains_index > 0.8
+        assert all(0.0 <= v <= 1.1 for v in result.per_query_sic.values())
+
+    def test_idle_node_without_fragments_is_harmless(self):
+        system = build_system()
+        system.add_node(
+            FspsNode("idle-node", make_shedder("balance-sic"), 10.0,
+                     stw_config=StwConfig(5.0, 0.25))
+        )
+        query = make_cov_query(query_id="only", num_fragments=1, rate=40.0, seed=2)
+        system.deploy_query(
+            query.query_id, query.fragments, query.sources,
+            {fid: "node-0" for fid in query.fragments},
+        )
+        system.run(6.0)
+        idle = system.nodes["idle-node"]
+        assert idle.stats.received_tuples == 0
+        assert idle.stats.shed_tuples == 0
+
+
+class TestSicBounds:
+    def test_result_sic_never_significantly_exceeds_one(self):
+        system = build_system(shedder="none")
+        for i in range(3):
+            query = make_avg_all_query(
+                query_id=f"bound-{i}", num_fragments=1, sources_per_fragment=2,
+                rate=60.0, seed=i,
+            )
+            system.deploy_query(
+                query.query_id, query.fragments, query.sources,
+                {fid: "node-0" for fid in query.fragments},
+            )
+        system.run(15.0)
+        for coordinator in system.coordinators.all():
+            for _, value in coordinator.tracker.history:
+                assert value <= 1.15

@@ -1,0 +1,120 @@
+"""Unit tests for the result-error metrics."""
+
+import pytest
+
+from repro.metrics.collectors import MetricsCollector, SummaryStats, TimeSeries
+from repro.metrics.errors import (
+    align_series,
+    kendall_distance,
+    mean_absolute_relative_error,
+    normalized_kendall_distance,
+    std_around_reference,
+)
+
+
+class TestMeanAbsoluteRelativeError:
+    def test_zero_for_identical_series(self):
+        assert mean_absolute_relative_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        # |9-10|/10 and |22-20|/20 -> (0.1 + 0.1) / 2
+        assert mean_absolute_relative_error([9.0, 22.0], [10.0, 20.0]) == pytest.approx(0.1)
+
+    def test_near_zero_reference_falls_back_to_absolute_error(self):
+        assert mean_absolute_relative_error([0.5], [0.0]) == pytest.approx(0.5)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_relative_error([], [])
+
+
+class TestKendallDistance:
+    def test_identical_lists_have_zero_distance(self):
+        assert kendall_distance(["a", "b", "c"], ["a", "b", "c"]) == 0
+        assert normalized_kendall_distance(["a", "b"], ["a", "b"]) == 0.0
+
+    def test_reversed_lists_have_maximal_distance(self):
+        assert normalized_kendall_distance(["a", "b", "c"], ["c", "b", "a"]) == 1.0
+
+    def test_single_swap_counts_one_pair(self):
+        assert kendall_distance(["a", "b", "c"], ["b", "a", "c"]) == 1
+
+    def test_disjoint_lists_are_maximally_distant(self):
+        assert normalized_kendall_distance(["a", "b"], ["c", "d"]) == 1.0
+
+    def test_partial_overlap_is_between_zero_and_one(self):
+        d = normalized_kendall_distance(["a", "b", "c"], ["a", "b", "d"])
+        assert 0.0 < d < 1.0
+
+    def test_empty_lists(self):
+        assert normalized_kendall_distance([], []) == 0.0
+
+    def test_duplicates_are_ignored(self):
+        assert kendall_distance(["a", "a", "b"], ["a", "b"]) == 0
+
+
+class TestStdAroundReference:
+    def test_zero_for_constant_samples_at_reference(self):
+        assert std_around_reference([5.0, 5.0, 5.0], reference=5.0) == 0.0
+
+    def test_uses_mean_when_no_reference_given(self):
+        assert std_around_reference([4.0, 6.0]) == pytest.approx(1.0)
+
+    def test_reference_shifts_the_spread(self):
+        assert std_around_reference([4.0, 6.0], reference=0.0) > std_around_reference(
+            [4.0, 6.0], reference=5.0
+        )
+
+    def test_empty_samples(self):
+        assert std_around_reference([]) == 0.0
+
+
+class TestAlignSeries:
+    def test_aligns_on_common_keys_only(self):
+        pairs = align_series({1.0: 10.0, 2.0: 20.0}, {2.0: 21.0, 3.0: 30.0})
+        assert pairs == [(20.0, 21.0)]
+
+
+class TestCollectors:
+    def test_summary_stats_from_samples(self):
+        stats = SummaryStats.from_samples([1.0, 2.0, 3.0])
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.minimum == 1.0 and stats.maximum == 3.0
+        assert "2.0000" in str(stats)
+
+    def test_summary_stats_empty(self):
+        assert SummaryStats.from_samples([]).count == 0
+
+    def test_time_series_appends_and_summarises(self):
+        series = TimeSeries("sic")
+        for i in range(10):
+            series.append(i * 0.25, i / 10.0)
+        assert len(series) == 10
+        assert series.last() == pytest.approx(0.9)
+        assert series.summary(skip_initial=5).count == 5
+
+    def test_time_series_rejects_time_regression(self):
+        series = TimeSeries()
+        series.append(1.0, 0.5)
+        with pytest.raises(ValueError):
+            series.append(0.5, 0.6)
+
+    def test_time_series_downsample(self):
+        series = TimeSeries()
+        for i in range(100):
+            series.append(float(i), float(i))
+        points = series.downsample(10)
+        assert len(points) == 10
+        with pytest.raises(ValueError):
+            series.downsample(0)
+
+    def test_metrics_collector_records_and_summarises(self):
+        collector = MetricsCollector()
+        collector.record("q1", 0.5)
+        collector.record("q1", 0.7)
+        collector.record_many({"q2": 0.1})
+        assert "q1" in collector and len(collector) == 2
+        assert collector.summary("q1").mean == pytest.approx(0.6)
+        assert collector.means()["q2"] == pytest.approx(0.1)
+        assert collector.samples("missing") == []

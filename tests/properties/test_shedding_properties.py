@@ -1,0 +1,104 @@
+"""Property-based tests for the shedders (Algorithm 1 invariants)."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.balance_sic import BalanceSicConfig, BalanceSicPolicy
+from repro.core.shedding import BalanceSicShedder, RandomShedder, TailDropShedder
+from repro.core.tuples import Batch, Tuple
+
+
+@st.composite
+def buffers(draw, max_queries=6, max_batches=6, max_tuples=12):
+    """Random input-buffer contents plus reported SIC values."""
+    num_queries = draw(st.integers(1, max_queries))
+    batches = []
+    reported = {}
+    for q in range(num_queries):
+        query_id = f"q{q}"
+        reported[query_id] = draw(st.floats(min_value=0.0, max_value=1.0))
+        for b in range(draw(st.integers(1, max_batches))):
+            count = draw(st.integers(1, max_tuples))
+            sic = draw(st.floats(min_value=1e-6, max_value=0.05))
+            tuples = [
+                Tuple(timestamp=b + i * 0.01, sic=sic, values={"v": i})
+                for i in range(count)
+            ]
+            batches.append(Batch(query_id, tuples))
+    return batches, reported
+
+
+class TestBalanceSicInvariants:
+    @given(data=buffers(), capacity=st.integers(0, 200))
+    @settings(max_examples=80, deadline=None)
+    def test_capacity_respected_and_tuples_conserved(self, data, capacity):
+        batches, reported = data
+        policy = BalanceSicPolicy(rng=random.Random(0))
+        decision = policy.select(batches, capacity, reported)
+        total = sum(len(b) for b in batches)
+        if total > capacity:
+            assert decision.kept_tuples <= capacity
+        assert decision.kept_tuples + decision.shed_tuples == total
+
+    @given(data=buffers(), capacity=st.integers(0, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_kept_sic_never_exceeds_buffered_sic(self, data, capacity):
+        batches, reported = data
+        policy = BalanceSicPolicy(rng=random.Random(1))
+        decision = policy.select(batches, capacity, reported)
+        buffered = sum(b.sic for b in batches)
+        kept = sum(b.sic for b in decision.kept)
+        assert kept <= buffered + 1e-9
+
+    @given(data=buffers(), capacity=st.integers(1, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_is_fully_used_under_overload(self, data, capacity):
+        batches, reported = data
+        policy = BalanceSicPolicy(rng=random.Random(2))
+        decision = policy.select(batches, capacity, reported)
+        total = sum(len(b) for b in batches)
+        if total > capacity:
+            # Splitting is enabled by default, so the node never wastes capacity.
+            assert decision.kept_tuples == capacity
+
+    @given(data=buffers(), capacity=st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_given_seed(self, data, capacity):
+        batches, reported = data
+        d1 = BalanceSicPolicy(rng=random.Random(7)).select(batches, capacity, reported)
+        d2 = BalanceSicPolicy(rng=random.Random(7)).select(batches, capacity, reported)
+        assert d1.kept_tuples == d2.kept_tuples
+        assert [len(b) for b in d1.kept] == [len(b) for b in d2.kept]
+
+    @given(data=buffers(), capacity=st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_without_splitting_whole_batches_only(self, data, capacity):
+        batches, reported = data
+        policy = BalanceSicPolicy(
+            BalanceSicConfig(allow_batch_splitting=False), rng=random.Random(3)
+        )
+        decision = policy.select(batches, capacity, reported)
+        original_sizes = {b.batch_id: len(b) for b in batches}
+        for batch in decision.kept:
+            assert original_sizes.get(batch.batch_id) == len(batch)
+
+
+class TestAllSheddersInvariants:
+    @given(data=buffers(), capacity=st.integers(0, 150))
+    @settings(max_examples=50, deadline=None)
+    def test_every_shedder_respects_capacity(self, data, capacity):
+        batches, reported = data
+        total = sum(len(b) for b in batches)
+        for shedder in (
+            BalanceSicShedder(seed=0),
+            RandomShedder(seed=0),
+            TailDropShedder(),
+        ):
+            decision = shedder.shed(batches, capacity, reported)
+            if total > capacity:
+                assert decision.kept_tuples <= capacity
+            else:
+                assert decision.kept_tuples == total

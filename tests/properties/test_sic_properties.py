@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) for SIC propagation invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fairness import jains_index
+from repro.core.sic import propagate_sic, query_result_sic, source_tuple_sic
+from repro.core.tuples import Batch, Tuple
+from repro.streaming.operators import Average, Filter, TopK, Union
+from repro.streaming.windows import TimeWindow
+
+sic_values = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+positive_counts = st.integers(min_value=1, max_value=10_000)
+
+
+class TestEquationInvariants:
+    @given(per_stw=st.floats(min_value=0.1, max_value=1e6), sources=st.integers(1, 1000))
+    def test_source_sic_is_positive_and_at_most_one_per_source_share(self, per_stw, sources):
+        value = source_tuple_sic(per_stw, sources)
+        assert value > 0.0
+        # A single tuple can never carry more than the whole query's content.
+        assert value <= 1.0 / max(per_stw, 1e-12) + 1e-9
+
+    @given(
+        inputs=st.lists(sic_values, min_size=0, max_size=50),
+        outputs=st.integers(min_value=1, max_value=50),
+    )
+    def test_propagation_conserves_total_sic(self, inputs, outputs):
+        shares = propagate_sic(inputs, outputs)
+        assert len(shares) == outputs
+        assert math.isclose(sum(shares), sum(inputs), rel_tol=1e-9, abs_tol=1e-12)
+        assert all(s >= 0 for s in shares)
+
+    @given(inputs=st.lists(sic_values, min_size=1, max_size=50))
+    def test_result_sic_equals_sum(self, inputs):
+        assert math.isclose(query_result_sic(inputs), sum(inputs), rel_tol=1e-9)
+
+
+class TestJainsIndexProperties:
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50))
+    def test_bounds(self, values):
+        index = jains_index(values)
+        assert 1.0 / len(values) - 1e-9 <= index <= 1.0 + 1e-9
+
+    @given(
+        values=st.lists(st.floats(min_value=0.001, max_value=100.0), min_size=1, max_size=30),
+        factor=st.floats(min_value=0.01, max_value=100.0),
+    )
+    def test_scale_invariance(self, values, factor):
+        assert math.isclose(
+            jains_index(values), jains_index([v * factor for v in values]), rel_tol=1e-6
+        )
+
+    @given(value=st.floats(min_value=0.001, max_value=10.0), n=st.integers(1, 40))
+    def test_equal_values_are_perfectly_fair(self, value, n):
+        assert math.isclose(jains_index([value] * n), 1.0, rel_tol=1e-9)
+
+
+class TestOperatorSicConservation:
+    @given(
+        values=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40),
+        sic=st.floats(min_value=1e-6, max_value=0.1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_average_carries_full_window_sic(self, values, sic):
+        op = Average("v", window_seconds=1.0)
+        tuples = [
+            Tuple(timestamp=0.1 + 0.8 * i / len(values), sic=sic, values={"v": v})
+            for i, v in enumerate(values)
+        ]
+        op.ingest(tuples)
+        out = op.advance(now=2.0)
+        assert len(out) == 1
+        assert math.isclose(out[0].sic, sic * len(values), rel_tol=1e-9)
+
+    @given(
+        values=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40),
+        threshold=st.floats(min_value=0.0, max_value=100.0),
+        sic=st.floats(min_value=1e-6, max_value=0.1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_filter_never_creates_sic(self, values, threshold, sic):
+        op = Filter.field_threshold("v", ">=", threshold)
+        tuples = [Tuple(0.1 * i, sic, {"v": v}) for i, v in enumerate(values)]
+        op.ingest(tuples)
+        out = op.advance(now=100.0)
+        total_in = sic * len(values)
+        total_out = sum(t.sic for t in out)
+        assert total_out <= total_in + 1e-9
+        assert math.isclose(total_out + op.lost_sic, total_in, rel_tol=1e-9)
+
+    @given(
+        k=st.integers(min_value=1, max_value=10),
+        count=st.integers(min_value=1, max_value=40),
+        sic=st.floats(min_value=1e-6, max_value=0.1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_topk_conserves_sic_when_output_nonempty(self, k, count, sic):
+        op = TopK(k=k, value_field="value", id_field="id", window_seconds=1.0)
+        tuples = [
+            Tuple(0.1 + 0.8 * i / count, sic, {"id": f"m{i}", "value": float(i)})
+            for i in range(count)
+        ]
+        op.ingest(tuples)
+        out = op.advance(now=2.0)
+        assert len(out) == min(k, count)
+        assert math.isclose(sum(t.sic for t in out), sic * count, rel_tol=1e-9)
+
+
+class TestWindowProperties:
+    @given(
+        timestamps=st.lists(
+            st.floats(min_value=0.0, max_value=9.99), min_size=1, max_size=60
+        ),
+        slide=st.sampled_from([0.25, 0.5, 1.0]),
+        sic=st.floats(min_value=1e-6, max_value=0.1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sliding_window_conserves_sic_once_all_panes_close(
+        self, timestamps, slide, sic
+    ):
+        window = TimeWindow(1.0, slide_seconds=slide, allowed_lateness=0.0)
+        window.insert([Tuple(ts, sic, {"v": 1.0}) for ts in timestamps])
+        panes = window.advance(now=1_000.0)
+        total = sum(p.total_sic for p in panes)
+        assert math.isclose(total, sic * len(timestamps), rel_tol=1e-6)
+        assert window.pending_count() == 0

@@ -1,0 +1,146 @@
+"""Unit tests for the CQL-like parser and planner."""
+
+import pytest
+
+from repro.streaming.cql import (
+    CqlError,
+    FieldRef,
+    compile_query,
+    parse,
+    tokenize,
+)
+from repro.workloads.aggregate import AVG_STATEMENT, COUNT_STATEMENT, MAX_STATEMENT
+
+
+class TestTokenizer:
+    def test_tokenizes_basic_statement(self):
+        tokens = tokenize("Select Avg(t.v) From Src[Range 1 sec]")
+        kinds = [t.kind for t in tokens]
+        assert "name" in kinds and "lparen" in kinds and "lbracket" in kinds
+
+    def test_rejects_unknown_characters(self):
+        with pytest.raises(CqlError):
+            tokenize("Select #")
+
+
+class TestParser:
+    def test_parse_avg_statement(self):
+        spec = parse(AVG_STATEMENT)
+        assert spec.select.name == "avg"
+        assert spec.select.args[0] == FieldRef("t", "v")
+        assert spec.streams[0].name == "Src"
+        assert spec.streams[0].range_seconds == 1.0
+        assert spec.having == [] and spec.where == []
+
+    def test_parse_count_with_having(self):
+        spec = parse(COUNT_STATEMENT)
+        assert spec.select.name == "count"
+        assert len(spec.having) == 1
+        assert spec.having[0].op == ">="
+        assert spec.having[0].right == 50.0
+
+    def test_parse_top5_with_join_and_thousands_separator(self):
+        statement = (
+            "Select Top5(AllSrcCPU.id) "
+            "From AllSrcCPU[Range 1 sec], AllSrcMem[Range 1 sec] "
+            "Where AllSrcMem.free >= 100,000 and AllSrcCPU.id = AllSrcMem.id"
+        )
+        spec = parse(statement)
+        assert spec.select.name == "top"
+        assert spec.select.top_k == 5
+        assert len(spec.streams) == 2
+        constants = [c for c in spec.where if not c.is_join]
+        joins = [c for c in spec.where if c.is_join]
+        assert constants[0].right == pytest.approx(100000.0)
+        assert len(joins) == 1
+
+    def test_parse_covariance(self):
+        spec = parse(
+            "Select Cov(SrcCPU1.value, SrcCPU2.value) "
+            "From SrcCPU1[Range 1 sec], SrcCPU2[Range 1 sec]"
+        )
+        assert spec.select.name == "cov"
+        assert len(spec.select.args) == 2
+
+    def test_parse_window_with_slide(self):
+        spec = parse("Select Avg(t.v) From Src[Range 10 sec Slide 2 sec]")
+        assert spec.streams[0].range_seconds == 10.0
+        assert spec.streams[0].slide_seconds == 2.0
+
+    def test_parse_errors(self):
+        with pytest.raises(CqlError):
+            parse("Avg(t.v) From Src[Range 1 sec]")  # missing Select
+        with pytest.raises(CqlError):
+            parse("Select Avg(t.v) From Src")  # missing window
+        with pytest.raises(CqlError):
+            parse("Select Avg(t.v) From Src[Range 1 sec] Whatever t.v > 3")
+
+
+class TestPlanner:
+    def test_compile_avg_builds_valid_graph(self):
+        graph = compile_query(AVG_STATEMENT, query_id="q", sources={"Src": ["s1"]})
+        graph.validate()
+        assert graph.num_sources == 1
+        names = [op.name for op in graph.operators.values()]
+        assert any(name.startswith("avg") for name in names)
+        assert any(name == "output" for name in names)
+
+    def test_compile_max_and_count(self):
+        for statement, marker in ((MAX_STATEMENT, "max"), (COUNT_STATEMENT, "count")):
+            graph = compile_query(statement, query_id="q", sources={"Src": ["s1"]})
+            assert any(
+                op.name.startswith(marker) for op in graph.operators.values()
+            )
+
+    def test_multiple_sources_get_a_union(self):
+        graph = compile_query(
+            AVG_STATEMENT, query_id="q", sources={"Src": ["s1", "s2", "s3"]}
+        )
+        assert graph.num_sources == 3
+        assert any(op.name.startswith("union") for op in graph.operators.values())
+
+    def test_compile_top5_includes_join_filter_and_topk(self):
+        statement = (
+            "Select Top5(AllSrcCPU.id) "
+            "From AllSrcCPU[Range 1 sec], AllSrcMem[Range 1 sec] "
+            "Where AllSrcMem.free >= 100000 and AllSrcCPU.id = AllSrcMem.id"
+        )
+        graph = compile_query(
+            statement,
+            query_id="q",
+            sources={"AllSrcCPU": ["cpu1"], "AllSrcMem": ["mem1"]},
+        )
+        names = [op.name for op in graph.operators.values()]
+        assert any(name.startswith("join") for name in names)
+        assert any(name.startswith("filter") for name in names)
+        assert any(name.startswith("top5") for name in names)
+
+    def test_compile_cov_builds_two_port_covariance(self):
+        graph = compile_query(
+            "Select Cov(SrcCPU1.value, SrcCPU2.value) "
+            "From SrcCPU1[Range 1 sec], SrcCPU2[Range 1 sec]",
+            query_id="q",
+        )
+        assert any(op.name.startswith("cov") for op in graph.operators.values())
+
+    def test_unsupported_select_function_rejected(self):
+        with pytest.raises(CqlError):
+            compile_query("Select Median(t.v) From Src[Range 1 sec]", query_id="q")
+
+    def test_empty_source_list_rejected(self):
+        with pytest.raises(CqlError):
+            compile_query(AVG_STATEMENT, query_id="q", sources={"Src": []})
+
+    def test_compiled_query_executes_end_to_end(self):
+        from repro.core.tuples import Batch, Tuple
+
+        graph = compile_query(COUNT_STATEMENT, query_id="q", sources={"Src": ["s1"]})
+        fragments = graph.partition({op: "f0" for op in graph.operators})
+        fragment = next(iter(fragments.values()))
+        tuples = [
+            Tuple(timestamp=0.1 * i, sic=0.1, values={"v": float(v)}, source_id="s1")
+            for i, v in enumerate([10, 60, 70, 20, 90])
+        ]
+        fragment.deliver(Batch("q", tuples))
+        out = fragment.process(now=2.0)
+        assert out.results[0].tuples[0].values["count"] == pytest.approx(3.0)

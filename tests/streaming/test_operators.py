@@ -1,0 +1,244 @@
+"""Unit tests for the streaming operators and their SIC propagation."""
+
+import pytest
+
+from repro.core.tuples import Tuple
+from repro.streaming.operators import (
+    Average,
+    Count,
+    Covariance,
+    CovarianceMerge,
+    CovarianceStats,
+    Filter,
+    GroupByAggregate,
+    Max,
+    Min,
+    OutputOperator,
+    PartialAverage,
+    AverageMerge,
+    Project,
+    SourceReceiver,
+    Sum,
+    TopK,
+    TopKMerge,
+    Union,
+    WindowEquiJoin,
+)
+
+
+def make_tuples(values, field="v", start=0.1, spacing=0.1, sic=0.1, **extra):
+    tuples = []
+    for i, v in enumerate(values):
+        payload = {field: v}
+        payload.update({k: ex[i] for k, ex in extra.items()})
+        tuples.append(Tuple(timestamp=start + i * spacing, sic=sic, values=payload))
+    return tuples
+
+
+class TestStatelessOperators:
+    def test_source_receiver_passes_tuples_through(self):
+        op = SourceReceiver("src-1")
+        op.ingest(make_tuples([1, 2, 3]))
+        out = op.advance(now=1.0)
+        assert [t.values["v"] for t in out] == [1, 2, 3]
+        assert sum(t.sic for t in out) == pytest.approx(0.3)
+
+    def test_project_keeps_only_selected_fields(self):
+        op = Project(["a"])
+        op.ingest([Tuple(0.1, 0.1, {"a": 1, "b": 2})])
+        out = op.advance(now=1.0)
+        assert out[0].values == {"a": 1}
+
+    def test_filter_drops_non_matching_and_preserves_sic(self):
+        op = Filter.field_threshold("v", ">=", 50)
+        op.ingest(make_tuples([10, 60, 70, 20], sic=0.25))
+        out = op.advance(now=1.0)
+        assert [t.values["v"] for t in out] == [60, 70]
+        # Equation 3: the whole consumed SIC is carried by the survivors.
+        assert sum(t.sic for t in out) == pytest.approx(1.0)
+
+    def test_filter_emitting_nothing_loses_sic(self):
+        op = Filter.field_threshold("v", ">=", 100)
+        op.ingest(make_tuples([1, 2], sic=0.5))
+        assert op.advance(now=1.0) == []
+        assert op.lost_sic == pytest.approx(1.0)
+
+    def test_filter_rejects_unknown_comparator(self):
+        with pytest.raises(ValueError):
+            Filter.field_threshold("v", "~", 1)
+
+    def test_union_merges_ports_in_timestamp_order(self):
+        op = Union(num_ports=2)
+        op.ingest(make_tuples([1], start=0.5), port=0)
+        op.ingest(make_tuples([2], start=0.2), port=1)
+        out = op.advance(now=1.0)
+        assert [t.values["v"] for t in out] == [2, 1]
+
+    def test_output_operator_is_pass_through(self):
+        op = OutputOperator()
+        op.ingest(make_tuples([7]))
+        assert op.advance(now=1.0)[0].values["v"] == 7
+
+    def test_invalid_port_rejected(self):
+        op = Union(num_ports=2)
+        with pytest.raises(ValueError):
+            op.ingest(make_tuples([1]), port=5)
+
+
+class TestAggregates:
+    def test_average_over_window(self):
+        op = Average("v", window_seconds=1.0)
+        op.ingest(make_tuples([10, 20, 30], sic=0.1))
+        out = op.advance(now=2.0)
+        assert len(out) == 1
+        assert out[0].values["avg"] == pytest.approx(20.0)
+        assert out[0].sic == pytest.approx(0.3)
+
+    def test_sum_min_max(self):
+        for cls, expected, field in ((Sum, 60.0, "sum"), (Min, 10.0, "min"), (Max, 30.0, "max")):
+            op = cls("v", window_seconds=1.0)
+            op.ingest(make_tuples([10, 20, 30]))
+            assert op.advance(now=2.0)[0].values[field] == pytest.approx(expected)
+
+    def test_count_with_having_predicate(self):
+        predicate = Filter.field_threshold("v", ">=", 50).predicate
+        op = Count("v", window_seconds=1.0, predicate=predicate)
+        op.ingest(make_tuples([10, 60, 70, 20, 55]))
+        out = op.advance(now=2.0)
+        assert out[0].values["count"] == pytest.approx(3.0)
+
+    def test_count_of_empty_qualifying_set_is_zero_not_missing(self):
+        predicate = Filter.field_threshold("v", ">=", 1000).predicate
+        op = Count("v", window_seconds=1.0, predicate=predicate)
+        op.ingest(make_tuples([1, 2, 3]))
+        out = op.advance(now=2.0)
+        assert out[0].values["count"] == 0.0
+
+    def test_no_window_data_emits_nothing(self):
+        op = Average("v", window_seconds=1.0)
+        assert op.advance(now=5.0) == []
+
+    def test_group_by_aggregate_emits_one_tuple_per_group(self):
+        op = GroupByAggregate("id", "v", aggregate="avg", window_seconds=1.0)
+        op.ingest(make_tuples([1, 3, 10], id=["a", "a", "b"]))
+        out = op.advance(now=2.0)
+        by_key = {t.values["id"]: t.values["avg"] for t in out}
+        assert by_key == {"a": pytest.approx(2.0), "b": pytest.approx(10.0)}
+        # SIC divided across the two groups.
+        assert sum(t.sic for t in out) == pytest.approx(0.3)
+
+    def test_group_by_rejects_unknown_aggregate(self):
+        with pytest.raises(ValueError):
+            GroupByAggregate("id", "v", aggregate="median")
+
+
+class TestTopK:
+    def test_ranks_by_value_and_truncates_to_k(self):
+        op = TopK(k=2, value_field="value", id_field="id", window_seconds=1.0)
+        op.ingest(
+            make_tuples([5, 50, 20], field="value", id=["a", "b", "c"])
+        )
+        out = op.advance(now=2.0)
+        assert [(t.values["id"], t.values["rank"]) for t in out] == [("b", 1), ("c", 2)]
+
+    def test_duplicate_ids_keep_best_value(self):
+        op = TopK(k=3, value_field="value", id_field="id", window_seconds=1.0)
+        op.ingest(make_tuples([5, 90, 50], field="value", id=["a", "a", "b"]))
+        out = op.advance(now=2.0)
+        assert out[0].values["id"] == "a"
+        assert out[0].values["value"] == pytest.approx(90)
+
+    def test_rejects_non_positive_k(self):
+        with pytest.raises(ValueError):
+            TopK(k=0, value_field="value", id_field="id")
+
+    def test_topk_merge_combines_candidate_lists(self):
+        op = TopKMerge(k=2, value_field="value", id_field="id", window_seconds=1.0)
+        op.ingest(make_tuples([10, 20], field="value", id=["a", "b"]), port=0)
+        op.ingest(make_tuples([30], field="value", id=["c"]), port=1)
+        out = op.advance(now=2.0)
+        assert [t.values["id"] for t in out] == ["c", "b"]
+
+
+class TestJoin:
+    def test_equi_join_matches_keys_within_window(self):
+        op = WindowEquiJoin(left_key="id", right_key="id", window_seconds=1.0)
+        op.ingest(make_tuples([80], field="value", id=["m1"]), port=0)
+        op.ingest(make_tuples([200000], field="free", id=["m1"]), port=1)
+        out = op.advance(now=2.0)
+        assert len(out) == 1
+        assert out[0].values["value"] == 80
+        assert out[0].values["free"] == 200000
+
+    def test_no_match_emits_nothing_and_loses_sic(self):
+        op = WindowEquiJoin(left_key="id", right_key="id", window_seconds=1.0)
+        op.ingest(make_tuples([80], field="value", id=["m1"], sic=0.5), port=0)
+        op.ingest(make_tuples([1], field="free", id=["m2"], sic=0.5), port=1)
+        assert op.advance(now=2.0) == []
+        assert op.lost_sic == pytest.approx(1.0)
+
+    def test_join_sic_conserved_over_outputs(self):
+        op = WindowEquiJoin(left_key="id", right_key="id", window_seconds=1.0)
+        op.ingest(make_tuples([1, 2], field="value", id=["a", "a"], sic=0.25), port=0)
+        op.ingest(make_tuples([3], field="free", id=["a"], sic=0.5), port=1)
+        out = op.advance(now=2.0)
+        assert len(out) == 2
+        assert sum(t.sic for t in out) == pytest.approx(1.0)
+
+
+class TestCovariance:
+    def test_positive_covariance_for_correlated_series(self):
+        op = Covariance(window_seconds=1.0)
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [2.0, 4.0, 6.0, 8.0]
+        op.ingest(make_tuples(xs, field="value"), port=0)
+        op.ingest(make_tuples(ys, field="value"), port=1)
+        out = op.advance(now=2.0)
+        assert out[0].values["cov"] > 0
+
+    def test_partials_merge_to_the_same_covariance(self):
+        xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        ys = [6.0, 5.0, 4.0, 3.0, 2.0, 1.0]
+        whole = CovarianceStats()
+        for x, y in zip(xs, ys):
+            whole.add(x, y)
+        left = CovarianceStats()
+        right = CovarianceStats()
+        for x, y in zip(xs[:3], ys[:3]):
+            left.add(x, y)
+        for x, y in zip(xs[3:], ys[3:]):
+            right.add(x, y)
+        merged = left.merge(right)
+        assert merged.covariance() == pytest.approx(whole.covariance())
+
+    def test_merge_operator_combines_partial_payloads(self):
+        cov_op = Covariance(window_seconds=1.0, emit_partials=True)
+        cov_op.ingest(make_tuples([1.0, 2.0], field="value"), port=0)
+        cov_op.ingest(make_tuples([2.0, 4.0], field="value"), port=1)
+        partials = cov_op.advance(now=2.0)
+        merge = CovarianceMerge(num_ports=1, window_seconds=1.0)
+        merge.ingest(partials, port=0)
+        out = merge.advance(now=4.0)
+        assert len(out) == 1
+        assert "cov" in out[0].values
+
+    def test_covariance_stats_empty(self):
+        assert CovarianceStats().covariance() is None
+
+
+class TestPartialAverage:
+    def test_partial_then_merge_recovers_global_average(self):
+        left = PartialAverage(window_seconds=1.0)
+        right = PartialAverage(window_seconds=1.0)
+        left.ingest(make_tuples([10.0, 20.0]))
+        right.ingest(make_tuples([60.0]))
+        merge = AverageMerge(num_ports=2, window_seconds=1.0)
+        merge.ingest(left.advance(now=2.0), port=0)
+        merge.ingest(right.advance(now=2.0), port=1)
+        out = merge.advance(now=4.0)
+        assert out[0].values["avg"] == pytest.approx(30.0)
+
+    def test_merge_without_partials_emits_nothing(self):
+        merge = AverageMerge(num_ports=1, window_seconds=1.0)
+        merge.ingest(make_tuples([1.0]), port=0)
+        assert merge.advance(now=3.0) == []

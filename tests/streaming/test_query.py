@@ -1,0 +1,178 @@
+"""Unit tests for query graphs and fragments."""
+
+import pytest
+
+from repro.core.tuples import Batch, Tuple
+from repro.streaming.operators import Average, OutputOperator, SourceReceiver, Union
+from repro.streaming.query import Edge, QueryFragment, QueryGraph
+
+
+def build_simple_graph(query_id="q"):
+    graph = QueryGraph(query_id)
+    receiver = graph.add_operator(SourceReceiver("src"))
+    avg = graph.add_operator(Average("v", window_seconds=1.0))
+    output = graph.add_operator(OutputOperator())
+    graph.connect(receiver, avg)
+    graph.connect(avg, output)
+    graph.bind_source("src", receiver)
+    graph.set_root(output)
+    return graph, receiver, avg, output
+
+
+def source_batch(query_id, values, source_id="src", start=0.1, sic=0.1):
+    tuples = [
+        Tuple(timestamp=start + i * 0.1, sic=sic, values={"v": v}, source_id=source_id)
+        for i, v in enumerate(values)
+    ]
+    return Batch(query_id, tuples)
+
+
+class TestQueryGraph:
+    def test_validate_accepts_well_formed_graph(self):
+        graph, *_ = build_simple_graph()
+        graph.validate()
+        assert graph.num_operators == 3
+        assert graph.num_sources == 1
+
+    def test_topological_order_respects_edges(self):
+        graph, receiver, avg, output = build_simple_graph()
+        order = graph.topological_order()
+        assert order.index(receiver.operator_id) < order.index(avg.operator_id)
+        assert order.index(avg.operator_id) < order.index(output.operator_id)
+
+    def test_cycle_detection(self):
+        graph, receiver, avg, output = build_simple_graph()
+        graph.edges.append(Edge(output.operator_id, receiver.operator_id))
+        with pytest.raises(ValueError):
+            graph.topological_order()
+
+    def test_validate_rejects_missing_root_or_sources(self):
+        graph = QueryGraph("q")
+        receiver = graph.add_operator(SourceReceiver("src"))
+        with pytest.raises(ValueError):
+            graph.validate()  # no root
+        graph.set_root(receiver)
+        with pytest.raises(ValueError):
+            graph.validate()  # no sources
+
+    def test_connect_requires_registered_operators(self):
+        graph = QueryGraph("q")
+        a = graph.add_operator(SourceReceiver("src"))
+        foreign = OutputOperator()
+        with pytest.raises(ValueError):
+            graph.connect(a, foreign)
+
+    def test_duplicate_source_binding_rejected(self):
+        graph, receiver, *_ = build_simple_graph()
+        with pytest.raises(ValueError):
+            graph.bind_source("src", receiver)
+
+    def test_partition_into_single_fragment(self):
+        graph, *_ = build_simple_graph()
+        fragments = graph.partition({op: "f0" for op in graph.operators})
+        assert len(fragments) == 1
+        fragment = next(iter(fragments.values()))
+        assert fragment.is_root
+        assert fragment.num_operators == 3
+        assert "src" in fragment.source_bindings
+
+    def test_partition_into_two_fragments_wires_the_link(self):
+        graph, receiver, avg, output = build_simple_graph()
+        assignment = {
+            receiver.operator_id: "up",
+            avg.operator_id: "up",
+            output.operator_id: "down",
+        }
+        fragments = graph.partition(assignment)
+        up = fragments["up"]
+        down = fragments["down"]
+        assert not up.is_root and down.is_root
+        assert up.downstream_fragment_id == down.fragment_id
+        assert up.fragment_id in down.upstream_bindings
+
+    def test_partition_requires_full_assignment(self):
+        graph, receiver, avg, output = build_simple_graph()
+        with pytest.raises(ValueError):
+            graph.partition({receiver.operator_id: "f0"})
+
+
+class TestQueryFragmentExecution:
+    def test_single_fragment_produces_results(self):
+        graph, *_ = build_simple_graph()
+        fragment = next(iter(graph.partition({op: "f0" for op in graph.operators}).values()))
+        fragment.deliver(source_batch("q", [10, 20, 30]))
+        # Window [0, 1) closes after 1 s plus lateness.
+        out = fragment.process(now=2.0)
+        assert len(out.results) == 1
+        result_tuple = out.results[0].tuples[0]
+        assert result_tuple.values["avg"] == pytest.approx(20.0)
+        assert out.processing_cost > 0
+        # processed_tuples counts every operator ingest, including the
+        # fragment-internal fan-out (receiver, aggregate, output).
+        assert out.processed_tuples >= 3
+
+    def test_sic_flows_from_sources_to_results(self):
+        graph, *_ = build_simple_graph()
+        fragment = next(iter(graph.partition({op: "f0" for op in graph.operators}).values()))
+        fragment.deliver(source_batch("q", [1, 2, 3, 4], sic=0.25))
+        out = fragment.process(now=2.0)
+        assert out.results[0].sic == pytest.approx(1.0)
+
+    def test_two_fragment_chain_passes_batches_downstream(self):
+        graph, receiver, avg, output = build_simple_graph()
+        fragments = graph.partition(
+            {
+                receiver.operator_id: "up",
+                avg.operator_id: "up",
+                output.operator_id: "down",
+            }
+        )
+        up, down = fragments["up"], fragments["down"]
+        up.deliver(source_batch("q", [10, 30]))
+        up_out = up.process(now=2.0)
+        assert len(up_out.downstream) == 1
+        batch = up_out.downstream[0]
+        assert batch.fragment_id == down.fragment_id
+        assert batch.origin_fragment_id == up.fragment_id
+        down.deliver(batch, origin_fragment_id=up.fragment_id)
+        down_out = down.process(now=2.5)
+        assert len(down_out.results) == 1
+        assert down_out.results[0].tuples[0].values["avg"] == pytest.approx(20.0)
+
+    def test_deliver_from_unknown_upstream_raises(self):
+        graph, *_ = build_simple_graph()
+        fragment = next(iter(graph.partition({op: "f0" for op in graph.operators}).values()))
+        with pytest.raises(ValueError):
+            fragment.deliver(source_batch("q", [1]), origin_fragment_id="bogus")
+
+    def test_unknown_source_tuples_are_ignored(self):
+        graph, *_ = build_simple_graph()
+        fragment = next(iter(graph.partition({op: "f0" for op in graph.operators}).values()))
+        fragment.deliver(source_batch("q", [1], source_id="other-src"))
+        out = fragment.process(now=2.0)
+        assert out.results == []
+
+    def test_pending_tuples_reports_window_buffering(self):
+        graph, *_ = build_simple_graph()
+        fragment = next(iter(graph.partition({op: "f0" for op in graph.operators}).values()))
+        fragment.deliver(source_batch("q", [1, 2, 3]))
+        fragment.process(now=0.2)  # window not closed yet
+        assert fragment.pending_tuples() >= 3
+
+    def test_finalize_requires_exit_operator(self):
+        fragment = QueryFragment("q", name="f")
+        fragment.add_operator(SourceReceiver("s"))
+        with pytest.raises(ValueError):
+            fragment.finalize()
+
+    def test_manual_fragment_construction(self):
+        fragment = QueryFragment("q", name="manual")
+        receiver = fragment.add_operator(SourceReceiver("src"))
+        union = fragment.add_operator(Union(num_ports=1))
+        fragment.connect(receiver, union)
+        fragment.bind_source("src", receiver.operator_id)
+        fragment.set_exit(union.operator_id)
+        fragment.finalize()
+        fragment.deliver(source_batch("q", [5]))
+        out = fragment.process(now=1.0)
+        assert len(out.results) == 1

@@ -1,0 +1,60 @@
+"""Unit tests for stream schemas."""
+
+import pytest
+
+from repro.streaming.schema import Field, Schema
+from repro.streaming.schema import CPU_SCHEMA, MEMORY_SCHEMA, VALUE_SCHEMA
+
+
+class TestField:
+    def test_untyped_field_accepts_anything(self):
+        field = Field("v")
+        assert field.validate(1)
+        assert field.validate("text")
+        assert field.validate(None)
+
+    def test_typed_field_checks_type(self):
+        field = Field("v", float)
+        assert field.validate(1.5)
+        assert field.validate(2)          # ints are acceptable floats
+        assert not field.validate(True)   # bools are not numbers here
+        assert not field.validate("1.5")
+
+    def test_none_is_always_valid(self):
+        assert Field("v", float).validate(None)
+
+
+class TestSchema:
+    def test_of_builds_untyped_schema(self):
+        schema = Schema.of("a", "b", name="s")
+        assert schema.field_names() == ["a", "b"]
+        assert "a" in schema and "missing" not in schema
+        assert len(schema) == 2
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema([Field("a"), Field("a")])
+
+    def test_field_lookup_and_error(self):
+        schema = Schema.of("a", "b")
+        assert schema.field("a").name == "a"
+        with pytest.raises(KeyError):
+            schema.field("zzz")
+
+    def test_validate_payload(self):
+        schema = Schema([Field("v", float)])
+        assert schema.validate({"v": 1.0})
+        assert not schema.validate({})
+        assert not schema.validate({"v": "bad"})
+
+    def test_project_and_extend(self):
+        schema = Schema.of("a", "b", "c")
+        projected = schema.project(["c", "a"])
+        assert projected.field_names() == ["c", "a"]
+        extended = schema.extend(Field("d"))
+        assert extended.field_names() == ["a", "b", "c", "d"]
+
+    def test_builtin_workload_schemas(self):
+        assert VALUE_SCHEMA.validate({"v": 10.0})
+        assert CPU_SCHEMA.validate({"id": "m1", "value": 50.0})
+        assert MEMORY_SCHEMA.validate({"id": "m1", "free": 200000.0})

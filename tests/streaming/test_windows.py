@@ -1,0 +1,118 @@
+"""Unit tests for window buffers."""
+
+import pytest
+
+from repro.core.tuples import Tuple
+from repro.streaming.windows import CountWindow, ImmediateWindow, TimeWindow
+
+
+def ts(values, start=0.0, spacing=0.1, sic=0.1):
+    return [
+        Tuple(timestamp=start + i * spacing, sic=sic, values={"v": v})
+        for i, v in enumerate(values)
+    ]
+
+
+class TestImmediateWindow:
+    def test_emits_everything_on_advance(self):
+        window = ImmediateWindow()
+        window.insert(ts([1, 2, 3]))
+        panes = window.advance(now=1.0)
+        assert len(panes) == 1
+        assert len(panes[0]) == 3
+        assert window.pending_count() == 0
+
+    def test_no_pane_when_empty(self):
+        assert ImmediateWindow().advance(now=1.0) == []
+
+    def test_pending_count(self):
+        window = ImmediateWindow()
+        window.insert(ts([1, 2]))
+        assert window.pending_count() == 2
+
+
+class TestTimeWindowTumbling:
+    def test_pane_closes_after_end_plus_lateness(self):
+        window = TimeWindow(1.0, allowed_lateness=0.0)
+        window.insert(ts([1, 2, 3], start=0.1, spacing=0.2))
+        assert window.advance(now=0.9) == []
+        panes = window.advance(now=1.0)
+        assert len(panes) == 1
+        assert panes[0].start == 0.0 and panes[0].end == 1.0
+        assert len(panes[0]) == 3
+
+    def test_allowed_lateness_delays_closing(self):
+        window = TimeWindow(1.0, allowed_lateness=0.5)
+        window.insert(ts([1], start=0.2))
+        assert window.advance(now=1.2) == []
+        assert len(window.advance(now=1.5)) == 1
+
+    def test_late_tuples_for_closed_panes_are_dropped(self):
+        window = TimeWindow(1.0, allowed_lateness=0.0)
+        window.insert(ts([1], start=0.5))
+        window.advance(now=1.0)
+        window.insert(ts([2], start=0.6))  # pane [0, 1) already closed
+        assert window.pending_count() == 0
+
+    def test_tuples_assigned_to_correct_panes(self):
+        window = TimeWindow(1.0, allowed_lateness=0.0)
+        window.insert(ts([1], start=0.5) + ts([2], start=1.5) + ts([3], start=2.5))
+        panes = window.advance(now=3.0)
+        assert [len(p) for p in panes] == [1, 1, 1]
+        assert [p.start for p in panes] == [0.0, 1.0, 2.0]
+
+    def test_total_sic_preserved_in_pane(self):
+        window = TimeWindow(1.0, allowed_lateness=0.0)
+        window.insert(ts([1, 2, 3, 4], start=0.1, spacing=0.2, sic=0.25))
+        pane = window.advance(now=1.0)[0]
+        assert pane.total_sic == pytest.approx(1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TimeWindow(0.0)
+        with pytest.raises(ValueError):
+            TimeWindow(1.0, slide_seconds=0.0)
+        with pytest.raises(ValueError):
+            TimeWindow(1.0, slide_seconds=2.0)
+        with pytest.raises(ValueError):
+            TimeWindow(1.0, allowed_lateness=-1.0)
+
+
+class TestTimeWindowSliding:
+    def test_tuple_belongs_to_multiple_panes(self):
+        window = TimeWindow(1.0, slide_seconds=0.5, allowed_lateness=0.0)
+        window.insert(ts([1], start=0.75, sic=0.2))
+        panes = window.advance(now=5.0)
+        containing = [p for p in panes if len(p) == 1]
+        assert len(containing) == 2  # panes [0,1) and [0.5,1.5)
+
+    def test_sic_split_across_panes_conserves_total(self):
+        window = TimeWindow(1.0, slide_seconds=0.25, allowed_lateness=0.0)
+        window.insert(ts([1], start=0.9, sic=0.4))
+        panes = window.advance(now=5.0)
+        total = sum(p.total_sic for p in panes)
+        assert total == pytest.approx(0.4)
+
+    def test_is_sliding_property(self):
+        assert TimeWindow(1.0, slide_seconds=0.5).is_sliding
+        assert not TimeWindow(1.0).is_sliding
+
+
+class TestCountWindow:
+    def test_emits_every_n_tuples(self):
+        window = CountWindow(3)
+        window.insert(ts([1, 2, 3, 4, 5, 6, 7]))
+        panes = window.advance(now=0.0)
+        assert [len(p) for p in panes] == [3, 3]
+        assert window.pending_count() == 1
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(ValueError):
+            CountWindow(0)
+
+    def test_preserves_order(self):
+        window = CountWindow(2)
+        window.insert(ts([10, 20, 30, 40]))
+        panes = window.advance(now=0.0)
+        assert [t.values["v"] for t in panes[0].tuples] == [10, 20]
+        assert [t.values["v"] for t in panes[1].tuples] == [30, 40]

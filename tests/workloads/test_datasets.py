@@ -1,0 +1,87 @@
+"""Unit tests for the evaluation datasets."""
+
+import pytest
+
+from repro.workloads.datasets import (
+    DATASET_NAMES,
+    ExponentialValues,
+    GaussianValues,
+    MixedValues,
+    PlanetLabLikeValues,
+    UniformValues,
+    make_dataset,
+)
+
+
+class TestSyntheticDistributions:
+    def test_gaussian_mean_is_about_50(self):
+        dist = GaussianValues(seed=1)
+        samples = dist.sample_many(5000)
+        assert abs(sum(samples) / len(samples) - 50.0) < 2.0
+        assert all(v >= 0.0 for v in samples)
+
+    def test_uniform_range_and_mean(self):
+        dist = UniformValues(seed=2)
+        samples = dist.sample_many(5000)
+        assert all(0.0 <= v <= 100.0 for v in samples)
+        assert abs(sum(samples) / len(samples) - 50.0) < 3.0
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            UniformValues(low=10, high=5)
+
+    def test_exponential_mean_is_about_50(self):
+        dist = ExponentialValues(seed=3)
+        samples = dist.sample_many(20000)
+        assert abs(sum(samples) / len(samples) - 50.0) < 3.0
+
+    def test_exponential_rejects_non_positive_mean(self):
+        with pytest.raises(ValueError):
+            ExponentialValues(mean=0.0)
+
+    def test_mixed_draws_from_component_distributions(self):
+        dist = MixedValues(seed=4)
+        samples = dist.sample_many(2000)
+        assert all(v >= 0.0 for v in samples)
+        assert abs(sum(samples) / len(samples) - 50.0) < 10.0
+
+    def test_seeded_distributions_are_reproducible(self):
+        a = GaussianValues(seed=7).sample_many(10)
+        b = GaussianValues(seed=7).sample_many(10)
+        assert a == b
+
+
+class TestPlanetLabLike:
+    def test_values_bounded_to_utilisation_range(self):
+        dist = PlanetLabLikeValues(seed=5)
+        samples = dist.sample_many(3000)
+        assert all(0.0 <= v <= 100.0 for v in samples)
+
+    def test_temporal_correlation_is_present(self):
+        dist = PlanetLabLikeValues(seed=6, burst_probability=0.0,
+                                   level_shift_probability=0.0)
+        samples = dist.sample_many(2000)
+        mean = sum(samples) / len(samples)
+        num = sum(
+            (samples[i] - mean) * (samples[i + 1] - mean) for i in range(len(samples) - 1)
+        )
+        den = sum((v - mean) ** 2 for v in samples)
+        autocorrelation = num / den if den else 0.0
+        assert autocorrelation > 0.3
+
+    def test_memory_free_is_anti_correlated_with_cpu(self):
+        dist = PlanetLabLikeValues(seed=7)
+        busy = sum(dist.memory_free_kb(95.0) for _ in range(200)) / 200
+        idle = sum(dist.memory_free_kb(5.0) for _ in range(200)) / 200
+        assert idle > busy
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_factory_builds_every_dataset(self, name):
+        dist = make_dataset(name, seed=0)
+        assert dist.sample() >= 0.0
+
+    def test_factory_rejects_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_dataset("zipfian")

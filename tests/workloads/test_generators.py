@@ -1,0 +1,122 @@
+"""Unit tests for workload population generation and budget sizing."""
+
+import pytest
+
+from repro.federation.deployment import RoundRobinPlacement
+from repro.workloads.generators import (
+    WorkloadSpec,
+    compute_node_budgets,
+    estimate_source_path_cost,
+    generate_complex_workload,
+    offered_cost_per_node,
+)
+
+
+def small_spec(**overrides):
+    values = dict(
+        num_queries=6,
+        fragments_per_query=2,
+        source_rate=10.0,
+        sources_per_avg_all_fragment=2,
+        machines_per_top5_fragment=1,
+        seed=0,
+    )
+    values.update(overrides)
+    return WorkloadSpec(**values)
+
+
+class TestGenerateComplexWorkload:
+    def test_generates_requested_number_of_queries(self):
+        queries = generate_complex_workload(small_spec())
+        assert len(queries) == 6
+        assert len({q.query_id for q in queries}) == 6
+
+    def test_kinds_cycle_through_the_mix(self):
+        queries = generate_complex_workload(small_spec())
+        kinds = {q.kind for q in queries}
+        assert kinds == {"avg-all", "top5", "cov"}
+
+    def test_fixed_fragment_count(self):
+        queries = generate_complex_workload(small_spec(fragments_per_query=3))
+        assert all(q.num_fragments == 3 for q in queries)
+
+    def test_mixed_fragment_counts_drawn_from_sequence(self):
+        queries = generate_complex_workload(
+            small_spec(num_queries=30, fragments_per_query=(1, 2, 3))
+        )
+        counts = {q.num_fragments for q in queries}
+        assert counts <= {1, 2, 3}
+        assert len(counts) > 1
+
+    def test_reproducible_for_a_seed(self):
+        a = generate_complex_workload(small_spec(seed=5))
+        b = generate_complex_workload(small_spec(seed=5))
+        assert [q.num_fragments for q in a] == [q.num_fragments for q in b]
+
+    def test_rejects_non_positive_population(self):
+        with pytest.raises(ValueError):
+            generate_complex_workload(small_spec(num_queries=0))
+
+    def test_rejects_empty_fragment_choices(self):
+        with pytest.raises(ValueError):
+            generate_complex_workload(small_spec(fragments_per_query=()))
+
+
+class TestCostEstimates:
+    def test_path_cost_is_positive_and_counts_downstream_operators(self):
+        queries = generate_complex_workload(small_spec())
+        for query in queries:
+            for fragment in query.fragments.values():
+                assert estimate_source_path_cost(fragment) > 0.0
+
+    def test_offered_cost_accounts_every_node_with_fragments(self):
+        queries = generate_complex_workload(small_spec())
+        node_ids = ["n0", "n1", "n2"]
+        placement = RoundRobinPlacement().place(
+            [f for q in queries for f in q.fragment_list()], node_ids
+        )
+        offered = offered_cost_per_node(queries, placement, shedding_interval=0.25)
+        assert set(offered) <= set(node_ids)
+        assert all(v > 0 for v in offered.values())
+
+    def test_budgets_scale_with_capacity_fraction(self):
+        queries = generate_complex_workload(small_spec())
+        node_ids = ["n0", "n1"]
+        placement = RoundRobinPlacement().place(
+            [f for q in queries for f in q.fragment_list()], node_ids
+        )
+        half = compute_node_budgets(queries, placement, 0.25, 0.5, node_ids)
+        full = compute_node_budgets(queries, placement, 0.25, 1.0, node_ids)
+        for node in node_ids:
+            assert half[node] == pytest.approx(full[node] * 0.5, rel=1e-6)
+
+    def test_uniform_mode_gives_equal_budgets(self):
+        queries = generate_complex_workload(small_spec())
+        node_ids = ["n0", "n1", "n2"]
+        placement = RoundRobinPlacement().place(
+            [f for q in queries for f in q.fragment_list()], node_ids
+        )
+        budgets = compute_node_budgets(
+            queries, placement, 0.25, 0.5, node_ids, mode="uniform"
+        )
+        assert len(set(round(b, 9) for b in budgets.values())) == 1
+
+    def test_invalid_fraction_or_mode_rejected(self):
+        queries = generate_complex_workload(small_spec())
+        placement = RoundRobinPlacement().place(
+            [f for q in queries for f in q.fragment_list()], ["n0"]
+        )
+        with pytest.raises(ValueError):
+            compute_node_budgets(queries, placement, 0.25, 0.0, ["n0"])
+        with pytest.raises(ValueError):
+            compute_node_budgets(queries, placement, 0.25, 0.5, ["n0"], mode="magic")
+
+    def test_nodes_without_fragments_get_minimum_budget(self):
+        queries = generate_complex_workload(small_spec(num_queries=1))
+        placement = RoundRobinPlacement().place(
+            [f for q in queries for f in q.fragment_list()], ["n0"]
+        )
+        budgets = compute_node_budgets(
+            queries, placement, 0.25, 0.5, ["n0", "unused"], minimum_budget=2.0
+        )
+        assert budgets["unused"] == 2.0

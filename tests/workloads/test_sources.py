@@ -1,0 +1,93 @@
+"""Unit tests for data sources."""
+
+import pytest
+
+from repro.workloads.sources import (
+    BurstySource,
+    CpuSource,
+    MemorySource,
+    StreamSource,
+    ValueSource,
+)
+
+
+class TestStreamSource:
+    def test_rate_determines_tuple_count(self):
+        source = ValueSource("s", rate=100.0, seed=0)
+        tuples = source.generate(0.0, 1.0)
+        assert len(tuples) == 100
+        assert source.emitted_tuples == 100
+
+    def test_fractional_rates_carry_over(self):
+        source = ValueSource("s", rate=10.0, seed=0)
+        counts = [len(source.generate(i * 0.25, (i + 1) * 0.25)) for i in range(8)]
+        assert sum(counts) == 20  # 10 t/s over 2 s
+
+    def test_timestamps_lie_within_the_interval(self):
+        source = ValueSource("s", rate=50.0, seed=0)
+        tuples = source.generate(2.0, 3.0)
+        assert all(2.0 <= t.timestamp < 3.0 for t in tuples)
+
+    def test_source_id_attached_to_every_tuple(self):
+        source = ValueSource("my-source", rate=20.0, seed=0)
+        assert all(t.source_id == "my-source" for t in source.generate(0.0, 1.0))
+
+    def test_empty_interval_generates_nothing(self):
+        source = ValueSource("s", rate=100.0, seed=0)
+        assert source.generate(1.0, 1.0) == []
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError):
+            ValueSource("s", rate=0.0)
+
+
+class TestPayloads:
+    def test_value_source_payload(self):
+        t = ValueSource("s", rate=10, dataset="gaussian", seed=1).generate(0, 1)[0]
+        assert "v" in t.values and t.values["v"] >= 0
+
+    def test_cpu_source_payload(self):
+        t = CpuSource("s", monitored_id="m1", rate=10, seed=1).generate(0, 1)[0]
+        assert t.values["id"] == "m1"
+        assert 0 <= t.values["value"] <= 100
+
+    def test_memory_source_payload(self):
+        t = MemorySource("s", monitored_id="m1", rate=10, seed=1).generate(0, 1)[0]
+        assert t.values["id"] == "m1"
+        assert t.values["free"] > 0
+
+
+class TestBurstySource:
+    def test_bursts_increase_emitted_tuples(self):
+        steady = ValueSource("a", rate=50.0, seed=3)
+        bursty = BurstySource(
+            ValueSource("b", rate=50.0, seed=3), burst_probability=1.0,
+            burst_multiplier=10.0, seed=3,
+        )
+        steady_count = sum(len(steady.generate(i, i + 1)) for i in range(5))
+        bursty_count = sum(len(bursty.generate(i, i + 1)) for i in range(5))
+        assert bursty_count == pytest.approx(10 * steady_count, rel=0.05)
+        assert bursty.bursts == 5
+
+    def test_zero_probability_behaves_like_base(self):
+        bursty = BurstySource(ValueSource("b", rate=40.0, seed=4),
+                              burst_probability=0.0, seed=4)
+        assert len(bursty.generate(0, 1)) == 40
+        assert bursty.bursts == 0
+
+    def test_base_rate_restored_after_burst(self):
+        base = ValueSource("b", rate=20.0, seed=5)
+        bursty = BurstySource(base, burst_probability=1.0, seed=5)
+        bursty.generate(0, 1)
+        assert base.rate == 20.0
+
+    def test_exposes_source_protocol(self):
+        bursty = BurstySource(ValueSource("b", rate=20.0, seed=6), seed=6)
+        assert bursty.source_id == "b"
+        assert bursty.rate == 20.0
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BurstySource(ValueSource("b", rate=1.0), burst_probability=2.0)
+        with pytest.raises(ValueError):
+            BurstySource(ValueSource("b", rate=1.0), burst_multiplier=0.5)

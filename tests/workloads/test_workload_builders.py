@@ -1,0 +1,155 @@
+"""Unit tests for the Table 1 workload builders."""
+
+import pytest
+
+from repro.workloads.aggregate import (
+    AGGREGATE_KINDS,
+    make_aggregate_query,
+    make_avg_query,
+    make_count_query,
+    make_max_query,
+)
+from repro.workloads.complex import (
+    make_avg_all_query,
+    make_complex_query,
+    make_cov_query,
+    make_top5_query,
+)
+from repro.workloads.spec import WorkloadQuery
+
+
+class TestAggregateWorkload:
+    @pytest.mark.parametrize("kind", AGGREGATE_KINDS)
+    def test_builders_produce_single_fragment_single_source(self, kind):
+        query = make_aggregate_query(kind, query_id=f"t-{kind}", rate=100.0, seed=0)
+        assert isinstance(query, WorkloadQuery)
+        assert query.num_fragments == 1
+        assert query.num_sources == 1
+        assert query.root_fragment.is_root
+
+    def test_convenience_wrappers(self):
+        assert make_avg_query(query_id="a", seed=1).kind == "avg"
+        assert make_max_query(query_id="b", seed=1).kind == "max"
+        assert make_count_query(query_id="c", seed=1).kind == "count"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_aggregate_query("median")
+
+    def test_nominal_rates_reported(self):
+        query = make_avg_query(query_id="r", rate=123.0, seed=2)
+        assert list(query.nominal_rates().values()) == [123.0]
+
+    def test_query_ids_auto_generated_and_unique(self):
+        a = make_avg_query(seed=3)
+        b = make_avg_query(seed=3)
+        assert a.query_id != b.query_id
+
+
+class TestAvgAllQuery:
+    def test_tree_structure(self):
+        query = make_avg_all_query(
+            query_id="t", num_fragments=3, sources_per_fragment=4, rate=10.0, seed=0
+        )
+        assert query.num_fragments == 3
+        assert query.num_sources == 12
+        roots = [f for f in query.fragments.values() if f.is_root]
+        assert len(roots) == 1
+        root = roots[0]
+        # Both leaves stream into the root (tree, not chain).
+        assert len(root.upstream_bindings) == 2
+
+    def test_single_fragment_variant(self):
+        query = make_avg_all_query(
+            query_id="s", num_fragments=1, sources_per_fragment=3, rate=10.0, seed=0
+        )
+        assert query.num_fragments == 1
+        assert query.root_fragment.is_root
+
+    def test_paper_operator_count_scale(self):
+        query = make_avg_all_query(
+            query_id="ops", num_fragments=2, sources_per_fragment=10, rate=10.0, seed=0
+        )
+        # ~13 operators per fragment in the paper; receivers dominate.
+        for fragment in query.fragments.values():
+            assert fragment.num_operators >= 12
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            make_avg_all_query(num_fragments=0)
+        with pytest.raises(ValueError):
+            make_avg_all_query(sources_per_fragment=0)
+
+
+class TestTop5Query:
+    def test_chain_structure(self):
+        query = make_top5_query(
+            query_id="t5", num_fragments=3, machines_per_fragment=2, rate=5.0, seed=0
+        )
+        assert query.num_fragments == 3
+        assert query.num_sources == 12  # 2 machines x 2 streams x 3 fragments
+        order = query.fragment_order
+        for upstream, downstream in zip(order, order[1:]):
+            assert query.fragments[upstream].downstream_fragment_id == downstream
+        assert query.fragments[order[-1]].is_root
+
+    def test_paper_operator_count_scale(self):
+        query = make_top5_query(
+            query_id="t5ops", num_fragments=2, machines_per_fragment=10, rate=5.0, seed=0
+        )
+        for fragment in query.fragments.values():
+            assert fragment.num_operators >= 25
+
+    def test_bursty_flag_wraps_sources(self):
+        query = make_top5_query(
+            query_id="t5b", num_fragments=1, machines_per_fragment=1, rate=5.0,
+            seed=0, bursty=True,
+        )
+        from repro.workloads.sources import BurstySource
+
+        assert all(isinstance(s, BurstySource) for s in query.sources)
+
+
+class TestCovQuery:
+    def test_chain_structure_and_sources(self):
+        query = make_cov_query(query_id="c", num_fragments=2, rate=10.0, seed=0)
+        assert query.num_fragments == 2
+        assert query.num_sources == 4
+        assert query.fragments[query.fragment_order[-1]].is_root
+
+    def test_single_fragment_has_output(self):
+        query = make_cov_query(query_id="c1", num_fragments=1, rate=10.0, seed=0)
+        names = [
+            op.name
+            for fragment in query.fragments.values()
+            for op in fragment.operators.values()
+        ]
+        assert "output" in names
+
+
+class TestDispatcher:
+    @pytest.mark.parametrize("kind", ["avg-all", "top5", "cov"])
+    def test_make_complex_query(self, kind):
+        query = make_complex_query(kind, num_fragments=1, rate=5.0, seed=0)
+        assert isinstance(query, WorkloadQuery)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_complex_query("join-only")
+
+
+class TestWorkloadQuerySpec:
+    def test_rejects_empty_fragments_or_sources(self):
+        query = make_cov_query(query_id="spec", num_fragments=1, rate=5.0, seed=0)
+        with pytest.raises(ValueError):
+            WorkloadQuery(query_id="x", kind="cov", fragments={}, sources=query.sources)
+        with pytest.raises(ValueError):
+            WorkloadQuery(
+                query_id="x", kind="cov", fragments=query.fragments, sources=[]
+            )
+
+    def test_fragment_list_follows_order(self):
+        query = make_top5_query(query_id="ord", num_fragments=2,
+                                machines_per_fragment=1, rate=5.0, seed=0)
+        listed = [f.fragment_id for f in query.fragment_list()]
+        assert listed == query.fragment_order
