@@ -1,0 +1,100 @@
+"""Micro-benchmarks for the shedding fast path (perf-regression harness).
+
+Unlike the ``test_bench_fig*`` suites, which regenerate whole experiments,
+these benchmarks time individual hot kernels — BALANCE-SIC selection,
+source-rate-estimator ingest and the node tick loop — and additionally assert
+the fast path's speedup over the pre-optimisation reference implementations
+kept in :mod:`repro.core._reference`.  The asserted floors (5× selection at
+1000 queries, 10× estimator ingest) sit below the observed speedups (~13×
+and ~15-25× across runs, see ``BENCH_shedding.json``) so the suite stays
+stable on slower machines; set ``REPRO_SKIP_PERF_ASSERT=1`` to skip the
+floor assertions entirely on throttled runners.
+
+Run with ``--benchmark-disable`` for a fast functional smoke of the perf code
+paths; run ``scripts/bench_report.py`` to refresh ``BENCH_shedding.json``.
+"""
+
+import os
+
+import pytest
+
+from repro.perf.microbench import (
+    SELECTION_QUERY_COUNTS,
+    time_estimator_ingest,
+    time_node_ticks,
+    time_selection,
+)
+
+SELECTION_SPEEDUP_FLOOR = 5.0
+ESTIMATOR_SPEEDUP_FLOOR = 10.0
+
+# Wall-clock ratio assertions are meaningless on heavily throttled shared
+# runners; REPRO_SKIP_PERF_ASSERT=1 keeps the kernels running (so the code
+# paths stay covered) but skips the floor checks.
+skip_perf_asserts = pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_PERF_ASSERT") == "1",
+    reason="perf floor assertions disabled via REPRO_SKIP_PERF_ASSERT",
+)
+
+
+def best_of(n, func, **kwargs):
+    """Best-of-``n`` timing: robust against scheduler noise in assertions."""
+    return min(func(**kwargs) for _ in range(n))
+
+
+class TestSelectionBenchmarks:
+    @pytest.mark.parametrize("num_queries", SELECTION_QUERY_COUNTS)
+    def test_balance_sic_selection(self, benchmark, num_queries):
+        benchmark.extra_info["queries"] = num_queries
+        seconds = benchmark.pedantic(
+            time_selection,
+            kwargs={"num_queries": num_queries},
+            rounds=1,
+            iterations=1,
+        )
+        assert seconds > 0
+
+    @skip_perf_asserts
+    def test_selection_speedup_vs_reference_q1000(self):
+        fast = best_of(3, time_selection, num_queries=1000)
+        reference = time_selection(num_queries=1000, use_reference=True)
+        speedup = reference / fast
+        assert speedup >= SELECTION_SPEEDUP_FLOOR, (
+            f"BALANCE-SIC fast path regressed: only {speedup:.1f}x over the "
+            f"reference at 1000 queries (floor {SELECTION_SPEEDUP_FLOOR}x); "
+            f"fast={fast * 1e3:.1f} ms reference={reference * 1e3:.1f} ms"
+        )
+
+    @skip_perf_asserts
+    def test_selection_speedup_vs_reference_q100(self):
+        # At 100 queries the O(I × Q) rescan term is small, so the asserted
+        # floor is looser than the 5× criterion at 1000 queries.
+        fast = best_of(3, time_selection, num_queries=100)
+        reference = time_selection(num_queries=100, use_reference=True)
+        assert reference / fast >= 2.0
+
+
+class TestEstimatorBenchmarks:
+    def test_estimator_ingest(self, benchmark):
+        seconds = benchmark.pedantic(
+            time_estimator_ingest, rounds=1, iterations=1
+        )
+        assert seconds > 0
+
+    @skip_perf_asserts
+    def test_estimator_ingest_speedup_vs_reference(self):
+        fast = best_of(3, time_estimator_ingest)
+        reference = time_estimator_ingest(use_reference=True)
+        speedup = reference / fast
+        assert speedup >= ESTIMATOR_SPEEDUP_FLOOR, (
+            f"estimator ingest regressed: only {speedup:.1f}x over the "
+            f"per-tuple reference (floor {ESTIMATOR_SPEEDUP_FLOOR}x); "
+            f"fast={fast * 1e3:.2f} ms reference={reference * 1e3:.2f} ms"
+        )
+
+
+class TestNodeBenchmarks:
+    def test_node_tick_throughput(self, benchmark):
+        seconds = benchmark.pedantic(time_node_ticks, rounds=1, iterations=1)
+        benchmark.extra_info["ticks_per_second"] = 50 / seconds
+        assert seconds > 0

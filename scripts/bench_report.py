@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Run the shedding micro-benchmarks and record ``BENCH_shedding.json``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py [--output BENCH_shedding.json]
+        [--quick] [--compare]
+
+The report contains three sections:
+
+* ``baseline`` — hard numbers measured on the seed (pre-optimisation) tree,
+  checked in with the fast-path PR.  They are machine-specific, so they are
+  advisory; the machine-independent comparison is ``reference_ms`` inside
+  ``current``, which times the preserved reference implementations from
+  :mod:`repro.core._reference` on the same machine as the fast path.
+* ``current`` — this run's numbers for every kernel.
+* ``speedup`` — fast-vs-reference ratios for the kernels with a reference.
+
+``--compare`` loads an existing report and exits non-zero if the current fast
+path is more than 2× slower than the recorded ``current`` numbers — a cheap
+perf-regression gate for future PRs.  ``--quick`` skips the slow reference
+run at 1000 queries (used by CI smoke runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.perf.microbench import run_microbench  # noqa: E402
+
+# Measured at the seed commit (fea8722) on the machine that produced the
+# first report, before the heap-based fast path landed.  Advisory only —
+# see the module docstring.
+SEED_BASELINE = {
+    "commit": "fea8722 (seed, pre-optimisation)",
+    "selection_q10_ms": 0.19,
+    "selection_q100_ms": 65.15,
+    "selection_q1000_ms": 4243.55,
+    "estimator_ingest_100k_per_tuple_ms": 175.26,
+}
+
+REGRESSION_FACTOR = 2.0
+
+
+def git_revision() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def build_report(quick: bool = False) -> dict:
+    selection_queries = {10: True, 100: True, 1000: not quick}
+    results = run_microbench(selection_queries=selection_queries)
+    speedups = {}
+    for label, entry in results["selection"].items():
+        if "speedup" in entry:
+            speedups[f"selection_{label}"] = round(entry["speedup"], 2)
+    speedups["estimator_ingest"] = round(results["estimator"]["speedup"], 2)
+    return {
+        "schema": 1,
+        "git_revision": git_revision(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "baseline": SEED_BASELINE,
+        "current": results,
+        "speedup_vs_reference": speedups,
+    }
+
+
+def compare(report_path: Path, current: dict) -> int:
+    """Exit code 1 if the fast path regressed vs the recorded report.
+
+    Compares the fast-vs-reference *speedup ratios*, which are
+    machine-independent (both sides ran on the same machine in both
+    reports), never the absolute milliseconds.
+    """
+    recorded = json.loads(report_path.read_text()).get("speedup_vs_reference", {})
+    failures = []
+    for label, new_ratio in current["speedup_vs_reference"].items():
+        old_ratio = recorded.get(label)
+        if old_ratio and new_ratio < old_ratio / REGRESSION_FACTOR:
+            failures.append(
+                f"{label}: speedup {new_ratio:.2f}x vs recorded "
+                f"{old_ratio:.2f}x (fell by more than {REGRESSION_FACTOR}x)"
+            )
+    if failures:
+        print("PERF REGRESSION:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("no perf regression vs", report_path)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_shedding.json",
+        help="where to write the report (default: repo-root BENCH_shedding.json)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="skip the slow reference run at 1000 queries",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="compare against the existing report instead of overwriting it",
+    )
+    args = parser.parse_args(argv)
+
+    report = build_report(quick=args.quick)
+    print(json.dumps(report["speedup_vs_reference"], indent=2))
+    if args.compare:
+        if not args.output.exists():
+            print(f"no recorded report at {args.output}", file=sys.stderr)
+            return 2
+        return compare(args.output, report)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

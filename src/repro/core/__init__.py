@@ -5,6 +5,7 @@ from .balance_sic import (
     BalanceSicPolicy,
     SelectionStrategy,
     ShedDecision,
+    keep_all_decision,
 )
 from .cost_model import CostModel, CostModelConfig
 from .fairness import FairnessSummary, jains_index, relative_spread, summarize_fairness
@@ -24,13 +25,14 @@ from .sic import (
     source_tuple_sic,
 )
 from .stw import ResultSicTracker, StwConfig, StwRegistry
-from .tuples import Batch, BatchHeader, Tuple, merge_batches
+from .tuples import Batch, BatchHeader, Tuple, merge_batches, total_tuples
 
 __all__ = [
     "BalanceSicConfig",
     "BalanceSicPolicy",
     "SelectionStrategy",
     "ShedDecision",
+    "keep_all_decision",
     "CostModel",
     "CostModelConfig",
     "FairnessSummary",
@@ -55,4 +57,5 @@ __all__ = [
     "BatchHeader",
     "Tuple",
     "merge_batches",
+    "total_tuples",
 ]

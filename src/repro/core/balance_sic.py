@@ -22,21 +22,38 @@ The per-node projection heuristic of §6 is also implemented here: before the
 selection starts, each query's reported result SIC is reduced by the total SIC
 currently sitting in the input buffer for that query, i.e. the node plans as if
 it shed everything and then "earns back" SIC for every batch it accepts.
+
+Selection is implemented with two lazily-invalidated min-heaps keyed by the
+queries' working SIC values — one over queries with pending batches (for
+``q'``) and one over all queries (for ``q''``) — so a selection round costs
+O((B + I) log Q) instead of the O(I × Q) linear rescans of the straightforward
+implementation (kept in :mod:`repro.core._reference` as the equivalence oracle
+and perf baseline).  Pending lists are stored back-to-front so the per-query
+cursor advances with O(1) ``pop()``s, and batch splits go through
+:meth:`repro.core.tuples.Batch.split`, which derives the split SIC values from
+a shared cumulative-SIC prefix array instead of re-summing tuples.
+
+The heap path replays the exact same RNG call sequence (tie-break ``choice``
+over the tied queries in buffer order, per-query ``shuffle`` for the RANDOM
+strategy) and the exact same floating-point arithmetic as the reference, so
+seeded runs produce identical :class:`ShedDecision`s.
 """
 
 from __future__ import annotations
 
+import heapq
 import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple as PyTuple
 
-from .tuples import Batch, Tuple
+from .tuples import Batch, total_tuples as _total_tuples
 
 __all__ = [
     "SelectionStrategy",
     "BalanceSicConfig",
     "ShedDecision",
     "BalanceSicPolicy",
+    "keep_all_decision",
 ]
 
 
@@ -115,13 +132,46 @@ class ShedDecision:
         return totals
 
 
+def keep_all_decision(
+    batches: Sequence[Batch], total_tuples: Optional[int] = None
+) -> ShedDecision:
+    """Build the "not overloaded: keep everything" decision.
+
+    Shared by every shedder's underload early-exit.  ``total_tuples`` lets
+    callers that already track the buffered tuple count (e.g.
+    :class:`repro.federation.node.FspsNode`) skip the per-batch length sweep.
+    """
+    decision = ShedDecision()
+    decision.kept = list(batches)
+    if total_tuples is None:
+        total_tuples = _total_tuples(batches)
+    decision.kept_tuples = total_tuples
+    return decision
+
+
 @dataclass
 class _QueryState:
-    """Per-query working state during one selection round."""
+    """Per-query working state during one selection round.
+
+    ``pending`` is stored back-to-front (the next batch to consider is
+    ``pending[-1]``) so consuming the head is an O(1) ``pop()``.  ``order`` is
+    the query's insertion position, used to reproduce the buffer-order
+    tie-breaking of the reference implementation; ``version`` invalidates
+    stale heap entries after ``working_sic`` changes.
+    """
 
     query_id: str
     working_sic: float
     pending: List[Batch]
+    pending_sic: float = 0.0
+    pending_tuples: int = 0
+    order: int = 0
+    version: int = 0
+
+
+# Heap entries are ``(working_sic, order, version, state)``; ``order`` is
+# unique per state so the comparison never reaches the state object.
+_HeapEntry = PyTuple[float, int, int, _QueryState]
 
 
 class BalanceSicPolicy:
@@ -141,6 +191,7 @@ class BalanceSicPolicy:
         batches: Sequence[Batch],
         capacity: int,
         reported_sic: Mapping[str, float],
+        total_tuples: Optional[int] = None,
     ) -> ShedDecision:
         """Select which batches to keep given capacity ``c``.
 
@@ -150,6 +201,9 @@ class BalanceSicPolicy:
             reported_sic: last known result SIC per query, as disseminated by
                 the query coordinators (``updateSIC``).  Queries that have
                 batches in the buffer but no reported value default to 0.
+            total_tuples: optional precomputed total tuple count of
+                ``batches`` (nodes track it incrementally); computed here when
+                omitted.
 
         Returns:
             A :class:`ShedDecision` with the kept and shed batches.
@@ -162,70 +216,97 @@ class BalanceSicPolicy:
         if not states:
             return decision
 
-        total_tuples = sum(len(b) for b in batches)
+        if total_tuples is None:
+            total_tuples = _total_tuples(batches)
         if total_tuples <= capacity:
             # Not overloaded: keep everything (the node only sheds when the
             # buffer exceeds its capacity, §6 "Overload detection").
-            decision.kept = list(batches)
-            decision.kept_tuples = total_tuples
+            decision = keep_all_decision(batches, total_tuples)
             decision.projected_sic = {
-                s.query_id: s.working_sic + sum(b.sic for b in s.pending)
+                s.query_id: s.working_sic + s.pending_sic
                 for s in states.values()
             }
             return decision
 
+        eps = self.config.epsilon
+        allow_split = self.config.allow_batch_splitting
         remaining = capacity
-        kept_ids = set()
+
+        pending_heap: List[_HeapEntry] = []
+        target_heap: List[_HeapEntry] = []
+        for s in states.values():
+            entry = (s.working_sic, s.order, s.version, s)
+            target_heap.append(entry)
+            if s.pending:
+                pending_heap.append(entry)
+        heapq.heapify(pending_heap)
+        heapq.heapify(target_heap)
+        # Entries whose SIC sits within epsilon of the current reference: they
+        # are no target now but could become one if the reference dips (tied
+        # picks can lower it by up to epsilon), so they are parked instead of
+        # dropped and re-inserted on the rare reference decrease.
+        parked: List[_HeapEntry] = []
+        last_ref: Optional[float] = None
 
         while remaining > 0:
-            candidates = [s for s in states.values() if s.pending]
-            if not candidates:
+            q_prime = self._pop_min_pending(pending_heap)
+            if q_prime is None:
                 break
             decision.iterations += 1
 
-            q_prime = self._argmin_query(candidates)
-            target = self._next_distinct_sic(states.values(), q_prime.working_sic)
+            ref = q_prime.working_sic
+            if last_ref is not None and ref < last_ref and parked:
+                for entry in parked:
+                    heapq.heappush(target_heap, entry)
+                parked.clear()
+            last_ref = ref
+            target = self._peek_target(target_heap, parked, ref)
 
+            pending = q_prime.pending
             accepted_any = False
-            while q_prime.pending and remaining > 0:
-                if target is not None and (
-                    q_prime.working_sic >= target - self.config.epsilon
-                ):
+            while pending and remaining > 0:
+                working = q_prime.working_sic
+                if target is not None and working >= target - eps:
                     break
-                batch = q_prime.pending[0]
+                batch = pending[-1]
                 # Take only as many tuples as needed to reach the target
                 # (line 15-16 of Algorithm 1): if accepting the whole batch
                 # would overshoot q'', split it at the required tuple count.
                 if (
                     target is not None
-                    and self.config.allow_batch_splitting
+                    and allow_split
                     and len(batch) > 1
                     and batch.sic > 0
                 ):
-                    deficit = target - q_prime.working_sic
+                    deficit = target - working
                     per_tuple = batch.sic / len(batch)
-                    needed = int(-(-deficit // per_tuple)) if per_tuple > 0 else len(batch)
+                    needed = (
+                        int(-(-deficit // per_tuple))
+                        if per_tuple > 0
+                        else len(batch)
+                    )
                     if 0 < needed < len(batch):
-                        head, tail = self._split_batch(batch, needed)
-                        q_prime.pending[0] = head
-                        q_prime.pending.insert(1, tail)
+                        head, tail = batch.split(needed)
+                        pending[-1] = tail
+                        pending.append(head)
                         batch = head
-                if len(batch) <= remaining:
-                    q_prime.pending.pop(0)
+                size = len(batch)
+                if size <= remaining:
+                    pending.pop()
                     decision.kept.append(batch)
-                    kept_ids.add(batch.batch_id)
-                    decision.kept_tuples += len(batch)
-                    remaining -= len(batch)
+                    decision.kept_tuples += size
+                    remaining -= size
                     q_prime.working_sic += batch.sic
+                    q_prime.pending_tuples -= size
                     accepted_any = True
-                elif self.config.allow_batch_splitting and remaining > 0:
-                    kept_part, rest = self._split_batch(batch, remaining)
-                    q_prime.pending[0] = rest
+                elif allow_split and remaining > 0:
+                    kept_part, rest = batch.split(remaining)
+                    pending[-1] = rest
                     decision.kept.append(kept_part)
-                    kept_ids.add(kept_part.batch_id)
                     decision.kept_tuples += len(kept_part)
-                    remaining = 0
                     q_prime.working_sic += kept_part.sic
+                    q_prime.pending_tuples -= len(kept_part)
+                    remaining = 0
                     accepted_any = True
                 else:
                     remaining = 0
@@ -239,17 +320,31 @@ class BalanceSicPolicy:
                 # The minimum-SIC query could not accept anything (e.g. its
                 # next batch does not fit and splitting is disabled); drop its
                 # pending tuples into the shed set to guarantee progress.
-                decision.shed.extend(q_prime.pending)
-                decision.shed_tuples += sum(len(b) for b in q_prime.pending)
+                pending.reverse()
+                decision.shed.extend(pending)
+                decision.shed_tuples += q_prime.pending_tuples
                 q_prime.pending = []
+                q_prime.pending_tuples = 0
+            else:
+                q_prime.version += 1
+                entry = (
+                    q_prime.working_sic,
+                    q_prime.order,
+                    q_prime.version,
+                    q_prime,
+                )
+                heapq.heappush(target_heap, entry)
+                if q_prime.pending:
+                    heapq.heappush(pending_heap, entry)
 
         # Whatever was not selected is shed (Algorithm 1, line 7).  Batches
         # split along the way leave their unkept remainder in the pending
         # lists, so the pending lists are exactly the shed set.
         for state in states.values():
-            for batch in state.pending:
-                decision.shed.append(batch)
-                decision.shed_tuples += len(batch)
+            if state.pending:
+                state.pending.reverse()
+                decision.shed.extend(state.pending)
+                decision.shed_tuples += state.pending_tuples
         decision.projected_sic = {
             s.query_id: s.working_sic for s in states.values()
         }
@@ -266,24 +361,41 @@ class BalanceSicPolicy:
             per_query.setdefault(batch.query_id, []).append(batch)
 
         states: Dict[str, _QueryState] = {}
+        order = 0
+        use_projection = self.config.use_projection
         for query_id, pending in per_query.items():
             self._order_pending(pending)
+            pending_sic = 0.0
+            pending_tuples = 0
+            for b in pending:
+                pending_sic += b.sic
+                pending_tuples += len(b)
             reported = float(reported_sic.get(query_id, 0.0))
-            if self.config.use_projection:
-                buffered = sum(b.sic for b in pending)
-                working = max(0.0, reported - buffered)
+            if use_projection:
+                working = max(0.0, reported - pending_sic)
             else:
                 working = reported
+            pending.reverse()
             states[query_id] = _QueryState(
-                query_id=query_id, working_sic=working, pending=pending
+                query_id=query_id,
+                working_sic=working,
+                pending=pending,
+                pending_sic=pending_sic,
+                pending_tuples=pending_tuples,
+                order=order,
             )
+            order += 1
         # Queries known to the node (via the coordinator) but without buffered
         # tuples still participate as comparison points for q''.
         for query_id, value in reported_sic.items():
             if query_id not in states:
                 states[query_id] = _QueryState(
-                    query_id=query_id, working_sic=float(value), pending=[]
+                    query_id=query_id,
+                    working_sic=float(value),
+                    pending=[],
+                    order=order,
                 )
+                order += 1
         return states
 
     def _order_pending(self, pending: List[Batch]) -> None:
@@ -295,45 +407,69 @@ class BalanceSicPolicy:
         else:
             self.rng.shuffle(pending)
 
-    def _argmin_query(self, candidates: Sequence[_QueryState]) -> _QueryState:
-        minimum = min(s.working_sic for s in candidates)
-        tied = [
-            s
-            for s in candidates
-            if s.working_sic <= minimum + self.config.epsilon
-        ]
-        if len(tied) == 1:
-            return tied[0]
-        return self.rng.choice(tied)
+    def _pop_min_pending(
+        self, pending_heap: List[_HeapEntry]
+    ) -> Optional[_QueryState]:
+        """Pop the minimum-SIC query with pending batches (``q'``).
 
-    def _next_distinct_sic(
-        self, states: Iterable[_QueryState], reference: float
-    ) -> Optional[float]:
-        higher = [
-            s.working_sic
-            for s in states
-            if s.working_sic > reference + self.config.epsilon
-        ]
-        if not higher:
+        Queries whose working SIC is within epsilon of the minimum are tied;
+        the winner is drawn with the same ``rng.choice`` over the tied queries
+        in buffer order as the reference implementation, and the losers are
+        pushed back.
+        """
+        eps = self.config.epsilon
+        while pending_heap:
+            sic, _order, version, state = pending_heap[0]
+            if version != state.version or not state.pending:
+                heapq.heappop(pending_heap)
+                continue
+            break
+        if not pending_heap:
             return None
-        return min(higher)
+        minimum = pending_heap[0][0]
+        tied: List[_HeapEntry] = [heapq.heappop(pending_heap)]
+        while pending_heap:
+            sic, _order, version, state = pending_heap[0]
+            if version != state.version or not state.pending:
+                heapq.heappop(pending_heap)
+                continue
+            if sic <= minimum + eps:
+                tied.append(heapq.heappop(pending_heap))
+            else:
+                break
+        if len(tied) == 1:
+            return tied[0][3]
+        tied.sort(key=lambda e: e[1])
+        chosen = self.rng.choice(tied)
+        for entry in tied:
+            if entry is not chosen:
+                heapq.heappush(pending_heap, entry)
+        return chosen[3]
 
-    def _split_batch(self, batch: Batch, keep_tuples: int) -> PyTuple[Batch, Batch]:
-        """Split ``batch`` into a kept part of ``keep_tuples`` tuples and a rest."""
-        kept_tuples = batch.tuples[:keep_tuples]
-        rest_tuples = batch.tuples[keep_tuples:]
-        kept = Batch(
-            batch.query_id,
-            kept_tuples,
-            created_at=batch.created_at,
-            fragment_id=batch.fragment_id,
-            origin_fragment_id=batch.origin_fragment_id,
-        )
-        rest = Batch(
-            batch.query_id,
-            rest_tuples,
-            created_at=batch.created_at,
-            fragment_id=batch.fragment_id,
-            origin_fragment_id=batch.origin_fragment_id,
-        )
-        return kept, rest
+    def _peek_target(
+        self,
+        target_heap: List[_HeapEntry],
+        parked: List[_HeapEntry],
+        reference: float,
+    ) -> Optional[float]:
+        """The next-lowest SIC value strictly above ``reference`` (``q''``).
+
+        Entries at or below the reference can never become targets again
+        (the reference never decreases by more than epsilon between
+        iterations, because ties span at most epsilon), so they are popped
+        for good; entries within ``(reference, reference + epsilon]`` are
+        parked and restored by the caller if the reference ever dips.
+        """
+        eps = self.config.epsilon
+        threshold = reference + eps
+        while target_heap:
+            sic, _order, version, state = target_heap[0]
+            if version != state.version:
+                heapq.heappop(target_heap)
+                continue
+            if sic > threshold:
+                return sic
+            entry = heapq.heappop(target_heap)
+            if sic > reference:
+                parked.append(entry)
+        return None

@@ -65,6 +65,9 @@ class CostModel:
         """Record one processing round.
 
         Rounds that processed nothing carry no information and are ignored.
+        So are zero-cost rounds (e.g. a node hosting no fragments yet): a
+        zero sample would drive the moving-average cost to 0 and the
+        capacity estimate to infinity.
         """
         if tuples_processed < 0:
             raise ValueError(
@@ -72,7 +75,7 @@ class CostModel:
             )
         if total_cost < 0:
             raise ValueError(f"total_cost must be non-negative, got {total_cost}")
-        if tuples_processed == 0:
+        if tuples_processed == 0 or total_cost == 0:
             return
         self._samples.append(total_cost / tuples_processed)
         self._total_tuples += tuples_processed

@@ -21,8 +21,13 @@ import random
 from abc import ABC, abstractmethod
 from typing import Mapping, Optional, Sequence
 
-from .balance_sic import BalanceSicConfig, BalanceSicPolicy, ShedDecision
-from .tuples import Batch
+from .balance_sic import (
+    BalanceSicConfig,
+    BalanceSicPolicy,
+    ShedDecision,
+    keep_all_decision,
+)
+from .tuples import Batch, total_tuples as _total_tuples
 
 __all__ = [
     "Shedder",
@@ -45,8 +50,16 @@ class Shedder(ABC):
         batches: Sequence[Batch],
         capacity: int,
         reported_sic: Mapping[str, float],
+        total_tuples: Optional[int] = None,
     ) -> ShedDecision:
-        """Decide which batches to keep given the node capacity."""
+        """Decide which batches to keep given the node capacity.
+
+        ``total_tuples`` optionally carries the caller's incrementally-tracked
+        tuple count for ``batches`` so shedders need not re-scan the buffer.
+        """
+
+    # Shared "not overloaded, keep all" early-exit for every shedder.
+    _keep_all = staticmethod(keep_all_decision)
 
     # Helper shared by the non-SIC-aware shedders.
     @staticmethod
@@ -57,39 +70,37 @@ class Shedder(ABC):
     ) -> ShedDecision:
         decision = ShedDecision()
         remaining = capacity
-        kept_ids = set()
-        for batch in ordered:
+        shed_start = len(ordered)
+        for index, batch in enumerate(ordered):
             if remaining <= 0:
+                shed_start = index
                 break
-            if len(batch) <= remaining:
+            size = len(batch)
+            if size <= remaining:
                 decision.kept.append(batch)
-                kept_ids.add(batch.batch_id)
-                decision.kept_tuples += len(batch)
-                remaining -= len(batch)
+                decision.kept_tuples += size
+                remaining -= size
             elif allow_splitting:
-                kept_part = Batch(
-                    batch.query_id,
-                    batch.tuples[:remaining],
-                    created_at=batch.created_at,
-                    fragment_id=batch.fragment_id,
-                    origin_fragment_id=batch.origin_fragment_id,
-                )
+                # Keep the head of the batch and shed only the dropped
+                # remainder (mirrors BalanceSicPolicy's split handling); the
+                # split reuses the batch's cumulative-SIC prefix array so the
+                # headers stay consistent without re-summing tuples.
+                kept_part, rest = batch.split(remaining)
                 decision.kept.append(kept_part)
                 decision.kept_tuples += len(kept_part)
-                # The original batch is recorded as shed: routing keeps the
-                # kept part, so no tuples are lost or duplicated.
+                decision.shed.append(rest)
+                decision.shed_tuples += len(rest)
                 remaining = 0
-            else:
+                shed_start = index + 1
                 break
-        for batch in ordered:
-            if batch.batch_id not in kept_ids:
-                decision.shed.append(batch)
-                decision.shed_tuples += len(batch)
-        # Splitting counts the dropped remainder of a split batch as shed.
-        decision.shed_tuples = max(
-            0,
-            sum(len(b) for b in ordered) - decision.kept_tuples,
-        )
+            else:
+                # Without splitting the prefix stops at the first batch that
+                # does not fit; it and everything after it are shed.
+                shed_start = index
+                break
+        for batch in ordered[shed_start:]:
+            decision.shed.append(batch)
+            decision.shed_tuples += len(batch)
         return decision
 
 
@@ -110,8 +121,11 @@ class BalanceSicShedder(Shedder):
         batches: Sequence[Batch],
         capacity: int,
         reported_sic: Mapping[str, float],
+        total_tuples: Optional[int] = None,
     ) -> ShedDecision:
-        return self.policy.select(batches, capacity, reported_sic)
+        return self.policy.select(
+            batches, capacity, reported_sic, total_tuples=total_tuples
+        )
 
 
 class RandomShedder(Shedder):
@@ -128,13 +142,12 @@ class RandomShedder(Shedder):
         batches: Sequence[Batch],
         capacity: int,
         reported_sic: Mapping[str, float],
+        total_tuples: Optional[int] = None,
     ) -> ShedDecision:
-        total = sum(len(b) for b in batches)
-        if total <= capacity:
-            decision = ShedDecision()
-            decision.kept = list(batches)
-            decision.kept_tuples = total
-            return decision
+        if total_tuples is None:
+            total_tuples = _total_tuples(batches)
+        if total_tuples <= capacity:
+            return self._keep_all(batches, total_tuples)
         shuffled = list(batches)
         self.rng.shuffle(shuffled)
         return self._keep_prefix(shuffled, capacity, self.allow_splitting)
@@ -153,7 +166,10 @@ class TailDropShedder(Shedder):
         batches: Sequence[Batch],
         capacity: int,
         reported_sic: Mapping[str, float],
+        total_tuples: Optional[int] = None,
     ) -> ShedDecision:
+        # No underload early-exit here: the kept order is part of this
+        # shedder's contract (oldest first), so the sort must always run.
         ordered = sorted(batches, key=lambda b: b.created_at)
         return self._keep_prefix(ordered, capacity, self.allow_splitting)
 
@@ -168,11 +184,9 @@ class NoShedder(Shedder):
         batches: Sequence[Batch],
         capacity: int,
         reported_sic: Mapping[str, float],
+        total_tuples: Optional[int] = None,
     ) -> ShedDecision:
-        decision = ShedDecision()
-        decision.kept = list(batches)
-        decision.kept_tuples = sum(len(b) for b in batches)
-        return decision
+        return self._keep_all(batches, total_tuples)
 
 
 def make_shedder(name: str, seed: Optional[int] = 0, **kwargs) -> Shedder:

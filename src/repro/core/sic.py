@@ -80,9 +80,16 @@ def query_result_sic(result_tuple_sics: Iterable[float]) -> float:
 
 @dataclass
 class _SourceWindow:
-    """Arrival bookkeeping for one source over a sliding STW."""
+    """Arrival bookkeeping for one source over a sliding STW.
 
-    timestamps: Deque[float]
+    Arrivals are aggregated into ``[timestamp, count]`` buckets (one bucket
+    per distinct timestamp) instead of one deque entry per tuple, with the
+    total count maintained alongside, so recording ``count=k`` arrivals and
+    expiring old ones are O(1) amortized regardless of ``k``.
+    """
+
+    buckets: Deque[List[float]]
+    total: int
     last_estimate: float
     seeded: Optional[float] = None
 
@@ -98,6 +105,12 @@ class SourceRateEstimator:
     grossly over-valued and the result SIC would transiently exceed 1).  The
     estimator can also be *seeded* with a nominal rate, used while no arrivals
     at all have been observed.
+
+    The estimate only depends on the arrival count and the first/last
+    timestamps inside the window, both of which the aggregated buckets
+    preserve exactly, so the bucketed bookkeeping returns bit-identical
+    estimates to the per-tuple deque of
+    :class:`repro.core._reference.ReferenceSourceRateEstimator`.
     """
 
     def __init__(self, stw_seconds: float, min_count: float = 1.0) -> None:
@@ -107,34 +120,101 @@ class SourceRateEstimator:
         self.min_count = float(min_count)
         self._windows: Dict[str, _SourceWindow] = {}
 
+    def _window(self, source_id: str) -> _SourceWindow:
+        window = self._windows.get(source_id)
+        if window is None:
+            window = _SourceWindow(
+                buckets=deque(), total=0, last_estimate=self.min_count
+            )
+            self._windows[source_id] = window
+        return window
+
     def seed_rate(self, source_id: str, tuples_per_second: float) -> None:
         """Seed the estimate for a source from a nominal per-second rate."""
         estimate = max(self.min_count, tuples_per_second * self.stw_seconds)
-        window = self._windows.setdefault(
-            source_id, _SourceWindow(timestamps=deque(), last_estimate=estimate)
-        )
+        window = self._window(source_id)
         window.last_estimate = estimate
         window.seeded = estimate
 
     def observe(self, source_id: str, timestamp: float, count: int = 1) -> None:
-        """Record ``count`` arrivals from ``source_id`` at ``timestamp``."""
-        window = self._windows.setdefault(
-            source_id,
-            _SourceWindow(timestamps=deque(), last_estimate=self.min_count),
-        )
-        for _ in range(count):
-            window.timestamps.append(timestamp)
-        self._expire(window, timestamp)
+        """Record ``count`` arrivals from ``source_id`` at ``timestamp``.
+
+        O(1) amortized in ``count``: arrivals sharing a timestamp merge into
+        one bucket, expiry pops whole buckets, and the estimate refresh reads
+        only the running total and the window edges.  The estimate arithmetic
+        is inlined from :meth:`_estimate` — this is the hottest per-arrival
+        path in the system.
+        """
+        window = self._windows.get(source_id)
+        if window is None:
+            window = _SourceWindow(
+                buckets=deque(), total=0, last_estimate=self.min_count
+            )
+            self._windows[source_id] = window
+        if count <= 0:
+            # Nothing arrives, but (matching the reference estimator) the
+            # window still expires against this timestamp and the estimate
+            # refreshes; no bucket may be appended or the phantom timestamp
+            # would stretch the observed span.
+            self._expire(window, timestamp)
+            window.last_estimate = self._estimate(window)
+            return
+        buckets = window.buckets
+        if buckets and buckets[-1][0] == timestamp:
+            buckets[-1][1] += count
+        else:
+            buckets.append([timestamp, count])
+        total = window.total + count
+        horizon = timestamp - self.stw_seconds
+        # The bucket just touched carries `timestamp`, so the deque can never
+        # empty inside this loop.
+        while buckets[0][0] < horizon:
+            total -= buckets.popleft()[1]
+        window.total = total
+
+        observed = float(total)
+        span = buckets[-1][0] - buckets[0][0]
+        if observed >= 2.0 and span > 0:
+            stw = self.stw_seconds
+            scale = stw / min(stw, span * observed / (observed - 1.0))
+            estimate = observed * (scale if scale > 1.0 else 1.0)
+        elif window.seeded is not None:
+            estimate = window.seeded
+        else:
+            estimate = observed
+        min_count = self.min_count
+        window.last_estimate = estimate if estimate > min_count else min_count
+
+    def observe_many(self, source_id: str, timestamps: Iterable[float]) -> None:
+        """Record one arrival per timestamp, re-estimating once at the end.
+
+        Equivalent to calling :meth:`observe` for each timestamp in order —
+        buckets are appended and expired per arrival so out-of-order
+        timestamps behave identically — but with the per-call overhead
+        (window lookup, estimate refresh) paid once per batch.
+        """
+        window = self._window(source_id)
+        buckets = window.buckets
+        horizon_gap = self.stw_seconds
+        for timestamp in timestamps:
+            if buckets and buckets[-1][0] == timestamp:
+                buckets[-1][1] += 1
+            else:
+                buckets.append([timestamp, 1])
+            window.total += 1
+            horizon = timestamp - horizon_gap
+            while buckets and buckets[0][0] < horizon:
+                window.total -= buckets.popleft()[1]
         window.last_estimate = self._estimate(window)
 
     def _estimate(self, window: _SourceWindow) -> float:
-        timestamps = window.timestamps
-        observed = float(len(timestamps))
+        observed = float(window.total)
         if observed == 0:
             if window.seeded is not None:
                 return window.seeded
             return self.min_count
-        span = timestamps[-1] - timestamps[0]
+        buckets = window.buckets
+        span = buckets[-1][0] - buckets[0][0]
         if observed >= 2 and span > 0:
             # Scale the partially observed window up to a full STW; once a
             # full STW of history exists the scale factor tends to 1.
@@ -158,9 +238,9 @@ class SourceRateEstimator:
 
     def _expire(self, window: _SourceWindow, now: float) -> None:
         horizon = now - self.stw_seconds
-        timestamps = window.timestamps
-        while timestamps and timestamps[0] < horizon:
-            timestamps.popleft()
+        buckets = window.buckets
+        while buckets and buckets[0][0] < horizon:
+            window.total -= buckets.popleft()[1]
 
 
 class SicAssigner:
@@ -191,15 +271,32 @@ class SicAssigner:
 
         Arrivals are first recorded so that the estimate reflects the batch
         being stamped, then every tuple receives
-        ``1 / (estimate(source) * |S|)``.
+        ``1 / (estimate(source) * |S|)``.  Consecutive same-source runs are
+        ingested with one estimator call, and the per-tuple SIC value is
+        computed once per distinct source instead of once per tuple.
         """
+        run_source: Optional[str] = None
+        run_timestamps: List[float] = []
         for t in tuples:
             source = t.source_id or "__anonymous__"
-            self.estimator.observe(source, t.timestamp)
+            if source != run_source:
+                if run_timestamps:
+                    self.estimator.observe_many(run_source, run_timestamps)
+                run_source = source
+                run_timestamps = []
+            run_timestamps.append(t.timestamp)
+        if run_timestamps:
+            self.estimator.observe_many(run_source, run_timestamps)
+
+        sic_per_source: Dict[str, float] = {}
         for t in tuples:
             source = t.source_id or "__anonymous__"
-            per_stw = self.estimator.tuples_per_stw(source)
-            t.sic = source_tuple_sic(per_stw, self.num_sources)
+            sic = sic_per_source.get(source)
+            if sic is None:
+                per_stw = self.estimator.tuples_per_stw(source)
+                sic = source_tuple_sic(per_stw, self.num_sources)
+                sic_per_source[source] = sic
+            t.sic = sic
         return list(tuples)
 
     def sic_for(self, source_id: str) -> float:

@@ -11,9 +11,18 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple as PyTuple,
+)
 
-__all__ = ["Tuple", "Batch", "BatchHeader", "merge_batches"]
+__all__ = ["Tuple", "Batch", "BatchHeader", "merge_batches", "total_tuples"]
 
 _batch_ids = itertools.count()
 
@@ -84,7 +93,14 @@ class Batch:
     nodes, and the unit of shedding at a node's input buffer.
     """
 
-    __slots__ = ("batch_id", "header", "tuples", "origin_fragment_id")
+    __slots__ = (
+        "batch_id",
+        "header",
+        "tuples",
+        "origin_fragment_id",
+        "_sic_prefix",
+        "_prefix_start",
+    )
 
     def __init__(
         self,
@@ -99,6 +115,10 @@ class Batch:
         # Which fragment produced this batch (None for source batches); nodes
         # use it to route the batch to the right entry operator downstream.
         self.origin_fragment_id = origin_fragment_id
+        # Cumulative-SIC prefix array, shared with batches produced by
+        # ``split`` so repeated splitting never re-sums tuple SIC values.
+        self._sic_prefix: Optional[List[float]] = None
+        self._prefix_start: int = 0
         sic = sum(t.sic for t in self.tuples)
         if created_at is None:
             created_at = min((t.timestamp for t in self.tuples), default=0.0)
@@ -143,8 +163,86 @@ class Batch:
 
     def refresh_sic(self) -> float:
         """Recompute the header SIC from the tuples and return it."""
+        # Tuple SIC values may have been rewritten in place, so any cached
+        # prefix array is stale and must be rebuilt on the next split.
+        self._sic_prefix = None
+        self._prefix_start = 0
         self.header.sic = sum(t.sic for t in self.tuples)
         return self.header.sic
+
+    # -- fast splitting --------------------------------------------------------
+    def sic_prefix(self) -> List[float]:
+        """Cumulative SIC sums over this batch's tuples (length ``len + 1``).
+
+        The array is computed lazily on first use and shared with the batches
+        produced by :meth:`split`, so a chain of splits performs a single O(n)
+        pass over the tuples no matter how many times the pieces are re-split.
+        ``sic_prefix()[i] - sic_prefix()[j]`` is the summed SIC of tuples
+        ``j..i-1`` relative to ``_prefix_start``.
+        """
+        if self._sic_prefix is None:
+            prefix = [0.0] * (len(self.tuples) + 1)
+            running = 0.0
+            for i, t in enumerate(self.tuples):
+                running += t.sic
+                prefix[i + 1] = running
+            self._sic_prefix = prefix
+            self._prefix_start = 0
+        return self._sic_prefix
+
+    def split(self, keep_tuples: int) -> "PyTuple[Batch, Batch]":
+        """Split into a head of ``keep_tuples`` tuples and the remaining tail.
+
+        Both halves keep this batch's header fields (query, creation time,
+        fragment routing) and their ``header.sic`` is derived incrementally
+        from the shared cumulative-SIC prefix array — no tuple re-summing.
+
+        Raises:
+            ValueError: unless ``0 < keep_tuples < len(self)``.
+        """
+        n = len(self.tuples)
+        if not 0 < keep_tuples < n:
+            raise ValueError(
+                f"keep_tuples must be in (0, {n}), got {keep_tuples}"
+            )
+        prefix = self.sic_prefix()
+        start = self._prefix_start
+        if prefix[start + n] - prefix[start] != self.header.sic:
+            # The shared prefix array no longer matches this batch's header —
+            # a sibling's tuples were mutated and refreshed through another
+            # batch.  Rebuild our own prefix from our own tuples.
+            self._sic_prefix = None
+            self._prefix_start = 0
+            prefix = self.sic_prefix()
+            start = 0
+        cut = start + keep_tuples
+        head_sic = prefix[cut] - prefix[start]
+        tail_sic = prefix[start + n] - prefix[cut]
+        head = self._derived(self.tuples[:keep_tuples], head_sic, prefix, start)
+        tail = self._derived(self.tuples[keep_tuples:], tail_sic, prefix, cut)
+        return head, tail
+
+    def _derived(
+        self,
+        tuples: List[Tuple],
+        sic: float,
+        prefix: List[float],
+        prefix_start: int,
+    ) -> "Batch":
+        """Build a split piece without re-summing tuple SIC values."""
+        piece = Batch.__new__(Batch)
+        piece.batch_id = next(_batch_ids)
+        piece.tuples = tuples
+        piece.origin_fragment_id = self.origin_fragment_id
+        piece._sic_prefix = prefix
+        piece._prefix_start = prefix_start
+        piece.header = BatchHeader(
+            query_id=self.header.query_id,
+            sic=sic,
+            created_at=self.header.created_at,
+            fragment_id=self.header.fragment_id,
+        )
+        return piece
 
     def meta_data_bytes(self) -> int:
         """Size of the SIC meta-data attached to this batch.
@@ -158,6 +256,11 @@ class Batch:
         query_id_bytes = 16
         timestamp_bytes = 8
         return sic_bytes + query_id_bytes + timestamp_bytes
+
+
+def total_tuples(batches: Iterable[Batch]) -> int:
+    """Total tuple count across ``batches`` (one pass over batch lengths)."""
+    return sum(len(b) for b in batches)
 
 
 def merge_batches(batches: Iterable[Batch]) -> Dict[str, List[Batch]]:

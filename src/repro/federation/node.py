@@ -96,6 +96,9 @@ class FspsNode:
         self.fragments: Dict[str, QueryFragment] = {}
         self.stats = NodeStats()
         self._input_buffer: List[Batch] = []
+        # Tuple count of the input buffer, tracked incrementally so overload
+        # detection never re-scans the buffer (`sum(len(b) for b in ...)`).
+        self._input_buffer_tuples: int = 0
         # Result SIC per query as last reported by the query coordinators.
         self._reported_sic: Dict[str, float] = {}
         self._use_coordinator_updates = True
@@ -126,6 +129,7 @@ class FspsNode:
     def enqueue(self, batch: Batch) -> None:
         """Add an incoming batch to the input buffer."""
         self._input_buffer.append(batch)
+        self._input_buffer_tuples += len(batch)
         self.stats.received_tuples += len(batch)
 
     def receive_sic_update(self, query_id: str, sic_value: float) -> None:
@@ -134,7 +138,7 @@ class FspsNode:
 
     def input_buffer_size(self) -> int:
         """Number of tuples currently waiting in the input buffer."""
-        return sum(len(b) for b in self._input_buffer)
+        return self._input_buffer_tuples
 
     # --------------------------------------------------------------- main loop
     def tick(self, now: float, timer: Optional[callable] = None) -> NodeTickResult:
@@ -151,8 +155,9 @@ class FspsNode:
         result.capacity = capacity
 
         buffered = self._input_buffer
+        buffered_tuples = self._input_buffer_tuples
         self._input_buffer = []
-        buffered_tuples = sum(len(b) for b in buffered)
+        self._input_buffer_tuples = 0
         overloaded = buffered_tuples > capacity
         result.overloaded = overloaded
         if overloaded:
@@ -162,16 +167,18 @@ class FspsNode:
         if overloaded:
             self.stats.shedder_invocations += 1
             start = timer() if timer else None
-            decision = self.shedder.shed(buffered, capacity, reported)
+            decision = self.shedder.shed(
+                buffered, capacity, reported, total_tuples=buffered_tuples
+            )
             if timer and start is not None:
                 self.stats.shedder_time_seconds += timer() - start
             kept = decision.kept
             result.shed_tuples = decision.shed_tuples
             self.stats.shed_tuples += decision.shed_tuples
+            result.kept_tuples = decision.kept_tuples
         else:
             kept = buffered
-
-        result.kept_tuples = sum(len(b) for b in kept)
+            result.kept_tuples = buffered_tuples
         self.stats.kept_tuples += result.kept_tuples
 
         # Route kept batches to their fragments and record the kept SIC in the

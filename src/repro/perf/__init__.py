@@ -1,0 +1,13 @@
+"""Lightweight performance instrumentation for the shedding fast path.
+
+This package is deliberately dependency-free and cheap enough to leave wired
+into hot loops: a :class:`Stopwatch` built on ``time.perf_counter`` and a
+:class:`PerfRegistry` of named counters and timers.  The micro-benchmark suite
+(``benchmarks/test_bench_micro.py``) and the perf-report CLI
+(``scripts/bench_report.py``) use it to produce the ``BENCH_shedding.json``
+trajectory that future optimisation PRs are measured against.
+"""
+
+from .stopwatch import PerfRegistry, Stopwatch, TimerStat, default_registry
+
+__all__ = ["Stopwatch", "TimerStat", "PerfRegistry", "default_registry"]

@@ -1,0 +1,197 @@
+"""Micro-benchmark kernels for the shedding fast path.
+
+Each kernel times one hot path in isolation, and where a pre-optimisation
+reference implementation exists (:mod:`repro.core._reference`) it is timed on
+the identical workload so the recorded speedup is machine-independent.  The
+kernels are shared by ``benchmarks/test_bench_micro.py`` (pytest-benchmark
+suite) and ``scripts/bench_report.py`` (writes ``BENCH_shedding.json``).
+
+Workload shapes mirror the paper's scalability experiments: the selection
+benchmark sweeps the query count like fig13, and the estimator ingest uses
+the fig12 arrival pattern (~200-tuple batches, i.e. 800 tuples/s sources
+observed every 0.25 s shedding interval).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Optional, Tuple as PyTuple
+
+from ..core._reference import (
+    ReferenceBalanceSicPolicy,
+    ReferenceSourceRateEstimator,
+)
+from ..core.balance_sic import BalanceSicPolicy
+from ..core.shedding import BalanceSicShedder
+from ..core.sic import SourceRateEstimator
+from ..core.tuples import Batch, Tuple
+from ..federation.node import FspsNode
+from .stopwatch import PerfRegistry, Stopwatch
+
+__all__ = [
+    "build_selection_workload",
+    "time_selection",
+    "time_estimator_ingest",
+    "time_node_ticks",
+    "run_microbench",
+]
+
+SELECTION_QUERY_COUNTS = (10, 100, 1000)
+ESTIMATOR_ARRIVALS = 100_000
+ESTIMATOR_CHUNK = 200  # 800 tuples/s observed every 0.25 s interval (fig12)
+
+
+def build_selection_workload(
+    num_queries: int,
+    batches_per_query: int = 4,
+    tuples_per_batch: int = 25,
+    seed: int = 0,
+) -> PyTuple[List[Batch], Dict[str, float], int]:
+    """Build an overloaded input buffer: batches, reported SIC, capacity.
+
+    Capacity is a quarter of the buffered tuples so the selection loop runs
+    its full gradient-ascent convergence, the worst case for the old
+    O(iterations × queries) implementation.
+    """
+    rng = random.Random(seed)
+    batches: List[Batch] = []
+    reported: Dict[str, float] = {}
+    for q in range(num_queries):
+        query_id = f"q{q}"
+        reported[query_id] = rng.random()
+        for b in range(batches_per_query):
+            sic = rng.uniform(1e-4, 1e-2)
+            tuples = [
+                Tuple(timestamp=b + i * 1e-3, sic=sic, values={})
+                for i in range(tuples_per_batch)
+            ]
+            batches.append(Batch(query_id, tuples))
+    capacity = (batches_per_query * tuples_per_batch * num_queries) // 4
+    return batches, reported, capacity
+
+
+def time_selection(
+    num_queries: int,
+    use_reference: bool = False,
+    seed: int = 0,
+    registry: Optional[PerfRegistry] = None,
+) -> float:
+    """Seconds for one BALANCE-SIC selection round over a fresh workload."""
+    batches, reported, capacity = build_selection_workload(num_queries, seed=seed)
+    cls = ReferenceBalanceSicPolicy if use_reference else BalanceSicPolicy
+    policy = cls(rng=random.Random(seed))
+    with Stopwatch() as sw:
+        decision = policy.select(batches, capacity, reported)
+    assert decision.kept_tuples == capacity
+    if registry is not None:
+        name = "selection.reference" if use_reference else "selection.fast"
+        registry.record(f"{name}.q{num_queries}", sw.elapsed_seconds)
+    return sw.elapsed_seconds
+
+
+def time_estimator_ingest(
+    arrivals: int = ESTIMATOR_ARRIVALS,
+    chunk: int = ESTIMATOR_CHUNK,
+    use_reference: bool = False,
+    registry: Optional[PerfRegistry] = None,
+) -> float:
+    """Seconds to ingest ``arrivals`` arrivals in ``chunk``-sized batches."""
+    cls = ReferenceSourceRateEstimator if use_reference else SourceRateEstimator
+    estimator = cls(stw_seconds=1.0)
+    calls = arrivals // chunk
+    with Stopwatch() as sw:
+        for i in range(calls):
+            estimator.observe("s", i * 0.25, count=chunk)
+    if registry is not None:
+        name = "estimator.reference" if use_reference else "estimator.fast"
+        registry.record(name, sw.elapsed_seconds)
+    return sw.elapsed_seconds
+
+
+def time_node_ticks(
+    ticks: int = 50,
+    batches_per_tick: int = 200,
+    tuples_per_batch: int = 20,
+    capacity_fraction: float = 0.5,
+    registry: Optional[PerfRegistry] = None,
+) -> float:
+    """Seconds to run ``ticks`` overloaded enqueue/shed rounds on one node.
+
+    The node hosts no fragments, so the measurement isolates the input-buffer
+    bookkeeping, overload detection and BALANCE-SIC shedding — the paths this
+    PR made incremental.
+    """
+    per_tick_tuples = batches_per_tick * tuples_per_batch
+    budget = per_tick_tuples * capacity_fraction
+    node = FspsNode(
+        node_id="bench-node",
+        shedder=BalanceSicShedder(seed=0),
+        budget_per_interval=budget,
+    )
+    rng = random.Random(0)
+    with Stopwatch() as sw:
+        for tick in range(ticks):
+            now = (tick + 1) * 0.25
+            for b in range(batches_per_tick):
+                query_id = f"q{b % 20}"
+                sic = rng.uniform(1e-4, 1e-2)
+                tuples = [
+                    Tuple(timestamp=now + i * 1e-4, sic=sic, values={})
+                    for i in range(tuples_per_batch)
+                ]
+                node.enqueue(Batch(query_id, tuples))
+            node.tick(now)
+    assert node.stats.shed_tuples > 0  # the workload must actually overload
+    if registry is not None:
+        registry.record("node.tick", sw.elapsed_seconds)
+    return sw.elapsed_seconds
+
+
+def run_microbench(
+    selection_queries: Optional[Mapping[int, bool]] = None,
+    registry: Optional[PerfRegistry] = None,
+) -> Dict[str, object]:
+    """Run the full micro-benchmark matrix and return a result dict.
+
+    Args:
+        selection_queries: query count → also time the reference
+            implementation (the reference at Q=1000 takes seconds, so callers
+            may restrict where it runs).  Defaults to reference at every Q.
+        registry: optional registry collecting the raw laps.
+
+    Returns a JSON-serialisable dict with per-kernel milliseconds and the
+    fast-vs-reference speedups.
+    """
+    if selection_queries is None:
+        selection_queries = {q: True for q in SELECTION_QUERY_COUNTS}
+    results: Dict[str, object] = {"selection": {}, "estimator": {}, "node": {}}
+
+    for num_queries, with_reference in selection_queries.items():
+        entry: Dict[str, float] = {
+            "fast_ms": time_selection(num_queries, registry=registry) * 1e3
+        }
+        if with_reference:
+            entry["reference_ms"] = (
+                time_selection(num_queries, use_reference=True, registry=registry)
+                * 1e3
+            )
+            entry["speedup"] = entry["reference_ms"] / entry["fast_ms"]
+        results["selection"][f"q{num_queries}"] = entry
+
+    fast = time_estimator_ingest(registry=registry) * 1e3
+    reference = time_estimator_ingest(use_reference=True, registry=registry) * 1e3
+    results["estimator"] = {
+        "arrivals": ESTIMATOR_ARRIVALS,
+        "chunk": ESTIMATOR_CHUNK,
+        "fast_ms": fast,
+        "reference_ms": reference,
+        "speedup": reference / fast,
+    }
+
+    node_seconds = time_node_ticks(registry=registry)
+    results["node"] = {
+        "ticks": 50,
+        "total_ms": node_seconds * 1e3,
+        "ticks_per_second": 50 / node_seconds if node_seconds else 0.0,
+    }
+    return results

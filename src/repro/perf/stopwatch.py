@@ -1,0 +1,163 @@
+"""Stopwatch and counter registry used by the perf benchmarks.
+
+Design goals:
+
+* **cheap** — one ``perf_counter`` call per start/stop, plain dict counters;
+* **deterministic output** — :meth:`PerfRegistry.summary` returns plain
+  JSON-serialisable dicts with stable key order so reports diff cleanly;
+* **composable** — a registry can be passed into benchmark helpers, or the
+  module-level :func:`default_registry` can be used for quick measurements.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+__all__ = ["Stopwatch", "TimerStat", "PerfRegistry", "default_registry"]
+
+
+class Stopwatch:
+    """A restartable wall-clock stopwatch.
+
+    Usable imperatively (``start()`` / ``stop()``) or as a context manager::
+
+        with Stopwatch() as sw:
+            policy.select(batches, capacity, reported)
+        print(sw.elapsed_seconds)
+
+    ``stop()`` returns the lap time and accumulates into ``elapsed_seconds``
+    so one stopwatch can time a loop of repetitions.
+    """
+
+    __slots__ = ("elapsed_seconds", "laps", "_started_at", "_clock")
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.elapsed_seconds = 0.0
+        self.laps = 0
+        self._started_at: Optional[float] = None
+        self._clock = clock
+
+    def start(self) -> "Stopwatch":
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = self._clock()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch is not running")
+        lap = self._clock() - self._started_at
+        self._started_at = None
+        self.elapsed_seconds += lap
+        self.laps += 1
+        return lap
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    def reset(self) -> None:
+        self.elapsed_seconds = 0.0
+        self.laps = 0
+        self._started_at = None
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+@dataclass
+class TimerStat:
+    """Aggregated laps of one named timer."""
+
+    total_seconds: float = 0.0
+    count: int = 0
+    min_seconds: float = float("inf")
+    max_seconds: float = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.total_seconds += seconds
+        self.count += 1
+        if seconds < self.min_seconds:
+            self.min_seconds = seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+@dataclass
+class PerfRegistry:
+    """Named counters and timers, summarised as JSON-friendly dicts."""
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    timers: Dict[str, TimerStat] = field(default_factory=dict)
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def record(self, name: str, seconds: float) -> None:
+        stat = self.timers.get(name)
+        if stat is None:
+            stat = self.timers[name] = TimerStat()
+        stat.record(seconds)
+
+    def time(self, name: str) -> "_RegistryTimer":
+        """Context manager recording a lap under ``name``."""
+        return _RegistryTimer(self, name)
+
+    def measure(self, name: str, func: Callable, *args, **kwargs):
+        """Time one call of ``func`` under ``name`` and return its result."""
+        sw = Stopwatch().start()
+        result = func(*args, **kwargs)
+        self.record(name, sw.stop())
+        return result
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Stable-ordered, JSON-serialisable snapshot of all metrics."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "timers": {
+                k: {
+                    "total_seconds": stat.total_seconds,
+                    "count": stat.count,
+                    "mean_seconds": stat.mean_seconds,
+                    "min_seconds": stat.min_seconds if stat.count else 0.0,
+                    "max_seconds": stat.max_seconds,
+                }
+                for k, stat in sorted(self.timers.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timers.clear()
+
+
+class _RegistryTimer:
+    __slots__ = ("_registry", "_name", "_stopwatch")
+
+    def __init__(self, registry: PerfRegistry, name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._stopwatch = Stopwatch()
+
+    def __enter__(self) -> Stopwatch:
+        return self._stopwatch.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._registry.record(self._name, self._stopwatch.stop())
+
+
+_DEFAULT = PerfRegistry()
+
+
+def default_registry() -> PerfRegistry:
+    """The module-level registry for ad-hoc measurements."""
+    return _DEFAULT

@@ -12,6 +12,7 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from ..federation.fsps import FederatedSystem
+from ..perf import PerfRegistry, Stopwatch
 from .clock import SimulationClock
 from .config import SimulationConfig
 from .results import NodeSummary, RunResult
@@ -20,17 +21,29 @@ __all__ = ["Simulator"]
 
 
 class Simulator:
-    """Runs a federated deployment under a :class:`SimulationConfig`."""
+    """Runs a federated deployment under a :class:`SimulationConfig`.
+
+    Args:
+        system: the fully-constructed federation to drive.
+        config: timing configuration (duration, warm-up, interval).
+        measure_shedder_time: wall-clock the shedder invocations (§7.6).
+        perf_registry: optional :class:`repro.perf.PerfRegistry`; when given,
+            the simulator records per-tick wall time under ``simulator.tick``
+            and the whole run under ``simulator.run``, so experiment drivers
+            can report throughput without instrumenting the loop themselves.
+    """
 
     def __init__(
         self,
         system: FederatedSystem,
         config: SimulationConfig,
         measure_shedder_time: bool = False,
+        perf_registry: Optional[PerfRegistry] = None,
     ) -> None:
         self.system = system
         self.config = config
         self.measure_shedder_time = measure_shedder_time
+        self.perf_registry = perf_registry
         self.clock = SimulationClock(config.shedding_interval)
 
     def run(self) -> RunResult:
@@ -39,9 +52,18 @@ class Simulator:
             time.perf_counter if self.measure_shedder_time else None
         )
         total_ticks = self.config.total_ticks
+        registry = self.perf_registry
+        run_watch = Stopwatch().start() if registry is not None else None
         for _ in range(max(1, total_ticks)):
             self.clock.advance()
-            self.system.tick(timer=timer)
+            if registry is not None:
+                with registry.time("simulator.tick"):
+                    self.system.tick(timer=timer)
+            else:
+                self.system.tick(timer=timer)
+        if registry is not None and run_watch is not None:
+            registry.record("simulator.run", run_watch.stop())
+            registry.incr("simulator.ticks", max(1, total_ticks))
         return self._collect()
 
     # ----------------------------------------------------------------- helpers

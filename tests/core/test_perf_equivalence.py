@@ -1,0 +1,223 @@
+"""The heap-based fast path must match the reference implementations exactly.
+
+``repro.core._reference`` preserves the seed's O(iterations × queries)
+BALANCE-SIC selection and the per-tuple-deque rate estimator.  These tests
+drive both implementations with identical inputs and seeds and require
+byte-identical outcomes — same kept/shed batch contents in the same order,
+same RNG consumption, same SIC estimates — which is what makes the fast path
+a pure performance change.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core._reference import (
+    ReferenceBalanceSicPolicy,
+    ReferenceSourceRateEstimator,
+)
+from repro.core.balance_sic import (
+    BalanceSicConfig,
+    BalanceSicPolicy,
+    SelectionStrategy,
+)
+from repro.core.tuples import Batch, Tuple
+
+
+def make_buffer(num_queries, batches_per_query, tuples_per_batch, seed):
+    rng = random.Random(seed)
+    batches, reported = [], {}
+    for q in range(num_queries):
+        query_id = f"q{q}"
+        reported[query_id] = rng.random()
+        for b in range(batches_per_query):
+            sic = rng.uniform(1e-4, 1e-2)
+            tuples = [
+                Tuple(timestamp=b + i * 1e-3, sic=sic, values={})
+                for i in range(tuples_per_batch)
+            ]
+            batches.append(Batch(query_id, tuples))
+    return batches, reported
+
+
+def batch_signature(batch):
+    """Content identity of a batch: query, tuple payloads and header SIC."""
+    return (
+        batch.query_id,
+        batch.sic,
+        tuple((t.timestamp, t.sic) for t in batch.tuples),
+    )
+
+
+def assert_decisions_identical(fast, reference):
+    assert fast.kept_tuples == reference.kept_tuples
+    assert fast.shed_tuples == reference.shed_tuples
+    assert fast.iterations == reference.iterations
+    assert [batch_signature(b) for b in fast.kept] == [
+        batch_signature(b) for b in reference.kept
+    ]
+    assert [batch_signature(b) for b in fast.shed] == [
+        batch_signature(b) for b in reference.shed
+    ]
+    assert fast.projected_sic == reference.projected_sic
+
+
+class TestSelectionEquivalence:
+    @pytest.mark.parametrize("strategy", SelectionStrategy.ALL)
+    @pytest.mark.parametrize("allow_splitting", [True, False])
+    @pytest.mark.parametrize("use_projection", [True, False])
+    @pytest.mark.parametrize("capacity_fraction", [0.0, 0.25, 0.75, 1.5])
+    def test_matrix(self, strategy, allow_splitting, use_projection, capacity_fraction):
+        config = BalanceSicConfig(
+            selection_strategy=strategy,
+            allow_batch_splitting=allow_splitting,
+            use_projection=use_projection,
+        )
+        for seed in range(3):
+            batches, reported = make_buffer(7, 3, 6, seed)
+            total = sum(len(b) for b in batches)
+            capacity = int(total * capacity_fraction)
+            fast = BalanceSicPolicy(config, rng=random.Random(99)).select(
+                batches, capacity, reported
+            )
+            ref_batches, ref_reported = make_buffer(7, 3, 6, seed)
+            reference = ReferenceBalanceSicPolicy(
+                config, rng=random.Random(99)
+            ).select(ref_batches, capacity, ref_reported)
+            assert_decisions_identical(fast, reference)
+
+    def test_queries_without_buffered_batches(self):
+        batches, _ = make_buffer(3, 2, 5, seed=1)
+        reported = {"q0": 0.1, "q1": 0.5, "q2": 0.9, "ghost1": 0.05, "ghost2": 0.3}
+        fast = BalanceSicPolicy(rng=random.Random(5)).select(batches, 12, reported)
+        ref_batches, _ = make_buffer(3, 2, 5, seed=1)
+        reference = ReferenceBalanceSicPolicy(rng=random.Random(5)).select(
+            ref_batches, 12, dict(reported)
+        )
+        assert_decisions_identical(fast, reference)
+
+    def test_many_exact_ties_consume_identical_rng(self):
+        # All queries report 0 and carry identical batches: every iteration is
+        # a maximal tie, exercising the rng.choice replay in the heap path.
+        def build():
+            return [
+                Batch(
+                    f"q{q}",
+                    [Tuple(timestamp=float(b), sic=0.01, values={}) for _ in range(4)],
+                )
+                for q in range(12)
+                for b in range(3)
+            ]
+
+        fast = BalanceSicPolicy(rng=random.Random(11)).select(build(), 37, {})
+        reference = ReferenceBalanceSicPolicy(rng=random.Random(11)).select(
+            build(), 37, {}
+        )
+        assert_decisions_identical(fast, reference)
+
+    @given(
+        num_queries=st.integers(1, 8),
+        batches_per_query=st.integers(1, 5),
+        tuples_per_batch=st.integers(1, 8),
+        capacity=st.integers(0, 250),
+        seed=st.integers(0, 1000),
+        allow_splitting=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_random_buffers(
+        self,
+        num_queries,
+        batches_per_query,
+        tuples_per_batch,
+        capacity,
+        seed,
+        allow_splitting,
+    ):
+        config = BalanceSicConfig(allow_batch_splitting=allow_splitting)
+        batches, reported = make_buffer(
+            num_queries, batches_per_query, tuples_per_batch, seed
+        )
+        fast = BalanceSicPolicy(config, rng=random.Random(seed)).select(
+            batches, capacity, reported
+        )
+        ref_batches, ref_reported = make_buffer(
+            num_queries, batches_per_query, tuples_per_batch, seed
+        )
+        reference = ReferenceBalanceSicPolicy(config, rng=random.Random(seed)).select(
+            ref_batches, capacity, ref_reported
+        )
+        assert_decisions_identical(fast, reference)
+
+
+class TestEstimatorEquivalence:
+    @given(
+        seed=st.integers(0, 1000),
+        stw=st.floats(min_value=0.1, max_value=10.0),
+        chunks=st.lists(st.integers(1, 50), min_size=1, max_size=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bucketed_estimates_match_per_tuple_deque(self, seed, stw, chunks):
+        from repro.core.sic import SourceRateEstimator
+
+        rng = random.Random(seed)
+        fast = SourceRateEstimator(stw_seconds=stw)
+        reference = ReferenceSourceRateEstimator(stw_seconds=stw)
+        t = 0.0
+        for count in chunks:
+            t += rng.uniform(0.0, stw / 4)
+            source = rng.choice(["a", "b"])
+            fast.observe(source, t, count=count)
+            reference.observe(source, t, count=count)
+            for s in ("a", "b"):
+                assert fast.tuples_per_stw(s) == reference.tuples_per_stw(s)
+
+    def test_observe_many_matches_sequential_observe(self):
+        from repro.core.sic import SourceRateEstimator
+
+        rng = random.Random(3)
+        timestamps = [rng.uniform(0, 20) for _ in range(500)]  # out of order too
+        fast = SourceRateEstimator(stw_seconds=1.5)
+        reference = ReferenceSourceRateEstimator(stw_seconds=1.5)
+        fast.observe_many("s", timestamps)
+        for ts in timestamps:
+            reference.observe("s", ts)
+        assert fast.tuples_per_stw("s") == reference.tuples_per_stw("s")
+
+    def test_seeded_rate_used_until_arrivals(self):
+        from repro.core.sic import SourceRateEstimator
+
+        fast = SourceRateEstimator(stw_seconds=10.0)
+        reference = ReferenceSourceRateEstimator(stw_seconds=10.0)
+        fast.seed_rate("s", 40.0)
+        reference.seed_rate("s", 40.0)
+        assert fast.tuples_per_stw("s") == reference.tuples_per_stw("s") == 400.0
+        fast.observe("s", 1.0)
+        reference.observe("s", 1.0)
+        assert fast.tuples_per_stw("s") == reference.tuples_per_stw("s")
+
+
+class TestEstimatorEdgeCases:
+    def test_zero_count_observe_matches_reference(self):
+        # A count=0 observe must not append a phantom bucket that stretches
+        # the observed span (regression: fast path diverged from reference).
+        from repro.core.sic import SourceRateEstimator
+
+        fast = SourceRateEstimator(stw_seconds=10.0)
+        reference = ReferenceSourceRateEstimator(stw_seconds=10.0)
+        for est in (fast, reference):
+            est.observe("s", 0.0, count=5)
+            est.observe("s", 1.0, count=0)
+        assert fast.tuples_per_stw("s") == reference.tuples_per_stw("s") == 5.0
+
+    def test_zero_count_still_expires_window(self):
+        from repro.core.sic import SourceRateEstimator
+
+        fast = SourceRateEstimator(stw_seconds=1.0)
+        reference = ReferenceSourceRateEstimator(stw_seconds=1.0)
+        for est in (fast, reference):
+            est.observe("s", 0.0, count=4)
+            est.observe("s", 0.5, count=4)
+            est.observe("s", 10.0, count=0)  # everything should expire
+        assert fast.tuples_per_stw("s") == reference.tuples_per_stw("s")

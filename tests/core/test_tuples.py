@@ -96,3 +96,87 @@ class TestMergeBatches:
 
     def test_empty_input_yields_empty_mapping(self):
         assert merge_batches([]) == {}
+
+
+class TestBatchSplit:
+    def _batch(self, sics, query_id="q1", created_at=3.0):
+        tuples = [
+            Tuple(timestamp=float(i), sic=s, values={"v": i})
+            for i, s in enumerate(sics)
+        ]
+        return Batch(query_id, tuples, created_at=created_at, fragment_id="f0")
+
+    def test_split_partitions_tuples_and_sic(self):
+        batch = self._batch([0.1, 0.2, 0.3, 0.4])
+        head, tail = batch.split(1)
+        assert [t.values["v"] for t in head.tuples] == [0]
+        assert [t.values["v"] for t in tail.tuples] == [1, 2, 3]
+        assert head.sic == pytest.approx(0.1)
+        assert tail.sic == pytest.approx(0.9)
+        assert head.sic + tail.sic == pytest.approx(batch.sic)
+
+    def test_split_preserves_header_fields(self):
+        batch = self._batch([0.1, 0.2])
+        head, tail = batch.split(1)
+        for piece in (head, tail):
+            assert piece.query_id == batch.query_id
+            assert piece.created_at == batch.created_at
+            assert piece.fragment_id == batch.fragment_id
+            assert piece.origin_fragment_id == batch.origin_fragment_id
+        assert head.batch_id != tail.batch_id != batch.batch_id
+
+    def test_repeated_splits_share_prefix_and_stay_consistent(self):
+        batch = self._batch([0.1] * 16)
+        prefix = batch.sic_prefix()
+        head, tail = batch.split(4)
+        assert tail.sic_prefix() is prefix  # shared, not recomputed
+        h2, t2 = tail.split(5)
+        assert h2.sic_prefix() is prefix
+        total = head.sic + h2.sic + t2.sic
+        assert total == pytest.approx(batch.sic)
+        assert len(head) + len(h2) + len(t2) == 16
+
+    def test_split_bounds_are_validated(self):
+        batch = self._batch([0.1, 0.2])
+        with pytest.raises(ValueError):
+            batch.split(0)
+        with pytest.raises(ValueError):
+            batch.split(2)
+
+    def test_refresh_sic_invalidates_cached_prefix(self):
+        batch = self._batch([0.1, 0.2, 0.3])
+        batch.sic_prefix()
+        batch.tuples[0].sic = 0.7
+        batch.refresh_sic()
+        head, tail = batch.split(1)
+        assert head.sic == pytest.approx(0.7)
+        assert tail.sic == pytest.approx(0.5)
+
+
+class TestTotalTuples:
+    def test_counts_across_batches(self):
+        from repro.core.tuples import total_tuples
+
+        batches = [
+            Batch("q1", [Tuple(0.0, 0.1, {}) for _ in range(3)]),
+            Batch("q2", [Tuple(0.0, 0.1, {}) for _ in range(5)]),
+        ]
+        assert total_tuples(batches) == 8
+        assert total_tuples([]) == 0
+
+
+class TestSplitPrefixStaleness:
+    def test_sibling_refresh_does_not_poison_shared_prefix(self):
+        # head/tail share the parent's prefix array; mutating shared tuples
+        # and refreshing one batch must not leave the other deriving split
+        # SIC values from the stale array (split() detects the header
+        # mismatch and rebuilds its own prefix).
+        tuples = [Tuple(timestamp=float(i), sic=0.1, values={}) for i in range(6)]
+        parent = Batch("q1", tuples)
+        head, tail = parent.split(4)
+        head.tuples[0].sic = 0.9  # shared Tuple object
+        head.refresh_sic()
+        h1, h2 = head.split(2)
+        assert h1.sic == pytest.approx(1.0)  # 0.9 + 0.1, not stale 0.2
+        assert h2.sic == pytest.approx(0.2)
+        assert h1.sic + h2.sic == pytest.approx(head.sic)

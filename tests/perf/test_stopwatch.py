@@ -1,0 +1,103 @@
+"""Unit tests for the perf instrumentation subsystem."""
+
+import pytest
+
+from repro.perf import PerfRegistry, Stopwatch, default_registry
+
+
+class TestStopwatch:
+    def test_context_manager_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        assert sw.elapsed_seconds >= 0.0
+        assert sw.laps == 1
+        with sw:
+            pass
+        assert sw.laps == 2
+
+    def test_manual_start_stop_returns_lap(self):
+        sw = Stopwatch()
+        sw.start()
+        lap = sw.stop()
+        assert lap >= 0.0
+        assert sw.elapsed_seconds == pytest.approx(lap)
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+        sw.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed_seconds == 0.0
+        assert sw.laps == 0
+        assert not sw.running
+
+    def test_fake_clock_measures_exactly(self):
+        times = iter([1.0, 3.5])
+        sw = Stopwatch(clock=lambda: next(times))
+        sw.start()
+        assert sw.stop() == pytest.approx(2.5)
+
+
+class TestPerfRegistry:
+    def test_counters_accumulate(self):
+        reg = PerfRegistry()
+        reg.incr("tuples", 5)
+        reg.incr("tuples", 2)
+        assert reg.counters["tuples"] == 7
+
+    def test_timers_aggregate(self):
+        reg = PerfRegistry()
+        reg.record("select", 0.5)
+        reg.record("select", 1.5)
+        stat = reg.timers["select"]
+        assert stat.count == 2
+        assert stat.total_seconds == pytest.approx(2.0)
+        assert stat.mean_seconds == pytest.approx(1.0)
+        assert stat.min_seconds == pytest.approx(0.5)
+        assert stat.max_seconds == pytest.approx(1.5)
+
+    def test_time_context_manager(self):
+        reg = PerfRegistry()
+        with reg.time("tick"):
+            pass
+        assert reg.timers["tick"].count == 1
+
+    def test_measure_returns_result(self):
+        reg = PerfRegistry()
+        assert reg.measure("add", lambda a, b: a + b, 2, 3) == 5
+        assert reg.timers["add"].count == 1
+
+    def test_summary_is_json_friendly_and_sorted(self):
+        import json
+
+        reg = PerfRegistry()
+        reg.incr("b")
+        reg.incr("a")
+        reg.record("z", 0.1)
+        reg.record("y", 0.2)
+        summary = reg.summary()
+        assert list(summary["counters"]) == ["a", "b"]
+        assert list(summary["timers"]) == ["y", "z"]
+        json.dumps(summary)  # must serialise
+
+    def test_reset_clears_everything(self):
+        reg = PerfRegistry()
+        reg.incr("c")
+        reg.record("t", 0.1)
+        reg.reset()
+        assert reg.counters == {}
+        assert reg.timers == {}
+
+    def test_default_registry_is_shared(self):
+        assert default_registry() is default_registry()

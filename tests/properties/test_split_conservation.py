@@ -1,0 +1,163 @@
+"""SIC and tuple conservation under batch splitting, across all shedders.
+
+Splitting a batch must never create or destroy tuples or SIC: for every
+shedder, ``kept + shed`` must repartition the input buffer exactly — tuple
+counts as integers, SIC within float tolerance — including the corner cases
+that exercised the old ``_keep_prefix`` double-count bug: capacity 0,
+single-tuple batches and splitting disabled.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.balance_sic import BalanceSicConfig
+from repro.core.shedding import (
+    BalanceSicShedder,
+    NoShedder,
+    RandomShedder,
+    TailDropShedder,
+)
+from repro.core.tuples import Batch, Tuple
+
+SIC_TOLERANCE = 1e-9
+
+
+def all_shedders(allow_splitting=True):
+    return (
+        BalanceSicShedder(
+            config=BalanceSicConfig(allow_batch_splitting=allow_splitting), seed=0
+        ),
+        RandomShedder(seed=0, allow_splitting=allow_splitting),
+        TailDropShedder(allow_splitting=allow_splitting),
+        NoShedder(),
+    )
+
+
+@st.composite
+def buffers(draw, max_queries=5, max_batches=5, max_tuples=10):
+    num_queries = draw(st.integers(1, max_queries))
+    batches = []
+    reported = {}
+    for q in range(num_queries):
+        query_id = f"q{q}"
+        reported[query_id] = draw(st.floats(min_value=0.0, max_value=1.0))
+        for b in range(draw(st.integers(1, max_batches))):
+            count = draw(st.integers(1, max_tuples))
+            sic = draw(st.floats(min_value=1e-6, max_value=0.05))
+            batches.append(
+                Batch(
+                    query_id,
+                    [
+                        Tuple(timestamp=b + i * 0.01, sic=sic, values={})
+                        for i in range(count)
+                    ],
+                )
+            )
+    return batches, reported
+
+
+def assert_conserved(batches, decision):
+    total_tuples = sum(len(b) for b in batches)
+    total_sic = sum(b.sic for b in batches)
+    kept_tuples = sum(len(b) for b in decision.kept)
+    shed_tuples = sum(len(b) for b in decision.shed)
+    # The decision's own counters must agree with its batch lists: the old
+    # _keep_prefix appended the full original of a split batch to `shed`,
+    # so the lists double-counted the kept head.
+    assert decision.kept_tuples == kept_tuples
+    assert decision.shed_tuples == shed_tuples
+    assert kept_tuples + shed_tuples == total_tuples
+    kept_sic = sum(b.sic for b in decision.kept)
+    shed_sic = sum(b.sic for b in decision.shed)
+    assert math.isclose(
+        kept_sic + shed_sic, total_sic, rel_tol=0, abs_tol=SIC_TOLERANCE
+    )
+    # Split headers must stay consistent with their tuples.
+    for batch in list(decision.kept) + list(decision.shed):
+        assert math.isclose(
+            batch.sic,
+            sum(t.sic for t in batch.tuples),
+            rel_tol=0,
+            abs_tol=SIC_TOLERANCE,
+        )
+
+
+class TestConservationProperties:
+    @given(data=buffers(), capacity=st.integers(0, 120))
+    @settings(max_examples=60, deadline=None)
+    def test_all_shedders_conserve_with_splitting(self, data, capacity):
+        batches, reported = data
+        for shedder in all_shedders(allow_splitting=True):
+            decision = shedder.shed(list(batches), capacity, reported)
+            assert_conserved(batches, decision)
+
+    @given(data=buffers(), capacity=st.integers(0, 120))
+    @settings(max_examples=40, deadline=None)
+    def test_all_shedders_conserve_without_splitting(self, data, capacity):
+        batches, reported = data
+        for shedder in all_shedders(allow_splitting=False):
+            decision = shedder.shed(list(batches), capacity, reported)
+            assert_conserved(batches, decision)
+
+
+class TestConservationCorners:
+    def _batches(self, sizes, sic=0.01):
+        return [
+            Batch(
+                f"q{i}",
+                [Tuple(timestamp=float(j), sic=sic, values={}) for j in range(n)],
+            )
+            for i, n in enumerate(sizes)
+        ]
+
+    @pytest.mark.parametrize("shedder", all_shedders(), ids=lambda s: s.name)
+    def test_capacity_zero_sheds_everything(self, shedder):
+        batches = self._batches([3, 1, 4])
+        decision = shedder.shed(list(batches), 0, {})
+        assert_conserved(batches, decision)
+        if shedder.name != "none":
+            assert decision.kept_tuples == 0
+            assert decision.shed_tuples == 8
+
+    @pytest.mark.parametrize("shedder", all_shedders(), ids=lambda s: s.name)
+    def test_single_tuple_batches(self, shedder):
+        batches = self._batches([1] * 9)
+        decision = shedder.shed(list(batches), 4, {})
+        assert_conserved(batches, decision)
+        # Single-tuple batches can never be split.
+        for batch in decision.kept + decision.shed:
+            assert len(batch) == 1
+
+    @pytest.mark.parametrize(
+        "shedder", all_shedders(allow_splitting=False), ids=lambda s: s.name
+    )
+    def test_splitting_disabled_keeps_batches_whole(self, shedder):
+        batches = self._batches([5, 5, 5])
+        originals = {id(b) for b in batches}
+        decision = shedder.shed(list(batches), 7, {})
+        assert_conserved(batches, decision)
+        for batch in decision.kept + decision.shed:
+            assert id(batch) in originals
+
+    def test_random_shedder_split_sheds_only_remainder(self):
+        # Regression for the _keep_prefix double count: capacity lands in the
+        # middle of a batch, the shed list must contain the tail only.
+        batches = self._batches([10])
+        decision = RandomShedder(seed=0).shed(list(batches), 6, {})
+        assert decision.kept_tuples == 6
+        assert decision.shed_tuples == 4
+        assert len(decision.shed) == 1
+        assert len(decision.shed[0]) == 4
+
+    def test_tail_drop_split_sheds_only_remainder(self):
+        old = Batch("q0", [Tuple(timestamp=0.0, sic=0.01, values={}) for _ in range(4)])
+        new = Batch("q1", [Tuple(timestamp=9.0, sic=0.01, values={}) for _ in range(4)])
+        decision = TailDropShedder().shed([new, old], 6, {})
+        assert [len(b) for b in decision.kept] == [4, 2]
+        assert decision.kept[0].query_id == "q0"
+        assert [len(b) for b in decision.shed] == [2]
+        assert decision.shed[0].query_id == "q1"
