@@ -1,14 +1,16 @@
-"""Micro-benchmarks for the shedding fast path (perf-regression harness).
+"""Micro-benchmarks for the shedding + columnar fast paths (perf harness).
 
 Unlike the ``test_bench_fig*`` suites, which regenerate whole experiments,
 these benchmarks time individual hot kernels — BALANCE-SIC selection,
-source-rate-estimator ingest and the node tick loop — and additionally assert
-the fast path's speedup over the pre-optimisation reference implementations
-kept in :mod:`repro.core._reference`.  The asserted floors (5× selection at
-1000 queries, 10× estimator ingest) sit below the observed speedups (~13×
-and ~15-25× across runs, see ``BENCH_shedding.json``) so the suite stays
-stable on slower machines; set ``REPRO_SKIP_PERF_ASSERT=1`` to skip the
-floor assertions entirely on throttled runners.
+source-rate-estimator ingest, the node tick loop, columnar source
+generation + SIC assignment, columnar window bucketing and the end-to-end
+simulation macro-benchmark — and additionally assert the fast path's speedup
+over the pre-optimisation reference implementations kept in
+:mod:`repro.core._reference` and :mod:`repro.streaming._reference`.  The
+asserted floors sit well below the observed speedups (see
+``BENCH_shedding.json``) so the suite stays stable on slower machines; set
+``REPRO_SKIP_PERF_ASSERT=1`` to skip the floor assertions entirely on
+throttled runners.
 
 Run with ``--benchmark-disable`` for a fast functional smoke of the perf code
 paths; run ``scripts/bench_report.py`` to refresh ``BENCH_shedding.json``.
@@ -20,13 +22,24 @@ import pytest
 
 from repro.perf.microbench import (
     SELECTION_QUERY_COUNTS,
+    run_end_to_end,
+    time_end_to_end,
     time_estimator_ingest,
+    time_generation_sic,
     time_node_ticks,
     time_selection,
+    time_window_insert,
 )
 
 SELECTION_SPEEDUP_FLOOR = 5.0
 ESTIMATOR_SPEEDUP_FLOOR = 10.0
+# Columnar pipeline floors (observed: generation ~9x, window ~11x, end-to-end
+# ~1.8x on the recording machine — see BENCH_shedding.json).  The end-to-end
+# floor is deliberately the loosest: its two ~1 s macro-runs have the least
+# headroom of the suite, so both sides are measured best-of-2.
+GENERATION_SPEEDUP_FLOOR = 5.0
+WINDOW_SPEEDUP_FLOOR = 4.0
+END_TO_END_SPEEDUP_FLOOR = 1.25
 
 # Wall-clock ratio assertions are meaningless on heavily throttled shared
 # runners; REPRO_SKIP_PERF_ASSERT=1 keeps the kernels running (so the code
@@ -98,3 +111,71 @@ class TestNodeBenchmarks:
         seconds = benchmark.pedantic(time_node_ticks, rounds=1, iterations=1)
         benchmark.extra_info["ticks_per_second"] = 50 / seconds
         assert seconds > 0
+
+
+class TestColumnarBenchmarks:
+    """Columnar tick pipeline vs the seed per-tuple implementations."""
+
+    def test_generation_sic(self, benchmark):
+        seconds = benchmark.pedantic(time_generation_sic, rounds=1, iterations=1)
+        assert seconds > 0
+
+    @skip_perf_asserts
+    def test_generation_sic_speedup_vs_reference(self):
+        fast = best_of(3, time_generation_sic)
+        reference = time_generation_sic(use_reference=True)
+        speedup = reference / fast
+        assert speedup >= GENERATION_SPEEDUP_FLOOR, (
+            f"columnar generation + SIC assignment regressed: only "
+            f"{speedup:.1f}x over the seed per-tuple reference (floor "
+            f"{GENERATION_SPEEDUP_FLOOR}x); fast={fast * 1e3:.1f} ms "
+            f"reference={reference * 1e3:.1f} ms"
+        )
+
+    def test_window_insert(self, benchmark):
+        seconds = benchmark.pedantic(time_window_insert, rounds=1, iterations=1)
+        assert seconds > 0
+
+    @skip_perf_asserts
+    def test_window_insert_speedup_vs_reference(self):
+        fast = best_of(3, time_window_insert)
+        reference = time_window_insert(use_reference=True)
+        speedup = reference / fast
+        assert speedup >= WINDOW_SPEEDUP_FLOOR, (
+            f"columnar window bucketing regressed: only {speedup:.1f}x over "
+            f"the per-tuple reference window (floor {WINDOW_SPEEDUP_FLOOR}x); "
+            f"fast={fast * 1e3:.1f} ms reference={reference * 1e3:.1f} ms"
+        )
+
+
+class TestEndToEndBenchmarks:
+    """End-to-end simulation macro-benchmark (aggregate workload, 50 queries,
+    overload factor 2) — the headline tick-loop comparison."""
+
+    def test_end_to_end_columnar(self, benchmark):
+        seconds = benchmark.pedantic(time_end_to_end, rounds=1, iterations=1)
+        benchmark.extra_info["scenario"] = "aggregate x50, overload 2"
+        assert seconds > 0
+
+    @skip_perf_asserts
+    def test_end_to_end_speedup_vs_reference(self):
+        fast = best_of(2, time_end_to_end)
+        reference = best_of(2, time_end_to_end, use_reference=True)
+        speedup = reference / fast
+        assert speedup >= END_TO_END_SPEEDUP_FLOOR, (
+            f"end-to-end tick loop regressed: columnar only {speedup:.2f}x "
+            f"over the per-tuple pipeline (floor {END_TO_END_SPEEDUP_FLOOR}x); "
+            f"fast={fast * 1e3:.0f} ms reference={reference * 1e3:.0f} ms"
+        )
+
+    def test_end_to_end_columnar_result_identical(self):
+        """Same seeds -> the columnar run reproduces the per-tuple run's
+        per-query SIC values exactly (scaled-down scenario)."""
+        _, columnar = run_end_to_end(
+            num_queries=10, rate=200.0, duration_seconds=3.0, columnar=True
+        )
+        _, reference = run_end_to_end(
+            num_queries=10, rate=200.0, duration_seconds=3.0, columnar=False
+        )
+        assert columnar.per_query_sic == reference.per_query_sic
+        assert columnar.result_values == reference.result_values

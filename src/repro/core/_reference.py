@@ -28,9 +28,14 @@ from dataclasses import dataclass
 from typing import Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple as PyTuple
 
 from .balance_sic import BalanceSicConfig, SelectionStrategy, ShedDecision
-from .tuples import Batch
+from .sic import source_tuple_sic
+from .tuples import Batch, Tuple
 
-__all__ = ["ReferenceBalanceSicPolicy", "ReferenceSourceRateEstimator"]
+__all__ = [
+    "ReferenceBalanceSicPolicy",
+    "ReferenceSourceRateEstimator",
+    "ReferenceSicAssigner",
+]
 
 
 @dataclass
@@ -275,3 +280,38 @@ class ReferenceSourceRateEstimator:
         timestamps = window.timestamps
         while timestamps and timestamps[0] < horizon:
             timestamps.popleft()
+
+
+class ReferenceSicAssigner:
+    """The seed's SIC assigner: per-tuple ``observe`` and per-tuple stamping.
+
+    Preserved verbatim (on top of :class:`ReferenceSourceRateEstimator`) as
+    the per-tuple baseline for the source-generation + SIC-assignment
+    benchmark and as the oracle for ``SicAssigner.assign_block`` equivalence
+    tests: for identical inputs both must produce identical SIC values.
+    """
+
+    def __init__(
+        self,
+        query_id: str,
+        num_sources: int,
+        stw_seconds: float,
+        nominal_rates: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if num_sources <= 0:
+            raise ValueError(f"num_sources must be positive, got {num_sources}")
+        self.query_id = query_id
+        self.num_sources = int(num_sources)
+        self.estimator = ReferenceSourceRateEstimator(stw_seconds)
+        for source_id, rate in (nominal_rates or {}).items():
+            self.estimator.seed_rate(source_id, rate)
+
+    def assign(self, tuples: Sequence[Tuple]) -> List[Tuple]:
+        for t in tuples:
+            source = t.source_id or "__anonymous__"
+            self.estimator.observe(source, t.timestamp)
+        for t in tuples:
+            source = t.source_id or "__anonymous__"
+            per_stw = self.estimator.tuples_per_stw(source)
+            t.sic = source_tuple_sic(per_stw, self.num_sources)
+        return list(tuples)

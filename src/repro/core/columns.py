@@ -1,0 +1,283 @@
+"""Columnar tuple storage: parallel arrays instead of ``Tuple`` objects.
+
+The per-tuple data model (:class:`repro.core.tuples.Tuple`) allocates one
+dataclass instance plus one payload dict per stream item.  Under the
+millions-of-tuples workloads of the scalability experiments that object churn
+dominates end-to-end simulation time, so the hot pipeline — source generation,
+SIC assignment, shedding and window bucketing — exchanges
+:class:`ColumnBlock`s instead: a timestamp column, a SIC column and one column
+per payload field, all plain Python lists of the same length.
+
+A block is *lazily* convertible to the per-tuple representation
+(:meth:`ColumnBlock.to_tuples`), which is the compatibility surface for
+operators and tests that have not been vectorized.  Conversions are exact:
+``to_tuples`` reproduces the tuples the seed per-tuple code paths would have
+built — same timestamps, same SIC values, same payload dicts in the same field
+order — so seeded columnar runs are result-identical to tuple-at-a-time runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from .tuples import Tuple
+
+__all__ = ["ColumnBlock"]
+
+
+class ColumnBlock:
+    """A group of stream tuples stored as parallel columns.
+
+    Attributes:
+        timestamps: per-tuple logical creation times.
+        sics: per-tuple source information content values.
+        values: payload columns keyed by field name; every column has the
+            same length as ``timestamps``.  Field order is the payload dict
+            order of the equivalent per-tuple representation.
+        source_id: originating source shared by *all* tuples of the block
+            (``None`` for derived blocks).  Source blocks are per-source by
+            construction, which is what lets the routing and SIC-assignment
+            fast paths treat the block as one unit.
+    """
+
+    __slots__ = ("timestamps", "sics", "values", "source_id")
+
+    def __init__(
+        self,
+        timestamps: List[float],
+        sics: Optional[List[float]] = None,
+        values: Optional[Dict[str, List[Any]]] = None,
+        source_id: Optional[str] = None,
+    ) -> None:
+        self.timestamps = timestamps
+        self.sics = sics if sics is not None else [0.0] * len(timestamps)
+        self.values = values if values is not None else {}
+        self.source_id = source_id
+        if len(self.sics) != len(self.timestamps):
+            raise ValueError(
+                f"sics column length {len(self.sics)} != "
+                f"{len(self.timestamps)} timestamps"
+            )
+        for field, column in self.values.items():
+            if len(column) != len(self.timestamps):
+                raise ValueError(
+                    f"column {field!r} length {len(column)} != "
+                    f"{len(self.timestamps)} timestamps"
+                )
+
+    # ------------------------------------------------------------- inspection
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def __bool__(self) -> bool:
+        return bool(self.timestamps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnBlock(len={len(self.timestamps)}, "
+            f"fields={list(self.values)}, source={self.source_id!r})"
+        )
+
+    @property
+    def num_fields(self) -> int:
+        return len(self.values)
+
+    def sic_total(self) -> float:
+        """Summed SIC of the block (left-to-right, like ``sum`` over tuples)."""
+        return sum(self.sics)
+
+    @classmethod
+    def _unchecked(
+        cls,
+        timestamps: List[float],
+        sics: List[float],
+        values: Dict[str, List[Any]],
+        source_id: Optional[str],
+    ) -> "ColumnBlock":
+        """Internal constructor skipping the column-length validation.
+
+        Used where the lengths are equal by construction (slices of a
+        validated block) — slicing sits on the shedding hot path.
+        """
+        block = cls.__new__(cls)
+        block.timestamps = timestamps
+        block.sics = sics
+        block.values = values
+        block.source_id = source_id
+        return block
+
+    def shallow_copy(self) -> "ColumnBlock":
+        """A new block sharing this block's column lists.
+
+        Operators that pass a block through (receivers, filters) return a
+        shallow copy: the SIC-propagation step *rebinds* the copy's ``sics``
+        attribute with the derived shares, which must not alias the pane's
+        (or the upstream batch's) storage.  Columns are never mutated in
+        place, so sharing the lists themselves is safe.
+        """
+        return ColumnBlock._unchecked(
+            self.timestamps, self.sics, self.values, self.source_id
+        )
+
+    # ------------------------------------------------------------ conversions
+    def slice(self, start: int, stop: int) -> "ColumnBlock":
+        """Return a new block over rows ``start:stop`` (columns are copied
+        slices, so the piece is independent of the parent)."""
+        return ColumnBlock._unchecked(
+            self.timestamps[start:stop],
+            self.sics[start:stop],
+            {f: col[start:stop] for f, col in self.values.items()},
+            self.source_id,
+        )
+
+    def to_tuples(
+        self, start: int = 0, stop: Optional[int] = None
+    ) -> List[Tuple]:
+        """Materialize rows ``start:stop`` as per-tuple objects, exactly as
+        the seed paths built them.
+
+        Each tuple receives a *fresh* payload dict (matching the seed, where
+        every ``payload_builder()`` call allocated its own dict), so mutating
+        a materialized tuple never aliases block columns or sibling tuples.
+        """
+        source_id = self.source_id
+        timestamps = self.timestamps
+        sics = self.sics
+        if start != 0 or stop is not None:
+            timestamps = timestamps[start:stop]
+            sics = sics[start:stop]
+        fields = list(self.values)
+        if not fields:
+            return [
+                Tuple(timestamp=t, sic=s, values={}, source_id=source_id)
+                for t, s in zip(timestamps, sics)
+            ]
+        if len(fields) == 1:
+            name = fields[0]
+            column = self.values[name]
+            if start != 0 or stop is not None:
+                column = column[start:stop]
+            return [
+                Tuple(timestamp=t, sic=s, values={name: v}, source_id=source_id)
+                for t, s, v in zip(timestamps, sics, column)
+            ]
+        columns = [
+            self.values[name][start:stop]
+            if (start != 0 or stop is not None)
+            else self.values[name]
+            for name in fields
+        ]
+        return [
+            Tuple(
+                timestamp=t,
+                sic=s,
+                values=dict(zip(fields, row)),
+                source_id=source_id,
+            )
+            for t, s, row in zip(timestamps, sics, zip(*columns))
+        ]
+
+    @classmethod
+    def from_tuples(
+        cls, tuples: Sequence[Tuple], source_id: Optional[str] = None
+    ) -> "ColumnBlock":
+        """Build a block from per-tuple objects (test/bridge helper).
+
+        Field set is taken from the first tuple; all tuples must share it.
+        When ``source_id`` is omitted, the tuples' (shared) source id is used.
+        """
+        if not tuples:
+            return cls([], [], {}, source_id)
+        fields = list(tuples[0].values)
+        values: Dict[str, List[Any]] = {f: [] for f in fields}
+        timestamps: List[float] = []
+        sics: List[float] = []
+        block_source = source_id if source_id is not None else tuples[0].source_id
+        for t in tuples:
+            timestamps.append(t.timestamp)
+            sics.append(t.sic)
+            if list(t.values) != fields:
+                raise ValueError(
+                    "from_tuples requires a uniform payload schema; "
+                    f"got {list(t.values)!r} vs {fields!r}"
+                )
+            for f in fields:
+                values[f].append(t.values[f])
+            if t.source_id != block_source:
+                raise ValueError(
+                    "from_tuples requires a single shared source id; "
+                    f"got {t.source_id!r} vs {block_source!r}"
+                )
+        return cls(timestamps, sics, values, block_source)
+
+    @staticmethod
+    def concat_ranges(
+        ranges: Sequence["tuple[ColumnBlock, int, int]"],
+    ) -> "ColumnBlock":
+        """Concatenate ``(block, start, stop)`` ranges with one column copy.
+
+        This is the pane-close path: ranges routed into a window pane are
+        merged directly from their source blocks, so a tuple's columns are
+        copied exactly once between source generation and the operator.
+        Uniform field sets required; ``source_id`` survives only when shared.
+        """
+        if len(ranges) == 1:
+            block, start, stop = ranges[0]
+            if start == 0 and stop == len(block):
+                return block
+            return block.slice(start, stop)
+        first_block = ranges[0][0]
+        fields = list(first_block.values)
+        timestamps: List[float] = []
+        sics: List[float] = []
+        values: Dict[str, List[Any]] = {f: [] for f in fields}
+        source_ids = set()
+        for block, start, stop in ranges:
+            if list(block.values) != fields:
+                raise ValueError(
+                    f"cannot concat ranges with fields {list(block.values)!r} "
+                    f"and {fields!r}"
+                )
+            source_ids.add(block.source_id)
+            timestamps.extend(block.timestamps[start:stop])
+            sics.extend(block.sics[start:stop])
+            block_values = block.values
+            for f in fields:
+                values[f].extend(block_values[f][start:stop])
+        source_id = source_ids.pop() if len(source_ids) == 1 else None
+        return ColumnBlock._unchecked(timestamps, sics, values, source_id)
+
+    @staticmethod
+    def concat(blocks: Iterable["ColumnBlock"]) -> "ColumnBlock":
+        """Concatenate blocks in order (uniform field sets required).
+
+        The result's ``source_id`` is kept only when all inputs share it.
+        """
+        blocks = list(blocks)
+        if not blocks:
+            return ColumnBlock([], [], {})
+        if len(blocks) == 1:
+            b = blocks[0]
+            return ColumnBlock(
+                timestamps=list(b.timestamps),
+                sics=list(b.sics),
+                values={f: list(col) for f, col in b.values.items()},
+                source_id=b.source_id,
+            )
+        fields = list(blocks[0].values)
+        timestamps: List[float] = []
+        sics: List[float] = []
+        values: Dict[str, List[Any]] = {f: [] for f in fields}
+        source_ids = {b.source_id for b in blocks}
+        for b in blocks:
+            if list(b.values) != fields:
+                raise ValueError(
+                    f"cannot concat blocks with fields {list(b.values)!r} "
+                    f"and {fields!r}"
+                )
+            timestamps.extend(b.timestamps)
+            sics.extend(b.sics)
+            for f in fields:
+                values[f].extend(b.values[f])
+        source_id = source_ids.pop() if len(source_ids) == 1 else None
+        return ColumnBlock(timestamps, sics, values, source_id)

@@ -185,6 +185,37 @@ class SourceRateEstimator:
         min_count = self.min_count
         window.last_estimate = estimate if estimate > min_count else min_count
 
+    def observe_run(self, source_id: str, timestamps: Sequence[float]) -> None:
+        """Record a *nondecreasing* run of single-tuple arrivals in one shot.
+
+        Produces the same estimates as :meth:`observe_many` — now and on
+        every future call — but appends the whole run with one ``extend``
+        and expires the window once against the final horizon:
+
+        * expiring per arrival (``observe_many``) pops only buckets below
+          ``ts_i - stw``; with nondecreasing timestamps every intermediate
+          horizon is ``<=`` the final one, so the surviving buckets and the
+          running total after the run are identical either way;
+        * equal consecutive timestamps end up in separate ``[t, 1]`` buckets
+          instead of one merged ``[t, k]`` bucket, which changes neither the
+          total nor the window edges (the only inputs to ``_estimate``) nor
+          any future expiry (whole-bucket pops keyed on the timestamp).
+
+        This is the source-batch fast path: generated timestamps are strictly
+        increasing within a batch and across batches of one source.
+        """
+        if not timestamps:
+            return
+        window = self._window(source_id)
+        buckets = window.buckets
+        buckets.extend([t, 1] for t in timestamps)
+        total = window.total + len(timestamps)
+        horizon = timestamps[-1] - self.stw_seconds
+        while buckets[0][0] < horizon:
+            total -= buckets.popleft()[1]
+        window.total = total
+        window.last_estimate = self._estimate(window)
+
     def observe_many(self, source_id: str, timestamps: Iterable[float]) -> None:
         """Record one arrival per timestamp, re-estimating once at the end.
 
@@ -298,6 +329,23 @@ class SicAssigner:
                 sic_per_source[source] = sic
             t.sic = sic
         return list(tuples)
+
+    def assign_block(self, block) -> "object":
+        """Columnar :meth:`assign`: stamp a single-source ``ColumnBlock``.
+
+        Source blocks carry one source by construction, so the whole
+        timestamp column is ingested as one estimator run and the SIC column
+        becomes ``[1 / (estimate * |S|)] * len`` — the same values
+        :meth:`assign` writes tuple-by-tuple on the materialized batch.
+        """
+        source = block.source_id or "__anonymous__"
+        timestamps = block.timestamps
+        if timestamps:
+            self.estimator.observe_run(source, timestamps)
+        per_stw = self.estimator.tuples_per_stw(source)
+        sic = source_tuple_sic(per_stw, self.num_sources)
+        block.sics = [sic] * len(timestamps)
+        return block
 
     def sic_for(self, source_id: str) -> float:
         """Return the SIC value a new tuple from ``source_id`` would receive."""

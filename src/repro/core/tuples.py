@@ -91,13 +91,26 @@ class Batch:
 
     Batches are the unit of transfer between sources, operators, fragments and
     nodes, and the unit of shedding at a node's input buffer.
+
+    A batch is backed either by a list of :class:`Tuple` objects (the seed
+    representation) or, on the columnar fast path, by a
+    :class:`repro.core.columns.ColumnBlock` of parallel arrays
+    (:meth:`from_block`).  The per-tuple view stays the compatibility
+    surface: accessing :attr:`tuples` on a columnar batch materializes the
+    tuple objects lazily (and exactly — same timestamps, SIC values and
+    payload dicts the per-tuple path would have produced).  The shedding hot
+    paths only need ``len``, ``header.sic`` and :meth:`split`, all of which
+    work directly on the columns without materializing anything.
     """
 
     __slots__ = (
         "batch_id",
         "header",
-        "tuples",
         "origin_fragment_id",
+        "_tuples",
+        "_block",
+        "_block_start",
+        "_block_stop",
         "_sic_prefix",
         "_prefix_start",
     )
@@ -111,7 +124,10 @@ class Batch:
         origin_fragment_id: Optional[str] = None,
     ) -> None:
         self.batch_id: int = next(_batch_ids)
-        self.tuples: List[Tuple] = list(tuples)
+        self._tuples: Optional[List[Tuple]] = list(tuples)
+        self._block = None
+        self._block_start = 0
+        self._block_stop = 0
         # Which fragment produced this batch (None for source batches); nodes
         # use it to route the batch to the right entry operator downstream.
         self.origin_fragment_id = origin_fragment_id
@@ -119,15 +135,108 @@ class Batch:
         # ``split`` so repeated splitting never re-sums tuple SIC values.
         self._sic_prefix: Optional[List[float]] = None
         self._prefix_start: int = 0
-        sic = sum(t.sic for t in self.tuples)
+        sic = sum(t.sic for t in self._tuples)
         if created_at is None:
-            created_at = min((t.timestamp for t in self.tuples), default=0.0)
+            created_at = min((t.timestamp for t in self._tuples), default=0.0)
         self.header = BatchHeader(
             query_id=query_id,
             sic=sic,
             created_at=created_at,
             fragment_id=fragment_id,
         )
+
+    @classmethod
+    def from_block(
+        cls,
+        query_id: str,
+        block,
+        created_at: Optional[float] = None,
+        fragment_id: Optional[str] = None,
+        origin_fragment_id: Optional[str] = None,
+    ) -> "Batch":
+        """Build a columnar batch around a ``ColumnBlock`` (no Tuple objects).
+
+        The header SIC is the left-to-right sum over the block's SIC column —
+        the exact arithmetic ``__init__`` performs over tuple objects.
+        """
+        batch = cls.__new__(cls)
+        batch.batch_id = next(_batch_ids)
+        batch._tuples = None
+        batch._block = block
+        batch._block_start = 0
+        batch._block_stop = len(block)
+        batch.origin_fragment_id = origin_fragment_id
+        batch._sic_prefix = None
+        batch._prefix_start = 0
+        sic = sum(block.sics)
+        if created_at is None:
+            created_at = min(block.timestamps, default=0.0)
+        batch.header = BatchHeader(
+            query_id=query_id,
+            sic=sic,
+            created_at=created_at,
+            fragment_id=fragment_id,
+        )
+        return batch
+
+    # -- representation access -------------------------------------------------
+    @property
+    def tuples(self) -> List[Tuple]:
+        """Per-tuple view; materializes (and caches) for columnar batches."""
+        if self._tuples is None:
+            # Materialize straight from the (possibly shared) block's
+            # sub-range — one copy, no intermediate sliced block.
+            self._tuples = self._block.to_tuples(
+                self._block_start, self._block_stop
+            )
+            # The materialized tuples become the single source of truth:
+            # callers may mutate them (e.g. SIC rewrites), which the columns
+            # would not reflect.
+            self._block = None
+        return self._tuples
+
+    @tuples.setter
+    def tuples(self, value: Sequence[Tuple]) -> None:
+        self._tuples = list(value)
+        self._block = None
+        self._sic_prefix = None
+        self._prefix_start = 0
+
+    @property
+    def block(self):
+        """The backing ``ColumnBlock``, or ``None`` once materialized.
+
+        Batches produced by :meth:`split` reference a sub-range of their
+        parent's block (splitting is O(1) — pure offset bookkeeping); the
+        range is materialized into its own block on first access here, so
+        shed batches that nobody reads again never pay for column copies.
+        """
+        block = self._block
+        if block is None:
+            return None
+        start = self._block_start
+        stop = self._block_stop
+        if start != 0 or stop != len(block):
+            block = block.slice(start, stop)
+            self._block = block
+            self._block_start = 0
+            self._block_stop = stop - start
+        return block
+
+    def block_view(self):
+        """``(block, start, stop)`` without materializing a sub-range block.
+
+        ``None`` when the batch is tuple-backed.  Consumers that can work on
+        ranges (window bucketing) use this to defer column copies all the way
+        to pane close; ``block`` materializes instead.
+        """
+        if self._block is None:
+            return None
+        return self._block, self._block_start, self._block_stop
+
+    @property
+    def is_columnar(self) -> bool:
+        return self._tuples is None
 
     # -- convenience accessors -------------------------------------------------
     @property
@@ -147,18 +256,20 @@ class Batch:
         return self.header.created_at
 
     def __len__(self) -> int:
-        return len(self.tuples)
+        if self._tuples is None:
+            return self._block_stop - self._block_start
+        return len(self._tuples)
 
     def __iter__(self) -> Iterator[Tuple]:
         return iter(self.tuples)
 
     def __bool__(self) -> bool:
-        return bool(self.tuples)
+        return len(self) > 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Batch(id={self.batch_id}, query={self.query_id!r}, "
-            f"tuples={len(self.tuples)}, sic={self.sic:.6f})"
+            f"tuples={len(self)}, sic={self.sic:.6f})"
         )
 
     def refresh_sic(self) -> float:
@@ -167,8 +278,23 @@ class Batch:
         # prefix array is stale and must be rebuilt on the next split.
         self._sic_prefix = None
         self._prefix_start = 0
-        self.header.sic = sum(t.sic for t in self.tuples)
+        if self._tuples is None:
+            self.header.sic = sum(
+                self._block.sics[self._block_start:self._block_stop]
+            )
+        else:
+            self.header.sic = sum(t.sic for t in self._tuples)
         return self.header.sic
+
+    def payload_bytes(self, bytes_per_field: int = 8) -> int:
+        """Payload size accounting (fields × ``bytes_per_field``).
+
+        Equals ``sum(len(t.values) * bytes_per_field for t in batch.tuples)``
+        but is O(1) for columnar batches (uniform schema by construction).
+        """
+        if self._tuples is None:
+            return len(self) * self._block.num_fields * bytes_per_field
+        return sum(len(t.values) * bytes_per_field for t in self._tuples)
 
     # -- fast splitting --------------------------------------------------------
     def sic_prefix(self) -> List[float]:
@@ -181,10 +307,14 @@ class Batch:
         ``j..i-1`` relative to ``_prefix_start``.
         """
         if self._sic_prefix is None:
-            prefix = [0.0] * (len(self.tuples) + 1)
+            if self._tuples is None:
+                sics = self._block.sics[self._block_start:self._block_stop]
+            else:
+                sics = [t.sic for t in self._tuples]
+            prefix = [0.0] * (len(sics) + 1)
             running = 0.0
-            for i, t in enumerate(self.tuples):
-                running += t.sic
+            for i, s in enumerate(sics):
+                running += s
                 prefix[i + 1] = running
             self._sic_prefix = prefix
             self._prefix_start = 0
@@ -200,7 +330,7 @@ class Batch:
         Raises:
             ValueError: unless ``0 < keep_tuples < len(self)``.
         """
-        n = len(self.tuples)
+        n = len(self)
         if not 0 < keep_tuples < n:
             raise ValueError(
                 f"keep_tuples must be in (0, {n}), got {keep_tuples}"
@@ -218,13 +348,41 @@ class Batch:
         cut = start + keep_tuples
         head_sic = prefix[cut] - prefix[start]
         tail_sic = prefix[start + n] - prefix[cut]
-        head = self._derived(self.tuples[:keep_tuples], head_sic, prefix, start)
-        tail = self._derived(self.tuples[keep_tuples:], tail_sic, prefix, cut)
+        if self._tuples is None:
+            # Columnar split is O(1): both pieces reference sub-ranges of the
+            # shared block; columns are only copied if a piece's block is
+            # actually read again (see the ``block`` property).
+            block_start = self._block_start
+            head = self._derived(
+                None,
+                block_start,
+                block_start + keep_tuples,
+                head_sic,
+                prefix,
+                start,
+            )
+            tail = self._derived(
+                None,
+                block_start + keep_tuples,
+                block_start + n,
+                tail_sic,
+                prefix,
+                cut,
+            )
+        else:
+            head = self._derived(
+                self._tuples[:keep_tuples], 0, 0, head_sic, prefix, start
+            )
+            tail = self._derived(
+                self._tuples[keep_tuples:], 0, 0, tail_sic, prefix, cut
+            )
         return head, tail
 
     def _derived(
         self,
-        tuples: List[Tuple],
+        tuples: Optional[List[Tuple]],
+        block_start: int,
+        block_stop: int,
         sic: float,
         prefix: List[float],
         prefix_start: int,
@@ -232,7 +390,10 @@ class Batch:
         """Build a split piece without re-summing tuple SIC values."""
         piece = Batch.__new__(Batch)
         piece.batch_id = next(_batch_ids)
-        piece.tuples = tuples
+        piece._tuples = tuples
+        piece._block = self._block if tuples is None else None
+        piece._block_start = block_start
+        piece._block_stop = block_stop
         piece.origin_fragment_id = self.origin_fragment_id
         piece._sic_prefix = prefix
         piece._prefix_start = prefix_start

@@ -25,7 +25,16 @@ constraint (C3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple as PyTuple,
+)
 
 from ..core.fairness import FairnessSummary, summarize_fairness
 from ..core.sic import SicAssigner
@@ -85,6 +94,7 @@ class FederatedSystem:
         network: Optional[Network] = None,
         coordinator_update_interval: Optional[float] = None,
         enable_sic_updates: bool = True,
+        columnar: bool = True,
     ) -> None:
         if shedding_interval <= 0:
             raise ValueError(
@@ -94,6 +104,11 @@ class FederatedSystem:
         self.shedding_interval = float(shedding_interval)
         self.network = network or Network(UniformLatency())
         self.enable_sic_updates = enable_sic_updates
+        # Columnar fast path: sources emit column blocks that flow through
+        # SIC assignment, shedding and windowing without materializing Tuple
+        # objects.  Result-identical to the per-tuple path for equal seeds;
+        # disable to time (or differentially test against) the tuple path.
+        self.columnar = columnar
         update_interval = coordinator_update_interval or shedding_interval
         self.coordinators = CoordinatorRegistry(
             self.stw_config, update_interval=update_interval
@@ -102,6 +117,11 @@ class FederatedSystem:
         self.queries: Dict[str, DeployedQuery] = {}
         # fragment id -> node id
         self.placement: Dict[str, str] = {}
+        # Precomputed per-source generation plan: (query, source, source id,
+        # fragment id, hosting node id, bound generate()/generate_block()),
+        # appended at deploy time so the per-tick source loop does no
+        # getattr/placement-dict chains.
+        self._source_plan: List[PyTuple] = []
         self.now = 0.0
         self.ticks = 0
 
@@ -182,6 +202,27 @@ class FederatedSystem:
             self.placement[fragment_id] = node_id
             coordinator.register_hosting_node(node_id)
 
+        # Precompute source -> (fragment, node) routing so the per-tick
+        # generation loop touches no placement dicts or getattr chains.
+        # Sources without a fragment binding stay in the plan with a None
+        # route: they still generate (advancing their RNG/carry state) and
+        # feed the rate estimator, exactly like the unrouted tuple path.
+        for source in deployed.sources:
+            source_id = getattr(source, "source_id")
+            fragment_id = source_fragment.get(source_id)
+            node_id = self.placement.get(fragment_id) if fragment_id else None
+            self._source_plan.append(
+                (
+                    deployed,
+                    source,
+                    source_id,
+                    fragment_id,
+                    node_id,
+                    source.generate,
+                    getattr(source, "generate_block", None),
+                )
+            )
+
         self.queries[query_id] = deployed
         return deployed
 
@@ -233,17 +274,37 @@ class FederatedSystem:
 
     # ----------------------------------------------------------------- helpers
     def _generate_sources(self, start: float, end: float) -> None:
-        for query in self.queries.values():
-            for source in query.sources:
-                source_id = getattr(source, "source_id")
-                payload_tuples: List[Tuple] = source.generate(start, end)
+        columnar = self.columnar
+        for (
+            query,
+            _source,
+            source_id,
+            fragment_id,
+            node_id,
+            generate,
+            generate_block,
+        ) in self._source_plan:
+            if columnar and generate_block is not None:
+                block = generate_block(start, end)
+                if not block:
+                    continue
+                query.sic_assigner.assign_block(block)
+                if fragment_id is None:
+                    continue
+                batch = Batch.from_block(
+                    query.query_id,
+                    block,
+                    created_at=end,
+                    fragment_id=fragment_id,
+                    origin_fragment_id=None,
+                )
+            else:
+                payload_tuples: List[Tuple] = generate(start, end)
                 if not payload_tuples:
                     continue
                 query.sic_assigner.assign(payload_tuples)
-                fragment_id = query.source_fragment.get(source_id)
                 if fragment_id is None:
                     continue
-                node_id = self.placement[fragment_id]
                 batch = Batch(
                     query.query_id,
                     payload_tuples,
@@ -251,12 +312,12 @@ class FederatedSystem:
                     fragment_id=fragment_id,
                     origin_fragment_id=None,
                 )
-                message = DataMessage(
-                    destination=node_id,
-                    batch=batch,
-                    target_fragment_id=fragment_id,
-                )
-                self.network.send(message, sent_at=end, source=source_id)
+            message = DataMessage(
+                destination=node_id,
+                batch=batch,
+                target_fragment_id=fragment_id,
+            )
+            self.network.send(message, sent_at=end, source=source_id)
 
     def _deliver_messages(self, now: float) -> None:
         for message in self.network.deliver_due(now):

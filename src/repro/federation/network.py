@@ -55,8 +55,9 @@ class DataMessage(Message):
     target_fragment_id: str = ""
 
     def size_bytes(self) -> int:
-        payload = sum(len(t.values) * 8 for t in self.batch.tuples)
-        return payload + self.batch.meta_data_bytes()
+        # payload_bytes is O(1) for columnar batches (uniform schema) and
+        # equals the per-tuple sum(len(t.values) * 8) accounting exactly.
+        return self.batch.payload_bytes() + self.batch.meta_data_bytes()
 
 
 @dataclass
@@ -66,8 +67,7 @@ class ResultMessage(Message):
     batch: Batch = None  # type: ignore[assignment]
 
     def size_bytes(self) -> int:
-        payload = sum(len(t.values) * 8 for t in self.batch.tuples)
-        return payload + self.batch.meta_data_bytes()
+        return self.batch.payload_bytes() + self.batch.meta_data_bytes()
 
 
 @dataclass

@@ -104,6 +104,10 @@ class FspsNode:
         self._use_coordinator_updates = True
         # Purely local estimates, used when coordinator updates are disabled.
         self._local_trackers: Dict[str, ResultSicTracker] = {}
+        # query id -> fallback fragment for batches without a (known)
+        # fragment id; built lazily and invalidated when hosting changes, so
+        # routing never rebuilds a candidate list per batch.
+        self._query_fragment_cache: Dict[str, Optional[QueryFragment]] = {}
 
     # ------------------------------------------------------------------ wiring
     def host_fragment(self, fragment: QueryFragment) -> None:
@@ -113,6 +117,7 @@ class FspsNode:
                 f"fragment {fragment.fragment_id} already hosted on {self.node_id}"
             )
         self.fragments[fragment.fragment_id] = fragment
+        self._query_fragment_cache.clear()
         self._local_trackers.setdefault(
             fragment.query_id, ResultSicTracker(fragment.query_id, self.stw_config)
         )
@@ -221,15 +226,23 @@ class FspsNode:
 
     def _resolve_fragment(self, batch: Batch) -> Optional[QueryFragment]:
         fragment_id = batch.fragment_id
-        if fragment_id and fragment_id in self.fragments:
-            return self.fragments[fragment_id]
-        # Fall back to the only hosted fragment of the batch's query, if any.
+        if fragment_id:
+            fragment = self.fragments.get(fragment_id)
+            if fragment is not None:
+                return fragment
+        # Fall back to the only hosted fragment of the batch's query, if any;
+        # the per-query answer is cached so the candidate scan runs once per
+        # query, not once per batch.
+        query_id = batch.query_id
+        cache = self._query_fragment_cache
+        if query_id in cache:
+            return cache[query_id]
         candidates = [
-            f for f in self.fragments.values() if f.query_id == batch.query_id
+            f for f in self.fragments.values() if f.query_id == query_id
         ]
-        if len(candidates) == 1:
-            return candidates[0]
-        return None
+        resolved = candidates[0] if len(candidates) == 1 else None
+        cache[query_id] = resolved
+        return resolved
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -19,11 +19,12 @@ from typing import Dict, List, Mapping, Optional, Tuple as PyTuple
 
 from ..core._reference import (
     ReferenceBalanceSicPolicy,
+    ReferenceSicAssigner,
     ReferenceSourceRateEstimator,
 )
 from ..core.balance_sic import BalanceSicPolicy
 from ..core.shedding import BalanceSicShedder
-from ..core.sic import SourceRateEstimator
+from ..core.sic import SicAssigner, SourceRateEstimator
 from ..core.tuples import Batch, Tuple
 from ..federation.node import FspsNode
 from .stopwatch import PerfRegistry, Stopwatch
@@ -33,12 +34,26 @@ __all__ = [
     "time_selection",
     "time_estimator_ingest",
     "time_node_ticks",
+    "time_generation_sic",
+    "time_window_insert",
+    "run_end_to_end",
+    "time_end_to_end",
     "run_microbench",
 ]
 
 SELECTION_QUERY_COUNTS = (10, 100, 1000)
 ESTIMATOR_ARRIVALS = 100_000
 ESTIMATOR_CHUNK = 200  # 800 tuples/s observed every 0.25 s interval (fig12)
+
+# End-to-end macro-benchmark scenario: the aggregate workload of Table 1 at
+# the paper's local test-bed scale (50 queries) under overload factor 2.
+END_TO_END_QUERIES = 50
+END_TO_END_RATE = 400.0
+END_TO_END_DURATION = 6.0
+END_TO_END_WARMUP = 1.0
+GENERATION_SOURCES = 8
+GENERATION_TICKS = 100
+GENERATION_RATE = 2000.0
 
 
 def build_selection_workload(
@@ -147,6 +162,185 @@ def time_node_ticks(
     return sw.elapsed_seconds
 
 
+def time_generation_sic(
+    sources: int = GENERATION_SOURCES,
+    ticks: int = GENERATION_TICKS,
+    rate: float = GENERATION_RATE,
+    dataset: str = "uniform",
+    use_reference: bool = False,
+    registry: Optional[PerfRegistry] = None,
+) -> float:
+    """Seconds to generate, SIC-stamp and batch the per-tick source output.
+
+    Fast path: ``generate_block`` → ``assign_block`` → ``Batch.from_block``
+    (columns only, no Tuple objects).  Reference: the seed per-tuple pipeline
+    — ``generate`` (one Tuple + payload dict per item) →
+    :class:`ReferenceSicAssigner` (per-tuple ``observe``/stamp) → ``Batch``.
+    Both draw identical seeded value streams, so the comparison is pure
+    representation overhead.
+    """
+    # Imported here so the core microbench kernels stay importable without
+    # the workloads package.
+    from ..workloads.sources import ValueSource
+
+    interval = 0.25
+    value_sources = [
+        ValueSource(f"s{i}", rate=rate, dataset=dataset, seed=i)
+        for i in range(sources)
+    ]
+    rates = {f"s{i}": rate for i in range(sources)}
+    if use_reference:
+        assigner = ReferenceSicAssigner(
+            "bench-q", sources, stw_seconds=10.0, nominal_rates=rates
+        )
+    else:
+        assigner = SicAssigner(
+            "bench-q", sources, stw_seconds=10.0, nominal_rates=rates
+        )
+    emitted = 0
+    with Stopwatch() as sw:
+        for tick in range(ticks):
+            start = tick * interval
+            end = start + interval
+            if use_reference:
+                for source in value_sources:
+                    tuples = source.generate(start, end)
+                    assigner.assign(tuples)
+                    batch = Batch("bench-q", tuples, created_at=end)
+                    emitted += len(batch)
+            else:
+                for source in value_sources:
+                    block = source.generate_block(start, end)
+                    assigner.assign_block(block)
+                    batch = Batch.from_block("bench-q", block, created_at=end)
+                    emitted += len(batch)
+    assert emitted == sources * ticks * int(rate * interval)
+    if registry is not None:
+        name = "generation.reference" if use_reference else "generation.fast"
+        registry.record(name, sw.elapsed_seconds)
+    return sw.elapsed_seconds
+
+
+def time_window_insert(
+    blocks: int = 200,
+    tuples_per_block: int = 250,
+    window_seconds: float = 1.0,
+    use_reference: bool = False,
+    registry: Optional[PerfRegistry] = None,
+) -> float:
+    """Seconds to route a stream of batches into a tumbling window and close
+    its panes.
+
+    Fast path: ``insert_block`` run-bucketing over column groups (pane SIC
+    maintained incrementally).  Reference: the seed per-tuple
+    :class:`~repro.streaming._reference.ReferenceTimeWindow` fed materialized
+    tuples.  Inputs are pre-built outside the timed region in each path's
+    native representation.
+    """
+    from ..core.columns import ColumnBlock
+    from ..streaming._reference import ReferenceTimeWindow
+    from ..streaming.windows import TimeWindow
+
+    interval = 0.25
+    step = interval / tuples_per_block
+    column_blocks = []
+    for b in range(blocks):
+        start = b * interval
+        timestamps = [start + (i + 0.5) * step for i in range(tuples_per_block)]
+        column_blocks.append(
+            ColumnBlock(
+                timestamps=timestamps,
+                sics=[1e-4] * tuples_per_block,
+                values={"v": [float(i) for i in range(tuples_per_block)]},
+                source_id="s",
+            )
+        )
+    horizon = blocks * interval + window_seconds + 1.0
+    if use_reference:
+        tuple_lists = [block.to_tuples() for block in column_blocks]
+        window = ReferenceTimeWindow(window_seconds)
+        with Stopwatch() as sw:
+            for tuples in tuple_lists:
+                window.insert(tuples)
+            panes = window.advance(horizon)
+            total = sum(pane.total_sic for pane in panes)
+    else:
+        window = TimeWindow(window_seconds)
+        with Stopwatch() as sw:
+            for block in column_blocks:
+                window.insert_block(block)
+            panes = window.advance(horizon)
+            total = sum(pane.sic for pane in panes)
+    assert total > 0
+    if registry is not None:
+        name = "window.reference" if use_reference else "window.fast"
+        registry.record(name, sw.elapsed_seconds)
+    return sw.elapsed_seconds
+
+
+def run_end_to_end(
+    num_queries: int = END_TO_END_QUERIES,
+    rate: float = END_TO_END_RATE,
+    duration_seconds: float = END_TO_END_DURATION,
+    warmup_seconds: float = END_TO_END_WARMUP,
+    columnar: bool = True,
+    seed: int = 0,
+):
+    """Run the end-to-end macro-benchmark scenario and return
+    ``(seconds, RunResult)``.
+
+    A single-node ``LocalEngine`` deployment of the aggregate workload
+    (avg/max/count mix) under overload factor 2 (``capacity_fraction=0.5``).
+    With equal seeds the columnar and per-tuple runs are result-identical —
+    the differential test asserts it — so the timing difference is purely
+    the tick pipeline's representation.
+    """
+    from ..simulation.config import SimulationConfig
+    from ..streaming.engine import LocalEngine
+    from ..workloads.aggregate import make_aggregate_query
+
+    config = SimulationConfig(
+        duration_seconds=duration_seconds,
+        warmup_seconds=warmup_seconds,
+        capacity_fraction=0.5,
+        columnar=columnar,
+        seed=seed,
+    )
+    engine = LocalEngine(config)
+    kinds = ("avg", "max", "count")
+    # Same query ids in both modes so run results are directly comparable
+    # (the differential test asserts per-query SIC equality key by key).
+    for i in range(num_queries):
+        engine.add_query(
+            make_aggregate_query(
+                kinds[i % len(kinds)],
+                query_id=f"bench-q{i}",
+                rate=rate,
+                seed=i,
+            )
+        )
+    with Stopwatch() as sw:
+        result = engine.run()
+    return sw.elapsed_seconds, result
+
+
+def time_end_to_end(
+    use_reference: bool = False,
+    registry: Optional[PerfRegistry] = None,
+    **kwargs,
+) -> float:
+    """Seconds for one end-to-end macro-benchmark run (see
+    :func:`run_end_to_end`)."""
+    seconds, result = run_end_to_end(columnar=not use_reference, **kwargs)
+    # The scenario must actually overload the node, otherwise the shedding
+    # pipeline under test is idle.
+    assert any(s.shed_tuples > 0 for s in result.node_summaries)
+    if registry is not None:
+        name = "end_to_end.reference" if use_reference else "end_to_end.fast"
+        registry.record(name, seconds)
+    return seconds
+
+
 def run_microbench(
     selection_queries: Optional[Mapping[int, bool]] = None,
     registry: Optional[PerfRegistry] = None,
@@ -167,12 +361,26 @@ def run_microbench(
     results: Dict[str, object] = {"selection": {}, "estimator": {}, "node": {}}
 
     for num_queries, with_reference in selection_queries.items():
+        # Sub-millisecond kernels (Q <= 100) are dominated by scheduler
+        # noise in a single shot; report best-of-3 so the recorded speedup
+        # ratios are stable enough to gate on (the Q=1000 reference run
+        # takes seconds and is repeatable as a single measurement).
+        repeats = 3 if num_queries <= 100 else 1
         entry: Dict[str, float] = {
-            "fast_ms": time_selection(num_queries, registry=registry) * 1e3
+            "fast_ms": min(
+                time_selection(num_queries, registry=registry)
+                for _ in range(repeats)
+            )
+            * 1e3
         }
         if with_reference:
             entry["reference_ms"] = (
-                time_selection(num_queries, use_reference=True, registry=registry)
+                min(
+                    time_selection(
+                        num_queries, use_reference=True, registry=registry
+                    )
+                    for _ in range(repeats)
+                )
                 * 1e3
             )
             entry["speedup"] = entry["reference_ms"] / entry["fast_ms"]
@@ -193,5 +401,68 @@ def run_microbench(
         "ticks": 50,
         "total_ms": node_seconds * 1e3,
         "ticks_per_second": 50 / node_seconds if node_seconds else 0.0,
+    }
+
+    # The columnar ratios are gated by `bench_report.py --compare`, so —
+    # like the small selection kernels above — each side is best-of-N to
+    # keep the recorded ratios signal rather than scheduler noise (the
+    # macro-run gets best-of-2: it is the slowest kernel and a ~1 s run
+    # already amortizes most jitter).
+    gen_fast = (
+        min(time_generation_sic(registry=registry) for _ in range(3)) * 1e3
+    )
+    gen_reference = (
+        min(
+            time_generation_sic(use_reference=True, registry=registry)
+            for _ in range(3)
+        )
+        * 1e3
+    )
+    results["generation"] = {
+        "sources": GENERATION_SOURCES,
+        "ticks": GENERATION_TICKS,
+        "rate": GENERATION_RATE,
+        "dataset": "uniform",
+        "fast_ms": gen_fast,
+        "reference_ms": gen_reference,
+        "speedup": gen_reference / gen_fast,
+    }
+
+    win_fast = (
+        min(time_window_insert(registry=registry) for _ in range(3)) * 1e3
+    )
+    win_reference = (
+        min(
+            time_window_insert(use_reference=True, registry=registry)
+            for _ in range(3)
+        )
+        * 1e3
+    )
+    results["window"] = {
+        "blocks": 200,
+        "tuples_per_block": 250,
+        "fast_ms": win_fast,
+        "reference_ms": win_reference,
+        "speedup": win_reference / win_fast,
+    }
+
+    e2e_fast = (
+        min(time_end_to_end(registry=registry) for _ in range(2)) * 1e3
+    )
+    e2e_reference = (
+        min(
+            time_end_to_end(use_reference=True, registry=registry)
+            for _ in range(2)
+        )
+        * 1e3
+    )
+    results["end_to_end"] = {
+        "queries": END_TO_END_QUERIES,
+        "rate": END_TO_END_RATE,
+        "duration_seconds": END_TO_END_DURATION,
+        "overload_factor": 2.0,
+        "fast_ms": e2e_fast,
+        "reference_ms": e2e_reference,
+        "speedup": e2e_reference / e2e_fast,
     }
     return results

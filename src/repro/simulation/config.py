@@ -40,6 +40,10 @@ class SimulationConfig:
             (the Figure 4 ablation disables this).
         coordinator_update_interval: dissemination period; defaults to the
             shedding interval.
+        columnar: run the columnar tick pipeline (vectorized source
+            generation, SIC stamping and window bucketing).  Result-identical
+            to the per-tuple path for equal seeds; disable to time or
+            differentially test the tuple-at-a-time reference path.
         seed: RNG seed shared by data generation, placement and shedders.
     """
 
@@ -52,6 +56,7 @@ class SimulationConfig:
     network_latency_seconds: float = 0.005
     enable_sic_updates: bool = True
     coordinator_update_interval: Optional[float] = None
+    columnar: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:

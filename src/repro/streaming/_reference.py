@@ -1,0 +1,139 @@
+"""Reference (pre-optimisation) window implementations.
+
+Preserves the seed's tuple-at-a-time window buffers exactly as they shipped,
+mirroring :mod:`repro.core._reference` for the shedding hot paths:
+
+* **Correctness oracle** — the columnar :class:`repro.streaming.windows.
+  TimeWindow` / :class:`ImmediateWindow` must close panes with identical
+  membership and ordering for any insertion sequence, and identical SIC
+  values up to float-summation reordering: the new panes accumulate SIC in
+  insertion order while this reference re-sums after sorting by timestamp,
+  so out-of-order multi-batch input may differ in the last ULP (bit-exact
+  when input arrives time-ordered, as every engine path produces);
+  ``tests/streaming/test_columnar_windows.py`` checks the fast path against
+  this reference on randomized inputs.
+* **Perf baseline** — ``scripts/bench_report.py`` and
+  ``benchmarks/test_bench_micro.py`` time the columnar insert path against
+  this per-tuple reference so the recorded speedups in
+  ``BENCH_shedding.json`` are machine-independent.
+
+Do not "improve" this module — its per-tuple object churn (one list append
+and one ``with_sic`` copy per tuple per pane, pane SIC re-summed on access)
+is the point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.tuples import Tuple
+
+__all__ = ["ReferenceWindowPane", "ReferenceImmediateWindow", "ReferenceTimeWindow"]
+
+
+@dataclass
+class ReferenceWindowPane:
+    """The seed's pane: tuple list plus on-demand SIC re-summing."""
+
+    start: float
+    end: float
+    tuples: List[Tuple]
+
+    @property
+    def total_sic(self) -> float:
+        return sum(t.sic for t in self.tuples)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+
+class ReferenceImmediateWindow:
+    """The seed's degenerate window: releases tuples on every advance."""
+
+    def __init__(self) -> None:
+        self._buffer: List[Tuple] = []
+
+    def insert(self, tuples: Sequence[Tuple]) -> None:
+        self._buffer.extend(tuples)
+
+    def advance(self, now: float) -> List[ReferenceWindowPane]:
+        if not self._buffer:
+            return []
+        pane = ReferenceWindowPane(start=float("-inf"), end=now, tuples=self._buffer)
+        self._buffer = []
+        return [pane]
+
+    def pending_count(self) -> int:
+        return len(self._buffer)
+
+
+class ReferenceTimeWindow:
+    """The seed's time window: per-tuple pane routing and list appends."""
+
+    DEFAULT_ALLOWED_LATENESS = 0.5
+
+    def __init__(
+        self,
+        size_seconds: float,
+        slide_seconds: Optional[float] = None,
+        allowed_lateness: Optional[float] = None,
+    ) -> None:
+        if size_seconds <= 0:
+            raise ValueError(f"size_seconds must be positive, got {size_seconds}")
+        slide = slide_seconds if slide_seconds is not None else size_seconds
+        if slide <= 0:
+            raise ValueError(f"slide_seconds must be positive, got {slide}")
+        if slide > size_seconds:
+            raise ValueError("slide_seconds cannot exceed size_seconds")
+        self.size = float(size_seconds)
+        self.slide = float(slide)
+        if allowed_lateness is None:
+            allowed_lateness = self.DEFAULT_ALLOWED_LATENESS
+        if allowed_lateness < 0:
+            raise ValueError(
+                f"allowed_lateness must be non-negative, got {allowed_lateness}"
+            )
+        self.allowed_lateness = float(allowed_lateness)
+        self._panes: Dict[int, List[Tuple]] = {}
+        self._last_closed_end: float = float("-inf")
+
+    @property
+    def is_sliding(self) -> bool:
+        return self.slide < self.size
+
+    def _pane_indices(self, timestamp: float) -> List[int]:
+        last = int(math.floor(timestamp / self.slide))
+        first = int(math.floor((timestamp - self.size) / self.slide)) + 1
+        return list(range(first, last + 1))
+
+    def insert(self, tuples: Sequence[Tuple]) -> None:
+        for t in tuples:
+            indices = self._pane_indices(t.timestamp)
+            indices = [
+                i for i in indices if i * self.slide + self.size > self._last_closed_end
+            ]
+            if not indices:
+                continue
+            if len(indices) == 1:
+                self._panes.setdefault(indices[0], []).append(t)
+                continue
+            share = t.sic / len(indices)
+            for idx in indices:
+                self._panes.setdefault(idx, []).append(t.with_sic(share))
+
+    def advance(self, now: float) -> List[ReferenceWindowPane]:
+        closed: List[ReferenceWindowPane] = []
+        for idx in sorted(self._panes):
+            start = idx * self.slide
+            end = start + self.size
+            if end + self.allowed_lateness <= now:
+                tuples = self._panes.pop(idx)
+                tuples.sort(key=lambda t: t.timestamp)
+                closed.append(ReferenceWindowPane(start=start, end=end, tuples=tuples))
+                self._last_closed_end = max(self._last_closed_end, end)
+        return closed
+
+    def pending_count(self) -> int:
+        return sum(len(ts) for ts in self._panes.values())

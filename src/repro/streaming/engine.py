@@ -82,6 +82,7 @@ class LocalEngine:
             network=Network(UniformLatency(self.config.network_latency_seconds)),
             coordinator_update_interval=self.config.coordinator_update_interval,
             enable_sic_updates=self.config.enable_sic_updates,
+            columnar=self.config.columnar,
         )
         node = FspsNode(
             node_id=self.node_id,

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ...core.tuples import Tuple
-from ..windows import TimeWindow
+from ..windows import TimeWindow, WindowPane
 from .base import Operator, PaneGroup
 
 __all__ = [
@@ -60,15 +60,65 @@ class WindowedAggregate(Operator):
         self.predicate = predicate
 
     def _values(self, panes: PaneGroup) -> List[float]:
+        """Qualifying values of the window, pulled column-wise when possible.
+
+        Columnar panes contribute their payload column directly (with the
+        ``Having`` predicate evaluated over the predicate field's column);
+        non-columnar panes — and any predicate without a column annotation —
+        go through the seed per-tuple loop.  Both paths visit the same rows
+        in the same (timestamp-sorted) order, so the extracted value list is
+        identical either way.
+        """
+        predicate = self.predicate
+        predicate_field = (
+            getattr(predicate, "column_field", None)
+            if predicate is not None
+            else None
+        )
         values: List[float] = []
-        for t in self._all_tuples(panes):
-            if self.predicate is not None and not self.predicate(t):
+        for port in sorted(panes):
+            pane = panes[port]
+            if predicate is None:
+                cols = pane.columns(self.field)
+                if cols is not None:
+                    (column,) = cols
+                    if column is not None:
+                        for value in column:
+                            if value is None:
+                                continue
+                            values.append(float(value))
+                    # column is None: uniform schema, no row carries the field.
+                    continue
+            elif predicate_field is not None:
+                cols = pane.columns(self.field, predicate_field)
+                if cols is not None:
+                    column, predicate_column = cols
+                    # predicate_column None: the Having field is absent from
+                    # the uniform schema, so every row fails the predicate.
+                    if column is not None and predicate_column is not None:
+                        compare = predicate.column_compare
+                        threshold = predicate.column_threshold
+                        for value, probe in zip(column, predicate_column):
+                            if probe is None or not compare(probe, threshold):
+                                continue
+                            if value is None:
+                                continue
+                            values.append(float(value))
+                    continue
+            self._tuple_values(pane, values)
+        return values
+
+    def _tuple_values(self, pane: WindowPane, values: List[float]) -> None:
+        """Seed per-tuple extraction for one pane (appends into ``values``)."""
+        field = self.field
+        predicate = self.predicate
+        for t in pane.tuples:
+            if predicate is not None and not predicate(t):
                 continue
-            value = t.values.get(self.field)
+            value = t.values.get(field)
             if value is None:
                 continue
             values.append(float(value))
-        return values
 
     def _compute(self, values: List[float]) -> Optional[float]:
         raise NotImplementedError
@@ -115,8 +165,7 @@ class Count(WindowedAggregate):
     aggregate_name = "count"
 
     def _process(self, panes: PaneGroup, now: float) -> List[Tuple]:
-        window_tuples = self._all_tuples(panes)
-        if not window_tuples:
+        if not any(len(pane) for pane in panes.values()):
             return []
         values = self._values(panes)
         timestamp = self._pane_timestamp(panes, now)
@@ -194,12 +243,25 @@ class GroupByAggregate(Operator):
 
     def _process(self, panes: PaneGroup, now: float) -> List[Tuple]:
         groups: Dict[Any, List[float]] = {}
-        for t in self._all_tuples(panes):
-            key = t.values.get(self.key_field)
-            value = t.values.get(self.value_field)
-            if key is None or value is None:
+        for port in sorted(panes):
+            pane = panes[port]
+            cols = pane.columns(self.key_field, self.value_field)
+            if cols is not None:
+                keys, group_values = cols
+                # A None column: uniform schema without the key/value field —
+                # no row can contribute to any group.
+                if keys is not None and group_values is not None:
+                    for key, value in zip(keys, group_values):
+                        if key is None or value is None:
+                            continue
+                        groups.setdefault(key, []).append(float(value))
                 continue
-            groups.setdefault(key, []).append(float(value))
+            for t in pane.tuples:
+                key = t.values.get(self.key_field)
+                value = t.values.get(self.value_field)
+                if key is None or value is None:
+                    continue
+                groups.setdefault(key, []).append(float(value))
         if not groups:
             return []
         timestamp = self._pane_timestamp(panes, now)

@@ -16,13 +16,18 @@ is processed atomically.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from ...core.columns import ColumnBlock
 from ...core.sic import propagate_sic
 from ...core.tuples import Tuple
 from ..windows import ImmediateWindow, WindowBuffer, WindowPane
 
-__all__ = ["Operator", "PaneGroup"]
+__all__ = ["Operator", "PaneGroup", "Emitted"]
+
+# What an operator emits per processing round: materialized tuples and/or
+# column groups, in emission order.
+Emitted = Union[Tuple, ColumnBlock]
 
 _operator_ids = itertools.count()
 
@@ -77,12 +82,69 @@ class Operator:
         self._windows[port].insert(tuples)
         self.ingested_tuples += len(tuples)
 
+    def ingest_block(
+        self,
+        block: ColumnBlock,
+        port: int = 0,
+        lo: int = 0,
+        hi: Optional[int] = None,
+    ) -> None:
+        """Buffer rows ``lo:hi`` of a column group on ``port``.
+
+        No tuples are materialized and no columns are copied — the range is
+        handed to the window buffer as-is.
+        """
+        if hi is None:
+            hi = len(block)
+        if hi <= lo:
+            return
+        if port < 0 or port >= self.num_ports:
+            raise ValueError(
+                f"operator {self.name!r} has {self.num_ports} ports, got port {port}"
+            )
+        self._windows[port].insert_block(block, lo, hi)
+        self.ingested_tuples += hi - lo
+
     def advance(self, now: float) -> List[Tuple]:
-        """Process every window pane closed by ``now`` and return the outputs."""
-        groups = self._collect_pane_groups(now)
+        """Process every window pane closed by ``now`` and return the outputs.
+
+        Compatibility surface: any column groups produced by the fast path
+        are materialized in place.  Hot callers use :meth:`advance_items`.
+        """
         outputs: List[Tuple] = []
+        for item in self.advance_items(now):
+            if isinstance(item, ColumnBlock):
+                outputs.extend(item.to_tuples())
+            else:
+                outputs.append(item)
+        return outputs
+
+    def advance_items(self, now: float) -> List[Emitted]:
+        """Process closed panes, emitting tuples and/or column groups.
+
+        SIC propagation (Equation 3) is identical on both representations:
+        the consumed SIC of a round is the sum of its panes' incrementally
+        maintained SIC values, divided equally over the emitted tuples —
+        written per tuple on the tuple path, as a constant SIC column on the
+        columnar path.
+        """
+        groups = self._collect_pane_groups(now)
+        outputs: List[Emitted] = []
         for group in groups:
-            input_sic = sum(pane.total_sic for pane in group.values())
+            input_sic = 0.0
+            for pane in group.values():
+                input_sic += pane.sic
+            block = self._process_columnar(group, now)
+            if block is not None:
+                size = len(block)
+                if size:
+                    shares = propagate_sic([input_sic], size)
+                    block.sics = [shares[0]] * size
+                    outputs.append(block)
+                    self.emitted_tuples += size
+                else:
+                    self.lost_sic += input_sic
+                continue
             produced = self._process(group, now)
             if produced:
                 shares = propagate_sic([input_sic], len(produced))
@@ -106,6 +168,19 @@ class Operator:
         overwrites the SIC according to Equation (3).
         """
         raise NotImplementedError
+
+    def _process_columnar(
+        self, panes: PaneGroup, now: float
+    ) -> Optional[ColumnBlock]:
+        """Columnar counterpart of :meth:`_process` (optional fast path).
+
+        Return the output as one ``ColumnBlock`` (its SIC column is
+        overwritten by the base class) to fully handle the round, or ``None``
+        to fall back to :meth:`_process`.  Implementations must return
+        ``None`` unless every pane of the group is columnar, and must emit
+        exactly the rows, values and ordering their tuple path would.
+        """
+        return None
 
     # ----------------------------------------------------------------- helpers
     def _collect_pane_groups(self, now: float) -> List[PaneGroup]:

@@ -12,8 +12,24 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ...core.columns import ColumnBlock
 from ...core.tuples import Tuple
 from .base import Operator, PaneGroup
+
+
+def _pane_group_blocks(panes: PaneGroup) -> Optional[List[ColumnBlock]]:
+    """All panes of the group as blocks in port order, or ``None``.
+
+    Returns ``None`` (caller falls back to the per-tuple path) unless every
+    pane of the group is columnar.
+    """
+    blocks: List[ColumnBlock] = []
+    for port in sorted(panes):
+        block = panes[port].as_block()
+        if block is None:
+            return None
+        blocks.append(block)
+    return blocks
 
 __all__ = [
     "SourceReceiver",
@@ -40,6 +56,18 @@ class SourceReceiver(Operator):
 
     def _process(self, panes: PaneGroup, now: float) -> List[Tuple]:
         return [t.copy() for t in self._all_tuples(panes)]
+
+    def _process_columnar(
+        self, panes: PaneGroup, now: float
+    ) -> Optional[ColumnBlock]:
+        blocks = _pane_group_blocks(panes)
+        if blocks is None:
+            return None
+        if len(blocks) == 1:
+            # The base class rewrites the SIC column of the returned block,
+            # which must not alias the pane's storage.
+            return blocks[0].shallow_copy()
+        return ColumnBlock.concat(blocks)
 
 
 class Project(Operator):
@@ -112,11 +140,66 @@ class Filter(Operator):
             value = t.values.get(field)
             return value is not None and compare(value, threshold)
 
+        # Columnar annotation: lets vectorized consumers (Filter fast path,
+        # windowed aggregates with a Having clause) evaluate the predicate
+        # over a payload column instead of materializing tuples.
+        predicate.column_field = field
+        predicate.column_compare = compare
+        predicate.column_threshold = threshold
+
         return cls(predicate, name=f"filter[{field} {op} {threshold}]",
                    cost_per_tuple=cost_per_tuple)
 
     def _process(self, panes: PaneGroup, now: float) -> List[Tuple]:
         return [t.copy() for t in self._all_tuples(panes) if self.predicate(t)]
+
+    def _process_columnar(
+        self, panes: PaneGroup, now: float
+    ) -> Optional[ColumnBlock]:
+        field = getattr(self.predicate, "column_field", None)
+        if field is None:
+            return None
+        blocks = _pane_group_blocks(panes)
+        if blocks is None:
+            return None
+        compare = self.predicate.column_compare
+        threshold = self.predicate.column_threshold
+        kept: List[ColumnBlock] = []
+        for block in blocks:
+            column = block.values.get(field)
+            if column is None:
+                # Uniform schema without the field: the predicate rejects
+                # every row of this block.
+                continue
+            keep = [
+                i
+                for i, v in enumerate(column)
+                if v is not None and compare(v, threshold)
+            ]
+            if len(keep) == len(column):
+                kept.append(block)
+                continue
+            if not keep:
+                continue
+            kept.append(
+                ColumnBlock._unchecked(
+                    [block.timestamps[i] for i in keep],
+                    # Placeholder SIC column: like every _process_columnar
+                    # result, the base class rebinds it with the propagated
+                    # shares before the block is observable.
+                    [0.0] * len(keep),
+                    {
+                        f: [col[i] for i in keep]
+                        for f, col in block.values.items()
+                    },
+                    block.source_id,
+                )
+            )
+        if not kept:
+            return ColumnBlock([], [], {})
+        if len(kept) == 1:
+            return kept[0].shallow_copy()
+        return ColumnBlock.concat(kept)
 
 
 class Union(Operator):

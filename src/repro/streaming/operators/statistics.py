@@ -16,8 +16,25 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ...core.tuples import Tuple
-from ..windows import TimeWindow
+from ..windows import TimeWindow, WindowPane
 from .base import Operator, PaneGroup
+
+
+def _pane_float_series(pane: WindowPane, field: str) -> List[float]:
+    """``field`` of every pane row as floats, column-wise when possible.
+
+    Mirrors the seed's ``float(t.values.get(field, 0.0))`` semantics: rows
+    without the field contribute ``0.0`` (uniform block schemas make that a
+    whole-pane decision on the columnar path).
+    """
+    cols = pane.columns(field)
+    if cols is not None:
+        (column,) = cols
+        if column is None:
+            # Uniform schema without the field: every row reads as 0.0.
+            return [0.0] * len(pane)
+        return [float(v) for v in column]
+    return [float(t.values.get(field, 0.0)) for t in pane.tuples]
 
 __all__ = [
     "CovarianceStats",
@@ -124,8 +141,8 @@ class Covariance(Operator):
         right = panes.get(1)
         if left is None or right is None:
             return []
-        xs = [float(t.values.get(self.field_x, 0.0)) for t in left.tuples]
-        ys = [float(t.values.get(self.field_y, 0.0)) for t in right.tuples]
+        xs = _pane_float_series(left, self.field_x)
+        ys = _pane_float_series(right, self.field_y)
         pairs = min(len(xs), len(ys))
         if pairs == 0:
             return []
@@ -203,11 +220,22 @@ class PartialAverage(Operator):
         self.field = field
 
     def _process(self, panes: PaneGroup, now: float) -> List[Tuple]:
-        values = [
-            float(t.values[self.field])
-            for t in self._all_tuples(panes)
-            if self.field in t.values and t.values[self.field] is not None
-        ]
+        values: List[float] = []
+        for port in sorted(panes):
+            pane = panes[port]
+            cols = pane.columns(self.field)
+            if cols is not None:
+                (column,) = cols
+                # column None: uniform schema without the field — nothing to
+                # average from this pane.
+                if column is not None:
+                    values.extend(float(v) for v in column if v is not None)
+                continue
+            values.extend(
+                float(t.values[self.field])
+                for t in pane.tuples
+                if self.field in t.values and t.values[self.field] is not None
+            )
         if not values:
             return []
         timestamp = self._pane_timestamp(panes, now)

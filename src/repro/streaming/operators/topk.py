@@ -19,6 +19,37 @@ from .base import Operator, PaneGroup
 __all__ = ["TopK", "TopKMerge"]
 
 
+def _collect_best(
+    panes: PaneGroup, id_field: str, value_field: str
+) -> Dict[object, float]:
+    """Best value per identifier across the group, column-wise when possible."""
+    best: Dict[object, float] = {}
+    for port in sorted(panes):
+        pane = panes[port]
+        cols = pane.columns(id_field, value_field)
+        if cols is not None:
+            idents, values = cols
+            # A None column: uniform schema without the id/value field — the
+            # pane offers no candidates.
+            if idents is not None and values is not None:
+                for ident, value in zip(idents, values):
+                    if ident is None or value is None:
+                        continue
+                    value = float(value)
+                    if ident not in best or value > best[ident]:
+                        best[ident] = value
+            continue
+        for t in pane.tuples:
+            ident = t.values.get(id_field)
+            value = t.values.get(value_field)
+            if ident is None or value is None:
+                continue
+            value = float(value)
+            if ident not in best or value > best[ident]:
+                best[ident] = value
+    return best
+
+
 class TopK(Operator):
     """Emit the ``k`` tuples with the largest ``value_field`` per window.
 
@@ -49,15 +80,7 @@ class TopK(Operator):
 
     def _process(self, panes: PaneGroup, now: float) -> List[Tuple]:
         # Keep the best value seen per identifier within the window, then rank.
-        best: Dict[object, float] = {}
-        for t in self._all_tuples(panes):
-            ident = t.values.get(self.id_field)
-            value = t.values.get(self.value_field)
-            if ident is None or value is None:
-                continue
-            value = float(value)
-            if ident not in best or value > best[ident]:
-                best[ident] = value
+        best = _collect_best(panes, self.id_field, self.value_field)
         if not best:
             return []
         ranked = sorted(best.items(), key=lambda kv: (-kv[1], str(kv[0])))[: self.k]
@@ -109,15 +132,7 @@ class TopKMerge(Operator):
         self.id_field = id_field
 
     def _process(self, panes: PaneGroup, now: float) -> List[Tuple]:
-        best: Dict[object, float] = {}
-        for t in self._all_tuples(panes):
-            ident = t.values.get(self.id_field)
-            value = t.values.get(self.value_field)
-            if ident is None or value is None:
-                continue
-            value = float(value)
-            if ident not in best or value > best[ident]:
-                best[ident] = value
+        best = _collect_best(panes, self.id_field, self.value_field)
         if not best:
             return []
         ranked = sorted(best.items(), key=lambda kv: (-kv[1], str(kv[0])))[: self.k]

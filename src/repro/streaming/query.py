@@ -22,8 +22,9 @@ from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple as PyTuple
 
+from ..core.columns import ColumnBlock
 from ..core.tuples import Batch, Tuple
-from .operators.base import Operator
+from .operators.base import Emitted, Operator
 
 __all__ = ["Edge", "QueryGraph", "QueryFragment", "FragmentOutput"]
 
@@ -289,8 +290,11 @@ class QueryFragment:
         """Route an arriving batch's tuples to the right entry operator.
 
         Source batches (``origin_fragment_id is None``) are routed per source
-        binding; inter-fragment batches per upstream binding.
+        binding; inter-fragment batches per upstream binding.  Columnar
+        batches route their column block as one unit (source blocks are
+        single-source by construction) without materializing tuples.
         """
+        view = batch.block_view()
         if origin_fragment_id is not None:
             binding = self.upstream_bindings.get(origin_fragment_id)
             if binding is None:
@@ -299,7 +303,18 @@ class QueryFragment:
                     f"{origin_fragment_id}"
                 )
             op_id, port = binding
-            self._ingest(op_id, list(batch.tuples), port)
+            if view is not None:
+                self._ingest_view(op_id, view, port)
+            else:
+                self._ingest(op_id, list(batch.tuples), port)
+            return
+        if view is not None and view[0].source_id is not None:
+            binding = self.source_bindings.get(view[0].source_id)
+            if binding is None:
+                # Unknown source: ignore (defensive, mirrors the tuple path).
+                return
+            op_id, port = binding
+            self._ingest_view(op_id, view, port)
             return
         # Source batch: group tuples per originating source.
         per_source: Dict[Optional[str], List[Tuple]] = defaultdict(list)
@@ -319,28 +334,25 @@ class QueryFragment:
         if not self._order:
             self.finalize()
         output = FragmentOutput()
-        exit_tuples: List[Tuple] = []
+        exit_items: List[Emitted] = []
         for op_id in self._order:
             operator = self.operators[op_id]
-            produced = operator.advance(now)
+            produced = operator.advance_items(now)
             if not produced:
                 continue
+            count = 0
+            for item in produced:
+                count += len(item) if isinstance(item, ColumnBlock) else 1
             if op_id == self.exit_operator_id:
-                exit_tuples.extend(produced)
+                exit_items.extend(produced)
             for target_id, port in self._adjacency.get(op_id, ()):  # internal routing
-                self._ingest(target_id, produced, port)
+                self._route_items(target_id, produced, port, count)
         output.processing_cost = self._pending_cost
         output.processed_tuples = self._pending_tuples
         self._pending_cost = 0.0
         self._pending_tuples = 0
-        if exit_tuples:
-            batch = Batch(
-                self.query_id,
-                exit_tuples,
-                created_at=now,
-                fragment_id=self.downstream_fragment_id or self.fragment_id,
-                origin_fragment_id=self.fragment_id,
-            )
+        if exit_items:
+            batch = self._exit_batch(exit_items, now)
             if self.is_root:
                 output.results.append(batch)
             else:
@@ -357,6 +369,77 @@ class QueryFragment:
         operator.ingest(tuples, port=port)
         self._pending_cost += operator.cost_per_tuple * len(tuples)
         self._pending_tuples += len(tuples)
+
+    def _ingest_block(self, operator_id: str, block: ColumnBlock, port: int) -> None:
+        operator = self.operators[operator_id]
+        operator.ingest_block(block, port=port)
+        self._pending_cost += operator.cost_per_tuple * len(block)
+        self._pending_tuples += len(block)
+
+    def _ingest_view(self, operator_id: str, view, port: int) -> None:
+        """Ingest a ``(block, lo, hi)`` range without copying columns."""
+        block, lo, hi = view
+        operator = self.operators[operator_id]
+        operator.ingest_block(block, port=port, lo=lo, hi=hi)
+        count = hi - lo
+        self._pending_cost += operator.cost_per_tuple * count
+        self._pending_tuples += count
+
+    def _route_items(
+        self, operator_id: str, items: Sequence[Emitted], port: int, count: int
+    ) -> None:
+        """Feed one producer's outputs to one target operator.
+
+        Consecutive tuples are delivered in single ``ingest`` calls and
+        blocks via ``ingest_block``, preserving the producer's emission
+        order; the cost-model accounting is updated once with the total tuple
+        count — the same granularity (one update per producer→target link)
+        as the per-tuple path.
+        """
+        operator = self.operators[operator_id]
+        run: List[Tuple] = []
+        for item in items:
+            if isinstance(item, ColumnBlock):
+                if run:
+                    operator.ingest(run, port=port)
+                    run = []
+                operator.ingest_block(item, port=port)
+            else:
+                run.append(item)
+        if run:
+            operator.ingest(run, port=port)
+        self._pending_cost += operator.cost_per_tuple * count
+        self._pending_tuples += count
+
+    def _exit_batch(self, items: List[Emitted], now: float) -> Batch:
+        """Build the exit batch, staying columnar when every item is a block."""
+        fragment_id = self.downstream_fragment_id or self.fragment_id
+        if all(isinstance(item, ColumnBlock) for item in items):
+            block = (
+                items[0]
+                if len(items) == 1
+                else ColumnBlock.concat(items)  # type: ignore[arg-type]
+            )
+            return Batch.from_block(
+                self.query_id,
+                block,
+                created_at=now,
+                fragment_id=fragment_id,
+                origin_fragment_id=self.fragment_id,
+            )
+        tuples: List[Tuple] = []
+        for item in items:
+            if isinstance(item, ColumnBlock):
+                tuples.extend(item.to_tuples())
+            else:
+                tuples.append(item)
+        return Batch(
+            self.query_id,
+            tuples,
+            created_at=now,
+            fragment_id=fragment_id,
+            origin_fragment_id=self.fragment_id,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

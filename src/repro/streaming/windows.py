@@ -16,20 +16,36 @@ belong to several panes; following §6 ("we also provide a practical way to
 divide the SIC value of an input tuple across all its derived tuples per
 slide"), the tuple's SIC is divided equally across the panes it participates
 in, so no information content is double-counted.
+
+Columnar fast path
+------------------
+
+Windows accept input either tuple-at-a-time (:meth:`WindowBuffer.insert`) or
+as :class:`~repro.core.columns.ColumnBlock` column groups
+(:meth:`WindowBuffer.insert_block`).  Tumbling time windows bucket-assign a
+block by *runs*: the pane index is monotonic in the timestamp, so run
+boundaries are found by binary search over the timestamp column and each run
+is stored as a column slice — no ``Tuple`` objects, no per-tuple routing.
+Every pane's SIC is maintained incrementally at insert time (element-wise, in
+insertion order — the exact additions the per-tuple path performs), so
+closing a pane never re-sums its tuples.
+
+The seed (pre-optimisation) implementations are preserved in
+:mod:`repro.streaming._reference` as the equivalence oracle and the
+perf-regression baseline.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
+from ..core.columns import ColumnBlock
 from ..core.tuples import Tuple
 
 __all__ = ["WindowPane", "WindowBuffer", "TimeWindow", "CountWindow", "ImmediateWindow"]
 
 
-@dataclass
 class WindowPane:
     """A closed window pane handed atomically to an operator.
 
@@ -37,19 +53,266 @@ class WindowPane:
         start: pane start time (inclusive) — or first tuple index for count
             windows.
         end: pane end time (exclusive).
-        tuples: the tuples assigned to the pane, in arrival order.
+        sic: summed SIC of the pane, maintained incrementally by the window
+            buffer as tuples are inserted (never re-summed on access).
+
+    A pane is backed either by a list of tuples (per-tuple path) or by the
+    column slices routed into it (columnar path).  ``tuples`` materializes
+    lazily on the columnar path; vectorized operators read the columns
+    directly through :meth:`values_column` / :meth:`timestamps_column`.
     """
 
-    start: float
-    end: float
-    tuples: List[Tuple]
+    __slots__ = (
+        "start",
+        "end",
+        "sic",
+        "_tuples",
+        "_ranges",
+        "_count",
+        "_sort_tuples",
+        "_merged",
+        "_order",
+    )
 
+    def __init__(
+        self,
+        start: float,
+        end: float,
+        tuples: Optional[List[Tuple]] = None,
+        sic: Optional[float] = None,
+        ranges: Optional[List["tuple[ColumnBlock, int, int]"]] = None,
+        count: Optional[int] = None,
+        sort_tuples: bool = False,
+    ) -> None:
+        self.start = start
+        self.end = end
+        self._tuples = tuples
+        self._ranges = ranges
+        self._sort_tuples = sort_tuples
+        self._merged: Optional[ColumnBlock] = None
+        self._order: Optional[List[int]] = None
+        if tuples is not None:
+            self._count = len(tuples)
+            self.sic = sum(t.sic for t in tuples) if sic is None else sic
+        elif ranges is not None:
+            self._count = (
+                count
+                if count is not None
+                else sum(hi - lo for _, lo, hi in ranges)
+            )
+            if sic is None:
+                sic = 0.0
+                for block, lo, hi in ranges:
+                    sic += sum(block.sics[lo:hi])
+            self.sic = sic
+        else:
+            self._count = 0
+            self.sic = 0.0 if sic is None else sic
+
+    # ------------------------------------------------------------- inspection
     @property
     def total_sic(self) -> float:
-        return sum(t.sic for t in self.tuples)
+        """Seed-compatible alias of :attr:`sic`."""
+        return self.sic
 
     def __len__(self) -> int:
-        return len(self.tuples)
+        return self._count
+
+    @property
+    def is_columnar(self) -> bool:
+        """True while the pane is column-backed and unmaterialized."""
+        return self._tuples is None and self._ranges is not None
+
+    # ----------------------------------------------------------- tuple access
+    @property
+    def tuples(self) -> List[Tuple]:
+        """Per-tuple view; materialized (and cached) for columnar panes.
+
+        Materialization reproduces the per-tuple path exactly: column ranges
+        expand in insertion order and, for time panes, the result is stably
+        sorted by timestamp — the same ordering the seed applied at pane
+        close.
+        """
+        if self._tuples is None:
+            tuples: List[Tuple] = []
+            for block, lo, hi in self._ranges or ():
+                tuples.extend(block.to_tuples(lo, hi))
+            if self._sort_tuples:
+                tuples.sort(key=lambda t: t.timestamp)
+            self._tuples = tuples
+            # The tuple list is now the source of truth; drop the column
+            # ranges (and any merged copy) so the pane does not retain every
+            # source block for the rest of its lifetime.
+            self._ranges = None
+            self._merged = None
+            self._order = None
+        return self._tuples
+
+    # ---------------------------------------------------------- column access
+    def _ensure_merged(self) -> Optional[ColumnBlock]:
+        """Concatenate the pane's ranges and compute the timestamp ordering."""
+        if not self.is_columnar:
+            return None
+        if self._merged is None:
+            ranges = self._ranges
+            first_fields = list(ranges[0][0].values)
+            if any(
+                list(block.values) != first_fields for block, _, _ in ranges[1:]
+            ):
+                # Heterogeneous payload schemas in one pane (several sources
+                # with different fields bound to the same port): there is no
+                # meaningful merged column view, so materialize the tuples —
+                # every caller then takes the per-tuple path, which tolerates
+                # mixed payload dicts exactly like the seed did.
+                self.tuples
+                return None
+            merged = ColumnBlock.concat_ranges(ranges)
+            self._merged = merged
+            if self._sort_tuples:
+                timestamps = merged.timestamps
+                ordered = all(
+                    timestamps[i] <= timestamps[i + 1]
+                    for i in range(len(timestamps) - 1)
+                )
+                if not ordered:
+                    # Stable permutation — same reordering a stable sort of
+                    # the materialized tuples by timestamp would apply.
+                    self._order = sorted(
+                        range(len(timestamps)), key=timestamps.__getitem__
+                    )
+        return self._merged
+
+    def timestamps_column(self) -> Optional[List[float]]:
+        """Timestamp column in pane order, or ``None`` when not columnar."""
+        merged = self._ensure_merged()
+        if merged is None:
+            return None
+        if self._order is None:
+            return merged.timestamps
+        timestamps = merged.timestamps
+        return [timestamps[i] for i in self._order]
+
+    def as_block(self) -> Optional[ColumnBlock]:
+        """The whole pane as one column group in pane order, or ``None``.
+
+        Returns ``None`` when the pane is not columnar.  The result shares
+        the underlying column lists when no reordering is needed; callers
+        must treat them as read-only.
+        """
+        merged = self._ensure_merged()
+        if merged is None:
+            return None
+        if self._order is None:
+            return merged
+        order = self._order
+        timestamps = merged.timestamps
+        sics = merged.sics
+        return ColumnBlock(
+            timestamps=[timestamps[i] for i in order],
+            sics=[sics[i] for i in order],
+            values={
+                f: [col[i] for i in order] for f, col in merged.values.items()
+            },
+            source_id=merged.source_id,
+        )
+
+    def columns(self, *fields: str) -> Optional[List[Optional[List[Any]]]]:
+        """Payload columns for ``fields`` in pane order, or ``None``.
+
+        This is the one place encoding the columnar-or-tuples contract for
+        operators: a ``None`` return means "this pane has no column view —
+        iterate ``pane.tuples``" (either the pane was built per-tuple, or
+        its blocks had heterogeneous schemas, in which case the tuples were
+        just materialized and are ready to use).  A non-``None`` return is a
+        per-field list of columns, where an individual entry is ``None``
+        when that field is absent from the pane's uniform schema (i.e. *no*
+        row carries it — there is nothing to fall back to).
+        """
+        merged = self._ensure_merged()
+        if merged is None:
+            return None
+        return [self.values_column(field) for field in fields]
+
+    def values_column(self, field: str) -> Optional[List[Any]]:
+        """Payload column for ``field`` in pane order.
+
+        Returns ``None`` when the pane is not columnar *or* the field is not
+        part of the block schema — callers fall back to the per-tuple path in
+        both cases (absent fields behave like per-tuple ``values.get``
+        returning ``None`` for every row, which vectorized consumers handle
+        by skipping the column entirely).
+        """
+        merged = self._ensure_merged()
+        if merged is None:
+            return None
+        column = merged.values.get(field)
+        if column is None:
+            return None
+        if self._order is None:
+            return column
+        return [column[i] for i in self._order]
+
+
+class _PaneAcc:
+    """Per-pane accumulator: pending items plus incrementally-maintained SIC.
+
+    ``items`` holds, in insertion order, either :class:`Tuple` objects
+    (per-tuple path) or ``(block, lo, hi)`` column ranges (columnar path) —
+    plain 3-tuples, so the type test against the ``Tuple`` dataclass is
+    unambiguous.  Ranges defer all column copying to pane close.
+    """
+
+    __slots__ = ("items", "sic", "count")
+
+    def __init__(self) -> None:
+        self.items: List[Any] = []
+        self.sic = 0.0
+        self.count = 0
+
+    def add_tuple(self, t: Tuple) -> None:
+        self.items.append(t)
+        self.sic += t.sic
+        self.count += 1
+
+    def add_tuples(self, tuples: Sequence[Tuple]) -> None:
+        sic = self.sic
+        for t in tuples:
+            sic += t.sic
+        self.sic = sic
+        self.count += len(tuples)
+        self.items.extend(tuples)
+
+    def add_range(self, block: ColumnBlock, lo: int, hi: int) -> None:
+        """Add rows ``lo:hi`` of a block, accumulating SIC element-wise (the
+        identical additions the per-tuple path performs, for bit equality)."""
+        self.items.append((block, lo, hi))
+        sic = self.sic
+        for s in block.sics[lo:hi]:
+            sic += s
+        self.sic = sic
+        self.count += hi - lo
+
+    def close(self, start: float, end: float, sort_tuples: bool) -> WindowPane:
+        items = self.items
+        if items and all(type(item) is tuple for item in items):
+            return WindowPane(
+                start=start,
+                end=end,
+                ranges=items,
+                sic=self.sic,
+                count=self.count,
+                sort_tuples=sort_tuples,
+            )
+        tuples: List[Tuple] = []
+        for item in items:
+            if type(item) is tuple:
+                block, lo, hi = item
+                tuples.extend(block.to_tuples(lo, hi))
+            else:
+                tuples.append(item)
+        if sort_tuples:
+            tuples.sort(key=lambda t: t.timestamp)
+        return WindowPane(start=start, end=end, tuples=tuples, sic=self.sic)
 
 
 class WindowBuffer:
@@ -57,6 +320,12 @@ class WindowBuffer:
 
     def insert(self, tuples: Sequence[Tuple]) -> None:
         raise NotImplementedError
+
+    def insert_block(
+        self, block: ColumnBlock, lo: int = 0, hi: Optional[int] = None
+    ) -> None:
+        """Insert rows ``lo:hi`` of a column group; default materializes."""
+        self.insert(block.to_tuples(lo, hi))
 
     def advance(self, now: float) -> List[WindowPane]:
         """Close and return all panes whose end time is ``<= now``."""
@@ -72,24 +341,34 @@ class ImmediateWindow(WindowBuffer):
 
     Used by stateless operators (filters, projections, receivers, unions)
     whose semantics do not require buffering.  Each ``advance`` call emits a
-    single pane with everything inserted since the previous call.
+    single pane with everything inserted since the previous call, in
+    insertion order (no sorting — matching the seed behaviour).
     """
 
     def __init__(self) -> None:
-        self._buffer: List[Tuple] = []
+        self._acc = _PaneAcc()
 
     def insert(self, tuples: Sequence[Tuple]) -> None:
-        self._buffer.extend(tuples)
+        self._acc.add_tuples(tuples)
+
+    def insert_block(
+        self, block: ColumnBlock, lo: int = 0, hi: Optional[int] = None
+    ) -> None:
+        if hi is None:
+            hi = len(block)
+        if hi <= lo:
+            return
+        self._acc.add_range(block, lo, hi)
 
     def advance(self, now: float) -> List[WindowPane]:
-        if not self._buffer:
+        acc = self._acc
+        if not acc.items:
             return []
-        pane = WindowPane(start=float("-inf"), end=now, tuples=self._buffer)
-        self._buffer = []
-        return [pane]
+        self._acc = _PaneAcc()
+        return [acc.close(start=float("-inf"), end=now, sort_tuples=False)]
 
     def pending_count(self) -> int:
-        return len(self._buffer)
+        return self._acc.count
 
 
 class TimeWindow(WindowBuffer):
@@ -130,7 +409,7 @@ class TimeWindow(WindowBuffer):
                 f"allowed_lateness must be non-negative, got {allowed_lateness}"
             )
         self.allowed_lateness = float(allowed_lateness)
-        self._panes: Dict[int, List[Tuple]] = {}
+        self._panes: Dict[int, _PaneAcc] = {}
         self._last_closed_end: float = float("-inf")
 
     @property
@@ -148,24 +427,91 @@ class TimeWindow(WindowBuffer):
         first = int(math.floor((timestamp - self.size) / self.slide)) + 1
         return list(range(first, last + 1))
 
+    def _index_pair(self, timestamp: float) -> "tuple[int, int]":
+        """(first, last) pane index of ``timestamp`` — both nondecreasing in
+        the timestamp, which is what makes the run search in
+        :meth:`insert_block` a valid binary search."""
+        last = int(math.floor(timestamp / self.slide))
+        first = int(math.floor((timestamp - self.size) / self.slide)) + 1
+        return first, last
+
+    def _acc(self, index: int) -> _PaneAcc:
+        acc = self._panes.get(index)
+        if acc is None:
+            acc = _PaneAcc()
+            self._panes[index] = acc
+        return acc
+
     def insert(self, tuples: Sequence[Tuple]) -> None:
+        size = self.size
+        slide = self.slide
+        last_closed = self._last_closed_end
         for t in tuples:
             indices = self._pane_indices(t.timestamp)
             # Panes whose end time has already been closed cannot accept the
             # tuple any more; its share of SIC for those panes is lost.
-            indices = [
-                i for i in indices if i * self.slide + self.size > self._last_closed_end
-            ]
+            indices = [i for i in indices if i * slide + size > last_closed]
             if not indices:
                 continue
             if len(indices) == 1:
-                self._panes.setdefault(indices[0], []).append(t)
+                self._acc(indices[0]).add_tuple(t)
                 continue
             # Sliding window: split the tuple's SIC across its panes so that
             # the total information content is conserved.
             share = t.sic / len(indices)
             for idx in indices:
-                self._panes.setdefault(idx, []).append(t.with_sic(share))
+                self._acc(idx).add_tuple(t.with_sic(share))
+
+    def insert_block(
+        self, block: ColumnBlock, lo: int = 0, hi: Optional[int] = None
+    ) -> None:
+        """Bucket-assign rows ``lo:hi`` of a column group by timestamp
+        arithmetic.
+
+        Tumbling windows with a nondecreasing timestamp column take the fast
+        path: the pane index pair is monotonic in the timestamp, so maximal
+        same-pane runs are found by binary search and stored as ``(block,
+        i, j)`` ranges — columns are not copied until the pane closes.  Each
+        run's SIC joins the pane total element-wise in insertion order — the
+        identical additions :meth:`insert` performs — so both paths stay
+        bit-for-bit equivalent.  Sliding windows (per-pane SIC shares) and
+        unsorted inputs fall back to the exact per-tuple path.
+        """
+        if hi is None:
+            hi = len(block)
+        if hi <= lo:
+            return
+        timestamps = block.timestamps
+        if self.is_sliding or any(
+            timestamps[i] > timestamps[i + 1] for i in range(lo, hi - 1)
+        ):
+            self.insert(block.to_tuples(lo, hi))
+            return
+        index_pair = self._index_pair
+        slide = self.slide
+        size = self.size
+        last_closed = self._last_closed_end
+        i = lo
+        while i < hi:
+            pair = index_pair(timestamps[i])
+            run_lo, run_hi = i + 1, hi
+            while run_lo < run_hi:
+                mid = (run_lo + run_hi) // 2
+                if index_pair(timestamps[mid]) == pair:
+                    run_lo = mid + 1
+                else:
+                    run_hi = mid
+            j = run_lo
+            first, last = pair
+            if first == last:
+                if last * slide + size > last_closed:
+                    self._acc(last).add_range(block, i, j)
+            else:
+                # A tumbling run that straddles pane intervals can only come
+                # from ulp-level rounding in the index arithmetic; route it
+                # through the exact per-tuple path (SIC shares included).
+                self.insert(block.to_tuples(i, j))
+            i = j
 
     def advance(self, now: float) -> List[WindowPane]:
         closed: List[WindowPane] = []
@@ -173,14 +519,13 @@ class TimeWindow(WindowBuffer):
             start = idx * self.slide
             end = start + self.size
             if end + self.allowed_lateness <= now:
-                tuples = self._panes.pop(idx)
-                tuples.sort(key=lambda t: t.timestamp)
-                closed.append(WindowPane(start=start, end=end, tuples=tuples))
+                acc = self._panes.pop(idx)
+                closed.append(acc.close(start=start, end=end, sort_tuples=True))
                 self._last_closed_end = max(self._last_closed_end, end)
         return closed
 
     def pending_count(self) -> int:
-        return sum(len(ts) for ts in self._panes.values())
+        return sum(acc.count for acc in self._panes.values())
 
 
 class CountWindow(WindowBuffer):

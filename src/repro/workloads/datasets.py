@@ -44,7 +44,16 @@ class ValueDistribution:
         raise NotImplementedError
 
     def sample_many(self, count: int) -> List[float]:
-        return [self.sample() for _ in range(count)]
+        """Draw ``count`` samples in one call.
+
+        Always draws the exact same RNG stream as ``count`` successive
+        :meth:`sample` calls — subclasses may only override this with
+        implementations that keep that equivalence (the columnar generation
+        fast path relies on it being byte-for-byte reproducible against the
+        per-tuple path).  The default binds the method once and loops.
+        """
+        sample = self.sample
+        return [sample() for _ in range(count)]
 
 
 class GaussianValues(ValueDistribution):
@@ -59,6 +68,14 @@ class GaussianValues(ValueDistribution):
 
     def sample(self) -> float:
         return max(0.0, self.rng.gauss(self.mean, self.std))
+
+    def sample_many(self, count: int) -> List[float]:
+        # Same draws as `count` sample() calls with the per-call dispatch
+        # hoisted out of the loop.
+        gauss = self.rng.gauss
+        mean = self.mean
+        std = self.std
+        return [max(0.0, gauss(mean, std)) for _ in range(count)]
 
 
 class UniformValues(ValueDistribution):
@@ -76,6 +93,14 @@ class UniformValues(ValueDistribution):
     def sample(self) -> float:
         return self.rng.uniform(self.low, self.high)
 
+    def sample_many(self, count: int) -> List[float]:
+        # random.uniform(a, b) is exactly `a + (b - a) * random()`; inlining
+        # it with the width hoisted draws the identical stream ~2x faster.
+        random = self.rng.random
+        low = self.low
+        width = self.high - self.low
+        return [low + width * random() for _ in range(count)]
+
 
 class ExponentialValues(ValueDistribution):
     """Exponential values with mean 50."""
@@ -90,6 +115,11 @@ class ExponentialValues(ValueDistribution):
 
     def sample(self) -> float:
         return self.rng.expovariate(1.0 / self.mean)
+
+    def sample_many(self, count: int) -> List[float]:
+        expovariate = self.rng.expovariate
+        lambd = 1.0 / self.mean
+        return [expovariate(lambd) for _ in range(count)]
 
 
 class MixedValues(ValueDistribution):
@@ -107,6 +137,11 @@ class MixedValues(ValueDistribution):
 
     def sample(self) -> float:
         return self.rng.choice(self._components).sample()
+
+    def sample_many(self, count: int) -> List[float]:
+        choice = self.rng.choice
+        components = self._components
+        return [choice(components).sample() for _ in range(count)]
 
 
 class PlanetLabLikeValues(ValueDistribution):

@@ -20,6 +20,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Optional
 
+from ..core.columns import ColumnBlock
 from ..core.tuples import Tuple
 from .datasets import PlanetLabLikeValues, ValueDistribution, make_dataset
 
@@ -61,7 +62,13 @@ class StreamSource:
         return count
 
     def generate(self, start: float, end: float) -> List[Tuple]:
-        """Emit the tuples for the interval ``[start, end)``."""
+        """Emit the tuples for the interval ``[start, end)``.
+
+        This is the seed per-tuple path, kept as the compatibility surface
+        and as the correctness/perf reference for :meth:`generate_block`:
+        for equal seeds both paths must emit byte-identical timestamps,
+        payload values and counts (the differential tests enforce it).
+        """
         count = self.tuples_for_interval(start, end)
         if count <= 0:
             return []
@@ -79,6 +86,59 @@ class StreamSource:
             )
         self.emitted_tuples += count
         return tuples
+
+    def generate_block(self, start: float, end: float) -> Optional[ColumnBlock]:
+        """Columnar :meth:`generate`: emit the interval as parallel arrays.
+
+        Returns ``None`` when no tuples are due.  Timestamps use the exact
+        per-tuple expression and payload columns come from
+        :meth:`payload_columns`, which draws the same RNG stream as ``count``
+        ``payload_builder()`` calls, so a seeded columnar run is
+        tuple-for-tuple identical to the per-tuple path.
+        """
+        count = self.tuples_for_interval(start, end)
+        if count <= 0:
+            return None
+        step = (end - start) / count
+        timestamps = [start + (index + 0.5) * step for index in range(count)]
+        values = self.payload_columns(count)
+        self.emitted_tuples += count
+        return ColumnBlock(
+            timestamps=timestamps,
+            sics=[0.0] * count,
+            values=values,
+            source_id=self.source_id,
+        )
+
+    def payload_columns(self, count: int) -> Dict[str, List[object]]:
+        """Payload values for ``count`` tuples, one column per field.
+
+        The default transposes ``count`` ``payload_builder()`` calls, so any
+        custom source with a *uniform* payload schema is columnar-correct
+        out of the box; the concrete sources below override it with
+        loop-free / hoisted versions that draw the identical RNG stream.
+
+        Raises:
+            ValueError: when the builder emits differing field sets across
+                tuples — parallel columns cannot represent that.  Run with
+                ``SimulationConfig(columnar=False)`` (per-tuple pipeline) or
+                override this method for such sources.
+        """
+        builder = self.payload_builder
+        payloads = [builder() for _ in range(count)]
+        if not payloads:
+            return {}
+        fields = list(payloads[0])
+        for payload in payloads:
+            if list(payload) != fields:
+                raise ValueError(
+                    f"source {self.source_id!r}: payload_builder emits a "
+                    f"non-uniform field set ({list(payload)!r} vs {fields!r}),"
+                    " which the columnar fast path cannot represent; disable"
+                    " it with SimulationConfig(columnar=False) or override"
+                    " payload_columns()"
+                )
+        return {f: [p[f] for p in payloads] for f in fields}
 
 
 class ValueSource(StreamSource):
@@ -99,6 +159,9 @@ class ValueSource(StreamSource):
             payload_builder=lambda: {"v": self.distribution.sample()},
             seed=seed,
         )
+
+    def payload_columns(self, count: int) -> Dict[str, List[object]]:
+        return {"v": self.distribution.sample_many(count)}
 
 
 class CpuSource(StreamSource):
@@ -124,6 +187,12 @@ class CpuSource(StreamSource):
             },
             seed=seed,
         )
+
+    def payload_columns(self, count: int) -> Dict[str, List[object]]:
+        return {
+            "id": [self.monitored_id] * count,
+            "value": self.distribution.sample_many(count),
+        }
 
 
 class MemorySource(StreamSource):
@@ -161,6 +230,19 @@ class MemorySource(StreamSource):
             # TOP-5 query's filter (free >= 100,000 KB) is selective.
             free = 50_000.0 + value * 20_000.0
         return {"id": self.monitored_id, "free": free}
+
+    def payload_columns(self, count: int) -> Dict[str, List[object]]:
+        # The PlanetLab path interleaves two draws per tuple (utilisation
+        # sample, then the correlated memory noise), so the loop must stay
+        # per-tuple to preserve the RNG stream; only the dispatch is hoisted.
+        sample = self.distribution.sample
+        planetlab = self._planetlab
+        if planetlab is not None:
+            memory_free_kb = planetlab.memory_free_kb
+            free = [memory_free_kb(sample()) for _ in range(count)]
+        else:
+            free = [50_000.0 + sample() * 20_000.0 for _ in range(count)]
+        return {"id": [self.monitored_id] * count, "free": free}
 
 
 class BurstySource:
@@ -210,5 +292,16 @@ class BurstySource:
             self.base.rate = original_rate * self.burst_multiplier
         try:
             return self.base.generate(start, end)
+        finally:
+            self.base.rate = original_rate
+
+    def generate_block(self, start: float, end: float) -> Optional[ColumnBlock]:
+        """Columnar :meth:`generate`: one burst draw, then the base fast path."""
+        original_rate = self.base.rate
+        if self.rng.random() < self.burst_probability:
+            self.bursts += 1
+            self.base.rate = original_rate * self.burst_multiplier
+        try:
+            return self.base.generate_block(start, end)
         finally:
             self.base.rate = original_rate
