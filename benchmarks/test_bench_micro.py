@@ -27,6 +27,7 @@ from repro.perf.microbench import (
     time_estimator_ingest,
     time_generation_sic,
     time_node_ticks,
+    time_runtime,
     time_selection,
     time_window_insert,
 )
@@ -40,6 +41,10 @@ ESTIMATOR_SPEEDUP_FLOOR = 10.0
 GENERATION_SPEEDUP_FLOOR = 5.0
 WINDOW_SPEEDUP_FLOOR = 4.0
 END_TO_END_SPEEDUP_FLOOR = 1.25
+# The discrete-event runtime must stay within 10% of the lockstep loop end
+# to end (ISSUE 3 acceptance criterion; observed ~5-7% on the recording
+# machine — see the `runtime` section of BENCH_shedding.json).
+RUNTIME_OVERHEAD_CEILING = 0.10
 
 # Wall-clock ratio assertions are meaningless on heavily throttled shared
 # runners; REPRO_SKIP_PERF_ASSERT=1 keeps the kernels running (so the code
@@ -179,3 +184,36 @@ class TestEndToEndBenchmarks:
         )
         assert columnar.per_query_sic == reference.per_query_sic
         assert columnar.result_values == reference.result_values
+
+
+class TestRuntimeBenchmarks:
+    """Discrete-event runtime vs the lockstep tick loop (identical scenario,
+    identical results — the timing difference is pure scheduling overhead)."""
+
+    def test_event_runtime(self, benchmark):
+        seconds = benchmark.pedantic(time_runtime, rounds=1, iterations=1)
+        benchmark.extra_info["scenario"] = "aggregate x50, overload 2, event loop"
+        assert seconds > 0
+
+    @skip_perf_asserts
+    def test_event_runtime_overhead_within_budget(self):
+        event = best_of(2, time_runtime)
+        lockstep = best_of(2, time_runtime, use_lockstep=True)
+        overhead = event / lockstep - 1.0
+        assert overhead <= RUNTIME_OVERHEAD_CEILING, (
+            f"event runtime overhead {overhead * 100:.1f}% exceeds the "
+            f"{RUNTIME_OVERHEAD_CEILING * 100:.0f}% budget vs lockstep; "
+            f"event={event * 1e3:.0f} ms lockstep={lockstep * 1e3:.0f} ms"
+        )
+
+    def test_event_runtime_result_identical(self):
+        """Same seeds -> the event-driven run reproduces the lockstep run
+        exactly (scaled-down scenario)."""
+        _, event = run_end_to_end(
+            num_queries=10, rate=200.0, duration_seconds=3.0, runtime="event"
+        )
+        _, lockstep = run_end_to_end(
+            num_queries=10, rate=200.0, duration_seconds=3.0, runtime="lockstep"
+        )
+        assert event.per_query_sic == lockstep.per_query_sic
+        assert event.result_values == lockstep.result_values

@@ -8,7 +8,6 @@ Two measurements:
 * the full overhead experiment, which also reports meta-data counters.
 """
 
-import pytest
 
 from repro.core.shedding import BalanceSicShedder, RandomShedder
 from repro.experiments import overhead

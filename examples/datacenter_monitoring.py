@@ -13,7 +13,7 @@ Run with::
     python examples/datacenter_monitoring.py
 """
 
-from repro.experiments.common import build_federation, config_with
+from repro.experiments.common import build_federation
 from repro.experiments.fig07_sic_correlation_complex import top5_lists_per_window
 from repro.federation.deployment import RandomPlacement
 from repro.metrics.errors import normalized_kendall_distance
@@ -87,13 +87,19 @@ def sic_vs_top5_accuracy():
 
     from repro.experiments.common import run_workload
 
-    perfect_cfg = monitoring_config(shedder="none", capacity_fraction=1e6)
+    # Result payloads are retained (off by default) so the degraded and
+    # perfect runs can be aligned window by window.
+    perfect_cfg = monitoring_config(
+        shedder="none", capacity_fraction=1e6, retain_result_values=True
+    )
     perfect = run_workload(builder, num_nodes=1, config=perfect_cfg)
     perfect_lists = top5_lists_per_window(perfect.result_values["dc-top5"])
 
     print(f"  {'capacity':>9} {'SIC':>7} {'Kendall distance':>17}")
     for fraction in (0.25, 0.5, 0.75):
-        degraded_cfg = monitoring_config(shedder="random", capacity_fraction=fraction)
+        degraded_cfg = monitoring_config(
+            shedder="random", capacity_fraction=fraction, retain_result_values=True
+        )
         degraded = run_workload(builder, num_nodes=1, config=degraded_cfg)
         degraded_lists = top5_lists_per_window(degraded.result_values["dc-top5"])
         common = sorted(set(perfect_lists) & set(degraded_lists))

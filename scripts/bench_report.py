@@ -99,6 +99,12 @@ def build_report(quick: bool = False) -> dict:
     speedups["generation_sic"] = round(results["generation"]["speedup"], 2)
     speedups["window_insert"] = round(results["window"]["speedup"], 2)
     speedups["end_to_end"] = round(results["end_to_end"]["speedup"], 2)
+    # Execution-driver ratio (lockstep / event, ~1.0): recorded so --compare
+    # catches the discrete-event runtime blowing past its ≤10% overhead
+    # budget in a later PR, like any other fast-path regression.
+    speedups["runtime_event_vs_lockstep"] = round(
+        results["runtime"]["lockstep_ms"] / results["runtime"]["event_ms"], 2
+    )
     return {
         "schema": 1,
         "git_revision": git_revision(),

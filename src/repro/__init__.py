@@ -12,8 +12,11 @@ SIGMOD 2016):
   query language.
 * :mod:`repro.federation` — autonomous nodes, the inter-site network, query
   coordinators and fragment placement.
-* :mod:`repro.simulation` — the time-stepped simulator standing in for the
-  paper's physical test-beds.
+* :mod:`repro.runtime` — the deterministic discrete-event runtime driving the
+  federation (independent per-component rounds, heterogeneous per-node
+  shedding intervals, mid-run cluster & query lifecycle).
+* :mod:`repro.simulation` — the simulation driver standing in for the paper's
+  physical test-beds (event-driven by default, lockstep as the oracle).
 * :mod:`repro.workloads` — the Table 1 aggregate and complex workloads,
   datasets and population generators.
 * :mod:`repro.baselines` — the centralised FIT and utility-maximisation
@@ -61,6 +64,7 @@ from .federation import (
     UniformLatency,
     ZipfPlacement,
 )
+from .runtime import EventRuntime
 from .simulation import RunResult, SimulationConfig, Simulator
 from .streaming import LocalEngine, QueryFragment, QueryGraph, compile_query
 from .workloads import (
@@ -104,6 +108,7 @@ __all__ = [
     "RoundRobinPlacement",
     "UniformLatency",
     "ZipfPlacement",
+    "EventRuntime",
     "RunResult",
     "SimulationConfig",
     "Simulator",

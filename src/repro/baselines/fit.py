@@ -17,7 +17,7 @@ is solver-independent).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 from scipy.optimize import linprog

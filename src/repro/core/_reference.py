@@ -25,7 +25,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple as PyTuple
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from .balance_sic import BalanceSicConfig, SelectionStrategy, ShedDecision
 from .sic import source_tuple_sic

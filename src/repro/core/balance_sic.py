@@ -44,7 +44,7 @@ from __future__ import annotations
 import heapq
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple as PyTuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple as PyTuple
 
 from .tuples import Batch, total_tuples as _total_tuples
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple as PyTuple
+from typing import Deque, Dict, Iterable, List, Optional, Sequence
 
 from .tuples import Tuple
 

@@ -14,10 +14,10 @@ query at time ``t`` is the sum of the SIC of result tuples generated in
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterable, List, Mapping, Optional, Tuple as PyTuple
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple as PyTuple
 
-from .tuples import Batch, Tuple
+from .tuples import Batch
 
 __all__ = ["StwConfig", "ResultSicTracker", "StwRegistry"]
 

@@ -11,16 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import (
-    Any,
-    Dict,
-    Iterable,
-    Iterator,
-    List,
-    Optional,
-    Sequence,
-    Tuple as PyTuple,
-)
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
 __all__ = ["Tuple", "Batch", "BatchHeader", "merge_batches", "total_tuples"]
 

@@ -1,0 +1,234 @@
+"""Churn scenario — dynamic query & cluster lifecycle under the event runtime.
+
+The paper's evaluation deploys a fixed federation and a fixed query
+population; real federations churn.  This experiment exercises the
+discrete-event runtime's lifecycle API mid-run:
+
+1. **steady** — the initial query population runs on a 3-node federation
+   under permanent overload (C2);
+2. **arrivals** — additional queries are deployed mid-run with no budget
+   increase, deepening the overload; BALANCE-SIC must fold the newcomers into
+   the fair allocation;
+3. **departures** — part of the original population is undeployed
+   (coordinator teardown, source-generation stop), releasing capacity to the
+   remaining queries;
+4. **node-failure** — one node crash-fails; the sources feeding its fragments
+   are unrouted, the affected queries' result SIC collapses and the shedder
+   on the surviving nodes rebalances the rest.
+
+Each phase reports the mean result SIC over the phase, Jain's Fairness Index
+across the queries *active* in that phase, and the shed fraction — so the
+table shows fairness before and after every lifecycle change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.fairness import summarize_fairness
+from ..core.shedding import make_shedder
+from ..federation.deployment import Placement
+from ..federation.fsps import FederatedSystem
+from ..federation.network import Network, UniformLatency
+from ..federation.node import FspsNode
+from ..runtime import EventRuntime
+from ..simulation.config import SimulationConfig
+from ..workloads.aggregate import make_aggregate_query
+from ..workloads.generators import compute_node_budgets
+from ..workloads.spec import WorkloadQuery
+from .common import ExperimentResult
+from .testbeds import scaled_config
+
+__all__ = ["run"]
+
+NUM_NODES = 3
+INITIAL_QUERIES = 6
+ARRIVING_QUERIES = 3
+DEPARTING_QUERIES = 2
+FAILED_NODE = f"node-{NUM_NODES - 1}"
+KINDS = ("avg", "max", "count")
+
+PHASE_SECONDS = {"small": 5.0, "medium": 10.0, "paper": 30.0}
+
+
+def _make_query(index: int, rate: float, seed: int) -> WorkloadQuery:
+    return make_aggregate_query(
+        KINDS[index % len(KINDS)],
+        query_id=f"churn-q{index}",
+        rate=rate,
+        seed=seed + index,
+    )
+
+
+def _node_for(index: int) -> str:
+    return f"node-{index % NUM_NODES}"
+
+
+def _placement(query: WorkloadQuery, node_id: str) -> Dict[str, str]:
+    return {fragment_id: node_id for fragment_id in query.fragments}
+
+
+class _PhaseTracker:
+    """Per-phase aggregation over the coordinators' snapshot histories."""
+
+    def __init__(self, system: FederatedSystem) -> None:
+        self.system = system
+        self._marks: Dict[str, int] = {}
+        # Shed/received counters of failed nodes would otherwise vanish with
+        # the node object; fold them in as they leave the federation.
+        self.lost_shed = 0
+        self.lost_received = 0
+        self._last_shed = 0
+        self._last_received = 0
+        self.mark()
+
+    def note_failed_node(self, node: FspsNode) -> None:
+        self.lost_shed += node.stats.shed_tuples
+        self.lost_received += node.stats.received_tuples
+
+    def _totals(self) -> "tuple[int, int]":
+        shed = self.system.total_shed_tuples() + self.lost_shed
+        received = self.system.total_received_tuples() + self.lost_received
+        return shed, received
+
+    def mark(self) -> None:
+        """Start a new phase: remember every active query's history length."""
+        self._marks = {
+            coordinator.query_id: len(coordinator.tracker.history)
+            for coordinator in self.system.coordinators.all()
+        }
+        self._last_shed, self._last_received = self._totals()
+
+    def phase_row(self, phase: str) -> Dict[str, object]:
+        """Summarise the samples taken since the last :meth:`mark`."""
+        means: Dict[str, float] = {}
+        for coordinator in self.system.coordinators.all():
+            start = self._marks.get(coordinator.query_id, 0)
+            samples = [value for _, value in coordinator.tracker.history[start:]]
+            if samples:
+                means[coordinator.query_id] = sum(samples) / len(samples)
+        fairness = summarize_fairness(means)
+        shed, received = self._totals()
+        phase_shed = shed - self._last_shed
+        phase_received = received - self._last_received
+        return {
+            "phase": phase,
+            "queries": len(means),
+            "nodes": len(self.system.nodes),
+            "mean_sic": fairness.mean,
+            "jains_index": fairness.jains_index,
+            "shed_fraction": phase_shed / phase_received if phase_received else 0.0,
+        }
+
+
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    phase_seconds: Optional[float] = None,
+    rate: Optional[float] = None,
+) -> ExperimentResult:
+    """Run the churn scenario and report per-phase fairness."""
+    base: SimulationConfig = scaled_config(scale, seed=seed)
+    if phase_seconds is None:
+        phase_seconds = PHASE_SECONDS.get(scale, PHASE_SECONDS["small"])
+    if rate is None:
+        rate = 80.0
+
+    initial = [_make_query(i, rate, seed) for i in range(INITIAL_QUERIES)]
+    placement = Placement(
+        assignments={
+            fragment_id: _node_for(i)
+            for i, query in enumerate(initial)
+            for fragment_id in query.fragments
+        }
+    )
+    node_ids = [f"node-{i}" for i in range(NUM_NODES)]
+    # Budgets are sized once, from the initial population: arrivals deepen
+    # the overload, departures relax it — capacity does not follow the churn.
+    budgets = compute_node_budgets(
+        initial,
+        placement,
+        shedding_interval=base.shedding_interval,
+        capacity_fraction=base.capacity_fraction,
+        node_ids=node_ids,
+    )
+
+    system = FederatedSystem(
+        stw_config=base.stw_config(),
+        shedding_interval=base.shedding_interval,
+        network=Network(UniformLatency(base.network_latency_seconds)),
+    )
+    for index, node_id in enumerate(node_ids):
+        system.add_node(
+            FspsNode(
+                node_id=node_id,
+                shedder=make_shedder(base.shedder, seed=seed + index),
+                budget_per_interval=budgets[node_id],
+                stw_config=base.stw_config(),
+            )
+        )
+    for i, query in enumerate(initial):
+        system.deploy_query(
+            query.query_id,
+            query.fragments,
+            query.sources,
+            _placement(query, _node_for(i)),
+            nominal_rates=query.nominal_rates(),
+        )
+
+    runtime = EventRuntime(system)
+    experiment = ExperimentResult(
+        name="churn",
+        description="query arrivals/departures and a node failure mid-run "
+        "(event runtime lifecycle)",
+    )
+    experiment.add_note(
+        f"{NUM_NODES} nodes, budgets fixed from the initial "
+        f"{INITIAL_QUERIES}-query population at capacity fraction "
+        f"{base.capacity_fraction}; phases of {phase_seconds:.0f}s"
+    )
+
+    # Warm-up outside the reported phases.
+    runtime.run(base.warmup_seconds)
+    tracker = _PhaseTracker(system)
+
+    # Phase 1 — steady state.
+    runtime.run(phase_seconds)
+    experiment.add_row(**tracker.phase_row("steady"))
+
+    # Phase 2 — query arrivals (same budgets, deeper overload).
+    tracker.mark()
+    for j in range(ARRIVING_QUERIES):
+        index = INITIAL_QUERIES + j
+        query = _make_query(index, rate, seed)
+        runtime.deploy_query(
+            query.query_id,
+            query.fragments,
+            query.sources,
+            _placement(query, _node_for(index)),
+            nominal_rates=query.nominal_rates(),
+        )
+    runtime.run(phase_seconds)
+    experiment.add_row(**tracker.phase_row("arrivals"))
+
+    # Phase 3 — query departures (capacity released to the rest).
+    tracker.mark()
+    for i in range(DEPARTING_QUERIES):
+        runtime.undeploy_query(f"churn-q{i}")
+    runtime.run(phase_seconds)
+    experiment.add_row(**tracker.phase_row("departures"))
+
+    # Phase 4 — a node crash-fails; its queries' sources are unrouted.
+    tracker.mark()
+    failed = runtime.fail_node(FAILED_NODE)
+    tracker.note_failed_node(failed)
+    runtime.run(phase_seconds)
+    row = tracker.phase_row("node-failure")
+    experiment.add_row(**row)
+    experiment.add_note(
+        f"failed node {FAILED_NODE!r} hosted "
+        f"{len(failed.fragments)} fragment(s); their queries degrade to "
+        f"SIC 0 while the survivors keep their allocation"
+    )
+    runtime.close()
+    return experiment

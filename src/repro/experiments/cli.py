@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional
 
 from . import (
     ablations,
+    churn,
     fig06_sic_correlation_aggregate,
     fig07_sic_correlation_complex,
     fig08_single_node_fairness,
@@ -47,6 +48,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig14": fig14_burstiness_wan.run,
     "related_work": related_work_comparison.run,
     "overhead": overhead.run,
+    "churn": churn.run,
     "ablation_updatesic": ablations.run_update_sic_ablation,
     "ablation_selection": ablations.run_selection_ablation,
     "ablation_stw": ablations.run_stw_ablation,

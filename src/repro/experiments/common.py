@@ -16,10 +16,10 @@ random seeds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..core.shedding import Shedder, make_shedder
-from ..federation.deployment import Placement, PlacementStrategy, RoundRobinPlacement
+from ..federation.deployment import PlacementStrategy, RoundRobinPlacement
 from ..federation.fsps import FederatedSystem
 from ..federation.network import Network, UniformLatency
 from ..federation.node import FspsNode
@@ -53,6 +53,11 @@ def config_with(config: SimulationConfig, **overrides: object) -> SimulationConf
         "network_latency_seconds": config.network_latency_seconds,
         "enable_sic_updates": config.enable_sic_updates,
         "coordinator_update_interval": config.coordinator_update_interval,
+        "columnar": config.columnar,
+        "runtime": config.runtime,
+        "node_shedding_intervals": dict(config.node_shedding_intervals),
+        "retain_result_values": config.retain_result_values,
+        "max_result_values": config.max_result_values,
         "seed": config.seed,
     }
     values.update(overrides)
@@ -164,6 +169,9 @@ def build_federation(
         network=Network(UniformLatency(config.network_latency_seconds)),
         coordinator_update_interval=config.coordinator_update_interval,
         enable_sic_updates=config.enable_sic_updates,
+        columnar=config.columnar,
+        retain_results=config.retain_result_values,
+        max_retained_results=config.max_result_values,
     )
     shedder_kind = shedder_name or config.shedder
     for index, node_id in enumerate(node_ids):

@@ -13,7 +13,7 @@ degraded, once without shedding — and compares the per-window results.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..metrics.errors import mean_absolute_relative_error
 from ..workloads.aggregate import make_aggregate_query
@@ -62,7 +62,9 @@ def run(
     rate: Optional[float] = None,
 ) -> ExperimentResult:
     """Reproduce Figure 6: (SIC, error) points per query kind and dataset."""
-    base_config = scaled_config(scale, seed=seed)
+    # Result payloads are retained (off by default) because the error metric
+    # aligns degraded and perfect runs window by window.
+    base_config = _with(scaled_config(scale, seed=seed), retain_result_values=True)
     if overload_fractions is None:
         overload_fractions = (0.2, 0.4, 0.6, 0.8)
     if rate is None:

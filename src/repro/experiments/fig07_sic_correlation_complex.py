@@ -59,7 +59,11 @@ def run(
     overload_fractions: Optional[Sequence[float]] = None,
 ) -> ExperimentResult:
     """Reproduce Figure 7: (SIC, error) points for TOP-5 and COV queries."""
-    base_config = scaled_config(scale, seed=seed)
+    # Result payloads are retained (off by default) because the error metrics
+    # align degraded and perfect runs window by window.
+    base_config = config_with(
+        scaled_config(scale, seed=seed), retain_result_values=True
+    )
     if overload_fractions is None:
         overload_fractions = (0.2, 0.4, 0.6, 0.8)
     top5_rate = 20.0

@@ -7,7 +7,7 @@ to the interval (Jain's index stays high, the mean SIC barely moves).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..workloads.generators import WorkloadSpec, generate_complex_workload
 from .common import ExperimentResult, config_with, run_workload

@@ -10,7 +10,7 @@ and a higher mean SIC.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 from ..federation.deployment import RandomPlacement
 from ..workloads.generators import WorkloadSpec, generate_complex_workload

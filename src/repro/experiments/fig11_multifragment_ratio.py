@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence
 from ..federation.deployment import RandomPlacement
 from ..workloads.complex import make_avg_all_query, make_cov_query, make_top5_query
 from ..workloads.spec import WorkloadQuery
-from .common import ExperimentResult, config_with, run_workload
+from .common import ExperimentResult, run_workload
 from .testbeds import scaled_config
 
 __all__ = ["run", "RATIOS"]

@@ -16,7 +16,7 @@ from ..workloads.generators import (
     compute_node_budgets,
     generate_complex_workload,
 )
-from .common import ExperimentResult, config_with, run_workload
+from .common import ExperimentResult, run_workload
 from .testbeds import scaled_config
 
 __all__ = ["run", "node_counts_for_scale"]

@@ -9,7 +9,7 @@ both 20-query and 40-query populations.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..federation.deployment import RandomPlacement
 from ..federation.network import LAN_LATENCY_SECONDS, WAN_LATENCY_SECONDS

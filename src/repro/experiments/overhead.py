@@ -18,7 +18,6 @@ import random
 from typing import Dict, List, Optional
 
 from ..core.balance_sic import ShedDecision
-from ..core.shedding import BalanceSicShedder, RandomShedder
 from ..core.tuples import Batch, Tuple
 from ..federation.deployment import RandomPlacement
 from ..workloads.generators import WorkloadSpec, generate_complex_workload

@@ -16,7 +16,7 @@ Two deployments are compared:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..baselines.fit import FitOptimizer
 from ..baselines.problem import problem_from_deployment
@@ -26,9 +26,8 @@ from ..federation.deployment import ExplicitPlacement, RandomPlacement
 from ..workloads.complex import make_avg_all_query, make_cov_query, make_top5_query
 from ..workloads.generators import compute_node_budgets
 from ..workloads.spec import WorkloadQuery
-from .common import ExperimentResult, build_federation, config_with, run_workload
+from .common import ExperimentResult, run_workload
 from .testbeds import scaled_config
-from ..simulation.simulator import Simulator
 
 __all__ = ["run"]
 

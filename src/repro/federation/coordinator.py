@@ -7,12 +7,19 @@ maintains the result SIC over the sliding STW and, at regular intervals
 current result SIC value to every node hosting one of the query's fragments —
 the ``updateSIC`` step of Algorithm 1 that lets autonomous nodes converge to
 globally fair shedding.
+
+Coordinators are event-driven components: :meth:`QueryCoordinator.on_result`
+handles an arriving result batch and :meth:`QueryCoordinator.on_update_round`
+runs one dissemination round.  The lockstep loop and the discrete-event
+runtime (:mod:`repro.runtime`) both drive exactly these two handlers, which is
+what keeps their executions result-identical.  Coordinators are torn down when
+their query is undeployed (:meth:`CoordinatorRegistry.remove`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set
 
 from ..core.stw import ResultSicTracker, StwConfig
 from ..core.tuples import Batch
@@ -29,6 +36,13 @@ class QueryCoordinator:
         update_interval: how often (seconds) SIC updates are disseminated.
         home_node: identifier of the endpoint where the coordinator runs; used
             as the network source of its update messages.
+        retain_results: keep the payload of every result tuple.  Off by
+            default — unbounded retention of result dicts leaks memory on long
+            runs; the SIC-correlation experiments (fig06/fig07) opt in via
+            ``SimulationConfig.retain_result_values``.
+        max_retained_results: cap on retained result payloads per query; when
+            the cap is reached the oldest payloads are discarded.  ``None``
+            keeps every payload (the pre-bounding behaviour).
     """
 
     def __init__(
@@ -37,16 +51,25 @@ class QueryCoordinator:
         stw_config: StwConfig,
         update_interval: float = 0.25,
         home_node: str = "coordinator",
+        retain_results: bool = False,
+        max_retained_results: Optional[int] = None,
     ) -> None:
         if update_interval <= 0:
             raise ValueError(f"update_interval must be positive, got {update_interval}")
+        if max_retained_results is not None and max_retained_results <= 0:
+            raise ValueError(
+                f"max_retained_results must be positive, got {max_retained_results}"
+            )
         self.query_id = query_id
         self.update_interval = float(update_interval)
         self.home_node = home_node
         self.tracker = ResultSicTracker(query_id, stw_config)
         self.hosting_nodes: Set[str] = set()
         self.result_tuples = 0
-        self.result_values: List[Dict[str, object]] = []
+        self.retain_results = retain_results
+        self.result_values: Deque[Dict[str, object]] = deque(
+            maxlen=max_retained_results
+        )
         self.updates_sent = 0
         self._last_update_time: Optional[float] = None
 
@@ -54,16 +77,26 @@ class QueryCoordinator:
         """Record that ``node_id`` hosts a fragment of this query."""
         self.hosting_nodes.add(node_id)
 
-    def record_result(self, batch: Batch, now: float) -> None:
-        """Account a result batch received from the query's root fragment."""
+    def unregister_hosting_node(self, node_id: str) -> None:
+        """Forget ``node_id`` (it stopped hosting fragments, or failed)."""
+        self.hosting_nodes.discard(node_id)
+
+    def on_result(self, batch: Batch, now: float) -> None:
+        """Handle a result batch received from the query's root fragment."""
+        retain = self.retain_results
         for t in batch:
             self.tracker.record_result(t.timestamp, t.sic)
             self.result_tuples += 1
-            # Result values are kept (with their logical timestamp) so the
-            # SIC-correlation experiments can align degraded and perfect runs.
-            values = dict(t.values)
-            values["_ts"] = t.timestamp
-            self.result_values.append(values)
+            if retain:
+                # Result values are kept (with their logical timestamp) so the
+                # SIC-correlation experiments can align degraded and perfect
+                # runs.
+                values = dict(t.values)
+                values["_ts"] = t.timestamp
+                self.result_values.append(values)
+
+    # Seed-era name, kept as the compatibility surface.
+    record_result = on_result
 
     def current_sic(self, now: float) -> float:
         return self.tracker.current_sic(now)
@@ -77,12 +110,12 @@ class QueryCoordinator:
             return True
         return now - self._last_update_time >= self.update_interval - 1e-9
 
-    def make_updates(self, now: float) -> List[Dict[str, object]]:
+    def on_update_round(self, now: float) -> List[Dict[str, object]]:
         """Build the update payloads for every hosting node (if due).
 
         Returns a list of dictionaries with keys ``node_id``, ``query_id`` and
-        ``sic``; the caller (the FSPS) wraps them into network messages so the
-        coordinator itself stays transport-agnostic.
+        ``sic``; the caller (the FSPS or the event runtime) wraps them into
+        network messages so the coordinator itself stays transport-agnostic.
         """
         if not self.due_for_update(now):
             return []
@@ -95,6 +128,9 @@ class QueryCoordinator:
         self.updates_sent += len(updates)
         return updates
 
+    # Seed-era name, kept as the compatibility surface.
+    make_updates = on_update_round
+
 
 class CoordinatorRegistry:
     """All coordinators of a federated deployment."""
@@ -103,9 +139,13 @@ class CoordinatorRegistry:
         self,
         stw_config: StwConfig,
         update_interval: float = 0.25,
+        retain_results: bool = False,
+        max_retained_results: Optional[int] = None,
     ) -> None:
         self.stw_config = stw_config
         self.update_interval = update_interval
+        self.retain_results = retain_results
+        self.max_retained_results = max_retained_results
         self._coordinators: Dict[str, QueryCoordinator] = {}
 
     def coordinator(self, query_id: str) -> QueryCoordinator:
@@ -114,8 +154,26 @@ class CoordinatorRegistry:
                 query_id,
                 self.stw_config,
                 update_interval=self.update_interval,
+                retain_results=self.retain_results,
+                max_retained_results=self.max_retained_results,
             )
         return self._coordinators[query_id]
+
+    def get(self, query_id: str) -> Optional[QueryCoordinator]:
+        """The coordinator for ``query_id``, or ``None`` when torn down.
+
+        Unlike :meth:`coordinator` this never creates one — the message
+        dispatch path uses it so a result batch arriving after its query was
+        undeployed does not resurrect the coordinator.
+        """
+        return self._coordinators.get(query_id)
+
+    def remove(self, query_id: str) -> QueryCoordinator:
+        """Tear down and return the coordinator of an undeployed query."""
+        try:
+            return self._coordinators.pop(query_id)
+        except KeyError:
+            raise KeyError(f"no coordinator for query {query_id!r}") from None
 
     def all(self) -> List[QueryCoordinator]:
         return list(self._coordinators.values())

@@ -5,17 +5,30 @@ query fragments (:mod:`repro.federation.node`), the inter-site network
 (:mod:`repro.federation.network`) and the per-query coordinators
 (:mod:`repro.federation.coordinator`).  A :class:`FederatedSystem` owns the
 deployment state — which fragment runs where, which sources feed which query —
-and advances the whole federation one shedding interval at a time:
+and exposes the per-component event handlers that advance it:
 
-1. sources generate tuples for the elapsed interval, the SIC assigner stamps
-   them (Equation 1) and the batches are sent towards the nodes hosting the
-   fragments bound to those sources;
-2. the network delivers due messages: data batches enter node input buffers,
-   coordinator updates refresh the nodes' view of query result SIC values, and
-   result batches reach the coordinators;
-3. every node runs its overload detector / tuple shedder / fragment processing
-   round (Algorithm 1 when the BALANCE-SIC shedder is configured);
-4. coordinators disseminate fresh result SIC values (``updateSIC``).
+* :meth:`FederatedSystem.generate_query_sources` — one source-generation
+  round for one query: tuples for the elapsed interval are generated, the SIC
+  assigner stamps them (Equation 1) and the batches are sent towards the
+  nodes hosting the fragments bound to those sources;
+* :meth:`FederatedSystem.deliver_messages` / :meth:`FederatedSystem.dispatch`
+  — due network messages enter node input buffers (data), refresh the nodes'
+  view of query result SIC values (``updateSIC``), or reach the coordinators
+  (results);
+* :meth:`FederatedSystem.run_node_round` — one overload-detector / tuple
+  shedder / fragment-processing round for one node (Algorithm 1 when the
+  BALANCE-SIC shedder is configured), forwarding the outputs;
+* :meth:`FederatedSystem.run_coordinator_round` — one ``updateSIC``
+  dissemination round for one coordinator.
+
+Two drivers exist.  The *lockstep* driver is :meth:`FederatedSystem.tick`,
+which runs every handler for every component once per shedding interval in a
+fixed phase order — it is the reproduction's original execution model and is
+preserved as the equivalence oracle.  The *discrete-event* driver
+(:mod:`repro.runtime`) schedules each component's rounds as independent heap
+events, which allows heterogeneous per-node shedding intervals and the
+mid-run lifecycle operations (:meth:`deploy_query` / :meth:`undeploy_query` /
+:meth:`add_node` / :meth:`remove_node` / :meth:`fail_node`).
 
 The FSPS is deliberately decentralised: nodes only ever see their own input
 buffer and the coordinator updates, mirroring the paper's site-autonomy
@@ -28,12 +41,10 @@ from dataclasses import dataclass, field
 from typing import (
     Callable,
     Dict,
-    Iterable,
     List,
     Mapping,
     Optional,
     Sequence,
-    Tuple as PyTuple,
 )
 
 from ..core.fairness import FairnessSummary, summarize_fairness
@@ -50,12 +61,32 @@ from .network import (
     SicUpdateMessage,
     UniformLatency,
 )
-from .node import FspsNode
+from .node import FspsNode, NodeTickResult
 
-__all__ = ["DeployedQuery", "FederatedSystem"]
+__all__ = ["DeployedQuery", "SourceRoute", "FederatedSystem"]
 
 # Endpoint name used by coordinators when exchanging messages with nodes.
 COORDINATOR_ENDPOINT = "coordinator"
+
+
+@dataclass
+class SourceRoute:
+    """Precomputed routing of one source: where its batches are sent.
+
+    Built at deploy time so the per-round generation loop does no
+    getattr/placement-dict chains.  ``fragment_id``/``node_id`` are mutable:
+    a node failure unroutes the sources feeding its fragments (the source
+    keeps generating — advancing its RNG/carry state and feeding the rate
+    estimator — but the data is lost, like tuples sent into a dead site).
+    """
+
+    __slots__ = ("source_id", "fragment_id", "node_id", "generate", "generate_block")
+
+    source_id: str
+    fragment_id: Optional[str]
+    node_id: Optional[str]
+    generate: Callable[[float, float], List[Tuple]]
+    generate_block: Optional[Callable[[float, float], object]]
 
 
 @dataclass
@@ -71,6 +102,8 @@ class DeployedQuery:
         sic_assigner: stamps the query's source tuples with SIC values.
         source_fragment: maps source id → fragment id of the fragment whose
             receiver is bound to that source.
+        source_plan: per-source :class:`SourceRoute` entries, in source order.
+        deployed_at: simulation time the query was deployed.
     """
 
     query_id: str
@@ -78,6 +111,8 @@ class DeployedQuery:
     sources: List[object]
     sic_assigner: SicAssigner
     source_fragment: Dict[str, str] = field(default_factory=dict)
+    source_plan: List[SourceRoute] = field(default_factory=list)
+    deployed_at: float = 0.0
 
     @property
     def num_fragments(self) -> int:
@@ -95,6 +130,8 @@ class FederatedSystem:
         coordinator_update_interval: Optional[float] = None,
         enable_sic_updates: bool = True,
         columnar: bool = True,
+        retain_results: bool = False,
+        max_retained_results: Optional[int] = None,
     ) -> None:
         if shedding_interval <= 0:
             raise ValueError(
@@ -111,22 +148,21 @@ class FederatedSystem:
         self.columnar = columnar
         update_interval = coordinator_update_interval or shedding_interval
         self.coordinators = CoordinatorRegistry(
-            self.stw_config, update_interval=update_interval
+            self.stw_config,
+            update_interval=update_interval,
+            retain_results=retain_results,
+            max_retained_results=max_retained_results,
         )
         self.nodes: Dict[str, FspsNode] = {}
         self.queries: Dict[str, DeployedQuery] = {}
         # fragment id -> node id
         self.placement: Dict[str, str] = {}
-        # Precomputed per-source generation plan: (query, source, source id,
-        # fragment id, hosting node id, bound generate()/generate_block()),
-        # appended at deploy time so the per-tick source loop does no
-        # getattr/placement-dict chains.
-        self._source_plan: List[PyTuple] = []
         self.now = 0.0
         self.ticks = 0
 
     # ------------------------------------------------------------------ set-up
     def add_node(self, node: FspsNode) -> FspsNode:
+        """Register a node (valid before the run and mid-run)."""
         if node.node_id in self.nodes:
             raise ValueError(f"node {node.node_id!r} already exists")
         node.set_coordinator_updates(self.enable_sic_updates)
@@ -144,7 +180,7 @@ class FederatedSystem:
         placement: Mapping[str, str],
         nominal_rates: Optional[Dict[str, float]] = None,
     ) -> DeployedQuery:
-        """Deploy a fragmented query.
+        """Deploy a fragmented query (valid before the run and mid-run).
 
         Args:
             query_id: the query identifier.
@@ -188,6 +224,7 @@ class FederatedSystem:
             sources=list(sources),
             sic_assigner=assigner,
             source_fragment=source_fragment,
+            deployed_at=self.now,
         )
 
         coordinator = self.coordinators.coordinator(query_id)
@@ -202,7 +239,7 @@ class FederatedSystem:
             self.placement[fragment_id] = node_id
             coordinator.register_hosting_node(node_id)
 
-        # Precompute source -> (fragment, node) routing so the per-tick
+        # Precompute source -> (fragment, node) routing so the per-round
         # generation loop touches no placement dicts or getattr chains.
         # Sources without a fragment binding stay in the plan with a None
         # route: they still generate (advancing their RNG/carry state) and
@@ -211,15 +248,13 @@ class FederatedSystem:
             source_id = getattr(source, "source_id")
             fragment_id = source_fragment.get(source_id)
             node_id = self.placement.get(fragment_id) if fragment_id else None
-            self._source_plan.append(
-                (
-                    deployed,
-                    source,
-                    source_id,
-                    fragment_id,
-                    node_id,
-                    source.generate,
-                    getattr(source, "generate_block", None),
+            deployed.source_plan.append(
+                SourceRoute(
+                    source_id=source_id,
+                    fragment_id=fragment_id,
+                    node_id=node_id,
+                    generate=source.generate,
+                    generate_block=getattr(source, "generate_block", None),
                 )
             )
 
@@ -229,17 +264,87 @@ class FederatedSystem:
     def query_ids(self) -> List[str]:
         return list(self.queries)
 
+    # --------------------------------------------------------------- lifecycle
+    def undeploy_query(self, query_id: str) -> QueryCoordinator:
+        """Remove a query mid-run: unhost fragments, tear down its coordinator.
+
+        Source generation for the query stops (its source plan leaves with
+        it); result or data batches still in flight are dropped on delivery.
+        Returns the torn-down coordinator so callers can keep its result-SIC
+        history for reporting.
+        """
+        query = self.queries.pop(query_id, None)
+        if query is None:
+            raise ValueError(f"query {query_id!r} is not deployed")
+        for fragment_id in query.fragments:
+            node_id = self.placement.pop(fragment_id, None)
+            node = self.nodes.get(node_id) if node_id else None
+            if node is not None and fragment_id in node.fragments:
+                node.unhost_fragment(fragment_id)
+        return self.coordinators.remove(query_id)
+
+    def remove_node(self, node_id: str) -> FspsNode:
+        """Gracefully decommission an empty node.
+
+        Refuses when the node still hosts fragments — undeploy (or let fail)
+        the affected queries first; fragment state cannot be migrated.
+        """
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise ValueError(f"node {node_id!r} does not exist")
+        if node.fragments:
+            raise ValueError(
+                f"node {node_id!r} still hosts fragments "
+                f"{sorted(node.fragments)}; undeploy their queries first "
+                f"(or use fail_node to model a crash)"
+            )
+        return self.nodes.pop(node_id)
+
+    def fail_node(self, node_id: str) -> FspsNode:
+        """Model an abrupt node failure.
+
+        The node disappears with its buffered data and hosted fragments;
+        in-flight messages towards it are blackholed on delivery.  Sources
+        feeding the lost fragments are unrouted — they keep generating (and
+        keep feeding their query's rate estimator) but the data is lost, so
+        the affected queries' result SIC degrades instead of the simulation
+        erroring out.  Coordinators forget the node.
+        """
+        node = self.nodes.pop(node_id, None)
+        if node is None:
+            raise ValueError(f"node {node_id!r} does not exist")
+        lost_fragments = set(node.fragments)
+        for fragment_id in lost_fragments:
+            self.placement.pop(fragment_id, None)
+        for query in self.queries.values():
+            for route in query.source_plan:
+                if route.node_id == node_id:
+                    route.node_id = None
+        for coordinator in self.coordinators.all():
+            coordinator.unregister_hosting_node(node_id)
+        return node
+
     # --------------------------------------------------------------- main loop
     def tick(self, timer: Optional[Callable[[], float]] = None) -> None:
-        """Advance the federation by one shedding interval."""
+        """Advance the federation one shedding interval, in lockstep.
+
+        This is the reproduction's original execution model — every
+        component's handler runs once per tick in a fixed phase order — and
+        the equivalence oracle for the discrete-event runtime
+        (:mod:`repro.runtime`), which drives the same handlers from a heap of
+        independently scheduled events.
+        """
         start = self.now
         self.now = start + self.shedding_interval
         self.ticks += 1
 
-        self._generate_sources(start, self.now)
-        self._deliver_messages(self.now)
-        self._run_nodes(self.now, timer)
-        self._disseminate_sic(self.now)
+        for query in self.queries.values():
+            self.generate_query_sources(query, start, self.now)
+        self.deliver_messages(self.now)
+        for node in self.nodes.values():
+            self.run_node_round(node, self.now, timer=timer)
+        for coordinator in self.coordinators.all():
+            self.run_coordinator_round(coordinator, self.now)
         # Record a snapshot of every query's result SIC for the run summary.
         for coordinator in self.coordinators.all():
             coordinator.snapshot(self.now)
@@ -249,7 +354,7 @@ class FederatedSystem:
         duration_seconds: float,
         timer: Optional[Callable[[], float]] = None,
     ) -> None:
-        """Run the federation for ``duration_seconds`` of simulated time."""
+        """Run the lockstep loop for ``duration_seconds`` of simulated time."""
         if duration_seconds <= 0:
             raise ValueError(f"duration must be positive, got {duration_seconds}")
         ticks = int(round(duration_seconds / self.shedding_interval))
@@ -272,106 +377,133 @@ class FederatedSystem:
     def total_received_tuples(self) -> int:
         return sum(node.stats.received_tuples for node in self.nodes.values())
 
-    # ----------------------------------------------------------------- helpers
-    def _generate_sources(self, start: float, end: float) -> None:
+    # ---------------------------------------------------------- event handlers
+    def generate_query_sources(
+        self, query: DeployedQuery, start: float, end: float
+    ) -> None:
+        """One source-generation round for ``query`` over ``(start, end]``."""
         columnar = self.columnar
-        for (
-            query,
-            _source,
-            source_id,
-            fragment_id,
-            node_id,
-            generate,
-            generate_block,
-        ) in self._source_plan:
+        assigner = query.sic_assigner
+        query_id = query.query_id
+        for route in query.source_plan:
+            generate_block = route.generate_block
             if columnar and generate_block is not None:
                 block = generate_block(start, end)
                 if not block:
                     continue
-                query.sic_assigner.assign_block(block)
-                if fragment_id is None:
+                assigner.assign_block(block)
+                if route.node_id is None:
                     continue
                 batch = Batch.from_block(
-                    query.query_id,
+                    query_id,
                     block,
                     created_at=end,
-                    fragment_id=fragment_id,
+                    fragment_id=route.fragment_id,
                     origin_fragment_id=None,
                 )
             else:
-                payload_tuples: List[Tuple] = generate(start, end)
+                payload_tuples: List[Tuple] = route.generate(start, end)
                 if not payload_tuples:
                     continue
-                query.sic_assigner.assign(payload_tuples)
-                if fragment_id is None:
+                assigner.assign(payload_tuples)
+                if route.node_id is None:
                     continue
                 batch = Batch(
-                    query.query_id,
+                    query_id,
                     payload_tuples,
                     created_at=end,
-                    fragment_id=fragment_id,
+                    fragment_id=route.fragment_id,
                     origin_fragment_id=None,
                 )
             message = DataMessage(
-                destination=node_id,
+                destination=route.node_id,
                 batch=batch,
-                target_fragment_id=fragment_id,
+                target_fragment_id=route.fragment_id,
             )
-            self.network.send(message, sent_at=end, source=source_id)
+            self.network.send(message, sent_at=end, source=route.source_id)
 
-    def _deliver_messages(self, now: float) -> None:
+    def deliver_messages(self, now: float) -> None:
+        """Deliver and dispatch every message due at ``now``."""
         for message in self.network.deliver_due(now):
-            self._dispatch(message, now)
+            self.dispatch(message, now)
 
-    def _dispatch(self, message: Message, now: float) -> None:
+    def dispatch(self, message: Message, now: float) -> None:
+        """Route one delivered message to its component handler.
+
+        Messages towards departed components — a failed node, the coordinator
+        of an undeployed query — are dropped, like packets to a dead host.
+        So are messages from a *previous incarnation* of a query id: a batch
+        created — or an ``updateSIC`` sent — at or before the current
+        deployment's ``deployed_at`` was in flight when its query was
+        undeployed and must not leak into a query redeployed under the same
+        id (no live deployment can emit at its own deploy instant — its
+        first round fires an interval later).
+        """
         if isinstance(message, DataMessage):
             node = self.nodes.get(message.destination)
-            if node is not None:
-                node.enqueue(message.batch)
+            if node is None:
+                return
+            query = self.queries.get(message.batch.query_id)
+            if query is None or message.batch.created_at <= query.deployed_at:
+                return
+            node.on_batch(message.batch)
         elif isinstance(message, ResultMessage):
-            coordinator = self.coordinators.coordinator(message.batch.query_id)
-            coordinator.record_result(message.batch, now)
+            query = self.queries.get(message.batch.query_id)
+            if query is None or message.batch.created_at <= query.deployed_at:
+                return
+            coordinator = self.coordinators.get(message.batch.query_id)
+            if coordinator is not None:
+                coordinator.on_result(message.batch, now)
         elif isinstance(message, SicUpdateMessage):
             node = self.nodes.get(message.destination)
-            if node is not None:
-                node.receive_sic_update(message.query_id, message.sic_value)
+            if node is None:
+                return
+            query = self.queries.get(message.query_id)
+            if query is None or message.sent_at <= query.deployed_at:
+                return
+            node.on_sic_update(message.query_id, message.sic_value)
 
-    def _run_nodes(
-        self, now: float, timer: Optional[Callable[[], float]] = None
+    def run_node_round(
+        self,
+        node: FspsNode,
+        now: float,
+        timer: Optional[Callable[[], float]] = None,
+    ) -> NodeTickResult:
+        """One shedding round on ``node``, forwarding its output batches."""
+        result = node.on_shed_round(now, timer=timer)
+        for batch in result.downstream:
+            target_fragment = batch.fragment_id
+            target_node = self.placement.get(target_fragment)
+            if target_node is None:
+                continue
+            self.network.send(
+                DataMessage(
+                    destination=target_node,
+                    batch=batch,
+                    target_fragment_id=target_fragment,
+                ),
+                sent_at=now,
+                source=node.node_id,
+            )
+        for batch in result.results:
+            self.network.send(
+                ResultMessage(destination=COORDINATOR_ENDPOINT, batch=batch),
+                sent_at=now,
+                source=node.node_id,
+            )
+        return result
+
+    def run_coordinator_round(
+        self, coordinator: QueryCoordinator, now: float
     ) -> None:
-        for node in self.nodes.values():
-            result = node.tick(now, timer=timer)
-            for batch in result.downstream:
-                target_fragment = batch.fragment_id
-                target_node = self.placement.get(target_fragment)
-                if target_node is None:
-                    continue
-                self.network.send(
-                    DataMessage(
-                        destination=target_node,
-                        batch=batch,
-                        target_fragment_id=target_fragment,
-                    ),
-                    sent_at=now,
-                    source=node.node_id,
-                )
-            for batch in result.results:
-                self.network.send(
-                    ResultMessage(destination=COORDINATOR_ENDPOINT, batch=batch),
-                    sent_at=now,
-                    source=node.node_id,
-                )
-
-    def _disseminate_sic(self, now: float) -> None:
+        """One ``updateSIC`` dissemination round for ``coordinator`` (if due)."""
         if not self.enable_sic_updates:
             return
-        for coordinator in self.coordinators.all():
-            for update in coordinator.make_updates(now):
-                message = SicUpdateMessage(
-                    destination=update["node_id"],
-                    query_id=update["query_id"],
-                    sic_value=float(update["sic"]),
-                )
-                self.network.send(
-                    message, sent_at=now, source=COORDINATOR_ENDPOINT
-                )
+        for update in coordinator.on_update_round(now):
+            message = SicUpdateMessage(
+                destination=update["node_id"],
+                query_id=update["query_id"],
+                sic_value=float(update["sic"]),
+                sent_at=now,
+            )
+            self.network.send(message, sent_at=now, source=COORDINATOR_ENDPOINT)

@@ -75,10 +75,13 @@ class SicUpdateMessage(Message):
     """``updateSIC`` message from a query coordinator to a hosting node.
 
     The prototype uses 30-byte messages sent every shedding interval (§7.6).
+    ``sent_at`` records the dissemination instant so the dispatcher can drop
+    updates from a torn-down coordinator whose query id was since reused.
     """
 
     query_id: str = ""
     sic_value: float = 0.0
+    sent_at: float = 0.0
 
     def size_bytes(self) -> int:
         return 30
@@ -116,9 +119,22 @@ class LatencyMatrix(LatencyModel):
         self.default_seconds = float(default_seconds)
         self._pairs: Dict[PyTuple[str, str], float] = dict(pairs or {})
 
-    def set_latency(self, source: str, destination: str, seconds: float) -> None:
+    def set_latency(
+        self,
+        source: str,
+        destination: str,
+        seconds: float,
+        symmetric: bool = True,
+    ) -> None:
+        """Set the latency of a pair; ``symmetric=False`` sets one direction.
+
+        Asymmetric pairs model real federations where the administrative
+        domains' uplinks and downlinks differ (e.g. a site behind a
+        long-haul uplink replying over a local peering).
+        """
         self._pairs[(source, destination)] = float(seconds)
-        self._pairs[(destination, source)] = float(seconds)
+        if symmetric:
+            self._pairs[(destination, source)] = float(seconds)
 
     def latency(self, source: str, destination: str) -> float:
         if source == destination:
@@ -146,6 +162,11 @@ class Network:
         self.sent_messages = 0
         self.delivered_messages = 0
         self.bytes_sent = 0
+        # Optional hook invoked as ``send_listener(message, deliver_at)`` on
+        # every send.  The discrete-event runtime uses it to schedule a
+        # delivery event; the lockstep loop leaves it unset (it polls
+        # ``deliver_due`` at every tick instead).
+        self.send_listener = None
 
     def send(self, message: Message, sent_at: float, source: str) -> float:
         """Enqueue ``message`` and return its delivery time."""
@@ -156,6 +177,8 @@ class Network:
         )
         self.sent_messages += 1
         self.bytes_sent += message.size_bytes()
+        if self.send_listener is not None:
+            self.send_listener(message, deliver_at)
         return deliver_at
 
     def deliver_due(self, now: float) -> List[Message]:

@@ -11,12 +11,20 @@ Nodes are autonomous: the only global information they receive are the result
 SIC values disseminated by the query coordinators (``updateSIC``).  When those
 updates are disabled (the Figure 4 ablation) a node falls back to a purely
 local estimate of each hosted query's result SIC.
+
+Nodes are event-driven components with three handlers — :meth:`FspsNode.on_batch`
+(a data batch arrives), :meth:`FspsNode.on_sic_update` (an ``updateSIC``
+message arrives) and :meth:`FspsNode.on_shed_round` (one overload-detection /
+shedding / processing round).  The lockstep ``FederatedSystem.tick()`` loop
+and the discrete-event runtime (:mod:`repro.runtime`) drive exactly the same
+handlers; under the event runtime each node additionally owns its cadence via
+the optional ``shedding_interval`` attribute (heterogeneous per-node rounds).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple as PyTuple
+from typing import Dict, List, Optional
 
 from ..core.cost_model import CostModel, CostModelConfig
 from ..core.shedding import Shedder
@@ -72,6 +80,12 @@ class FspsNode:
             estimates.
         site: name of the administrative site the node belongs to.
         cost_model_config: optional cost-model tuning.
+        shedding_interval: the node's preferred shedding-round cadence in
+            seconds, honoured by the discrete-event runtime (``None`` means
+            "use the federation default").  ``budget_per_interval`` is per
+            *round*, so a node halving its interval should also halve its
+            budget.  The lockstep loop ignores this attribute — it runs every
+            node at the global interval by construction.
     """
 
     def __init__(
@@ -82,14 +96,20 @@ class FspsNode:
         stw_config: Optional[StwConfig] = None,
         site: Optional[str] = None,
         cost_model_config: Optional[CostModelConfig] = None,
+        shedding_interval: Optional[float] = None,
     ) -> None:
         if budget_per_interval <= 0:
             raise ValueError(
                 f"budget_per_interval must be positive, got {budget_per_interval}"
             )
+        if shedding_interval is not None and shedding_interval <= 0:
+            raise ValueError(
+                f"shedding_interval must be positive, got {shedding_interval}"
+            )
         self.node_id = node_id
         self.site = site or node_id
         self.shedder = shedder
+        self.shedding_interval = shedding_interval
         self.budget_per_interval = float(budget_per_interval)
         self.stw_config = stw_config or StwConfig()
         self.cost_model = CostModel(cost_model_config)
@@ -122,6 +142,27 @@ class FspsNode:
             fragment.query_id, ResultSicTracker(fragment.query_id, self.stw_config)
         )
 
+    def unhost_fragment(self, fragment_id: str) -> QueryFragment:
+        """Remove a hosted fragment (query undeploy / node decommission).
+
+        The fragment's buffered window state leaves with it.  When the last
+        fragment of a query departs, the node also drops its local SIC
+        tracker and the coordinator-reported SIC for that query, so the
+        shedder no longer balances a query the node does not host.
+        """
+        try:
+            fragment = self.fragments.pop(fragment_id)
+        except KeyError:
+            raise ValueError(
+                f"fragment {fragment_id!r} is not hosted on {self.node_id}"
+            ) from None
+        self._query_fragment_cache.clear()
+        query_id = fragment.query_id
+        if not any(f.query_id == query_id for f in self.fragments.values()):
+            self._local_trackers.pop(query_id, None)
+            self._reported_sic.pop(query_id, None)
+        return fragment
+
     def hosted_queries(self) -> List[str]:
         """Identifiers of queries with at least one fragment on this node."""
         return sorted({f.query_id for f in self.fragments.values()})
@@ -131,26 +172,34 @@ class FspsNode:
         self._use_coordinator_updates = enabled
 
     # --------------------------------------------------------------- messaging
-    def enqueue(self, batch: Batch) -> None:
-        """Add an incoming batch to the input buffer."""
+    def on_batch(self, batch: Batch) -> None:
+        """Handle an incoming data batch: append it to the input buffer."""
         self._input_buffer.append(batch)
         self._input_buffer_tuples += len(batch)
         self.stats.received_tuples += len(batch)
 
-    def receive_sic_update(self, query_id: str, sic_value: float) -> None:
+    # Seed-era name, kept as the compatibility surface.
+    enqueue = on_batch
+
+    def on_sic_update(self, query_id: str, sic_value: float) -> None:
         """Handle an ``updateSIC`` message from a query coordinator."""
         self._reported_sic[query_id] = float(sic_value)
+
+    # Seed-era name, kept as the compatibility surface.
+    receive_sic_update = on_sic_update
 
     def input_buffer_size(self) -> int:
         """Number of tuples currently waiting in the input buffer."""
         return self._input_buffer_tuples
 
     # --------------------------------------------------------------- main loop
-    def tick(self, now: float, timer: Optional[callable] = None) -> NodeTickResult:
-        """Run one shedding interval: detect overload, shed, process.
+    def on_shed_round(
+        self, now: float, timer: Optional[callable] = None
+    ) -> NodeTickResult:
+        """Run one shedding round: detect overload, shed, process.
 
         Args:
-            now: current simulation time (end of the interval).
+            now: current simulation time (end of the round's interval).
             timer: optional callable returning wall-clock seconds, used to
                 measure the shedder's execution time for the §7.6 experiment.
         """
@@ -211,6 +260,9 @@ class FspsNode:
             self.cost_model.observe(result.kept_tuples, total_cost)
             self.stats.processed_cost += total_cost
         return result
+
+    # Seed-era name, kept as the compatibility surface.
+    tick = on_shed_round
 
     # ----------------------------------------------------------------- helpers
     def _current_sic_view(self, now: float) -> Dict[str, float]:

@@ -9,8 +9,8 @@ down-sampling for the SIC time series).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 __all__ = ["SummaryStats", "TimeSeries", "MetricsCollector"]
 

@@ -1,0 +1,14 @@
+"""Discrete-event federation runtime.
+
+Replaces the lockstep ``FederatedSystem.tick()`` loop with a deterministic
+discrete-event scheduler: source generation, per-node shedding rounds,
+coordinator ``updateSIC`` rounds and network deliveries are independently
+scheduled events, enabling heterogeneous per-node shedding intervals and
+mid-run cluster / query lifecycle changes while staying result-identical to
+the lockstep loop for homogeneous, seeded runs.
+"""
+
+from .runtime import EventRuntime
+from .scheduler import EventScheduler, ScheduledEvent
+
+__all__ = ["EventRuntime", "EventScheduler", "ScheduledEvent"]

@@ -1,0 +1,296 @@
+"""Discrete-event driver of a :class:`~repro.federation.fsps.FederatedSystem`.
+
+Where the lockstep ``FederatedSystem.tick()`` advances every component once
+per global shedding interval, the :class:`EventRuntime` schedules each
+component's rounds as independent events on a deterministic heap
+(:mod:`repro.runtime.scheduler`):
+
+* one **source-generation** event stream per deployed query (window
+  ``(previous fire, now]``, cadence = the federation's shedding interval);
+* one **shedding-round** event stream per node, at the *node's own* cadence —
+  ``SimulationConfig.node_shedding_intervals`` / ``FspsNode.shedding_interval``
+  override the federation default, so sites in different administrative
+  domains can shed at different rates (site autonomy, C3);
+* one **coordinator** event stream per query (dissemination round gated by the
+  coordinator's ``update_interval``, followed by the result-SIC snapshot);
+* one **delivery** event per distinct network delivery instant.
+
+For homogeneous intervals a seeded event-driven run is *result-identical* to
+the lockstep loop — same per-query SIC series, same shed/received counts,
+same bytes on the wire (asserted by
+``tests/integration/test_event_runtime.py``).  The equal-time phase ordering
+that makes this hold is encoded in the scheduler's event priorities; see
+:mod:`repro.runtime.scheduler`.
+
+On top of the scheduler the runtime exposes the mid-run **lifecycle API**:
+queries can be deployed and undeployed and nodes added, decommissioned or
+crash-failed while the simulation is running — each operation atomically
+mutates the federation state (source re-routing, coordinator teardown) and
+starts or cancels the affected event streams.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence, Set, Tuple as PyTuple
+
+from ..federation.coordinator import QueryCoordinator
+from ..federation.fsps import DeployedQuery, FederatedSystem
+from ..federation.node import FspsNode
+from .scheduler import (
+    PRIORITY_COORDINATOR,
+    PRIORITY_DELIVERY,
+    PRIORITY_NODE,
+    PRIORITY_POST_DELIVERY,
+    PRIORITY_SOURCE,
+    EventScheduler,
+)
+
+__all__ = ["EventRuntime"]
+
+
+class EventRuntime:
+    """Drives a federated deployment from a discrete-event scheduler.
+
+    Args:
+        system: the federation to drive.  Components already present (nodes,
+            queries, coordinators) get their event streams scheduled
+            immediately; later lifecycle calls must go through the runtime so
+            event streams stay in sync with the deployment state.
+        node_intervals: per-node shedding-interval overrides (node id →
+            seconds).  Falls back to ``FspsNode.shedding_interval`` and then
+            to the federation's global interval.
+        timer: optional wall-clock callable forwarded to the nodes' shedding
+            rounds (the §7.6 shedder-overhead measurement).
+    """
+
+    def __init__(
+        self,
+        system: FederatedSystem,
+        node_intervals: Optional[Mapping[str, float]] = None,
+        timer: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.system = system
+        self.timer = timer
+        self.default_interval = system.shedding_interval
+        self.scheduler = EventScheduler(start=system.now)
+        self._node_intervals: Dict[str, float] = dict(node_intervals or {})
+        # (kind, id) -> recurring-event handle, so lifecycle ops can cancel.
+        self._events: Dict[PyTuple[str, str], object] = {}
+        # Delivery instants already covered by a scheduled event; one event
+        # per distinct (time, priority) drains every message due then.
+        self._pending_deliveries: Set[PyTuple[float, int]] = set()
+        # The run horizon advances by whole default intervals, accumulated
+        # with the same float additions the recurring events use, so the
+        # final round of a run is never missed to rounding.
+        self._horizon = system.now
+        if system.network.send_listener is not None:
+            raise ValueError(
+                "the system's network already has a send listener; "
+                "is another runtime attached?"
+            )
+        # Bound once so close() can compare identity when detaching.
+        self._send_hook = self._on_send
+        system.network.send_listener = self._send_hook
+        for node in system.nodes.values():
+            self._schedule_node(node)
+        for query in system.queries.values():
+            self._schedule_query_sources(query)
+        for coordinator in system.coordinators.all():
+            self._schedule_coordinator(coordinator)
+
+    # ----------------------------------------------------------------- running
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def run(
+        self,
+        duration_seconds: Optional[float] = None,
+        ticks: Optional[int] = None,
+    ) -> None:
+        """Advance the simulation by ``duration_seconds`` (or ``ticks``).
+
+        The duration is quantized to whole default shedding intervals (like
+        the lockstep driver, which can only advance tick by tick); lifecycle
+        methods may be called between ``run`` calls — or from within event
+        callbacks — to change the deployment mid-run.
+        """
+        if ticks is None:
+            if duration_seconds is None or duration_seconds <= 0:
+                raise ValueError(
+                    f"duration must be positive, got {duration_seconds}"
+                )
+            ticks = max(1, int(round(duration_seconds / self.default_interval)))
+        for _ in range(ticks):
+            self._horizon += self.default_interval
+        self.scheduler.run_until(self._horizon)
+        self.system.now = self._horizon
+        self.system.ticks += ticks
+
+    def close(self) -> None:
+        """Detach from the system's network (for reuse of the system)."""
+        if self.system.network.send_listener is self._send_hook:
+            self.system.network.send_listener = None
+
+    # --------------------------------------------------------------- lifecycle
+    def _sync_system_clock(self) -> None:
+        """Advance ``system.now`` to the scheduler's current instant.
+
+        ``run()`` syncs it at the horizon, but lifecycle methods may also be
+        called from *within* event callbacks, where only the scheduler knows
+        the current time — and ``deploy_query`` stamps ``deployed_at`` (the
+        anchor of the stale-message drop guard in ``dispatch``) from
+        ``system.now``.
+        """
+        if self.scheduler.now > self.system.now:
+            self.system.now = self.scheduler.now
+
+    def deploy_query(
+        self,
+        query_id: str,
+        fragments: Mapping[str, object],
+        sources: Sequence[object],
+        placement: Mapping[str, str],
+        nominal_rates: Optional[Dict[str, float]] = None,
+    ) -> DeployedQuery:
+        """Deploy a query mid-run and start its event streams.
+
+        Source generation begins with the window opening at the current
+        time; the query's coordinator round joins the global cadence.
+        """
+        self._sync_system_clock()
+        deployed = self.system.deploy_query(
+            query_id, fragments, sources, placement, nominal_rates=nominal_rates
+        )
+        self._schedule_query_sources(deployed)
+        self._schedule_coordinator(self.system.coordinators.coordinator(query_id))
+        return deployed
+
+    def undeploy_query(self, query_id: str) -> QueryCoordinator:
+        """Stop a query's event streams and remove it from the federation."""
+        coordinator = self.system.undeploy_query(query_id)
+        self._cancel("source", query_id)
+        self._cancel("coordinator", query_id)
+        return coordinator
+
+    def add_node(
+        self, node: FspsNode, shedding_interval: Optional[float] = None
+    ) -> FspsNode:
+        """Add a node mid-run; its first shedding round is one interval out."""
+        self.system.add_node(node)
+        if shedding_interval is not None:
+            self._node_intervals[node.node_id] = float(shedding_interval)
+        self._schedule_node(node)
+        return node
+
+    def remove_node(self, node_id: str) -> FspsNode:
+        """Gracefully decommission an empty node and stop its rounds."""
+        node = self.system.remove_node(node_id)
+        self._cancel("node", node_id)
+        # A node later re-added under the same id must not inherit the
+        # departed node's cadence override.
+        self._node_intervals.pop(node_id, None)
+        return node
+
+    def fail_node(self, node_id: str) -> FspsNode:
+        """Crash-fail a node mid-run: rounds stop, state handled by the FSPS."""
+        node = self.system.fail_node(node_id)
+        self._cancel("node", node_id)
+        self._node_intervals.pop(node_id, None)
+        return node
+
+    # -------------------------------------------------------- event scheduling
+    def _cancel(self, kind: str, key: str) -> None:
+        handle = self._events.pop((kind, key), None)
+        if handle is not None:
+            handle.cancel()
+
+    def _node_interval(self, node: FspsNode) -> float:
+        override = self._node_intervals.get(node.node_id)
+        if override is not None:
+            return override
+        if node.shedding_interval is not None:
+            return node.shedding_interval
+        return self.default_interval
+
+    def _schedule_node(self, node: FspsNode) -> None:
+        interval = self._node_interval(node)
+        key = ("node", node.node_id)
+
+        def fire(now: float) -> None:
+            self.system.run_node_round(node, now, timer=self.timer)
+            self._events[key] = self.scheduler.schedule(
+                now + interval, PRIORITY_NODE, fire
+            )
+
+        self._events[key] = self.scheduler.schedule(
+            self.scheduler.now + interval, PRIORITY_NODE, fire
+        )
+
+    def _schedule_query_sources(self, query: DeployedQuery) -> None:
+        interval = self.default_interval
+        key = ("source", query.query_id)
+        # The generation window opens where the previous one closed, so no
+        # simulated time is double-generated or skipped.
+        state = {"start": self.scheduler.now}
+
+        def fire(now: float) -> None:
+            self.system.generate_query_sources(query, state["start"], now)
+            state["start"] = now
+            self._events[key] = self.scheduler.schedule(
+                now + interval, PRIORITY_SOURCE, fire
+            )
+
+        self._events[key] = self.scheduler.schedule(
+            self.scheduler.now + interval, PRIORITY_SOURCE, fire
+        )
+
+    def _schedule_coordinator(self, coordinator: QueryCoordinator) -> None:
+        # The coordinator round is *polled* at the global cadence and gated by
+        # the coordinator's own update_interval (exactly like the lockstep
+        # loop) — so sweeping coordinator_update_interval behaves identically
+        # under both drivers.  The poll also takes the per-interval result-SIC
+        # snapshot that feeds the reported time series.
+        interval = self.default_interval
+        key = ("coordinator", coordinator.query_id)
+
+        def fire(now: float) -> None:
+            self.system.run_coordinator_round(coordinator, now)
+            coordinator.snapshot(now)
+            self._events[key] = self.scheduler.schedule(
+                now + interval, PRIORITY_COORDINATOR, fire
+            )
+
+        self._events[key] = self.scheduler.schedule(
+            self.scheduler.now + interval, PRIORITY_COORDINATOR, fire
+        )
+
+    # --------------------------------------------------------------- messaging
+    def _on_send(self, message: object, deliver_at: float) -> None:
+        """Network send hook: make sure a delivery event covers ``deliver_at``.
+
+        Zero-latency messages sent from a node or coordinator round are
+        delivered at the *end* of the current instant (POST_DELIVERY): the
+        lockstep loop's delivery phase has already passed at that point, and
+        every same-instant round must observe the pre-send state for the two
+        drivers to stay result-identical.
+        """
+        scheduler = self.scheduler
+        priority = PRIORITY_DELIVERY
+        current = scheduler.current_priority
+        if (
+            deliver_at <= scheduler.now
+            and current is not None
+            and current >= PRIORITY_DELIVERY
+        ):
+            priority = PRIORITY_POST_DELIVERY
+        key = (deliver_at, priority)
+        if key in self._pending_deliveries:
+            return
+        self._pending_deliveries.add(key)
+
+        def fire(now: float) -> None:
+            self._pending_deliveries.discard(key)
+            self.system.deliver_messages(now)
+
+        scheduler.schedule(deliver_at, priority, fire)

@@ -1,0 +1,148 @@
+"""Deterministic discrete-event scheduler.
+
+The event runtime replaces the lockstep ``FederatedSystem.tick()`` loop with a
+heap of ``(time, priority, seq)``-ordered events: source generation rounds,
+network deliveries, per-node shedding rounds and per-query coordinator rounds
+are all independently scheduled.  Determinism is the design constraint — the
+differential tests assert that a seeded event-driven run with homogeneous
+intervals is *result-identical* to the lockstep loop — so ties are broken
+first by an explicit phase priority (mirroring the phase order inside one
+lockstep tick) and then by scheduling order.
+
+The scheduler knows nothing about the federation; it stores opaque callbacks.
+Cancellation is lazy: :meth:`ScheduledEvent.cancel` marks the event and the
+run loop skips it when popped, which keeps ``cancel`` O(1) — the lifecycle
+API (query undeploy, node failure) relies on this.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional
+
+__all__ = [
+    "EventScheduler",
+    "ScheduledEvent",
+    "PRIORITY_SOURCE",
+    "PRIORITY_DELIVERY",
+    "PRIORITY_NODE",
+    "PRIORITY_COORDINATOR",
+    "PRIORITY_POST_DELIVERY",
+]
+
+# Phase priorities for events scheduled at the same instant.  They mirror the
+# phase order of one lockstep tick: sources generate, due messages are
+# delivered, nodes run their shedding rounds, coordinators disseminate and
+# snapshot.  POST_DELIVERY exists for zero-latency messages sent *during* a
+# node or coordinator phase: the lockstep loop would only deliver them at the
+# next tick (its delivery phase has already passed), so the event runtime
+# delivers them at the end of the current instant — after every same-instant
+# round has observed the pre-send state, exactly like the lockstep path.
+PRIORITY_SOURCE = 0
+PRIORITY_DELIVERY = 1
+PRIORITY_NODE = 2
+PRIORITY_COORDINATOR = 3
+PRIORITY_POST_DELIVERY = 4
+
+
+class ScheduledEvent:
+    """A scheduled callback; ordered by ``(time, priority, seq)``."""
+
+    __slots__ = ("time", "priority", "seq", "fn", "cancelled")
+
+    def __init__(
+        self, time: float, priority: int, seq: int, fn: Callable[[float], None]
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it is skipped when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"ScheduledEvent(t={self.time}, p={self.priority}{state})"
+
+
+class EventScheduler:
+    """A deterministic event heap with an inclusive ``run_until`` horizon."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._heap: List[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self.now = float(start)
+        # Priority of the event currently being processed (None outside
+        # run_until); the runtime consults it to order zero-latency
+        # deliveries after the sending phase.
+        self.current_priority: Optional[int] = None
+        self.processed_events = 0
+
+    def schedule(
+        self, time: float, priority: int, fn: Callable[[float], None]
+    ) -> ScheduledEvent:
+        """Schedule ``fn(time)``; returns a handle whose ``cancel()`` works.
+
+        Scheduling at the current instant is allowed (zero-latency message
+        deliveries); scheduling in the past is a programming error.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule event at {time} before current time {self.now}"
+            )
+        event = ScheduledEvent(time, priority, next(self._seq), fn)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run_until(self, end: float) -> int:
+        """Process every event with ``time <= end`` (inclusive), in order.
+
+        Events scheduled while running — deliveries, recurring-round
+        reschedules — are processed in the same call when they fall within
+        the horizon.  Afterwards ``now`` is advanced to ``end`` even if the
+        heap ran dry, so later lifecycle calls anchor at the horizon.
+        Returns the number of events processed.
+        """
+        heap = self._heap
+        processed = 0
+        while heap and heap[0].time <= end:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.current_priority = event.priority
+            try:
+                event.fn(event.time)
+            finally:
+                self.current_priority = None
+            processed += 1
+        if end > self.now:
+            self.now = end
+        self.processed_events += processed
+        return processed
+
+    def next_event_time(self) -> Optional[float]:
+        """Time of the earliest pending (non-cancelled) event, if any."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pending_events(self) -> int:
+        """Number of scheduled, not-yet-cancelled events."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -11,11 +11,16 @@ factor").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 from ..core.stw import StwConfig
 
-__all__ = ["SimulationConfig"]
+__all__ = ["SimulationConfig", "RUNTIMES"]
+
+# Execution drivers: "event" is the discrete-event runtime
+# (:mod:`repro.runtime`); "lockstep" is the original global tick loop, kept
+# as the equivalence oracle and perf baseline.
+RUNTIMES = ("event", "lockstep")
 
 
 @dataclass
@@ -44,6 +49,20 @@ class SimulationConfig:
             generation, SIC stamping and window bucketing).  Result-identical
             to the per-tuple path for equal seeds; disable to time or
             differentially test the tuple-at-a-time reference path.
+        runtime: execution driver — ``"event"`` (the discrete-event runtime,
+            default) or ``"lockstep"`` (the original global tick loop, kept as
+            the equivalence oracle).  Seeded homogeneous-interval runs are
+            result-identical under both.
+        node_shedding_intervals: per-node shedding-interval overrides (node
+            id → seconds), honoured by the event runtime only — the lockstep
+            loop is homogeneous by construction.
+        retain_result_values: keep every result tuple's payload on the query
+            coordinators (needed by the SIC-correlation experiments, which
+            align degraded and perfect runs window by window).  Off by
+            default: unbounded retention leaks memory on long runs.
+        max_result_values: cap on retained result payloads per query (oldest
+            evicted first); ``None`` retains everything while
+            ``retain_result_values`` is on.
         seed: RNG seed shared by data generation, placement and shedders.
     """
 
@@ -57,6 +76,10 @@ class SimulationConfig:
     enable_sic_updates: bool = True
     coordinator_update_interval: Optional[float] = None
     columnar: bool = True
+    runtime: str = "event"
+    node_shedding_intervals: Dict[str, float] = field(default_factory=dict)
+    retain_result_values: bool = False
+    max_result_values: Optional[int] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -80,6 +103,20 @@ class SimulationConfig:
             )
         if self.network_latency_seconds < 0:
             raise ValueError("network_latency_seconds must be non-negative")
+        if self.runtime not in RUNTIMES:
+            raise ValueError(
+                f"runtime must be one of {RUNTIMES}, got {self.runtime!r}"
+            )
+        for node_id, interval in self.node_shedding_intervals.items():
+            if interval <= 0:
+                raise ValueError(
+                    f"node_shedding_intervals[{node_id!r}] must be positive, "
+                    f"got {interval}"
+                )
+        if self.max_result_values is not None and self.max_result_values <= 0:
+            raise ValueError(
+                f"max_result_values must be positive, got {self.max_result_values}"
+            )
 
     @property
     def total_seconds(self) -> float:

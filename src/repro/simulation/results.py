@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List
 
 from ..core.fairness import FairnessSummary, jains_index, summarize_fairness
 

@@ -1,9 +1,12 @@
-"""Time-stepped simulator driving a :class:`FederatedSystem`.
+"""Simulation driver for a :class:`FederatedSystem`.
 
-The simulator advances a fully-constructed federation one shedding interval at
-a time, discards a warm-up period and returns a :class:`RunResult` with the
-per-query result SIC values, fairness metrics and node/network statistics that
-the experiment harness reports.
+The simulator is a compatibility facade: it accepts a fully-constructed
+federation plus a :class:`SimulationConfig` and executes the run under the
+configured driver — the discrete-event runtime (:mod:`repro.runtime`, the
+default) or the original lockstep tick loop (``runtime="lockstep"``, kept as
+the equivalence oracle).  Either way it discards a warm-up period and returns
+a :class:`RunResult` with the per-query result SIC values, fairness metrics
+and node/network statistics that the experiment harness reports.
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..federation.fsps import FederatedSystem
 from ..perf import PerfRegistry, Stopwatch
+from ..runtime import EventRuntime
 from .clock import SimulationClock
 from .config import SimulationConfig
 from .results import NodeSummary, RunResult
@@ -25,12 +29,13 @@ class Simulator:
 
     Args:
         system: the fully-constructed federation to drive.
-        config: timing configuration (duration, warm-up, interval).
+        config: timing configuration (duration, warm-up, interval, driver).
         measure_shedder_time: wall-clock the shedder invocations (§7.6).
         perf_registry: optional :class:`repro.perf.PerfRegistry`; when given,
-            the simulator records per-tick wall time under ``simulator.tick``
-            and the whole run under ``simulator.run``, so experiment drivers
-            can report throughput without instrumenting the loop themselves.
+            the simulator records the whole run under ``simulator.run`` (and,
+            on the lockstep driver, per-tick wall time under
+            ``simulator.tick``), so experiment drivers can report throughput
+            without instrumenting the loop themselves.
     """
 
     def __init__(
@@ -51,19 +56,36 @@ class Simulator:
         timer: Optional[Callable[[], float]] = (
             time.perf_counter if self.measure_shedder_time else None
         )
-        total_ticks = self.config.total_ticks
+        total_ticks = max(1, self.config.total_ticks)
         registry = self.perf_registry
         run_watch = Stopwatch().start() if registry is not None else None
-        for _ in range(max(1, total_ticks)):
-            self.clock.advance()
-            if registry is not None:
-                with registry.time("simulator.tick"):
+        if self.config.runtime == "lockstep":
+            for _ in range(total_ticks):
+                self.clock.advance()
+                if registry is not None:
+                    with registry.time("simulator.tick"):
+                        self.system.tick(timer=timer)
+                else:
                     self.system.tick(timer=timer)
-            else:
-                self.system.tick(timer=timer)
+        else:
+            # The runtime is scoped to this call and detached afterwards so
+            # the system can be reused (e.g. under the lockstep driver).
+            # Lifecycle experiments that keep driving a run build on
+            # EventRuntime directly instead (see repro.experiments.churn).
+            runtime = EventRuntime(
+                self.system,
+                node_intervals=self.config.node_shedding_intervals,
+                timer=timer,
+            )
+            try:
+                runtime.run(ticks=total_ticks)
+            finally:
+                runtime.close()
+            for _ in range(total_ticks):
+                self.clock.advance()
         if registry is not None and run_watch is not None:
             registry.record("simulator.run", run_watch.stop())
-            registry.incr("simulator.ticks", max(1, total_ticks))
+            registry.incr("simulator.ticks", total_ticks)
         return self._collect()
 
     # ----------------------------------------------------------------- helpers

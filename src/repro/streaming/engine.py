@@ -13,10 +13,9 @@ builders.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 from ..core.shedding import Shedder, make_shedder
-from ..core.stw import StwConfig
 from ..federation.fsps import FederatedSystem
 from ..federation.network import Network, UniformLatency
 from ..federation.node import FspsNode
@@ -83,6 +82,8 @@ class LocalEngine:
             coordinator_update_interval=self.config.coordinator_update_interval,
             enable_sic_updates=self.config.enable_sic_updates,
             columnar=self.config.columnar,
+            retain_results=self.config.retain_result_values,
+            max_retained_results=self.config.max_result_values,
         )
         node = FspsNode(
             node_id=self.node_id,

@@ -9,7 +9,7 @@ whole window's SIC to the emitted result.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional
 
 from ...core.tuples import Tuple
 from ..windows import TimeWindow, WindowPane

@@ -6,14 +6,26 @@ streams on the node identifier within a one-second window
 join as a two-port operator: both ports buffer tuples in identically
 configured time windows, aligned panes are joined atomically, and the joined
 output shares the input SIC (Equation 3).
+
+Columnar integration: the join's *output* payload schema is data-dependent —
+a shared field name is prefixed only on the rows where the two sides carry
+different values — so the join cannot emit a uniform-schema
+:class:`~repro.core.columns.ColumnBlock` and ``_process_columnar`` stays a
+deliberate per-tuple fallback.  The *input* side is vectorized instead: when
+both panes are column-backed, the build and probe phases read the key and
+payload columns directly and materialize payload dicts only for matching
+rows, instead of materializing every buffered tuple first.  Both paths emit
+identical tuples in identical order (differential-tested in
+``tests/streaming/test_join_columnar.py``).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ...core.columns import ColumnBlock
 from ...core.tuples import Tuple
-from ..windows import TimeWindow
+from ..windows import TimeWindow, WindowPane
 from .base import Operator, PaneGroup
 
 __all__ = ["WindowEquiJoin"]
@@ -63,6 +75,18 @@ class WindowEquiJoin(Operator):
                 values.setdefault(name, value)
         return values
 
+    def _process_columnar(
+        self, panes: PaneGroup, now: float
+    ) -> Optional[ColumnBlock]:
+        """Explicit per-tuple fallback.
+
+        The merge rule prefixes a shared field only on rows where the sides
+        disagree, so the output schema varies row by row — there is no
+        uniform column representation to emit.  The columnar win lives in
+        :meth:`_process` instead, which probes the pane *columns* directly.
+        """
+        return None
+
     def _process(self, panes: PaneGroup, now: float) -> List[Tuple]:
         left_pane = panes.get(0)
         right_pane = panes.get(1)
@@ -70,14 +94,23 @@ class WindowEquiJoin(Operator):
             # One side of the join has no data for this window: no output,
             # the consumed SIC is lost exactly as the paper's model dictates.
             return []
-        # Hash join: build on the right side, probe with the left side.
+        timestamp = self._pane_timestamp(panes, now)
+        left_block = left_pane.as_block()
+        right_block = right_pane.as_block()
+        if left_block is not None and right_block is not None:
+            return self._join_blocks(left_block, right_block, timestamp)
+        return self._join_tuples(left_pane, right_pane, timestamp)
+
+    def _join_tuples(
+        self, left_pane: WindowPane, right_pane: WindowPane, timestamp: float
+    ) -> List[Tuple]:
+        """Seed per-tuple hash join: build on the right, probe with the left."""
         build: Dict[object, List[Tuple]] = {}
         for t in right_pane.tuples:
             key = t.values.get(self.right_key)
             if key is None:
                 continue
             build.setdefault(key, []).append(t)
-        timestamp = self._pane_timestamp(panes, now)
         outputs: List[Tuple] = []
         for left in left_pane.tuples:
             key = left.values.get(self.left_key)
@@ -91,4 +124,50 @@ class WindowEquiJoin(Operator):
                         values=self._merge_payload(left, right),
                     )
                 )
+        return outputs
+
+    def _join_blocks(
+        self, left_block: ColumnBlock, right_block: ColumnBlock, timestamp: float
+    ) -> List[Tuple]:
+        """Column-probing hash join over two column-backed panes.
+
+        Rows are visited in pane order, exactly like the per-tuple path, and
+        payload dicts are built (in block field order — the order
+        ``to_tuples`` would have used) only for the rows that actually match.
+        """
+        right_keys = right_block.values.get(self.right_key)
+        left_keys = left_block.values.get(self.left_key)
+        if right_keys is None or left_keys is None:
+            # A missing key column means no row can carry the key — the
+            # per-tuple path would have skipped every row too.
+            return []
+        build: Dict[object, List[int]] = {}
+        for j, key in enumerate(right_keys):
+            if key is None:
+                continue
+            build.setdefault(key, []).append(j)
+        left_fields = list(left_block.values)
+        left_columns = [left_block.values[f] for f in left_fields]
+        right_fields = list(right_block.values)
+        right_columns = [right_block.values[f] for f in right_fields]
+        right_prefix = self.right_prefix
+        outputs: List[Tuple] = []
+        for i, key in enumerate(left_keys):
+            if key is None:
+                continue
+            rows = build.get(key)
+            if not rows:
+                continue
+            for j in rows:
+                # Same merge rule as _merge_payload, applied to column rows.
+                values: Dict[str, object] = {
+                    f: column[i] for f, column in zip(left_fields, left_columns)
+                }
+                for f, column in zip(right_fields, right_columns):
+                    value = column[j]
+                    if f in values and values[f] != value:
+                        values[f"{right_prefix}{f}"] = value
+                    else:
+                        values.setdefault(f, value)
+                outputs.append(Tuple(timestamp=timestamp, sic=0.0, values=values))
         return outputs

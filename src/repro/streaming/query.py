@@ -20,7 +20,7 @@ from __future__ import annotations
 import itertools
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple as PyTuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple as PyTuple
 
 from ..core.columns import ColumnBlock
 from ..core.tuples import Batch, Tuple

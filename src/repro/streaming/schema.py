@@ -8,8 +8,8 @@ by the CQL planner and by tests to document what each stream carries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Type
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 __all__ = ["Field", "Schema"]
 

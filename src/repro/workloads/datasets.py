@@ -14,9 +14,8 @@ correlated free-memory series.  See DESIGN.md ("Substitutions").
 
 from __future__ import annotations
 
-import math
 import random
-from typing import Dict, Iterator, List, Optional
+from typing import List, Optional
 
 __all__ = [
     "ValueDistribution",

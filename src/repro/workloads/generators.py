@@ -11,10 +11,10 @@ processing budgets from a target overload factor, so experiments can say
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple as PyTuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
-from ..federation.deployment import Placement, PlacementStrategy, RoundRobinPlacement
+from ..federation.deployment import Placement
 from ..streaming.query import QueryFragment
 from .complex import make_avg_all_query, make_cov_query, make_top5_query
 from .spec import WorkloadQuery

@@ -10,7 +10,7 @@ harness hands them to :meth:`repro.federation.FederatedSystem.deploy_query`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..streaming.query import QueryFragment
 

@@ -11,6 +11,7 @@ from repro.experiments.testbeds import (
     workload_scale_factors,
 )
 from repro.experiments import (
+    churn,
     fig06_sic_correlation_aggregate as fig06,
     fig08_single_node_fairness as fig08,
     fig10_multinode_comparison as fig10,
@@ -98,6 +99,36 @@ class TestExperimentRunners:
         )
         improvements = fig10.improvement_summary(result)
         assert "2" in improvements
+
+    def test_churn_reports_every_lifecycle_phase(self):
+        result = churn.run(scale="small", phase_seconds=4.0)
+        phases = [row["phase"] for row in result.rows]
+        assert phases == ["steady", "arrivals", "departures", "node-failure"]
+        by_phase = {row["phase"]: row for row in result.rows}
+        # Population and cluster sizes follow the lifecycle changes.
+        assert by_phase["steady"]["queries"] == churn.INITIAL_QUERIES
+        assert (
+            by_phase["arrivals"]["queries"]
+            == churn.INITIAL_QUERIES + churn.ARRIVING_QUERIES
+        )
+        assert (
+            by_phase["departures"]["queries"]
+            == churn.INITIAL_QUERIES
+            + churn.ARRIVING_QUERIES
+            - churn.DEPARTING_QUERIES
+        )
+        assert by_phase["node-failure"]["nodes"] == churn.NUM_NODES - 1
+        # The fixed budgets plus arrivals deepen the overload; the failure
+        # hurts fairness (the failed node's queries collapse towards 0).
+        assert (
+            by_phase["arrivals"]["shed_fraction"]
+            > by_phase["steady"]["shed_fraction"]
+        )
+        assert all(0.0 < row["jains_index"] <= 1.0 for row in result.rows)
+        assert (
+            by_phase["node-failure"]["jains_index"]
+            < by_phase["steady"]["jains_index"]
+        )
 
     def test_related_work_fit_is_unfair(self):
         result = related.run(scale="small")

@@ -13,12 +13,32 @@ def result_batch(query="q", sic=0.1, ts=1.0):
 
 class TestQueryCoordinator:
     def test_records_results_and_tracks_sic(self):
-        coordinator = QueryCoordinator("q", StwConfig(10.0, 1.0))
+        coordinator = QueryCoordinator("q", StwConfig(10.0, 1.0), retain_results=True)
         coordinator.record_result(result_batch(sic=0.2), now=1.0)
         assert coordinator.result_tuples == 1
         assert coordinator.current_sic(now=1.5) > 0.0
         assert coordinator.result_values[0]["avg"] == 42.0
         assert "_ts" in coordinator.result_values[0]
+
+    def test_result_retention_is_opt_in_and_bounded(self):
+        # Default: SIC accounting only, no payload retention (memory bound).
+        plain = QueryCoordinator("q", StwConfig(10.0, 1.0))
+        plain.record_result(result_batch(sic=0.2), now=1.0)
+        assert plain.result_tuples == 1
+        assert len(plain.result_values) == 0
+        # Opt-in with a cap: oldest payloads are evicted first.
+        capped = QueryCoordinator(
+            "q", StwConfig(10.0, 1.0), retain_results=True, max_retained_results=3
+        )
+        for i in range(5):
+            capped.record_result(result_batch(sic=0.1, ts=float(i)), now=float(i))
+        assert capped.result_tuples == 5
+        assert len(capped.result_values) == 3
+        assert [v["_ts"] for v in capped.result_values] == [2.0, 3.0, 4.0]
+
+    def test_rejects_non_positive_retention_cap(self):
+        with pytest.raises(ValueError):
+            QueryCoordinator("q", StwConfig(), max_retained_results=0)
 
     def test_updates_only_sent_to_registered_nodes(self):
         coordinator = QueryCoordinator("q", StwConfig(), update_interval=0.25)
@@ -55,6 +75,16 @@ class TestCoordinatorRegistry:
         assert a is b
         assert "q1" in registry
         assert len(registry) == 1
+
+    def test_remove_tears_down_and_get_does_not_resurrect(self):
+        registry = CoordinatorRegistry(StwConfig())
+        registry.coordinator("q1")
+        removed = registry.remove("q1")
+        assert removed.query_id == "q1"
+        assert "q1" not in registry
+        assert registry.get("q1") is None  # no auto-create on the get path
+        with pytest.raises(KeyError):
+            registry.remove("q1")
 
     def test_current_and_mean_sic_per_query(self):
         registry = CoordinatorRegistry(StwConfig(10.0, 1.0))

@@ -11,13 +11,15 @@ from repro.workloads.complex import make_avg_all_query, make_cov_query
 
 
 def build_system(num_nodes=2, shedder="none", budget=1e9, latency=0.005,
-                 enable_sic_updates=True, shedding_interval=0.25):
+                 enable_sic_updates=True, shedding_interval=0.25,
+                 retain_results=False):
     stw = StwConfig(stw_seconds=6.0, slide_seconds=shedding_interval)
     system = FederatedSystem(
         stw_config=stw,
         shedding_interval=shedding_interval,
         network=Network(UniformLatency(latency)),
         enable_sic_updates=enable_sic_updates,
+        retain_results=retain_results,
     )
     for i in range(num_nodes):
         system.add_node(
@@ -124,7 +126,7 @@ class TestExecution:
         assert not system.nodes["node-0"]._reported_sic
 
     def test_tree_deployment_of_avg_all_query(self):
-        system = build_system(num_nodes=3, shedder="none")
+        system = build_system(num_nodes=3, shedder="none", retain_results=True)
         query = make_avg_all_query(
             query_id="tree", num_fragments=3, sources_per_fragment=2, rate=40.0, seed=12
         )

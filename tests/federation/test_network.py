@@ -35,6 +35,24 @@ class TestLatencyModels:
         assert model.latency("a", "c") == 0.005
         assert model.latency("c", "c") == 0.0
 
+    def test_latency_matrix_asymmetric_pairs_via_constructor(self):
+        model = LatencyMatrix(
+            default_seconds=0.005,
+            pairs={("a", "b"): 0.05, ("b", "a"): 0.01},
+        )
+        assert model.latency("a", "b") == 0.05
+        assert model.latency("b", "a") == 0.01
+
+    def test_latency_matrix_one_way_set_latency(self):
+        model = LatencyMatrix(default_seconds=0.005)
+        model.set_latency("a", "b", 0.08, symmetric=False)
+        assert model.latency("a", "b") == 0.08
+        # The reverse direction keeps the default until set explicitly.
+        assert model.latency("b", "a") == 0.005
+        model.set_latency("b", "a", 0.02, symmetric=False)
+        assert model.latency("a", "b") == 0.08
+        assert model.latency("b", "a") == 0.02
+
 
 class TestMessages:
     def test_data_message_size_includes_metadata(self):
@@ -81,3 +99,55 @@ class TestNetwork:
         assert network.next_delivery_time() is None
         network.send(ResultMessage(destination="c", batch=batch()), 1.0, "n0")
         assert network.next_delivery_time() == pytest.approx(1.1)
+
+    def test_per_pair_fifo_with_latency_matrix(self):
+        # Each endpoint pair has a constant latency, so messages on the same
+        # pair can never overtake each other — delivery is FIFO per pair even
+        # when pairs with very different latencies interleave.
+        model = LatencyMatrix(default_seconds=0.005)
+        model.set_latency("a", "dst", 0.05)
+        model.set_latency("b", "dst", 0.002)
+        network = Network(model)
+        order = []
+        for i in range(3):
+            sent_at = i * 0.01
+            network.send(
+                SicUpdateMessage(destination="dst", query_id=f"a{i}", sic_value=0.1),
+                sent_at,
+                "a",
+            )
+            order.append(f"a{i}")
+            network.send(
+                SicUpdateMessage(destination="dst", query_id=f"b{i}", sic_value=0.1),
+                sent_at,
+                "b",
+            )
+            order.append(f"b{i}")
+        delivered = [m.query_id for m in network.deliver_due(10.0)]
+        # Per-pair FIFO: each source's messages arrive in send order.
+        assert [q for q in delivered if q.startswith("a")] == ["a0", "a1", "a2"]
+        assert [q for q in delivered if q.startswith("b")] == ["b0", "b1", "b2"]
+        # Global order follows delivery times: the fast pair's burst lands
+        # before the slow pair's first message.
+        assert delivered == ["b0", "b1", "b2", "a0", "a1", "a2"]
+        assert delivered != order
+
+    def test_same_delivery_time_across_pairs_keeps_send_order(self):
+        # Two pairs tuned so messages sent at different times collide at the
+        # same delivery instant: the tie-break is send order, deterministic.
+        model = LatencyMatrix(default_seconds=0.005)
+        model.set_latency("slow", "dst", 0.1)
+        model.set_latency("fast", "dst", 0.05)
+        network = Network(model)
+        network.send(
+            SicUpdateMessage(destination="dst", query_id="s", sic_value=0.1),
+            0.0,
+            "slow",
+        )
+        network.send(
+            SicUpdateMessage(destination="dst", query_id="f", sic_value=0.1),
+            0.05,
+            "fast",
+        )
+        delivered = [m.query_id for m in network.deliver_due(0.1)]
+        assert delivered == ["s", "f"]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.shedding import BalanceSicShedder, NoShedder, RandomShedder
+from repro.core.shedding import BalanceSicShedder, NoShedder
 from repro.core.stw import StwConfig
 from repro.core.tuples import Batch, Tuple
 from repro.federation.node import FspsNode

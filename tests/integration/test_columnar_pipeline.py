@@ -12,7 +12,6 @@ and network accounting — exactly, not approximately.  Covered scenarios:
 * bursty sources (the §7.4 burstiness model) with fractional rates.
 """
 
-import pytest
 
 from repro.core.shedding import BalanceSicShedder
 from repro.federation.fsps import FederatedSystem
@@ -30,6 +29,7 @@ def run_local(columnar, bursty=False):
         warmup_seconds=1.0,
         capacity_fraction=0.5,
         columnar=columnar,
+        retain_result_values=True,
         seed=0,
     )
     engine = LocalEngine(config)

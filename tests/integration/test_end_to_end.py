@@ -11,7 +11,6 @@ These tests exercise the paper's central claims at a small scale:
 
 import pytest
 
-from repro.core.fairness import jains_index
 from repro.experiments.common import build_federation, config_with
 from repro.federation.deployment import RandomPlacement
 from repro.metrics.errors import mean_absolute_relative_error
@@ -122,9 +121,11 @@ class TestSicErrorCorrelation:
         points = []
         for fraction in (0.3, 0.8):
             degraded_cfg = small_config(shedder="random", capacity_fraction=fraction,
-                                        duration_seconds=10.0, seed=6)
+                                        duration_seconds=10.0, seed=6,
+                                        retain_result_values=True)
             perfect_cfg = small_config(shedder="none", capacity_fraction=1e6,
-                                       duration_seconds=10.0, seed=6)
+                                       duration_seconds=10.0, seed=6,
+                                       retain_result_values=True)
             runs = {}
             for label, cfg in (("degraded", degraded_cfg), ("perfect", perfect_cfg)):
                 engine = LocalEngine(cfg)

@@ -9,7 +9,6 @@ accounting consistent rather than crash or report SIC values outside [0, 1+ε].
 import pytest
 
 from repro.core import StwConfig, make_shedder
-from repro.core.tuples import Tuple
 from repro.federation import FederatedSystem, FspsNode, Network, UniformLatency
 from repro.simulation.config import SimulationConfig
 from repro.streaming.engine import LocalEngine

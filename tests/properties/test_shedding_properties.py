@@ -1,6 +1,5 @@
 """Property-based tests for the shedders (Algorithm 1 invariants)."""
 
-import math
 import random
 
 from hypothesis import given, settings

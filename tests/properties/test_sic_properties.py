@@ -7,8 +7,8 @@ from hypothesis import strategies as st
 
 from repro.core.fairness import jains_index
 from repro.core.sic import propagate_sic, query_result_sic, source_tuple_sic
-from repro.core.tuples import Batch, Tuple
-from repro.streaming.operators import Average, Filter, TopK, Union
+from repro.core.tuples import Tuple
+from repro.streaming.operators import Average, Filter, TopK
 from repro.streaming.windows import TimeWindow
 
 sic_values = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)

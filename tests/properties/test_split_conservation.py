@@ -8,7 +8,6 @@ single-tuple batches and splitting disabled.
 """
 
 import math
-import random
 
 import pytest
 from hypothesis import given, settings

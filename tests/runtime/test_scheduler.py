@@ -1,0 +1,110 @@
+"""Unit tests for the deterministic discrete-event scheduler."""
+
+import pytest
+
+from repro.runtime.scheduler import (
+    PRIORITY_COORDINATOR,
+    PRIORITY_DELIVERY,
+    PRIORITY_NODE,
+    PRIORITY_POST_DELIVERY,
+    PRIORITY_SOURCE,
+    EventScheduler,
+)
+
+
+class TestOrdering:
+    def test_events_run_in_time_order(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(0.5, PRIORITY_NODE, lambda t: fired.append(("b", t)))
+        scheduler.schedule(0.25, PRIORITY_NODE, lambda t: fired.append(("a", t)))
+        scheduler.run_until(1.0)
+        assert fired == [("a", 0.25), ("b", 0.5)]
+
+    def test_equal_time_orders_by_priority_then_seq(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(1.0, PRIORITY_POST_DELIVERY, lambda t: fired.append("post"))
+        scheduler.schedule(1.0, PRIORITY_SOURCE, lambda t: fired.append("source-0"))
+        scheduler.schedule(1.0, PRIORITY_NODE, lambda t: fired.append("node"))
+        scheduler.schedule(1.0, PRIORITY_SOURCE, lambda t: fired.append("source-1"))
+        scheduler.schedule(1.0, PRIORITY_DELIVERY, lambda t: fired.append("deliver"))
+        scheduler.schedule(1.0, PRIORITY_COORDINATOR, lambda t: fired.append("coord"))
+        scheduler.run_until(1.0)
+        # Priority mirrors the lockstep tick's phase order; equal priorities
+        # preserve scheduling order.
+        assert fired == ["source-0", "source-1", "deliver", "node", "coord", "post"]
+
+    def test_run_until_is_inclusive_of_the_horizon(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(2.0, PRIORITY_NODE, lambda t: fired.append(t))
+        scheduler.schedule(2.0000001, PRIORITY_NODE, lambda t: fired.append(t))
+        assert scheduler.run_until(2.0) == 1
+        assert fired == [2.0]
+        assert scheduler.pending_events() == 1
+
+    def test_events_scheduled_while_running_are_processed(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def recurring(now):
+            fired.append(now)
+            if now < 1.0:
+                scheduler.schedule(now + 0.25, PRIORITY_NODE, recurring)
+
+        scheduler.schedule(0.25, PRIORITY_NODE, recurring)
+        scheduler.run_until(1.0)
+        assert fired == [0.25, 0.5, 0.75, 1.0]
+
+    def test_same_instant_event_scheduled_during_processing_runs(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def outer(now):
+            fired.append("outer")
+            scheduler.schedule(now, PRIORITY_POST_DELIVERY, lambda t: fired.append("inner"))
+
+        scheduler.schedule(0.5, PRIORITY_NODE, outer)
+        scheduler.run_until(0.5)
+        assert fired == ["outer", "inner"]
+
+
+class TestBookkeeping:
+    def test_cancelled_events_are_skipped(self):
+        scheduler = EventScheduler()
+        fired = []
+        handle = scheduler.schedule(0.5, PRIORITY_NODE, lambda t: fired.append("x"))
+        scheduler.schedule(0.5, PRIORITY_NODE, lambda t: fired.append("y"))
+        handle.cancel()
+        scheduler.run_until(1.0)
+        assert fired == ["y"]
+
+    def test_now_advances_to_horizon_even_without_events(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(3.0)
+        assert scheduler.now == 3.0
+
+    def test_scheduling_in_the_past_is_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(1.0)
+        with pytest.raises(ValueError):
+            scheduler.schedule(0.5, PRIORITY_NODE, lambda t: None)
+
+    def test_current_priority_visible_during_processing(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.schedule(
+            0.5, PRIORITY_NODE, lambda t: seen.append(scheduler.current_priority)
+        )
+        scheduler.run_until(1.0)
+        assert seen == [PRIORITY_NODE]
+        assert scheduler.current_priority is None
+
+    def test_next_event_time_skips_cancelled(self):
+        scheduler = EventScheduler()
+        first = scheduler.schedule(0.5, PRIORITY_NODE, lambda t: None)
+        scheduler.schedule(0.75, PRIORITY_NODE, lambda t: None)
+        assert scheduler.next_event_time() == 0.5
+        first.cancel()
+        assert scheduler.next_event_time() == 0.75

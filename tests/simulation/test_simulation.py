@@ -165,7 +165,7 @@ class TestSimulatorAndLocalEngine:
 
         config = SimulationConfig(
             duration_seconds=2.0, warmup_seconds=1.0, stw_seconds=2.0,
-            capacity_fraction=0.5, seed=3,
+            capacity_fraction=0.5, runtime="lockstep", seed=3,
         )
         queries = [
             make_cov_query(query_id="perf-0", num_fragments=1, rate=40.0, seed=0)
@@ -173,6 +173,8 @@ class TestSimulatorAndLocalEngine:
         system = build_federation(queries, num_nodes=1, config=config)
         registry = PerfRegistry()
         Simulator(system, config, perf_registry=registry).run()
+        # Per-tick timers exist on the lockstep driver only; the event
+        # driver has no global tick to time.
         assert registry.timers["simulator.tick"].count == config.total_ticks
         assert registry.timers["simulator.run"].count == 1
         assert registry.counters["simulator.ticks"] == config.total_ticks
@@ -180,3 +182,21 @@ class TestSimulatorAndLocalEngine:
             registry.timers["simulator.run"].total_seconds
             >= registry.timers["simulator.tick"].total_seconds * 0.5
         )
+
+    def test_simulator_records_perf_registry_event_runtime(self):
+        from repro.experiments.common import build_federation
+        from repro.perf import PerfRegistry
+
+        config = SimulationConfig(
+            duration_seconds=2.0, warmup_seconds=1.0, stw_seconds=2.0,
+            capacity_fraction=0.5, runtime="event", seed=3,
+        )
+        queries = [
+            make_cov_query(query_id="perf-1", num_fragments=1, rate=40.0, seed=0)
+        ]
+        system = build_federation(queries, num_nodes=1, config=config)
+        registry = PerfRegistry()
+        Simulator(system, config, perf_registry=registry).run()
+        assert registry.timers["simulator.run"].count == 1
+        assert registry.counters["simulator.ticks"] == config.total_ticks
+        assert "simulator.tick" not in registry.timers

@@ -14,7 +14,6 @@ while everything else is compared with ``==``.  Pane SIC must also be
 or provably lost to lateness.
 """
 
-import math
 import random
 
 import pytest

@@ -1,0 +1,164 @@
+"""Differential tests: columnar vs per-tuple input paths of the window join.
+
+The join cannot emit column blocks (its output schema is data-dependent: a
+shared field is prefixed only on rows where the two sides disagree), so its
+``_process_columnar`` is an explicit fallback and the fast path probes the
+pane *columns* instead.  These tests feed the identical stream to one join
+instance via ``ingest_block`` (column-backed panes) and to another via
+``ingest`` (materialized tuples) and assert byte-identical outputs.
+"""
+
+import pytest
+
+from repro.core.columns import ColumnBlock
+from repro.streaming.operators.join import WindowEquiJoin
+
+
+def make_join():
+    return WindowEquiJoin(left_key="id", right_key="id", window_seconds=1.0)
+
+
+def cpu_block(ids, loads, start=0.0, sic=0.01):
+    n = len(ids)
+    return ColumnBlock(
+        timestamps=[start + i * 0.01 for i in range(n)],
+        sics=[sic] * n,
+        values={"id": list(ids), "cpu": list(loads)},
+        source_id="cpu",
+    )
+
+
+def mem_block(ids, frees, start=0.0, sic=0.02):
+    n = len(ids)
+    return ColumnBlock(
+        timestamps=[start + i * 0.01 for i in range(n)],
+        sics=[sic] * n,
+        values={"id": list(ids), "mem": list(frees)},
+        source_id="mem",
+    )
+
+
+def run_join(blocks_by_port, columnar, horizon=3.0):
+    join = make_join()
+    for port, blocks in blocks_by_port.items():
+        for block in blocks:
+            if columnar:
+                join.ingest_block(block, port=port)
+            else:
+                join.ingest(block.to_tuples(), port=port)
+    return join.advance(horizon)
+
+
+def assert_same_outputs(columnar, per_tuple):
+    assert len(columnar) == len(per_tuple)
+    for c, t in zip(columnar, per_tuple):
+        assert c.timestamp == t.timestamp
+        assert c.sic == t.sic
+        assert c.values == t.values
+        assert list(c.values) == list(t.values)  # field order too
+
+
+class TestJoinColumnarIdentity:
+    def test_matching_keys_identical(self):
+        blocks = {
+            0: [cpu_block(["a", "b", "c"], [0.9, 0.5, 0.1])],
+            1: [mem_block(["b", "c", "d"], [512.0, 256.0, 128.0])],
+        }
+        columnar = run_join(blocks, columnar=True)
+        per_tuple = run_join(blocks, columnar=False)
+        assert columnar, "the join must actually produce output"
+        assert_same_outputs(columnar, per_tuple)
+
+    def test_duplicate_keys_produce_cross_product_in_same_order(self):
+        blocks = {
+            0: [cpu_block(["a", "a", "b"], [0.1, 0.2, 0.3])],
+            1: [mem_block(["a", "a"], [1.0, 2.0])],
+        }
+        columnar = run_join(blocks, columnar=True)
+        per_tuple = run_join(blocks, columnar=False)
+        assert len(columnar) == 4  # 2 left 'a' rows x 2 right 'a' rows
+        assert_same_outputs(columnar, per_tuple)
+
+    def test_conflicting_shared_fields_get_prefixed_per_row(self):
+        # Both sides carry a "v" field: equal on one matching pair,
+        # different on the other — the prefix must appear only where the
+        # values differ (the data-dependent schema that rules out a
+        # columnar output block).
+        left = ColumnBlock(
+            timestamps=[0.0, 0.01],
+            sics=[0.01, 0.01],
+            values={"id": ["x", "y"], "v": [1.0, 2.0]},
+        )
+        right = ColumnBlock(
+            timestamps=[0.0, 0.01],
+            sics=[0.01, 0.01],
+            values={"id": ["x", "y"], "v": [1.0, 99.0]},
+        )
+        blocks = {0: [left], 1: [right]}
+        columnar = run_join(blocks, columnar=True)
+        per_tuple = run_join(blocks, columnar=False)
+        assert_same_outputs(columnar, per_tuple)
+        by_id = {t.values["id"]: t.values for t in columnar}
+        assert "right_v" not in by_id["x"]
+        assert by_id["y"]["v"] == 2.0 and by_id["y"]["right_v"] == 99.0
+
+    def test_none_keys_are_skipped(self):
+        blocks = {
+            0: [cpu_block(["a", None, "b"], [0.1, 0.2, 0.3])],
+            1: [mem_block([None, "b"], [1.0, 2.0])],
+        }
+        columnar = run_join(blocks, columnar=True)
+        per_tuple = run_join(blocks, columnar=False)
+        assert len(columnar) == 1
+        assert_same_outputs(columnar, per_tuple)
+
+    def test_missing_key_column_yields_no_output(self):
+        left = cpu_block(["a"], [0.5])
+        right = ColumnBlock(
+            timestamps=[0.0], sics=[0.01], values={"mem": [1.0]}
+        )
+        blocks = {0: [left], 1: [right]}
+        columnar = run_join(blocks, columnar=True)
+        per_tuple = run_join(blocks, columnar=False)
+        assert columnar == [] and per_tuple == []
+
+    def test_multiple_blocks_per_pane_identical(self):
+        blocks = {
+            0: [
+                cpu_block(["a", "b"], [0.1, 0.2], start=0.0),
+                cpu_block(["c"], [0.3], start=0.5),
+            ],
+            1: [
+                mem_block(["b"], [1.0], start=0.1),
+                mem_block(["a", "c"], [2.0, 3.0], start=0.6),
+            ],
+        }
+        columnar = run_join(blocks, columnar=True)
+        per_tuple = run_join(blocks, columnar=False)
+        assert len(columnar) == 3
+        assert_same_outputs(columnar, per_tuple)
+
+    def test_sic_propagation_equal_on_both_paths(self):
+        blocks = {
+            0: [cpu_block(["a", "b"], [0.1, 0.2], sic=0.03)],
+            1: [mem_block(["a", "b"], [1.0, 2.0], sic=0.05)],
+        }
+        columnar = run_join(blocks, columnar=True)
+        per_tuple = run_join(blocks, columnar=False)
+        assert columnar
+        total = sum(t.sic for t in columnar)
+        # Equation 3: the whole consumed window SIC is divided over outputs.
+        assert total == pytest.approx(2 * 0.03 + 2 * 0.05)
+        assert [t.sic for t in columnar] == [t.sic for t in per_tuple]
+
+    def test_mixed_representation_falls_back_per_tuple(self):
+        # Columnar left, per-tuple right: the join must still produce the
+        # per-tuple path's exact output.
+        join_mixed = make_join()
+        left = cpu_block(["a", "b"], [0.1, 0.2])
+        right = mem_block(["a", "b"], [1.0, 2.0])
+        join_mixed.ingest_block(left, port=0)
+        join_mixed.ingest(right.to_tuples(), port=1)
+        mixed = join_mixed.advance(3.0)
+        reference = run_join({0: [left], 1: [right]}, columnar=False)
+        assert_same_outputs(mixed, reference)

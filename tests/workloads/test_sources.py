@@ -6,7 +6,6 @@ from repro.workloads.sources import (
     BurstySource,
     CpuSource,
     MemorySource,
-    StreamSource,
     ValueSource,
 )
 
