@@ -21,11 +21,13 @@ import os
 import pytest
 
 from repro.perf.microbench import (
+    MIGRATION_WINDOW_TUPLES,
     SELECTION_QUERY_COUNTS,
     run_end_to_end,
     time_end_to_end,
     time_estimator_ingest,
     time_generation_sic,
+    time_migration,
     time_node_ticks,
     time_runtime,
     time_selection,
@@ -45,6 +47,12 @@ END_TO_END_SPEEDUP_FLOOR = 1.25
 # to end (ISSUE 3 acceptance criterion; observed ~5-7% on the recording
 # machine — see the `runtime` section of BENCH_shedding.json).
 RUNTIME_OVERHEAD_CEILING = 0.10
+# Checkpoint + restore of a 10⁵-tuple window must stay within this factor of
+# *building* the same window state through the columnar pipeline (ISSUE 4;
+# observed ~1.0× on the recording machine — the serialised round-trip costs
+# about as much as one pipeline pass over the state it moves — see the
+# `migration` section of BENCH_shedding.json).
+MIGRATION_ROUNDTRIP_CEILING = 4.0
 
 # Wall-clock ratio assertions are meaningless on heavily throttled shared
 # runners; REPRO_SKIP_PERF_ASSERT=1 keeps the kernels running (so the code
@@ -150,6 +158,28 @@ class TestColumnarBenchmarks:
             f"columnar window bucketing regressed: only {speedup:.1f}x over "
             f"the per-tuple reference window (floor {WINDOW_SPEEDUP_FLOOR}x); "
             f"fast={fast * 1e3:.1f} ms reference={reference * 1e3:.1f} ms"
+        )
+
+
+class TestMigrationBenchmarks:
+    """Checkpoint/restore state-transfer cost (the fragment-migration and
+    periodic-checkpoint hot path introduced with the repro.state layer)."""
+
+    def test_migration_roundtrip(self, benchmark):
+        seconds = benchmark.pedantic(time_migration, rounds=1, iterations=1)
+        benchmark.extra_info["tuples"] = MIGRATION_WINDOW_TUPLES
+        assert seconds > 0
+
+    @skip_perf_asserts
+    def test_migration_roundtrip_within_budget(self):
+        build = best_of(3, time_migration, phase="build")
+        roundtrip = best_of(3, time_migration, phase="roundtrip")
+        ratio = roundtrip / build
+        assert ratio <= MIGRATION_ROUNDTRIP_CEILING, (
+            f"checkpoint+restore of a {MIGRATION_WINDOW_TUPLES}-tuple window "
+            f"regressed: {ratio:.2f}x the columnar build cost (budget "
+            f"{MIGRATION_ROUNDTRIP_CEILING}x); build={build * 1e3:.1f} ms "
+            f"roundtrip={roundtrip * 1e3:.1f} ms"
         )
 
 

@@ -105,6 +105,14 @@ def build_report(quick: bool = False) -> dict:
     speedups["runtime_event_vs_lockstep"] = round(
         results["runtime"]["lockstep_ms"] / results["runtime"]["event_ms"], 2
     )
+    # Checkpoint/restore budget (build / roundtrip, ~1.0): the cost of
+    # snapshotting + restoring a 10⁵-tuple window relative to building that
+    # state through the columnar pipeline.  Recorded so --compare fails when
+    # the migration state-transfer path regresses by more than 2×.
+    speedups["migration_roundtrip_vs_build"] = round(
+        results["migration"]["build_ms"] / results["migration"]["roundtrip_ms"],
+        2,
+    )
     return {
         "schema": 1,
         "git_revision": git_revision(),

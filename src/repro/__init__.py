@@ -12,6 +12,9 @@ SIGMOD 2016):
   query language.
 * :mod:`repro.federation` — autonomous nodes, the inter-site network, query
   coordinators and fragment placement.
+* :mod:`repro.state` — operator-state checkpoint/restore: the versioned
+  :class:`FragmentCheckpoint` envelope behind live fragment migration, node
+  rejoin and coordinator failover.
 * :mod:`repro.runtime` — the deterministic discrete-event runtime driving the
   federation (independent per-component rounds, heterogeneous per-node
   shedding intervals, mid-run cluster & query lifecycle).
@@ -66,6 +69,7 @@ from .federation import (
 )
 from .runtime import EventRuntime
 from .simulation import RunResult, SimulationConfig, Simulator
+from .state import CheckpointError, FragmentCheckpoint
 from .streaming import LocalEngine, QueryFragment, QueryGraph, compile_query
 from .workloads import (
     WorkloadQuery,
@@ -112,6 +116,8 @@ __all__ = [
     "RunResult",
     "SimulationConfig",
     "Simulator",
+    "CheckpointError",
+    "FragmentCheckpoint",
     "LocalEngine",
     "QueryFragment",
     "QueryGraph",

@@ -61,6 +61,25 @@ class Shedder(ABC):
     # Shared "not overloaded, keep all" early-exit for every shedder.
     _keep_all = staticmethod(keep_all_decision)
 
+    # ------------------------------------------------------ checkpoint/restore
+    def snapshot(self) -> dict:
+        """Serialise the shedder's durable state.
+
+        The built-in shedders are stateless apart from their RNG; the
+        stochastic ones override this to carry the RNG state so a restored
+        shedder replays the exact decision sequence the original would have
+        made.
+        """
+        return {"name": self.name}
+
+    def restore(self, state: dict) -> None:
+        """Rebuild the shedder's durable state from :meth:`snapshot` output."""
+        if state.get("name") != self.name:
+            raise ValueError(
+                f"shedder checkpoint for {state.get('name')!r} does not match "
+                f"{self.name!r}"
+            )
+
     # Helper shared by the non-SIC-aware shedders.
     @staticmethod
     def _keep_prefix(
@@ -127,6 +146,15 @@ class BalanceSicShedder(Shedder):
             batches, capacity, reported_sic, total_tuples=total_tuples
         )
 
+    def snapshot(self) -> dict:
+        state = super().snapshot()
+        state["rng_state"] = self.policy.rng.getstate()
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        self.policy.rng.setstate(state["rng_state"])
+
 
 class RandomShedder(Shedder):
     """Baseline: keep uniformly random batches up to the capacity."""
@@ -151,6 +179,15 @@ class RandomShedder(Shedder):
         shuffled = list(batches)
         self.rng.shuffle(shuffled)
         return self._keep_prefix(shuffled, capacity, self.allow_splitting)
+
+    def snapshot(self) -> dict:
+        state = super().snapshot()
+        state["rng_state"] = self.rng.getstate()
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        self.rng.setstate(state["rng_state"])
 
 
 class TailDropShedder(Shedder):

@@ -264,6 +264,49 @@ class SourceRateEstimator:
             return self.min_count
         return window.last_estimate
 
+    # ------------------------------------------------------ checkpoint/restore
+    def snapshot(self) -> Dict[str, object]:
+        """Serialise the per-source arrival windows and estimates.
+
+        The bucket contents, running totals and last estimates are recorded
+        verbatim, so a restored estimator returns bit-identical estimates —
+        now and after any future arrivals — to the original.
+        """
+        return {
+            "stw_seconds": self.stw_seconds,
+            "min_count": self.min_count,
+            "windows": {
+                source_id: {
+                    "buckets": [list(bucket) for bucket in window.buckets],
+                    "total": window.total,
+                    "last_estimate": window.last_estimate,
+                    "seeded": window.seeded,
+                }
+                for source_id, window in self._windows.items()
+            },
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Rebuild the estimator from :meth:`snapshot` output."""
+        if (
+            state["stw_seconds"] != self.stw_seconds
+            or state["min_count"] != self.min_count
+        ):
+            raise ValueError(
+                f"estimator checkpoint (stw={state['stw_seconds']}, "
+                f"min={state['min_count']}) does not match estimator "
+                f"(stw={self.stw_seconds}, min={self.min_count})"
+            )
+        self._windows = {
+            source_id: _SourceWindow(
+                buckets=deque([t, c] for t, c in window["buckets"]),
+                total=window["total"],
+                last_estimate=window["last_estimate"],
+                seeded=window["seeded"],
+            )
+            for source_id, window in state["windows"].items()
+        }
+
     def known_sources(self) -> List[str]:
         return list(self._windows)
 
@@ -351,3 +394,25 @@ class SicAssigner:
         """Return the SIC value a new tuple from ``source_id`` would receive."""
         per_stw = self.estimator.tuples_per_stw(source_id)
         return source_tuple_sic(per_stw, self.num_sources)
+
+    # ------------------------------------------------------ checkpoint/restore
+    def snapshot(self) -> Dict[str, object]:
+        """Serialise the assigner: query identity plus the estimator state."""
+        return {
+            "query_id": self.query_id,
+            "num_sources": self.num_sources,
+            "estimator": self.estimator.snapshot(),
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Rebuild the assigner from :meth:`snapshot` output."""
+        if (
+            state["query_id"] != self.query_id
+            or state["num_sources"] != self.num_sources
+        ):
+            raise ValueError(
+                f"assigner checkpoint for {state['query_id']!r} "
+                f"({state['num_sources']} sources) does not match "
+                f"{self.query_id!r} ({self.num_sources} sources)"
+            )
+        self.estimator.restore(state["estimator"])

@@ -118,6 +118,27 @@ class ResultSicTracker:
         while self._events and self._events[0][0] <= horizon:
             self._events.popleft()
 
+    # ------------------------------------------------------ checkpoint/restore
+    def snapshot_state(self) -> Dict[str, object]:
+        """Serialise the tracker: unexpired events, first-event anchor, history."""
+        return {
+            "query_id": self.query_id,
+            "events": [list(event) for event in self._events],
+            "first_event_time": self._first_event_time,
+            "history": [list(sample) for sample in self._history],
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Rebuild the tracker from :meth:`snapshot_state` output."""
+        if state["query_id"] != self.query_id:
+            raise ValueError(
+                f"tracker checkpoint for query {state['query_id']!r} does not "
+                f"match {self.query_id!r}"
+            )
+        self._events = deque((t, sic) for t, sic in state["events"])
+        self._first_event_time = state["first_event_time"]
+        self._history = [(t, value) for t, value in state["history"]]
+
 
 class StwRegistry:
     """One :class:`ResultSicTracker` per query."""

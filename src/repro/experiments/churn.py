@@ -83,8 +83,13 @@ class _PhaseTracker:
         self.mark()
 
     def note_failed_node(self, node: FspsNode) -> None:
+        """Fold in the counters of a node leaving the federation (crash or
+        graceful decommission) so phase deltas stay consistent."""
         self.lost_shed += node.stats.shed_tuples
         self.lost_received += node.stats.received_tuples
+
+    # A decommissioned node's counters leave the same way a failed one's do.
+    note_departed_node = note_failed_node
 
     def _totals(self) -> "tuple[int, int]":
         shed = self.system.total_shed_tuples() + self.lost_shed

@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional
 from . import (
     ablations,
     churn,
+    migration,
     fig06_sic_correlation_aggregate,
     fig07_sic_correlation_complex,
     fig08_single_node_fairness,
@@ -49,6 +50,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "related_work": related_work_comparison.run,
     "overhead": overhead.run,
     "churn": churn.run,
+    "migration": migration.run,
     "ablation_updatesic": ablations.run_update_sic_ablation,
     "ablation_selection": ablations.run_selection_ablation,
     "ablation_stw": ablations.run_stw_ablation,

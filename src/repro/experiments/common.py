@@ -21,7 +21,12 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 from ..core.shedding import Shedder, make_shedder
 from ..federation.deployment import PlacementStrategy, RoundRobinPlacement
 from ..federation.fsps import FederatedSystem
-from ..federation.network import Network, UniformLatency
+from ..federation.network import (
+    LatencyMatrix,
+    LatencyModel,
+    Network,
+    UniformLatency,
+)
 from ..federation.node import FspsNode
 from ..simulation.config import SimulationConfig
 from ..simulation.results import RunResult
@@ -32,6 +37,7 @@ from ..workloads.spec import WorkloadQuery
 __all__ = [
     "ExperimentResult",
     "WorkloadBuilder",
+    "asymmetric_latency_matrix",
     "build_federation",
     "run_workload",
     "format_table",
@@ -56,6 +62,7 @@ def config_with(config: SimulationConfig, **overrides: object) -> SimulationConf
         "columnar": config.columnar,
         "runtime": config.runtime,
         "node_shedding_intervals": dict(config.node_shedding_intervals),
+        "checkpoint_interval": config.checkpoint_interval,
         "retain_result_values": config.retain_result_values,
         "max_result_values": config.max_result_values,
         "seed": config.seed,
@@ -131,6 +138,45 @@ def format_table(rows: Sequence[Mapping[str, object]]) -> str:
     return "\n".join(lines)
 
 
+def asymmetric_latency_matrix(
+    node_ids: Sequence[str],
+    base_seconds: float,
+    spread: float = 0.5,
+    coordinator_endpoint: str = "coordinator",
+) -> LatencyMatrix:
+    """Wide-area latency matrix with asymmetric inter-site paths.
+
+    Real federations cross administrative domains whose uplinks and
+    downlinks differ; this helper models that with per-direction latencies
+    around ``base_seconds``: for each ordered node pair ``(a, b)`` with
+    ``a < b``, the a→b path takes ``base * (1 + spread)`` and the return
+    path ``base * (1 - spread)`` (the pair's mean stays ``base``, so runs
+    remain comparable with the uniform model).  The coordinator pushes its
+    ``updateSIC`` messages over the same skewed long-haul paths: towards
+    odd-indexed nodes at ``base * (1 + spread)``, towards the rest at
+    ``base * (1 - spread)``.  Everything else (source → node ingest) keeps
+    the ``base_seconds`` default.
+    """
+    if not 0.0 <= spread < 1.0:
+        raise ValueError(f"spread must be in [0, 1), got {spread}")
+    matrix = LatencyMatrix(default_seconds=base_seconds)
+    slow = base_seconds * (1.0 + spread)
+    fast = base_seconds * (1.0 - spread)
+    ordered = list(node_ids)
+    for i, a in enumerate(ordered):
+        for b in ordered[i + 1:]:
+            matrix.set_latency(a, b, slow, symmetric=False)
+            matrix.set_latency(b, a, fast, symmetric=False)
+    for index, node_id in enumerate(ordered):
+        matrix.set_latency(
+            coordinator_endpoint,
+            node_id,
+            slow if index % 2 else fast,
+            symmetric=False,
+        )
+    return matrix
+
+
 def build_federation(
     queries: Sequence[WorkloadQuery],
     num_nodes: int,
@@ -139,13 +185,17 @@ def build_federation(
     placement_strategy: Optional[PlacementStrategy] = None,
     node_budgets: Optional[Mapping[str, float]] = None,
     budget_mode: str = "proportional",
+    latency_model: Optional[LatencyModel] = None,
 ) -> FederatedSystem:
     """Build a federation hosting ``queries`` on ``num_nodes`` nodes.
 
     Fragment placement defaults to round-robin; per-node budgets default to
     ``config.capacity_fraction`` times the load offered to the node
     (``budget_mode="proportional"``) or to a uniform share of the total
-    offered load (``budget_mode="uniform"``, homogeneous hardware).
+    offered load (``budget_mode="uniform"``, homogeneous hardware).  The
+    network defaults to ``UniformLatency(config.network_latency_seconds)``;
+    pass ``latency_model`` (e.g. :func:`asymmetric_latency_matrix`) for
+    per-pair paths.
     """
     if num_nodes <= 0:
         raise ValueError(f"num_nodes must be positive, got {num_nodes}")
@@ -166,7 +216,10 @@ def build_federation(
     system = FederatedSystem(
         stw_config=config.stw_config(),
         shedding_interval=config.shedding_interval,
-        network=Network(UniformLatency(config.network_latency_seconds)),
+        network=Network(
+            latency_model
+            or UniformLatency(config.network_latency_seconds)
+        ),
         coordinator_update_interval=config.coordinator_update_interval,
         enable_sic_updates=config.enable_sic_updates,
         columnar=config.columnar,
@@ -207,6 +260,7 @@ def run_workload(
     node_budgets: Optional[Mapping[str, float]] = None,
     budget_mode: str = "proportional",
     measure_shedder_time: bool = False,
+    latency_model: Optional[LatencyModel] = None,
 ) -> RunResult:
     """Build a fresh workload with ``builder`` and run it end to end."""
     queries = builder()
@@ -218,6 +272,7 @@ def run_workload(
         placement_strategy=placement_strategy,
         node_budgets=node_budgets,
         budget_mode=budget_mode,
+        latency_model=latency_model,
     )
     simulator = Simulator(system, config, measure_shedder_time=measure_shedder_time)
     return simulator.run()

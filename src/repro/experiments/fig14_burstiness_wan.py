@@ -5,6 +5,13 @@ emulated wide-area latencies (50 ms, "FSPS"), each with or without bursty
 sources (10 % of the time a source emits at 10× its rate).  The mean SIC after
 BALANCE-SIC shedding stays essentially unchanged across the four set-ups, for
 both 20-query and 40-query populations.
+
+The wide-area deployments use an *asymmetric* :class:`LatencyMatrix`
+(:func:`repro.experiments.common.asymmetric_latency_matrix`): each ordered
+inter-node pair splits into a slow 75 ms direction and a fast 25 ms return
+(mean 50 ms), and the coordinators' ``updateSIC`` paths are skewed the same
+way — real administrative domains rarely peer symmetrically, and the paper's
+claim is that fairness survives the latency topology, not just its average.
 """
 
 from __future__ import annotations
@@ -14,10 +21,15 @@ from typing import Optional, Sequence
 from ..federation.deployment import RandomPlacement
 from ..federation.network import LAN_LATENCY_SECONDS, WAN_LATENCY_SECONDS
 from ..workloads.generators import WorkloadSpec, generate_complex_workload
-from .common import ExperimentResult, config_with, run_workload
+from .common import (
+    ExperimentResult,
+    asymmetric_latency_matrix,
+    config_with,
+    run_workload,
+)
 from .testbeds import scaled_config
 
-__all__ = ["run", "DEPLOYMENTS"]
+__all__ = ["run", "DEPLOYMENTS", "WAN_ASYMMETRY_SPREAD"]
 
 # (label, latency_seconds, bursty)
 DEPLOYMENTS = (
@@ -26,6 +38,9 @@ DEPLOYMENTS = (
     ("LAN bursty", LAN_LATENCY_SECONDS, True),
     ("FSPS bursty", WAN_LATENCY_SECONDS, True),
 )
+
+# Per-direction skew of the wide-area paths: base * (1 ± spread).
+WAN_ASYMMETRY_SPREAD = 0.5
 
 
 def run(
@@ -47,7 +62,15 @@ def run(
         "two-fragment complex queries randomly assigned to 4 nodes; bursty "
         "sources emit at 10x their rate 10% of the time"
     )
+    experiment.add_note(
+        f"FSPS (wide-area) rows use asymmetric per-pair latencies: "
+        f"{WAN_LATENCY_SECONDS * (1 + WAN_ASYMMETRY_SPREAD) * 1e3:.0f} ms "
+        f"one way, "
+        f"{WAN_LATENCY_SECONDS * (1 - WAN_ASYMMETRY_SPREAD) * 1e3:.0f} ms "
+        f"back (mean {WAN_LATENCY_SECONDS * 1e3:.0f} ms)"
+    )
 
+    node_ids = [f"node-{i}" for i in range(num_nodes)]
     for num_queries in query_counts:
         for label, latency, bursty in DEPLOYMENTS:
             spec = WorkloadSpec(
@@ -61,6 +84,16 @@ def run(
                 seed=seed,
             )
             config = config_with(base_config, network_latency_seconds=latency)
+            # The wide-area rows exercise asymmetric per-pair paths; LAN
+            # rows keep the uniform model (a LAN is symmetric to first
+            # order, and the contrast isolates the latency topology).
+            latency_model = (
+                asymmetric_latency_matrix(
+                    node_ids, latency, spread=WAN_ASYMMETRY_SPREAD
+                )
+                if latency >= WAN_LATENCY_SECONDS
+                else None
+            )
             result = run_workload(
                 lambda spec=spec: generate_complex_workload(spec),
                 num_nodes=num_nodes,
@@ -68,6 +101,7 @@ def run(
                 shedder_name="balance-sic",
                 placement_strategy=RandomPlacement(seed=seed),
                 budget_mode="uniform",
+                latency_model=latency_model,
             )
             experiment.add_row(
                 deployment=label,

@@ -10,7 +10,7 @@ from .deployment import (
     ZipfPlacement,
     make_placement_strategy,
 )
-from .fsps import DeployedQuery, FederatedSystem
+from .fsps import DeployedQuery, FederatedSystem, MigrationReport, RejoinReport
 from .network import (
     LAN_LATENCY_SECONDS,
     WAN_LATENCY_SECONDS,
@@ -37,6 +37,8 @@ __all__ = [
     "make_placement_strategy",
     "DeployedQuery",
     "FederatedSystem",
+    "MigrationReport",
+    "RejoinReport",
     "LAN_LATENCY_SECONDS",
     "WAN_LATENCY_SECONDS",
     "DataMessage",

@@ -19,10 +19,11 @@ their query is undeployed (:meth:`CoordinatorRegistry.remove`).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set
+from typing import Deque, Dict, List, Optional, Set, Tuple as PyTuple
 
 from ..core.stw import ResultSicTracker, StwConfig
 from ..core.tuples import Batch
+from ..state.checkpoint import CheckpointError, FragmentCheckpoint
 
 __all__ = ["QueryCoordinator", "CoordinatorRegistry"]
 
@@ -131,6 +132,46 @@ class QueryCoordinator:
     # Seed-era name, kept as the compatibility surface.
     make_updates = on_update_round
 
+    # ------------------------------------------------------ checkpoint/restore
+    def snapshot_state(self, now: float = 0.0) -> Dict[str, object]:
+        """Serialise the coordinator's state for failover.
+
+        Captures the result-SIC tracker (events, history), the hosting-node
+        set, the dissemination cadence anchor and the counters.  Retained
+        result payloads (``result_values``) are deliberately *not* part of
+        the failover state: they are an experiment-reporting convenience,
+        not operational state a standby needs.
+        """
+        return {
+            "query_id": self.query_id,
+            "update_interval": self.update_interval,
+            "created_at": now,
+            "hosting_nodes": sorted(self.hosting_nodes),
+            "result_tuples": self.result_tuples,
+            "updates_sent": self.updates_sent,
+            "last_update_time": self._last_update_time,
+            "tracker": self.tracker.snapshot_state(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Rebuild the coordinator from :meth:`snapshot_state` output."""
+        if state["query_id"] != self.query_id:
+            raise CheckpointError(
+                f"coordinator checkpoint for query {state['query_id']!r} does "
+                f"not match {self.query_id!r}"
+            )
+        if state["update_interval"] != self.update_interval:
+            raise CheckpointError(
+                f"coordinator checkpoint update_interval "
+                f"{state['update_interval']} does not match "
+                f"{self.update_interval}"
+            )
+        self.hosting_nodes = set(state["hosting_nodes"])
+        self.result_tuples = state["result_tuples"]
+        self.updates_sent = state["updates_sent"]
+        self._last_update_time = state["last_update_time"]
+        self.tracker.restore_state(state["tracker"])
+
 
 class CoordinatorRegistry:
     """All coordinators of a federated deployment."""
@@ -147,6 +188,13 @@ class CoordinatorRegistry:
         self.retain_results = retain_results
         self.max_retained_results = max_retained_results
         self._coordinators: Dict[str, QueryCoordinator] = {}
+        # Coordinator-layer durable stores: the latest fragment checkpoints
+        # (fragment id -> envelope; node rejoin restores from these) and the
+        # standby coordinator states (query id -> snapshot; failover promotes
+        # from these).  Held at the registry so they survive the failure of
+        # an individual coordinator.
+        self._fragment_checkpoints: Dict[str, FragmentCheckpoint] = {}
+        self._standby_states: Dict[str, Dict[str, object]] = {}
 
     def coordinator(self, query_id: str) -> QueryCoordinator:
         if query_id not in self._coordinators:
@@ -169,11 +217,70 @@ class CoordinatorRegistry:
         return self._coordinators.get(query_id)
 
     def remove(self, query_id: str) -> QueryCoordinator:
-        """Tear down and return the coordinator of an undeployed query."""
+        """Tear down and return the coordinator of an undeployed query.
+
+        The query's durable stores (fragment checkpoints, standby state) are
+        purged with it — state of an undeployed query must not leak into a
+        later deployment under the same id.
+        """
         try:
-            return self._coordinators.pop(query_id)
+            coordinator = self._coordinators.pop(query_id)
         except KeyError:
             raise KeyError(f"no coordinator for query {query_id!r}") from None
+        self._standby_states.pop(query_id, None)
+        for fragment_id in [
+            fid
+            for fid, cp in self._fragment_checkpoints.items()
+            if cp.query_id == query_id
+        ]:
+            del self._fragment_checkpoints[fragment_id]
+        return coordinator
+
+    # ------------------------------------------------------- durable stores
+    def store_checkpoint(self, checkpoint: FragmentCheckpoint) -> None:
+        """Persist the latest checkpoint of a fragment (validated first)."""
+        self._fragment_checkpoints[
+            checkpoint.validate().fragment_id
+        ] = checkpoint
+
+    def checkpoint_for(self, fragment_id: str) -> Optional[FragmentCheckpoint]:
+        """The last stored checkpoint of ``fragment_id``, or ``None``."""
+        return self._fragment_checkpoints.get(fragment_id)
+
+    def checkpoint_coordinator(self, query_id: str, now: float) -> None:
+        """Refresh the standby state of a live coordinator."""
+        coordinator = self._coordinators.get(query_id)
+        if coordinator is None:
+            raise KeyError(f"no coordinator for query {query_id!r}")
+        self._standby_states[query_id] = coordinator.snapshot_state(now)
+
+    def fail_over(
+        self, query_id: str
+    ) -> PyTuple[QueryCoordinator, QueryCoordinator]:
+        """Crash-fail a coordinator and promote a standby in its place.
+
+        The failed coordinator's live state (unpersisted result-SIC events,
+        retained payloads) is lost; the standby restores from the last
+        :meth:`checkpoint_coordinator` state, or starts blank when none was
+        ever taken.  Returns ``(failed, promoted)`` so callers can account
+        the loss (e.g. ``failed.result_tuples - promoted.result_tuples``).
+        """
+        try:
+            failed = self._coordinators.pop(query_id)
+        except KeyError:
+            raise KeyError(f"no coordinator for query {query_id!r}") from None
+        promoted = QueryCoordinator(
+            query_id,
+            self.stw_config,
+            update_interval=self.update_interval,
+            retain_results=self.retain_results,
+            max_retained_results=self.max_retained_results,
+        )
+        standby = self._standby_states.get(query_id)
+        if standby is not None:
+            promoted.restore_state(standby)
+        self._coordinators[query_id] = promoted
+        return failed, promoted
 
     def all(self) -> List[QueryCoordinator]:
         return list(self._coordinators.values())

@@ -63,7 +63,13 @@ from .network import (
 )
 from .node import FspsNode, NodeTickResult
 
-__all__ = ["DeployedQuery", "SourceRoute", "FederatedSystem"]
+__all__ = [
+    "DeployedQuery",
+    "SourceRoute",
+    "MigrationReport",
+    "RejoinReport",
+    "FederatedSystem",
+]
 
 # Endpoint name used by coordinators when exchanging messages with nodes.
 COORDINATOR_ENDPOINT = "coordinator"
@@ -119,6 +125,48 @@ class DeployedQuery:
         return len(self.fragments)
 
 
+@dataclass
+class MigrationReport:
+    """Accounting of one live fragment migration.
+
+    Attributes:
+        fragment_id / query_id: what moved.
+        source_node / target_node: from where to where.
+        state_tuples / state_sic: tuples and SIC carried in the checkpoint
+            (operator-window state plus drained input-buffer batches).
+        replayed_batches: input-buffer batches replayed on the target.
+    """
+
+    fragment_id: str
+    query_id: str
+    source_node: str
+    target_node: str
+    state_tuples: int = 0
+    state_sic: float = 0.0
+    replayed_batches: int = 0
+
+
+@dataclass
+class RejoinReport:
+    """Accounting of one node rejoin after a crash failure.
+
+    ``restored_fragments`` were restored from a coordinator-held checkpoint;
+    ``fragments_without_checkpoint`` restarted empty (disjoint sets, both
+    re-placed on the rejoining node).  ``lost_tuples`` / ``lost_sic``
+    quantify the state the crash destroyed: the difference between what the
+    fragments held at crash time — window state plus the input-buffer
+    batches that died with the node — and what the checkpoints restored
+    (everything, for fragments without one).
+    """
+
+    node_id: str
+    restored_fragments: List[str] = field(default_factory=list)
+    skipped_fragments: List[str] = field(default_factory=list)
+    fragments_without_checkpoint: List[str] = field(default_factory=list)
+    lost_tuples: int = 0
+    lost_sic: float = 0.0
+
+
 class FederatedSystem:
     """A multi-site federated stream processing deployment."""
 
@@ -157,6 +205,15 @@ class FederatedSystem:
         self.queries: Dict[str, DeployedQuery] = {}
         # fragment id -> node id
         self.placement: Dict[str, str] = {}
+        # node id -> {fragment id -> lost-fragment record} of crash-failed
+        # nodes: the query id plus the input-buffer tuples/SIC the crash
+        # destroyed with the node, kept so a rejoining node knows which
+        # fragments to restore and what the crash cost.
+        self._lost_placement: Dict[str, Dict[str, Dict[str, object]]] = {}
+        # Data batches delivered to a node that no longer hosts their target
+        # fragment and forwarded to its current host (the migration pointer
+        # the old host leaves behind).
+        self.forwarded_batches = 0
         self.now = 0.0
         self.ticks = 0
 
@@ -281,23 +338,138 @@ class FederatedSystem:
             node = self.nodes.get(node_id) if node_id else None
             if node is not None and fragment_id in node.fragments:
                 node.unhost_fragment(fragment_id)
+        # A crash-failed node awaiting rejoin must not restore fragments of
+        # a query that was undeployed in the meantime; node ids left with
+        # nothing to restore become plain fresh ids again.
+        for node_id in list(self._lost_placement):
+            lost = self._lost_placement[node_id]
+            for fragment_id in [
+                fid
+                for fid, record in lost.items()
+                if record["query_id"] == query_id
+            ]:
+                del lost[fragment_id]
+            if not lost:
+                del self._lost_placement[node_id]
         return self.coordinators.remove(query_id)
 
-    def remove_node(self, node_id: str) -> FspsNode:
-        """Gracefully decommission an empty node.
+    def migrate_fragment(
+        self, fragment_id: str, target_node_id: str
+    ) -> MigrationReport:
+        """Live-migrate a fragment: drain → checkpoint → reroute → resume.
 
-        Refuses when the node still hosts fragments — undeploy (or let fail)
-        the affected queries first; fragment state cannot be migrated.
+        1. **drain + checkpoint** — the source node captures the fragment's
+           operator-window state *and* the input-buffer batches waiting for
+           it into a :class:`~repro.state.FragmentCheckpoint`, and the
+           fragment leaves the node (``checkpoint_fragment(detach=True)``).
+        2. **reroute** — the placement table and the query's source plan are
+           repointed at the target, so every batch sent from this instant on
+           travels to the new host.  Batches already in flight towards the
+           old host are *replayed on the target* by the dispatcher: delivery
+           events keep their original ``(time, priority, seq)`` order and
+           :meth:`dispatch` forwards them along the placement table, so no
+           tuple is lost or reordered.
+        3. **resume** — the target adopts the fragment, rebuilding its state
+           exclusively from the envelope's serialised form (no live
+           structure is shared with the old host) and replaying the drained
+           buffer batches.
+
+        The whole protocol runs atomically at one simulation instant, which
+        is what makes a seeded run with a graceful migration result-identical
+        to the same run without it (``tests/integration/test_migration.py``).
+        """
+        source_id = self.placement.get(fragment_id)
+        if source_id is None:
+            raise ValueError(f"fragment {fragment_id!r} is not placed")
+        if target_node_id == source_id:
+            raise ValueError(
+                f"fragment {fragment_id!r} is already on {target_node_id!r}"
+            )
+        target = self.nodes.get(target_node_id)
+        if target is None:
+            raise ValueError(f"target node {target_node_id!r} does not exist")
+        source = self.nodes[source_id]
+        fragment = source.fragments.get(fragment_id)
+        if fragment is None:
+            raise ValueError(
+                f"fragment {fragment_id!r} is not hosted on {source_id!r}"
+            )
+        query = self.queries.get(fragment.query_id)
+        if query is None:
+            raise ValueError(
+                f"fragment {fragment_id!r} belongs to undeployed query "
+                f"{fragment.query_id!r}"
+            )
+
+        # 1. drain + checkpoint: state and buffered batches leave the source.
+        checkpoint = source.checkpoint_fragment(
+            fragment_id, now=self.now, detach=True
+        )
+        # 2. reroute: new sends (sources and upstream fragments) target B;
+        #    in-flight messages follow the placement table on delivery.
+        self.placement[fragment_id] = target_node_id
+        for route in query.source_plan:
+            if route.fragment_id == fragment_id:
+                route.node_id = target_node_id
+        # 3. resume: adopt from the envelope and replay the drained buffer.
+        replayed = target.adopt_fragment(fragment, checkpoint)
+        coordinator = self.coordinators.get(query.query_id)
+        if coordinator is not None:
+            coordinator.register_hosting_node(target_node_id)
+            if not any(
+                f.query_id == query.query_id for f in source.fragments.values()
+            ):
+                coordinator.unregister_hosting_node(source_id)
+        return MigrationReport(
+            fragment_id=fragment_id,
+            query_id=query.query_id,
+            source_node=source_id,
+            target_node=target_node_id,
+            state_tuples=checkpoint.pending_tuples,
+            state_sic=checkpoint.pending_sic,
+            replayed_batches=replayed,
+        )
+
+    def remove_node(
+        self,
+        node_id: str,
+        migrate_to: Optional[Sequence[str]] = None,
+    ) -> FspsNode:
+        """Gracefully decommission a node, migrating its fragments away.
+
+        Hosted fragments are live-migrated (checkpoint/restore, in-flight
+        replay — see :meth:`migrate_fragment`) to the nodes in
+        ``migrate_to`` round-robin (default: every other node, in id order).
+        Refuses only when fragments are hosted and no other node exists to
+        take them.
         """
         node = self.nodes.get(node_id)
         if node is None:
             raise ValueError(f"node {node_id!r} does not exist")
         if node.fragments:
-            raise ValueError(
-                f"node {node_id!r} still hosts fragments "
-                f"{sorted(node.fragments)}; undeploy their queries first "
-                f"(or use fail_node to model a crash)"
+            targets = list(migrate_to) if migrate_to else sorted(
+                other for other in self.nodes if other != node_id
             )
+            targets = [t for t in targets if t != node_id]
+            if not targets:
+                raise ValueError(
+                    f"node {node_id!r} still hosts fragments "
+                    f"{sorted(node.fragments)} and no other node exists to "
+                    f"migrate them to"
+                )
+            # Validate every target up front so the decommission is
+            # all-or-nothing: a bad id mid-list must not leave the node
+            # half-drained.
+            unknown = [t for t in targets if t not in self.nodes]
+            if unknown:
+                raise ValueError(
+                    f"cannot decommission {node_id!r}: migration targets "
+                    f"{unknown} do not exist"
+                )
+            for index, fragment_id in enumerate(sorted(node.fragments)):
+                self.migrate_fragment(
+                    fragment_id, targets[index % len(targets)]
+                )
         return self.nodes.pop(node_id)
 
     def fail_node(self, node_id: str) -> FspsNode:
@@ -309,13 +481,30 @@ class FederatedSystem:
         keep feeding their query's rate estimator) but the data is lost, so
         the affected queries' result SIC degrades instead of the simulation
         erroring out.  Coordinators forget the node.
+
+        What was hosted where is remembered, so the node id can later
+        :meth:`rejoin_node` and restore its fragments from the last
+        coordinator-held checkpoints.
         """
         node = self.nodes.pop(node_id, None)
         if node is None:
             raise ValueError(f"node {node_id!r} does not exist")
-        lost_fragments = set(node.fragments)
-        for fragment_id in lost_fragments:
+        # Record, per lost fragment, the input-buffer tuples/SIC destroyed
+        # with the node: rejoin's loss accounting needs the crash-time total
+        # (window + buffer) to compare like for like against the checkpoint
+        # totals, and the buffer dies with this node object.
+        lost: Dict[str, Dict[str, object]] = {}
+        for fragment_id, fragment in node.fragments.items():
+            buffered = node._buffered_for(fragment)
+            lost[fragment_id] = {
+                "query_id": fragment.query_id,
+                "buffered_tuples": sum(len(b) for b in buffered),
+                "buffered_sic": sum(b.sic for b in buffered),
+            }
+        for fragment_id in lost:
             self.placement.pop(fragment_id, None)
+        if lost:
+            self._lost_placement[node_id] = lost
         for query in self.queries.values():
             for route in query.source_plan:
                 if route.node_id == node_id:
@@ -323,6 +512,125 @@ class FederatedSystem:
         for coordinator in self.coordinators.all():
             coordinator.unregister_hosting_node(node_id)
         return node
+
+    def rejoin_node(self, node: FspsNode) -> RejoinReport:
+        """Rejoin a crash-failed node id with a fresh node instance.
+
+        The fragments the failed node hosted are re-placed on the rejoining
+        node and their state is restored from the **last coordinator-held
+        checkpoint** (:meth:`checkpoint_node` / the runtime's periodic
+        checkpoint rounds).  Fragments without a checkpoint restart empty —
+        the crash destroyed their state.  Recovery is *at-least-once*: pane
+        output emitted between the last checkpoint and the crash is re-emitted
+        after the rejoin, so the result SIC can transiently overshoot by up
+        to one checkpoint interval's worth of results.
+
+        The returned :class:`RejoinReport` carries the explicit loss
+        accounting: buffered tuples/SIC held at crash time that no checkpoint
+        preserved.
+        """
+        lost = self._lost_placement.pop(node.node_id, None)
+        if lost is None:
+            raise ValueError(
+                f"node {node.node_id!r} is not a failed node awaiting rejoin"
+            )
+        self.add_node(node)
+        report = RejoinReport(node_id=node.node_id)
+        for fragment_id in sorted(lost):
+            record = lost[fragment_id]
+            query = self.queries.get(record["query_id"])
+            if query is None or fragment_id not in query.fragments:
+                report.skipped_fragments.append(fragment_id)
+                continue
+            fragment = query.fragments[fragment_id]
+            # Crash-time state = the fragment's window state (the object was
+            # untouched while the node was down) plus the input-buffer
+            # batches that died with the crashed node (recorded at failure
+            # time) — the same window+buffer accounting the checkpoint's
+            # pending totals use, so the subtraction is like for like.
+            crash_tuples = (
+                fragment.pending_tuples() + record["buffered_tuples"]
+            )
+            crash_sic = fragment.pending_sic() + record["buffered_sic"]
+            checkpoint = self.coordinators.checkpoint_for(fragment_id)
+            if checkpoint is not None:
+                node.adopt_fragment(fragment, checkpoint)
+                report.lost_tuples += max(
+                    0, crash_tuples - checkpoint.pending_tuples
+                )
+                report.lost_sic += max(
+                    0.0, crash_sic - checkpoint.pending_sic
+                )
+                report.restored_fragments.append(fragment_id)
+            else:
+                fragment.reset_state()
+                node.host_fragment(fragment)
+                report.fragments_without_checkpoint.append(fragment_id)
+                report.lost_tuples += crash_tuples
+                report.lost_sic += crash_sic
+            self.placement[fragment_id] = node.node_id
+            for route in query.source_plan:
+                if route.fragment_id == fragment_id:
+                    route.node_id = node.node_id
+            coordinator = self.coordinators.get(query.query_id)
+            if coordinator is not None:
+                coordinator.register_hosting_node(node.node_id)
+        return report
+
+    # ------------------------------------------------------------- checkpoints
+    def checkpoint_node(self, node_id: str, now: Optional[float] = None) -> int:
+        """Checkpoint every fragment hosted on ``node_id`` to the coordinators.
+
+        Pure snapshot — the node is untouched.  Returns the number of
+        envelopes stored.
+        """
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise ValueError(f"node {node_id!r} does not exist")
+        stamp = self.now if now is None else now
+        stored = 0
+        for fragment_id in sorted(node.fragments):
+            self.coordinators.store_checkpoint(
+                node.checkpoint_fragment(fragment_id, now=stamp)
+            )
+            stored += 1
+        return stored
+
+    def checkpoint_all(self, now: Optional[float] = None) -> int:
+        """One federation-wide checkpoint round: every node, every coordinator.
+
+        Fragment envelopes land in the coordinator-held store (node rejoin
+        restores from them); each live coordinator's standby state is
+        refreshed (coordinator failover promotes from it).
+        """
+        stamp = self.now if now is None else now
+        stored = 0
+        for node_id in sorted(self.nodes):
+            stored += self.checkpoint_node(node_id, now=stamp)
+        for query_id in self.coordinators.query_ids():
+            self.coordinators.checkpoint_coordinator(query_id, stamp)
+        return stored
+
+    def fail_coordinator(self, query_id: str) -> QueryCoordinator:
+        """Crash-fail a query's coordinator and promote a standby.
+
+        The standby restores from the last checkpointed coordinator state
+        (:meth:`checkpoint_all`) — or starts blank — and its hosting-node set
+        is rebuilt from the authoritative placement table, so ``updateSIC``
+        dissemination resumes towards the nodes that *currently* host the
+        query's fragments.  The failed coordinator is returned for loss
+        accounting (e.g. result tuples recorded since the last checkpoint).
+        """
+        query = self.queries.get(query_id)
+        if query is None:
+            raise ValueError(f"query {query_id!r} is not deployed")
+        failed, promoted = self.coordinators.fail_over(query_id)
+        promoted.hosting_nodes = {
+            self.placement[fragment_id]
+            for fragment_id in query.fragments
+            if fragment_id in self.placement
+        }
+        return failed
 
     # --------------------------------------------------------------- main loop
     def tick(self, timer: Optional[Callable[[], float]] = None) -> None:
@@ -438,9 +746,24 @@ class FederatedSystem:
         undeployed and must not leak into a query redeployed under the same
         id (no live deployment can emit at its own deploy instant — its
         first round fires an interval later).
+
+        Data batches whose target fragment has *moved* since the send (a
+        live migration or a node rejoin re-placed it) are forwarded to the
+        fragment's current host: the old host's forwarding pointer is the
+        placement table, and because forwarding happens inside the delivery
+        event, the replayed batches keep the deterministic
+        ``(time, priority, seq)`` order of the original deliveries.
         """
         if isinstance(message, DataMessage):
-            node = self.nodes.get(message.destination)
+            destination = message.destination
+            target_fragment = message.target_fragment_id
+            placed = (
+                self.placement.get(target_fragment) if target_fragment else None
+            )
+            if placed is not None and placed != destination:
+                destination = placed
+                self.forwarded_batches += 1
+            node = self.nodes.get(destination)
             if node is None:
                 return
             query = self.queries.get(message.batch.query_id)

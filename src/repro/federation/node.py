@@ -30,6 +30,12 @@ from ..core.cost_model import CostModel, CostModelConfig
 from ..core.shedding import Shedder
 from ..core.stw import ResultSicTracker, StwConfig
 from ..core.tuples import Batch
+from ..state.checkpoint import (
+    CheckpointError,
+    FragmentCheckpoint,
+    batch_from_state,
+    batch_to_state,
+)
 from ..streaming.query import FragmentOutput, QueryFragment
 
 __all__ = ["NodeStats", "NodeTickResult", "FspsNode"]
@@ -166,6 +172,116 @@ class FspsNode:
     def hosted_queries(self) -> List[str]:
         """Identifiers of queries with at least one fragment on this node."""
         return sorted({f.query_id for f in self.fragments.values()})
+
+    # ------------------------------------------------------ checkpoint/restore
+    def _buffered_for(self, fragment: QueryFragment) -> List[Batch]:
+        """Input-buffer batches that would be routed to ``fragment``."""
+        fragment_id = fragment.fragment_id
+        query_id = fragment.query_id
+        return [
+            b
+            for b in self._input_buffer
+            if b.fragment_id == fragment_id
+            or (b.fragment_id is None and b.query_id == query_id)
+        ]
+
+    def checkpoint_fragment(
+        self, fragment_id: str, now: float = 0.0, detach: bool = False
+    ) -> FragmentCheckpoint:
+        """Capture a hosted fragment's full state into a checkpoint envelope.
+
+        The envelope carries the fragment's operator-window state, the
+        input-buffer batches waiting for the fragment (delivered but not yet
+        processed), and the node-side per-query context that should travel
+        with the fragment (coordinator-reported SIC, local SIC tracker).
+
+        Args:
+            fragment_id: the hosted fragment to checkpoint.
+            now: simulation time stamped on the envelope.
+            detach: when true, the checkpointed state *leaves* this node —
+                the buffered batches are drained from the input buffer and
+                the fragment is unhosted (the migration path).  When false
+                the node is untouched (the periodic-checkpoint path).
+        """
+        fragment = self.fragments.get(fragment_id)
+        if fragment is None:
+            raise ValueError(
+                f"fragment {fragment_id!r} is not hosted on {self.node_id}"
+            )
+        buffered = self._buffered_for(fragment)
+        query_id = fragment.query_id
+        host_context: Dict[str, object] = {}
+        if query_id in self._reported_sic:
+            host_context["reported_sic"] = self._reported_sic[query_id]
+        tracker = self._local_trackers.get(query_id)
+        if tracker is not None:
+            host_context["local_tracker"] = tracker.snapshot_state()
+        checkpoint = FragmentCheckpoint(
+            fragment_id=fragment_id,
+            query_id=query_id,
+            created_at=now,
+            fragment_state=fragment.snapshot(),
+            buffered_batches=[batch_to_state(b) for b in buffered],
+            host_context=host_context,
+            pending_tuples=fragment.pending_tuples()
+            + sum(len(b) for b in buffered),
+            pending_sic=fragment.pending_sic() + sum(b.sic for b in buffered),
+        )
+        if detach:
+            if buffered:
+                drained = set(id(b) for b in buffered)
+                self._input_buffer = [
+                    b for b in self._input_buffer if id(b) not in drained
+                ]
+                self._input_buffer_tuples -= sum(len(b) for b in buffered)
+            self.unhost_fragment(fragment_id)
+        return checkpoint
+
+    def adopt_fragment(
+        self, fragment: QueryFragment, checkpoint: FragmentCheckpoint
+    ) -> int:
+        """Host ``fragment`` and restore its state from ``checkpoint``.
+
+        The fragment's operator state is rebuilt entirely from the envelope's
+        serialised form (no live structure is shared with the previous host),
+        the host context is applied, and the checkpointed input-buffer
+        batches are replayed into this node's buffer in their original order.
+        Replayed batches do **not** count as newly received — the federation
+        already counted them on first delivery.
+
+        The host context (reported SIC, local tracker) is applied only when
+        this node does not already host another fragment of the same query:
+        an established host's own view of the query is at least as fresh as
+        the envelope's, and its local tracker history must not be clobbered
+        by the departing host's.
+
+        Returns the number of replayed batches.
+        """
+        checkpoint.validate()
+        if checkpoint.fragment_id != fragment.fragment_id:
+            raise CheckpointError(
+                f"checkpoint for fragment {checkpoint.fragment_id!r} does not "
+                f"match {fragment.fragment_id!r}"
+            )
+        query_id = fragment.query_id
+        query_already_hosted = any(
+            f.query_id == query_id for f in self.fragments.values()
+        )
+        self.host_fragment(fragment)
+        fragment.restore(checkpoint.fragment_state)
+        context = checkpoint.host_context
+        if not query_already_hosted:
+            if "reported_sic" in context:
+                self._reported_sic[query_id] = context["reported_sic"]
+            if "local_tracker" in context:
+                tracker = self._local_trackers.get(query_id)
+                if tracker is not None:
+                    tracker.restore_state(context["local_tracker"])
+        replayed = [batch_from_state(s) for s in checkpoint.buffered_batches]
+        for batch in replayed:
+            self._input_buffer.append(batch)
+            self._input_buffer_tuples += len(batch)
+        return len(replayed)
 
     def set_coordinator_updates(self, enabled: bool) -> None:
         """Enable or disable the use of coordinator SIC updates (Figure 4 ablation)."""

@@ -36,6 +36,7 @@ __all__ = [
     "time_node_ticks",
     "time_generation_sic",
     "time_window_insert",
+    "time_migration",
     "run_end_to_end",
     "time_end_to_end",
     "time_runtime",
@@ -279,6 +280,79 @@ def time_window_insert(
     return sw.elapsed_seconds
 
 
+MIGRATION_WINDOW_TUPLES = 100_000
+
+
+def time_migration(
+    tuples: int = MIGRATION_WINDOW_TUPLES,
+    phase: str = "roundtrip",
+    registry: Optional[PerfRegistry] = None,
+) -> float:
+    """Checkpoint + restore cost of a window holding ``tuples`` tuples.
+
+    This is the state volume a fragment migration or a periodic checkpoint
+    round moves for one heavily-buffered operator (10⁵ tuples ≈ a 1-second
+    pane at the fig12 aggregate source rates).  ``phase`` selects what is
+    timed on the identical workload:
+
+    * ``"build"`` — filling the window via columnar ``insert_block`` (the
+      pipeline's own cost of creating that state; the machine-independent
+      denominator for the recorded ratio);
+    * ``"roundtrip"`` — ``snapshot()`` into the serialised checkpoint form
+      plus ``restore()`` into a fresh window, i.e. the full
+      state-transfer cost of :meth:`FspsNode.checkpoint_fragment` →
+      ``adopt_fragment`` for that window.
+
+    The round-trip is verified to conserve the tuple count and the
+    incrementally-maintained pane SIC bit for bit.
+    """
+    from ..core.columns import ColumnBlock
+    from ..streaming.windows import TimeWindow
+
+    if phase not in ("build", "roundtrip"):
+        raise ValueError(f"unknown phase {phase!r}")
+    interval = 0.25
+    tuples_per_block = 250
+    blocks = tuples // tuples_per_block
+    step = interval / tuples_per_block
+    column_blocks = []
+    for b in range(blocks):
+        start = b * interval
+        timestamps = [start + (i + 0.5) * step for i in range(tuples_per_block)]
+        column_blocks.append(
+            ColumnBlock(
+                timestamps=timestamps,
+                sics=[1e-5] * tuples_per_block,
+                values={"v": [float(i) for i in range(tuples_per_block)]},
+                source_id="s",
+            )
+        )
+    # One window spanning the whole stream: everything stays buffered, so
+    # the checkpoint carries all `tuples` tuples.
+    window_seconds = blocks * interval + 1.0
+    window = TimeWindow(window_seconds)
+    if phase == "build":
+        with Stopwatch() as sw:
+            for block in column_blocks:
+                window.insert_block(block)
+        assert window.pending_count() == tuples
+        if registry is not None:
+            registry.record("migration.build", sw.elapsed_seconds)
+        return sw.elapsed_seconds
+    for block in column_blocks:
+        window.insert_block(block)
+    before_sic = window.pending_sic()
+    with Stopwatch() as sw:
+        state = window.snapshot()
+        restored = TimeWindow(window_seconds)
+        restored.restore(state)
+    assert restored.pending_count() == tuples
+    assert restored.pending_sic() == before_sic
+    if registry is not None:
+        registry.record("migration.roundtrip", sw.elapsed_seconds)
+    return sw.elapsed_seconds
+
+
 def run_end_to_end(
     num_queries: int = END_TO_END_QUERIES,
     rate: float = END_TO_END_RATE,
@@ -495,6 +569,28 @@ def run_microbench(
         "fast_ms": e2e_fast,
         "reference_ms": e2e_reference,
         "speedup": e2e_reference / e2e_fast,
+    }
+
+    # Checkpoint/restore of a heavily-buffered window (the state volume a
+    # fragment migration moves).  The gated quantity is the roundtrip's cost
+    # *relative to building the same state through the columnar pipeline* —
+    # machine-independent, like every other recorded ratio.
+    mig_build = (
+        min(time_migration(phase="build", registry=registry) for _ in range(3))
+        * 1e3
+    )
+    mig_roundtrip = (
+        min(
+            time_migration(phase="roundtrip", registry=registry)
+            for _ in range(3)
+        )
+        * 1e3
+    )
+    results["migration"] = {
+        "tuples": MIGRATION_WINDOW_TUPLES,
+        "build_ms": mig_build,
+        "roundtrip_ms": mig_roundtrip,
+        "roundtrip_vs_build": mig_roundtrip / mig_build,
     }
 
     # Execution-driver overhead: the discrete-event runtime vs the lockstep

@@ -34,7 +34,12 @@ from __future__ import annotations
 from typing import Callable, Dict, Mapping, Optional, Sequence, Set, Tuple as PyTuple
 
 from ..federation.coordinator import QueryCoordinator
-from ..federation.fsps import DeployedQuery, FederatedSystem
+from ..federation.fsps import (
+    DeployedQuery,
+    FederatedSystem,
+    MigrationReport,
+    RejoinReport,
+)
 from ..federation.node import FspsNode
 from .scheduler import (
     PRIORITY_COORDINATOR,
@@ -61,6 +66,13 @@ class EventRuntime:
             to the federation's global interval.
         timer: optional wall-clock callable forwarded to the nodes' shedding
             rounds (the §7.6 shedder-overhead measurement).
+        checkpoint_interval: cadence (seconds) of the federation-wide
+            checkpoint round (``FederatedSystem.checkpoint_all``) that keeps
+            the coordinator-held fragment checkpoints and coordinator standby
+            states fresh — the recovery points for :meth:`rejoin_node` and
+            :meth:`fail_coordinator`.  ``None`` (default) disables periodic
+            checkpointing; checkpoints never mutate state, so enabling them
+            does not change a run's results.
     """
 
     def __init__(
@@ -68,9 +80,15 @@ class EventRuntime:
         system: FederatedSystem,
         node_intervals: Optional[Mapping[str, float]] = None,
         timer: Optional[Callable[[], float]] = None,
+        checkpoint_interval: Optional[float] = None,
     ) -> None:
+        if checkpoint_interval is not None and checkpoint_interval <= 0:
+            raise ValueError(
+                f"checkpoint_interval must be positive, got {checkpoint_interval}"
+            )
         self.system = system
         self.timer = timer
+        self.checkpoint_interval = checkpoint_interval
         self.default_interval = system.shedding_interval
         self.scheduler = EventScheduler(start=system.now)
         self._node_intervals: Dict[str, float] = dict(node_intervals or {})
@@ -97,6 +115,8 @@ class EventRuntime:
             self._schedule_query_sources(query)
         for coordinator in system.coordinators.all():
             self._schedule_coordinator(coordinator)
+        if checkpoint_interval is not None:
+            self._schedule_checkpoints(checkpoint_interval)
 
     # ----------------------------------------------------------------- running
     @property
@@ -183,9 +203,33 @@ class EventRuntime:
         self._schedule_node(node)
         return node
 
-    def remove_node(self, node_id: str) -> FspsNode:
-        """Gracefully decommission an empty node and stop its rounds."""
-        node = self.system.remove_node(node_id)
+    def migrate_fragment(
+        self, fragment_id: str, target_node_id: str
+    ) -> MigrationReport:
+        """Live-migrate a fragment mid-run (drain → checkpoint → reroute →
+        resume; see :meth:`FederatedSystem.migrate_fragment`).
+
+        The protocol is atomic at the current scheduler instant: new sends
+        are rerouted immediately, in-flight deliveries are replayed on the
+        target in their original ``(time, priority, seq)`` order, and no
+        event stream needs rescheduling (source-generation streams are
+        per-query and node rounds are per-node — neither follows the
+        fragment).
+        """
+        self._sync_system_clock()
+        return self.system.migrate_fragment(fragment_id, target_node_id)
+
+    def remove_node(
+        self, node_id: str, migrate_to: Optional[Sequence[str]] = None
+    ) -> FspsNode:
+        """Gracefully decommission a node mid-run and stop its rounds.
+
+        Hosted fragments are live-migrated to the remaining nodes (or the
+        explicit ``migrate_to`` targets) before the node leaves — see
+        :meth:`FederatedSystem.remove_node`.
+        """
+        self._sync_system_clock()
+        node = self.system.remove_node(node_id, migrate_to=migrate_to)
         self._cancel("node", node_id)
         # A node later re-added under the same id must not inherit the
         # departed node's cadence override.
@@ -198,6 +242,42 @@ class EventRuntime:
         self._cancel("node", node_id)
         self._node_intervals.pop(node_id, None)
         return node
+
+    def rejoin_node(
+        self, node: FspsNode, shedding_interval: Optional[float] = None
+    ) -> RejoinReport:
+        """Rejoin a crash-failed node id mid-run with a fresh node instance.
+
+        Fragments are restored from the last coordinator-held checkpoints
+        (see :meth:`FederatedSystem.rejoin_node`); the node's shedding
+        rounds restart one interval out, like :meth:`add_node`.
+        """
+        self._sync_system_clock()
+        report = self.system.rejoin_node(node)
+        if shedding_interval is not None:
+            self._node_intervals[node.node_id] = float(shedding_interval)
+        self._schedule_node(node)
+        return report
+
+    def fail_coordinator(self, query_id: str) -> QueryCoordinator:
+        """Crash-fail a query's coordinator mid-run and promote a standby.
+
+        The failed coordinator's event stream is cancelled and the promoted
+        standby's stream starts one interval out (the failover gap); the
+        failed coordinator is returned for loss accounting.
+        """
+        self._sync_system_clock()
+        self._cancel("coordinator", query_id)
+        failed = self.system.fail_coordinator(query_id)
+        self._schedule_coordinator(
+            self.system.coordinators.coordinator(query_id)
+        )
+        return failed
+
+    def checkpoint_now(self) -> int:
+        """Take one federation-wide checkpoint round at the current instant."""
+        self._sync_system_clock()
+        return self.system.checkpoint_all(self.system.now)
 
     # -------------------------------------------------------- event scheduling
     def _cancel(self, kind: str, key: str) -> None:
@@ -257,6 +337,28 @@ class EventRuntime:
         def fire(now: float) -> None:
             self.system.run_coordinator_round(coordinator, now)
             coordinator.snapshot(now)
+            self._events[key] = self.scheduler.schedule(
+                now + interval, PRIORITY_COORDINATOR, fire
+            )
+
+        self._events[key] = self.scheduler.schedule(
+            self.scheduler.now + interval, PRIORITY_COORDINATOR, fire
+        )
+
+    def _schedule_checkpoints(self, interval: float) -> None:
+        """Recurring federation-wide checkpoint round.
+
+        One global event covers every node and coordinator alive at fire
+        time, so lifecycle changes need no checkpoint-stream bookkeeping.
+        Runs at coordinator priority (after the instant's node rounds), so an
+        envelope captures the post-round state of its fragment.  Checkpoint
+        rounds never mutate federation state — enabling them cannot change a
+        run's results.
+        """
+        key = ("checkpoint", "__all__")
+
+        def fire(now: float) -> None:
+            self.system.checkpoint_all(now)
             self._events[key] = self.scheduler.schedule(
                 now + interval, PRIORITY_COORDINATOR, fire
             )

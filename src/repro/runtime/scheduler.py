@@ -49,20 +49,29 @@ PRIORITY_POST_DELIVERY = 4
 class ScheduledEvent:
     """A scheduled callback; ordered by ``(time, priority, seq)``."""
 
-    __slots__ = ("time", "priority", "seq", "fn", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "cancelled", "_scheduler")
 
     def __init__(
-        self, time: float, priority: int, seq: int, fn: Callable[[float], None]
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        fn: Callable[[float], None],
+        scheduler: Optional["EventScheduler"] = None,
     ) -> None:
         self.time = time
         self.priority = priority
         self.seq = seq
         self.fn = fn
         self.cancelled = False
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it is skipped when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._scheduler is not None:
+                self._scheduler._note_cancelled()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         if self.time != other.time:
@@ -79,6 +88,11 @@ class ScheduledEvent:
 class EventScheduler:
     """A deterministic event heap with an inclusive ``run_until`` horizon."""
 
+    # Lazily-cancelled entries are compacted away once they exceed the live
+    # entries (~50% dead), so long churn/migration runs do not accumulate
+    # dead events; small heaps are never compacted (not worth a rebuild).
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self, start: float = 0.0) -> None:
         self._heap: List[ScheduledEvent] = []
         self._seq = itertools.count()
@@ -88,6 +102,10 @@ class EventScheduler:
         # deliveries after the sending phase.
         self.current_priority: Optional[int] = None
         self.processed_events = 0
+        # Cancelled events still sitting in the heap; maintained by
+        # ScheduledEvent.cancel / the pops that skip them.
+        self._cancelled = 0
+        self.compactions = 0
 
     def schedule(
         self, time: float, priority: int, fn: Callable[[float], None]
@@ -101,9 +119,35 @@ class EventScheduler:
             raise ValueError(
                 f"cannot schedule event at {time} before current time {self.now}"
             )
-        event = ScheduledEvent(time, priority, next(self._seq), fn)
+        event = ScheduledEvent(time, priority, next(self._seq), fn, self)
         heapq.heappush(self._heap, event)
         return event
+
+    # --------------------------------------------------------------- compaction
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Drop cancelled entries once they outnumber the live ones.
+
+        ``heapify`` over the surviving events preserves the full
+        ``(time, priority, seq)`` order — the total order lives on the
+        events, not on heap positions — so compaction is invisible to the
+        run loop (asserted in ``tests/runtime/test_scheduler.py``).
+        """
+        cancelled = self._cancelled
+        if cancelled < self.COMPACT_MIN_CANCELLED:
+            return
+        if cancelled * 2 <= len(self._heap):
+            return
+        # In place: run_until holds a reference to the heap list across event
+        # callbacks (which may cancel events), so the list object must stay.
+        heap = self._heap
+        heap[:] = [event for event in heap if not event.cancelled]
+        heapq.heapify(heap)
+        self._cancelled = 0
+        self.compactions += 1
 
     def run_until(self, end: float) -> int:
         """Process every event with ``time <= end`` (inclusive), in order.
@@ -119,6 +163,7 @@ class EventScheduler:
         while heap and heap[0].time <= end:
             event = heapq.heappop(heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self.now = event.time
             self.current_priority = event.priority
@@ -136,13 +181,14 @@ class EventScheduler:
         """Time of the earliest pending (non-cancelled) event, if any."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
         if not self._heap:
             return None
         return self._heap[0].time
 
     def pending_events(self) -> int:
         """Number of scheduled, not-yet-cancelled events."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        return len(self._heap) - self._cancelled
 
     def __len__(self) -> int:
         return len(self._heap)

@@ -56,6 +56,12 @@ class SimulationConfig:
         node_shedding_intervals: per-node shedding-interval overrides (node
             id → seconds), honoured by the event runtime only — the lockstep
             loop is homogeneous by construction.
+        checkpoint_interval: cadence (seconds) of the federation-wide
+            checkpoint round that keeps the coordinator-held fragment
+            checkpoints (node rejoin) and coordinator standby states
+            (failover) fresh.  Event runtime only; ``None`` disables
+            periodic checkpointing.  Checkpoints never mutate state, so
+            enabling them does not change a run's results.
         retain_result_values: keep every result tuple's payload on the query
             coordinators (needed by the SIC-correlation experiments, which
             align degraded and perfect runs window by window).  Off by
@@ -78,6 +84,7 @@ class SimulationConfig:
     columnar: bool = True
     runtime: str = "event"
     node_shedding_intervals: Dict[str, float] = field(default_factory=dict)
+    checkpoint_interval: Optional[float] = None
     retain_result_values: bool = False
     max_result_values: Optional[int] = None
     seed: int = 0
@@ -113,6 +120,11 @@ class SimulationConfig:
                     f"node_shedding_intervals[{node_id!r}] must be positive, "
                     f"got {interval}"
                 )
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise ValueError(
+                f"checkpoint_interval must be positive, got "
+                f"{self.checkpoint_interval}"
+            )
         if self.max_result_values is not None and self.max_result_values <= 0:
             raise ValueError(
                 f"max_result_values must be positive, got {self.max_result_values}"

@@ -76,6 +76,7 @@ class Simulator:
                 self.system,
                 node_intervals=self.config.node_shedding_intervals,
                 timer=timer,
+                checkpoint_interval=self.config.checkpoint_interval,
             )
             try:
                 runtime.run(ticks=total_ticks)

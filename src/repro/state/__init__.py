@@ -1,0 +1,38 @@
+"""Operator-state checkpoint/restore.
+
+This package is the state-management layer that turns fragment placement into
+a *runtime* decision: every stateful streaming component can serialise its
+state into plain-data structures (``snapshot()``) and rebuild itself from
+them (``restore()``), and a whole fragment's state — operator windows plus
+the node-side context that travels with a hosted fragment — is packaged into
+a versioned, schema-checked :class:`FragmentCheckpoint` envelope.
+
+The envelope is what moves: live fragment migration, node rejoin after a
+crash and coordinator failover (:mod:`repro.federation.fsps`) all transfer
+state exclusively through checkpoints, never through shared live objects, so
+a restored component shares no mutable structures with its source.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    FragmentCheckpoint,
+    batch_from_state,
+    batch_to_state,
+    block_from_state,
+    block_to_state,
+    tuple_from_state,
+    tuple_to_state,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "FragmentCheckpoint",
+    "batch_from_state",
+    "batch_to_state",
+    "block_from_state",
+    "block_to_state",
+    "tuple_from_state",
+    "tuple_to_state",
+]

@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from ...core.columns import ColumnBlock
 from ...core.sic import propagate_sic
 from ...core.tuples import Tuple
+from ...state.checkpoint import CheckpointError
 from ..windows import ImmediateWindow, WindowBuffer, WindowPane
 
 __all__ = ["Operator", "PaneGroup", "Emitted"]
@@ -159,6 +160,52 @@ class Operator:
     def pending_tuples(self) -> int:
         """Tuples buffered in the operator's windows (all ports)."""
         return sum(w.pending_count() for w in self._windows)
+
+    def pending_sic(self) -> float:
+        """Summed SIC buffered in the operator's windows (all ports)."""
+        return sum(w.pending_sic() for w in self._windows)
+
+    # ------------------------------------------------------ checkpoint/restore
+    def snapshot(self) -> dict:
+        """Serialise the operator's state: per-port windows plus counters.
+
+        Every built-in operator keeps all cross-round state in its window
+        buffers (the join builds its hash table per round from the aligned
+        panes), so the base-class snapshot is complete for the whole operator
+        library; subclasses with extra durable state must extend it.
+        """
+        return {
+            "type": type(self).__name__,
+            "name": self.name,
+            "ports": [w.snapshot() for w in self._windows],
+            "ingested_tuples": self.ingested_tuples,
+            "emitted_tuples": self.emitted_tuples,
+            "lost_sic": self.lost_sic,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rebuild the operator's state from :meth:`snapshot` output."""
+        if state.get("type") != type(self).__name__ or state.get("name") != self.name:
+            raise CheckpointError(
+                f"operator checkpoint for {state.get('type')}/{state.get('name')!r} "
+                f"does not match {type(self).__name__}/{self.name!r}"
+            )
+        ports = state["ports"]
+        if len(ports) != self.num_ports:
+            raise CheckpointError(
+                f"operator {self.name!r} has {self.num_ports} ports, "
+                f"checkpoint has {len(ports)}"
+            )
+        for window, port_state in zip(self._windows, ports):
+            window.restore(port_state)
+        self.ingested_tuples = state["ingested_tuples"]
+        self.emitted_tuples = state["emitted_tuples"]
+        self.lost_sic = state["lost_sic"]
+
+    def reset_state(self) -> None:
+        """Discard buffered window state (crash loss, no checkpoint)."""
+        for window in self._windows:
+            window.clear()
 
     # ----------------------------------------------------------- customisation
     def _process(self, panes: PaneGroup, now: float) -> List[Tuple]:

@@ -24,6 +24,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple as PyTuple
 
 from ..core.columns import ColumnBlock
 from ..core.tuples import Batch, Tuple
+from ..state.checkpoint import CheckpointError
 from .operators.base import Emitted, Operator
 
 __all__ = ["Edge", "QueryGraph", "QueryFragment", "FragmentOutput"]
@@ -362,6 +363,57 @@ class QueryFragment:
     def pending_tuples(self) -> int:
         """Tuples buffered inside the fragment's operator windows."""
         return sum(op.pending_tuples() for op in self.operators.values())
+
+    def pending_sic(self) -> float:
+        """Summed SIC buffered inside the fragment's operator windows."""
+        return sum(op.pending_sic() for op in self.operators.values())
+
+    # ---------------------------------------------------- checkpoint/restore
+    def snapshot(self) -> Dict[str, object]:
+        """Serialise the fragment's executable state (operator windows)."""
+        return {
+            "fragment_id": self.fragment_id,
+            "query_id": self.query_id,
+            "operators": {
+                op_id: op.snapshot() for op_id, op in self.operators.items()
+            },
+            "pending_cost": self._pending_cost,
+            "pending_tuples": self._pending_tuples,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Rebuild the fragment's state from :meth:`snapshot` output.
+
+        The fragment *structure* (operators, wiring) is the deployment
+        plan's responsibility; only state is restored, and the checkpoint
+        must name exactly this fragment's operators.
+        """
+        if (
+            state.get("fragment_id") != self.fragment_id
+            or state.get("query_id") != self.query_id
+        ):
+            raise CheckpointError(
+                f"fragment checkpoint for {state.get('query_id')}/"
+                f"{state.get('fragment_id')} does not match {self.fragment_id}"
+            )
+        operator_states = state["operators"]
+        if set(operator_states) != set(self.operators):
+            raise CheckpointError(
+                f"fragment {self.fragment_id} checkpoint operators "
+                f"{sorted(operator_states)} do not match "
+                f"{sorted(self.operators)}"
+            )
+        for op_id, op_state in operator_states.items():
+            self.operators[op_id].restore(op_state)
+        self._pending_cost = state["pending_cost"]
+        self._pending_tuples = state["pending_tuples"]
+
+    def reset_state(self) -> None:
+        """Discard all buffered operator state (crash loss, no checkpoint)."""
+        for operator in self.operators.values():
+            operator.reset_state()
+        self._pending_cost = 0.0
+        self._pending_tuples = 0
 
     # ----------------------------------------------------------------- helpers
     def _ingest(self, operator_id: str, tuples: Sequence[Tuple], port: int) -> None:

@@ -42,6 +42,13 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.columns import ColumnBlock
 from ..core.tuples import Tuple
+from ..state.checkpoint import (
+    CheckpointError,
+    block_from_state,
+    block_to_state,
+    tuple_from_state,
+    tuple_to_state,
+)
 
 __all__ = ["WindowPane", "WindowBuffer", "TimeWindow", "CountWindow", "ImmediateWindow"]
 
@@ -292,6 +299,36 @@ class _PaneAcc:
         self.sic = sic
         self.count += hi - lo
 
+    def to_state(self) -> Dict[str, Any]:
+        """Serialise the accumulator: items in insertion order, recorded SIC.
+
+        Column ranges are copied out as standalone blocks; the running SIC
+        and count are recorded verbatim (never re-summed on restore) so the
+        incrementally-maintained pane SIC survives the round-trip bit for
+        bit.
+        """
+        items: List[Dict[str, Any]] = []
+        for item in self.items:
+            if type(item) is tuple:
+                block, lo, hi = item
+                items.append({"block": block_to_state(block, lo, hi)})
+            else:
+                items.append({"tuple": tuple_to_state(item)})
+        return {"sic": self.sic, "count": self.count, "items": items}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "_PaneAcc":
+        acc = cls()
+        for item in state["items"]:
+            if "block" in item:
+                block = block_from_state(item["block"])
+                acc.items.append((block, 0, len(block)))
+            else:
+                acc.items.append(tuple_from_state(item["tuple"]))
+        acc.sic = state["sic"]
+        acc.count = state["count"]
+        return acc
+
     def close(self, start: float, end: float, sort_tuples: bool) -> WindowPane:
         items = self.items
         if items and all(type(item) is tuple for item in items):
@@ -335,6 +372,29 @@ class WindowBuffer:
         """Number of buffered tuples not yet emitted in a pane."""
         raise NotImplementedError
 
+    def pending_sic(self) -> float:
+        """Summed SIC of the buffered (not yet emitted) tuples."""
+        raise NotImplementedError
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serialise the buffered state into plain data (see repro.state)."""
+        raise NotImplementedError
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Replace the buffered state with ``state``; schema-checked."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Discard all buffered state (crash recovery without a checkpoint)."""
+        raise NotImplementedError
+
+    def _check_kind(self, state: Dict[str, Any], kind: str) -> None:
+        got = state.get("kind")
+        if got != kind:
+            raise CheckpointError(
+                f"window checkpoint kind {got!r} does not match {kind!r}"
+            )
+
 
 class ImmediateWindow(WindowBuffer):
     """Degenerate window that releases tuples as soon as they arrive.
@@ -369,6 +429,19 @@ class ImmediateWindow(WindowBuffer):
 
     def pending_count(self) -> int:
         return self._acc.count
+
+    def pending_sic(self) -> float:
+        return self._acc.sic
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": "immediate", "acc": self._acc.to_state()}
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._check_kind(state, "immediate")
+        self._acc = _PaneAcc.from_state(state["acc"])
+
+    def clear(self) -> None:
+        self._acc = _PaneAcc()
 
 
 class TimeWindow(WindowBuffer):
@@ -527,6 +600,44 @@ class TimeWindow(WindowBuffer):
     def pending_count(self) -> int:
         return sum(acc.count for acc in self._panes.values())
 
+    def pending_sic(self) -> float:
+        return sum(self._panes[idx].sic for idx in sorted(self._panes))
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "kind": "time",
+            "size": self.size,
+            "slide": self.slide,
+            "allowed_lateness": self.allowed_lateness,
+            "last_closed_end": self._last_closed_end,
+            "panes": [
+                [idx, self._panes[idx].to_state()] for idx in sorted(self._panes)
+            ],
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._check_kind(state, "time")
+        if (
+            state["size"] != self.size
+            or state["slide"] != self.slide
+            or state["allowed_lateness"] != self.allowed_lateness
+        ):
+            raise CheckpointError(
+                f"time-window checkpoint (size={state['size']}, "
+                f"slide={state['slide']}, lateness={state['allowed_lateness']}) "
+                f"does not match window (size={self.size}, slide={self.slide}, "
+                f"lateness={self.allowed_lateness})"
+            )
+        self._panes = {
+            int(idx): _PaneAcc.from_state(acc) for idx, acc in state["panes"]
+        }
+        self._last_closed_end = state["last_closed_end"]
+
+    def clear(self) -> None:
+        # _last_closed_end survives a clear: panes that already closed must
+        # not reopen for late tuples after a crash-restart.
+        self._panes = {}
+
 
 class CountWindow(WindowBuffer):
     """Tumbling count-based window: emits a pane every ``count`` tuples."""
@@ -552,3 +663,25 @@ class CountWindow(WindowBuffer):
 
     def pending_count(self) -> int:
         return len(self._buffer)
+
+    def pending_sic(self) -> float:
+        return sum(t.sic for t in self._buffer)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "kind": "count",
+            "count": self.count,
+            "tuples": [tuple_to_state(t) for t in self._buffer],
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._check_kind(state, "count")
+        if state["count"] != self.count:
+            raise CheckpointError(
+                f"count-window checkpoint (count={state['count']}) does not "
+                f"match window (count={self.count})"
+            )
+        self._buffer = [tuple_from_state(s) for s in state["tuples"]]
+
+    def clear(self) -> None:
+        self._buffer = []

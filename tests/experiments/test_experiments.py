@@ -3,7 +3,12 @@
 import pytest
 
 from repro.experiments import cli
-from repro.experiments.common import ExperimentResult, config_with, format_table
+from repro.experiments.common import (
+    ExperimentResult,
+    asymmetric_latency_matrix,
+    config_with,
+    format_table,
+)
 from repro.experiments.testbeds import (
     EMULAB_TESTBED,
     LOCAL_TESTBED,
@@ -12,6 +17,7 @@ from repro.experiments.testbeds import (
 )
 from repro.experiments import (
     churn,
+    migration,
     fig06_sic_correlation_aggregate as fig06,
     fig08_single_node_fairness as fig08,
     fig10_multinode_comparison as fig10,
@@ -67,6 +73,28 @@ class TestTestbeds:
         other = config_with(config, capacity_fraction=0.123)
         assert other.capacity_fraction == 0.123
         assert other.duration_seconds == config.duration_seconds
+
+    def test_asymmetric_latency_matrix_skews_per_direction(self):
+        nodes = ["node-0", "node-1", "node-2"]
+        matrix = asymmetric_latency_matrix(nodes, 0.05, spread=0.5)
+        # Ordered pairs split into a slow and a fast direction whose mean is
+        # the base latency.
+        assert matrix.latency("node-0", "node-1") == pytest.approx(0.075)
+        assert matrix.latency("node-1", "node-0") == pytest.approx(0.025)
+        for a in nodes:
+            for b in nodes:
+                if a == b:
+                    continue
+                forward = matrix.latency(a, b)
+                back = matrix.latency(b, a)
+                assert forward != back
+                assert (forward + back) / 2 == pytest.approx(0.05)
+        # updateSIC paths are skewed too; source ingest keeps the default.
+        assert matrix.latency("coordinator", "node-1") == pytest.approx(0.075)
+        assert matrix.latency("coordinator", "node-0") == pytest.approx(0.025)
+        assert matrix.latency("some-source", "node-0") == pytest.approx(0.05)
+        with pytest.raises(ValueError):
+            asymmetric_latency_matrix(nodes, 0.05, spread=1.5)
 
 
 class TestExperimentRunners:
@@ -128,6 +156,30 @@ class TestExperimentRunners:
         assert (
             by_phase["node-failure"]["jains_index"]
             < by_phase["steady"]["jains_index"]
+        )
+
+    def test_migration_reports_fairness_within_tolerance_of_static(self):
+        result = migration.run(scale="small", phase_seconds=4.0)
+        phases = [row["phase"] for row in result.rows]
+        assert phases == list(migration.PHASES)
+        by_phase = {row["phase"]: row for row in result.rows}
+        # The cluster shrinks by one node at the decommission and again at
+        # the failure; the rejoin brings the failed id back.
+        assert by_phase["steady"]["nodes"] == migration.NUM_NODES
+        assert by_phase["decommission"]["nodes"] == migration.NUM_NODES - 1
+        assert by_phase["failure"]["nodes"] == migration.NUM_NODES - 2
+        assert by_phase["recovered"]["nodes"] == migration.NUM_NODES - 1
+        # Graceful migration keeps fairness within tolerance of static
+        # placement; so does the recovered state after the fail-rejoin
+        # cycle (the failure/rejoin phases show the honest transient).
+        for phase in ("steady", "decommission", "recovered"):
+            row = by_phase[phase]
+            assert abs(row["jains_index"] - row["static_jains"]) < 0.1
+        # The crash transient is visible, and recovery undoes it.
+        assert by_phase["failure"]["jains_index"] < by_phase["steady"]["jains_index"]
+        assert (
+            by_phase["recovered"]["jains_index"]
+            > by_phase["rejoin"]["jains_index"]
         )
 
     def test_related_work_fit_is_unfair(self):

@@ -221,19 +221,65 @@ class TestClusterLifecycle:
         # The coordinator no longer addresses the dead node.
         assert "node-1" not in system.coordinators.coordinator("q-lost").hosting_nodes
 
-    def test_remove_node_refuses_while_hosting_then_succeeds(self):
+    def test_remove_node_migrates_hosted_fragments(self):
+        # Graceful decommission of a loaded node live-migrates its fragments
+        # to the survivors instead of refusing (PR 4).
         system = make_system(num_nodes=2)
         deploy(system, "q0", "node-1", seed=0)
         runtime = EventRuntime(system)
         runtime.run(2.0)
-        with pytest.raises(ValueError):
-            runtime.remove_node("node-1")
-        runtime.undeploy_query("q0")
+        results_before = system.coordinators.coordinator("q0").result_tuples
         removed = runtime.remove_node("node-1")
         ticks_at_removal = removed.stats.ticks
-        runtime.run(2.0)
         assert "node-1" not in system.nodes
+        assert not removed.fragments
+        fragment_id = next(iter(system.queries["q0"].fragments))
+        assert system.placement[fragment_id] == "node-0"
+        assert "node-0" in system.coordinators.coordinator("q0").hosting_nodes
+        runtime.run(4.0)
+        # The query keeps producing results from its new host; the removed
+        # node never runs another round.
+        assert (
+            system.coordinators.coordinator("q0").result_tuples > results_before
+        )
+        assert system.current_sic_per_query()["q0"] > 0.5
         assert removed.stats.ticks == ticks_at_removal
+
+    def test_remove_node_with_zero_hosted_fragments(self):
+        # The decommission edge case: nothing to migrate, node just leaves.
+        system = make_system(num_nodes=2)
+        deploy(system, "q0", "node-0", seed=0)
+        runtime = EventRuntime(system)
+        runtime.run(2.0)
+        removed = runtime.remove_node("node-1")
+        assert not removed.fragments
+        assert "node-1" not in system.nodes
+        assert system.forwarded_batches == 0
+        runtime.run(2.0)
+        assert system.current_sic_per_query()["q0"] > 0.0
+
+    def test_remove_last_node_hosting_fragments_refused(self):
+        # With nowhere to migrate, the decommission is still refused.
+        system = make_system(num_nodes=1)
+        deploy(system, "q0", "node-0", seed=0)
+        runtime = EventRuntime(system)
+        runtime.run(1.0)
+        with pytest.raises(ValueError):
+            runtime.remove_node("node-0")
+
+    def test_remove_node_with_unknown_migration_target_is_all_or_nothing(self):
+        system = make_system(num_nodes=2)
+        deploy(system, "q0", "node-0", seed=0)
+        deploy(system, "q1", "node-0", seed=1)
+        runtime = EventRuntime(system)
+        runtime.run(1.0)
+        hosted_before = sorted(system.nodes["node-0"].fragments)
+        with pytest.raises(ValueError):
+            runtime.remove_node("node-0", migrate_to=["node-1", "ghost"])
+        # The bad target aborted the decommission before any fragment moved.
+        assert sorted(system.nodes["node-0"].fragments) == hosted_before
+        runtime.run(1.0)
+        assert system.coordinators.coordinator("q0").result_tuples > 0
 
     def test_readded_node_does_not_inherit_interval_override(self):
         system = make_system(num_nodes=1)
@@ -253,6 +299,55 @@ class TestClusterLifecycle:
         runtime = EventRuntime(make_system())
         with pytest.raises(ValueError):
             runtime.fail_node("nope")
+
+    def test_undeploy_with_delivery_in_flight(self):
+        # Batches sent at the run horizon (latency 5 ms) are still in flight
+        # when the query is undeployed; their delivery must be dropped
+        # without resurrecting the coordinator or crashing the dispatcher.
+        system = make_system(num_nodes=2)
+        deploy(system, "q0", "node-0", seed=0)
+        deploy(system, "q1", "node-1", seed=1)
+        runtime = EventRuntime(system)
+        runtime.run(2.0)
+        assert system.network.in_flight() > 0
+        runtime.undeploy_query("q0")
+        runtime.run(2.0)
+        assert "q0" not in system.coordinators
+        assert "q0" not in system.queries
+        # The survivor is untouched and the network queue drained normally.
+        assert system.current_sic_per_query() == pytest.approx(
+            {"q1": system.coordinators.coordinator("q1").current_sic(system.now)}
+        )
+
+    def test_node_id_reuse_after_fail_and_rejoin(self):
+        # fail -> rejoin under the same id -> fail again -> add_node fresh
+        # under the same id: every transition must leave consistent routing.
+        system = make_system(num_nodes=2)
+        deploy(system, "q0", "node-1", seed=0)
+        runtime = EventRuntime(system, checkpoint_interval=INTERVAL)
+        runtime.run(2.0)
+        runtime.fail_node("node-1")
+        runtime.run(1.0)
+        report = runtime.rejoin_node(make_node("node-1", seed=5))
+        assert report.restored_fragments == list(system.queries["q0"].fragments)
+        runtime.run(2.0)
+        assert system.current_sic_per_query()["q0"] > 0.0
+        # Second crash; this time the query leaves before the id returns.
+        runtime.fail_node("node-1")
+        runtime.undeploy_query("q0")
+        # The id is now reusable as a plain new node (nothing to restore:
+        # rejoin refuses because no lost fragments remain for it).
+        with pytest.raises(ValueError):
+            runtime.rejoin_node(make_node("node-1", seed=6))
+        runtime.add_node(make_node("node-1", seed=6))
+        deploy(runtime, "q-new", "node-1", seed=2)
+        runtime.run(2.0)
+        assert system.coordinators.coordinator("q-new").result_tuples > 0
+
+    def test_rejoin_unknown_node_rejected(self):
+        runtime = EventRuntime(make_system())
+        with pytest.raises(ValueError):
+            runtime.rejoin_node(make_node("ghost"))
 
 
 class TestRuntimeHygiene:

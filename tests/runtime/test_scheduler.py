@@ -108,3 +108,74 @@ class TestBookkeeping:
         assert scheduler.next_event_time() == 0.5
         first.cancel()
         assert scheduler.next_event_time() == 0.75
+
+
+class TestCompaction:
+    def test_compaction_drops_dead_entries_and_preserves_ordering(self):
+        # Long churn/migration runs cancel many recurring streams; once the
+        # dead entries outnumber the live ones the heap is compacted, and the
+        # compaction must be invisible to the event ordering.
+        scheduler = EventScheduler()
+        fired = []
+        live = []
+        handles = []
+        for i in range(200):
+            time = 1.0 + (i % 37) * 0.25 + (i // 37) * 0.01
+            handles.append(
+                scheduler.schedule(
+                    time, PRIORITY_NODE, lambda t, i=i: fired.append((t, i))
+                )
+            )
+            live.append((time, i))
+        # Cancel ~75% of the entries: well past the >50%-of-live threshold.
+        for i, handle in enumerate(handles):
+            if i % 4 != 0:
+                handle.cancel()
+        assert scheduler.compactions >= 1
+        survivors = sorted(
+            ((t, i) for t, i in live if i % 4 == 0),
+        )
+        # The heap physically shrank: dead entries remaining after the last
+        # compaction stay below the re-trigger threshold instead of
+        # accumulating without bound.
+        assert scheduler.pending_events() == len(survivors)
+        assert (
+            len(scheduler) - scheduler.pending_events()
+            < scheduler.COMPACT_MIN_CANCELLED
+        )
+        scheduler.run_until(100.0)
+        # Same (time, seq) order as an uncompacted run would produce.
+        assert fired == survivors
+
+    def test_small_heaps_are_never_compacted(self):
+        scheduler = EventScheduler()
+        handles = [
+            scheduler.schedule(1.0 + i, PRIORITY_NODE, lambda t: None)
+            for i in range(20)
+        ]
+        for handle in handles:
+            handle.cancel()
+        assert scheduler.compactions == 0
+        assert scheduler.pending_events() == 0
+
+    def test_compaction_during_run_keeps_processing(self):
+        # Cancelling from inside a callback (the lifecycle API does this)
+        # may trigger a compaction mid-run; later events must still fire.
+        scheduler = EventScheduler()
+        fired = []
+        doomed = [
+            scheduler.schedule(5.0 + i * 0.01, PRIORITY_NODE, lambda t: None)
+            for i in range(130)
+        ]
+
+        def cancel_all(now):
+            fired.append("cancel")
+            for handle in doomed:
+                handle.cancel()
+
+        scheduler.schedule(1.0, PRIORITY_NODE, cancel_all)
+        scheduler.schedule(2.0, PRIORITY_NODE, lambda t: fired.append("after"))
+        scheduler.run_until(10.0)
+        assert fired == ["cancel", "after"]
+        assert scheduler.compactions >= 1
+        assert scheduler.pending_events() == 0
