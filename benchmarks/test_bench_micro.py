@@ -24,7 +24,9 @@ from repro.perf.microbench import (
     MIGRATION_WINDOW_TUPLES,
     SELECTION_QUERY_COUNTS,
     run_end_to_end,
+    time_aggregate_v2,
     time_end_to_end,
+    time_end_to_end_v2,
     time_estimator_ingest,
     time_generation_sic,
     time_migration,
@@ -32,6 +34,7 @@ from repro.perf.microbench import (
     time_runtime,
     time_selection,
     time_window_insert,
+    time_window_insert_v2,
 )
 
 SELECTION_SPEEDUP_FLOOR = 5.0
@@ -43,6 +46,13 @@ ESTIMATOR_SPEEDUP_FLOOR = 10.0
 GENERATION_SPEEDUP_FLOOR = 5.0
 WINDOW_SPEEDUP_FLOOR = 4.0
 END_TO_END_SPEEDUP_FLOOR = 1.25
+# Columnar v2 floors: numpy backend vs the list-backed fast path on identical
+# paper-scale workloads (observed: window ~4-5x, aggregation ~5-7x, v2
+# end-to-end macro ~2-2.5x on the recording machine — see the columnar_v2
+# section of BENCH_shedding.json).
+WINDOW_V2_SPEEDUP_FLOOR = 3.0
+AGGREGATE_V2_SPEEDUP_FLOOR = 3.0
+END_TO_END_V2_SPEEDUP_FLOOR = 1.3
 # The discrete-event runtime must stay within 10% of the lockstep loop end
 # to end (ISSUE 3 acceptance criterion; observed ~5-7% on the recording
 # machine — see the `runtime` section of BENCH_shedding.json).
@@ -159,6 +169,72 @@ class TestColumnarBenchmarks:
             f"the per-tuple reference window (floor {WINDOW_SPEEDUP_FLOOR}x); "
             f"fast={fast * 1e3:.1f} ms reference={reference * 1e3:.1f} ms"
         )
+
+
+class TestColumnarV2Benchmarks:
+    """NumPy-backed ColumnBlock v2 kernels vs the list-backed fast path.
+
+    Both sides run the identical code on the identical workload — only the
+    column storage differs — and are bit-exact result-identical, so the
+    ratios are pure representation speedups.
+    """
+
+    def test_window_insert_v2(self, benchmark):
+        seconds = benchmark.pedantic(
+            time_window_insert_v2, rounds=1, iterations=1
+        )
+        assert seconds > 0
+
+    def test_aggregate_v2(self, benchmark):
+        seconds = benchmark.pedantic(time_aggregate_v2, rounds=1, iterations=1)
+        assert seconds > 0
+
+    @skip_perf_asserts
+    def test_window_v2_speedup_vs_list_backend(self):
+        numpy_s = best_of(3, time_window_insert_v2, backend="numpy")
+        list_s = best_of(3, time_window_insert_v2, backend="list")
+        speedup = list_s / numpy_s
+        assert speedup >= WINDOW_V2_SPEEDUP_FLOOR, (
+            f"columnar v2 window bucketing regressed: only {speedup:.1f}x "
+            f"over the list backend (floor {WINDOW_V2_SPEEDUP_FLOOR}x); "
+            f"numpy={numpy_s * 1e3:.1f} ms list={list_s * 1e3:.1f} ms"
+        )
+
+    @skip_perf_asserts
+    def test_aggregate_v2_speedup_vs_list_backend(self):
+        numpy_s = best_of(3, time_aggregate_v2, backend="numpy")
+        list_s = best_of(3, time_aggregate_v2, backend="list")
+        speedup = list_s / numpy_s
+        assert speedup >= AGGREGATE_V2_SPEEDUP_FLOOR, (
+            f"columnar v2 aggregation regressed: only {speedup:.1f}x over "
+            f"the list backend (floor {AGGREGATE_V2_SPEEDUP_FLOOR}x); "
+            f"numpy={numpy_s * 1e3:.1f} ms list={list_s * 1e3:.1f} ms"
+        )
+
+    @skip_perf_asserts
+    def test_end_to_end_v2_speedup_vs_list_backend(self):
+        numpy_s = best_of(2, time_end_to_end_v2, backend="numpy")
+        list_s = best_of(2, time_end_to_end_v2, backend="list")
+        speedup = list_s / numpy_s
+        assert speedup >= END_TO_END_V2_SPEEDUP_FLOOR, (
+            f"columnar v2 end-to-end macro regressed: only {speedup:.2f}x "
+            f"over the list backend (floor {END_TO_END_V2_SPEEDUP_FLOOR}x); "
+            f"numpy={numpy_s * 1e3:.0f} ms list={list_s * 1e3:.0f} ms"
+        )
+
+    def test_backend_result_identical(self):
+        """Same seeds -> numpy- and list-backed runs reproduce each other
+        exactly (scaled-down overload scenario, both backends forced)."""
+        _, numpy_run = run_end_to_end(
+            num_queries=10, rate=200.0, duration_seconds=3.0,
+            columnar_backend="numpy",
+        )
+        _, list_run = run_end_to_end(
+            num_queries=10, rate=200.0, duration_seconds=3.0,
+            columnar_backend="list",
+        )
+        assert numpy_run.per_query_sic == list_run.per_query_sic
+        assert numpy_run.result_values == list_run.result_values
 
 
 class TestMigrationBenchmarks:

@@ -99,6 +99,16 @@ def build_report(quick: bool = False) -> dict:
     speedups["generation_sic"] = round(results["generation"]["speedup"], 2)
     speedups["window_insert"] = round(results["window"]["speedup"], 2)
     speedups["end_to_end"] = round(results["end_to_end"]["speedup"], 2)
+    # Columnar v2 (numpy vs list backend on identical workloads): watched by
+    # --compare like every other machine-independent ratio.
+    columnar_v2 = results["columnar_v2"]
+    speedups["columnar_v2_window"] = round(columnar_v2["window"]["speedup"], 2)
+    speedups["columnar_v2_aggregate"] = round(
+        columnar_v2["aggregate"]["speedup"], 2
+    )
+    speedups["columnar_v2_end_to_end"] = round(
+        columnar_v2["end_to_end"]["speedup"], 2
+    )
     # Execution-driver ratio (lockstep / event, ~1.0): recorded so --compare
     # catches the discrete-event runtime blowing past its ≤10% overhead
     # budget in a later PR, like any other fast-path regression.
@@ -113,10 +123,16 @@ def build_report(quick: bool = False) -> dict:
         results["migration"]["build_ms"] / results["migration"]["roundtrip_ms"],
         2,
     )
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
     return {
         "schema": 1,
         "git_revision": git_revision(),
         "python": platform.python_version(),
+        "numpy": numpy_version,
         "machine": platform.machine(),
         "baseline": SEED_BASELINE,
         "current": results,

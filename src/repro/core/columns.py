@@ -6,31 +6,176 @@ millions-of-tuples workloads of the scalability experiments that object churn
 dominates end-to-end simulation time, so the hot pipeline — source generation,
 SIC assignment, shedding and window bucketing — exchanges
 :class:`ColumnBlock`s instead: a timestamp column, a SIC column and one column
-per payload field, all plain Python lists of the same length.
+per payload field, all of the same length.
+
+Backends (columnar v2)
+----------------------
+
+A block's columns are stored in one of two representations:
+
+* ``"numpy"`` (default when NumPy is importable) — ``timestamps`` and
+  ``sics`` are contiguous ``float64`` ndarrays; payload columns are
+  ``float64`` ndarrays when every value is a Python float and ``object``
+  ndarrays otherwise.  Slicing is an O(1) zero-copy view, concatenation is
+  one ``np.concatenate`` per column, and every kernel that consumes blocks
+  (SIC stamping, batch splitting, window bucketing, aggregation) runs as
+  element-wise array ops.
+* ``"list"`` — plain Python lists, byte-for-byte the pre-v2 implementation,
+  kept as the equivalence oracle and as the fallback when NumPy is absent.
+
+**Determinism rule:** every reduction over columns goes through
+*sequential-order* primitives — :func:`seq_sum` folds left-to-right via
+``np.cumsum`` (whose last element reproduces the exact additions of a Python
+``for`` loop), never ``np.sum`` (pairwise summation, different rounding).
+Stable orderings use ``np.argsort(kind="stable")``.  Seeded runs are therefore
+**bit-exact result-identical** across the two backends and against the seed
+per-tuple pipeline (the differential suites assert it).
+
+The active backend is a process-wide setting (``set_default_backend`` /
+``use_backend``); :class:`repro.simulation.config.SimulationConfig` exposes it
+as ``columnar_backend`` and the simulator scopes it around each run.  The
+``REPRO_COLUMNAR_BACKEND`` environment variable overrides the import-time
+default (used by the CI leg that runs the whole suite list-backed).
 
 A block is *lazily* convertible to the per-tuple representation
 (:meth:`ColumnBlock.to_tuples`), which is the compatibility surface for
 operators and tests that have not been vectorized.  Conversions are exact:
 ``to_tuples`` reproduces the tuples the seed per-tuple code paths would have
 built — same timestamps, same SIC values, same payload dicts in the same field
-order — so seeded columnar runs are result-identical to tuple-at-a-time runs.
+order (array values convert back to the identical Python scalars) — so seeded
+columnar runs are result-identical to tuple-at-a-time runs.  Full-block
+materializations are memoized (rebinding any column invalidates the cache), so
+repeated compatibility fallbacks stop rebuilding the dict list from scratch;
+like the seed per-tuple pipeline, which shares tuple objects between a window
+pane and its consumers, materialized tuples must be treated as read-only.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+import os
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
-from .tuples import Tuple
+from .tuples import SMALL_COLUMN, Tuple, seq_sum
 
-__all__ = ["ColumnBlock"]
+try:  # NumPy is an install requirement, but the list backend works without it.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    np = None
+
+__all__ = [
+    "ColumnBlock",
+    "BACKENDS",
+    "get_default_backend",
+    "set_default_backend",
+    "use_backend",
+    "seq_sum",
+    "SMALL_COLUMN",
+    "to_pylist",
+]
+
+BACKENDS = ("numpy", "list")
+
+_backend = os.environ.get(
+    "REPRO_COLUMNAR_BACKEND", "numpy" if np is not None else "list"
+)
+if _backend not in BACKENDS:  # pragma: no cover - defensive env handling
+    raise ValueError(
+        f"REPRO_COLUMNAR_BACKEND must be one of {BACKENDS}, got {_backend!r}"
+    )
+if _backend == "numpy" and np is None:  # pragma: no cover - stripped installs
+    raise RuntimeError(
+        "REPRO_COLUMNAR_BACKEND=numpy but numpy is not importable; "
+        "unset it or use REPRO_COLUMNAR_BACKEND=list"
+    )
+
+
+def get_default_backend() -> str:
+    """Return the process-wide columnar backend (``"numpy"`` or ``"list"``)."""
+    return _backend
+
+
+def set_default_backend(name: str) -> None:
+    """Set the process-wide columnar backend for newly-built blocks."""
+    global _backend
+    if name not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {name!r}")
+    if name == "numpy" and np is None:
+        raise RuntimeError("numpy backend requested but numpy is not importable")
+    _backend = name
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Scope the columnar backend to a ``with`` block (run isolation)."""
+    previous = get_default_backend()
+    set_default_backend(name)
+    try:
+        yield
+    finally:
+        set_default_backend(previous)
+
+
+def to_pylist(column) -> List[Any]:
+    """Column as a plain list of Python scalars (exact for ``float64``).
+
+    The row-building discipline for operators whose outputs carry payload
+    *values* taken from columns: convert the column once so emitted payload
+    dicts hold the identical Python objects on both backends (reading rows
+    straight off an ndarray would leak ``np.float64`` scalars into results).
+    """
+    if np is not None and isinstance(column, np.ndarray):
+        return column.tolist()
+    return list(column)
+
+
+_tolist = to_pylist
+
+
+def _float_column(column):
+    """Normalize a timestamp/SIC column to the active backend."""
+    if _backend == "numpy":
+        if isinstance(column, np.ndarray):
+            return column if column.dtype == np.float64 else column.astype(np.float64)
+        return np.asarray(column, dtype=np.float64)
+    if np is not None and isinstance(column, np.ndarray):
+        return column.tolist()
+    return column
+
+
+def _payload_column(column):
+    """Normalize one payload column to the active backend.
+
+    Under the numpy backend a column whose values are all Python floats
+    becomes a ``float64`` array (exact: float64 round-trips the values bit
+    for bit); anything else — identifiers, mixed types, ints (kept as ints),
+    nested structures — becomes an ``object`` array holding the original
+    Python objects, so ``to_tuples`` reproduces them identically.
+    """
+    if _backend == "numpy":
+        if isinstance(column, np.ndarray):
+            return column
+        if not isinstance(column, list):
+            column = list(column)
+        if column and all(type(v) is float for v in column):
+            return np.asarray(column, dtype=np.float64)
+        arr = np.empty(len(column), dtype=object)
+        for i, value in enumerate(column):
+            arr[i] = value
+        return arr
+    if np is not None and isinstance(column, np.ndarray):
+        return column.tolist()
+    return column
 
 
 class ColumnBlock:
     """A group of stream tuples stored as parallel columns.
 
     Attributes:
-        timestamps: per-tuple logical creation times.
-        sics: per-tuple source information content values.
+        timestamps: per-tuple logical creation times (``float64`` array on
+            the numpy backend, list on the list backend).
+        sics: per-tuple source information content values (same container
+            kind as ``timestamps``).
         values: payload columns keyed by field name; every column has the
             same length as ``timestamps``.  Field order is the payload dict
             order of the equivalent per-tuple representation.
@@ -38,115 +183,201 @@ class ColumnBlock:
             (``None`` for derived blocks).  Source blocks are per-source by
             construction, which is what lets the routing and SIC-assignment
             fast paths treat the block as one unit.
+
+    Columns are rebind-only: kernels replace a column wholesale (which
+    invalidates the memoized tuple materialization) and never mutate one in
+    place — that is what makes zero-copy views safe to share.
     """
 
-    __slots__ = ("timestamps", "sics", "values", "source_id")
+    __slots__ = ("_timestamps", "_sics", "_values", "source_id", "_tuple_cache")
 
     def __init__(
         self,
-        timestamps: List[float],
-        sics: Optional[List[float]] = None,
-        values: Optional[Dict[str, List[Any]]] = None,
+        timestamps: Sequence[float],
+        sics: Optional[Sequence[float]] = None,
+        values: Optional[Dict[str, Sequence[Any]]] = None,
         source_id: Optional[str] = None,
     ) -> None:
-        self.timestamps = timestamps
-        self.sics = sics if sics is not None else [0.0] * len(timestamps)
-        self.values = values if values is not None else {}
-        self.source_id = source_id
-        if len(self.sics) != len(self.timestamps):
-            raise ValueError(
-                f"sics column length {len(self.sics)} != "
-                f"{len(self.timestamps)} timestamps"
+        self._timestamps = _float_column(timestamps)
+        n = len(self._timestamps)
+        if sics is None:
+            self._sics = (
+                np.zeros(n) if _backend == "numpy" else [0.0] * n
             )
-        for field, column in self.values.items():
-            if len(column) != len(self.timestamps):
+        else:
+            self._sics = _float_column(sics)
+        self._values = (
+            {f: _payload_column(col) for f, col in values.items()}
+            if values
+            else {}
+        )
+        self.source_id = source_id
+        self._tuple_cache: Optional[List[Tuple]] = None
+        if len(self._sics) != n:
+            raise ValueError(
+                f"sics column length {len(self._sics)} != {n} timestamps"
+            )
+        for field, column in self._values.items():
+            if len(column) != n:
                 raise ValueError(
-                    f"column {field!r} length {len(column)} != "
-                    f"{len(self.timestamps)} timestamps"
+                    f"column {field!r} length {len(column)} != {n} timestamps"
                 )
+
+    # ---------------------------------------------------------------- columns
+    @property
+    def timestamps(self):
+        return self._timestamps
+
+    @timestamps.setter
+    def timestamps(self, column) -> None:
+        self._timestamps = column
+        self._tuple_cache = None
+
+    @property
+    def sics(self):
+        return self._sics
+
+    @sics.setter
+    def sics(self, column) -> None:
+        self._sics = column
+        self._tuple_cache = None
+
+    @property
+    def values(self):
+        return self._values
+
+    @values.setter
+    def values(self, columns) -> None:
+        self._values = columns
+        self._tuple_cache = None
+
+    @property
+    def is_array_backed(self) -> bool:
+        """True when this block's columns are NumPy arrays."""
+        return np is not None and isinstance(self._timestamps, np.ndarray)
+
+    def constant_sics(self, value: float):
+        """A constant SIC column matching this block's backing and length."""
+        if self.is_array_backed:
+            return np.full(len(self._timestamps), value)
+        return [value] * len(self._timestamps)
 
     # ------------------------------------------------------------- inspection
     def __len__(self) -> int:
-        return len(self.timestamps)
+        return len(self._timestamps)
 
     def __bool__(self) -> bool:
-        return bool(self.timestamps)
+        return len(self._timestamps) > 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"ColumnBlock(len={len(self.timestamps)}, "
-            f"fields={list(self.values)}, source={self.source_id!r})"
+            f"ColumnBlock(len={len(self._timestamps)}, "
+            f"fields={list(self._values)}, source={self.source_id!r})"
         )
 
     @property
     def num_fields(self) -> int:
-        return len(self.values)
+        return len(self._values)
 
     def sic_total(self) -> float:
         """Summed SIC of the block (left-to-right, like ``sum`` over tuples)."""
-        return sum(self.sics)
+        if self.is_array_backed:
+            return seq_sum(self._sics)
+        return sum(self._sics)
 
     @classmethod
     def _unchecked(
         cls,
-        timestamps: List[float],
-        sics: List[float],
-        values: Dict[str, List[Any]],
+        timestamps,
+        sics,
+        values: Dict[str, Any],
         source_id: Optional[str],
     ) -> "ColumnBlock":
-        """Internal constructor skipping the column-length validation.
+        """Internal constructor skipping validation *and* normalization.
 
-        Used where the lengths are equal by construction (slices of a
-        validated block) — slicing sits on the shedding hot path.
+        Used where the lengths are equal by construction and the columns are
+        already in a consistent representation (slices of a validated block)
+        — slicing sits on the shedding hot path.
         """
         block = cls.__new__(cls)
-        block.timestamps = timestamps
-        block.sics = sics
-        block.values = values
+        block._timestamps = timestamps
+        block._sics = sics
+        block._values = values
         block.source_id = source_id
+        block._tuple_cache = None
         return block
 
     def shallow_copy(self) -> "ColumnBlock":
-        """A new block sharing this block's column lists.
+        """A new block sharing this block's column containers.
 
         Operators that pass a block through (receivers, filters) return a
         shallow copy: the SIC-propagation step *rebinds* the copy's ``sics``
         attribute with the derived shares, which must not alias the pane's
         (or the upstream batch's) storage.  Columns are never mutated in
-        place, so sharing the lists themselves is safe.
+        place, so sharing the containers themselves is safe.
         """
         return ColumnBlock._unchecked(
-            self.timestamps, self.sics, self.values, self.source_id
+            self._timestamps, self._sics, self._values, self.source_id
         )
 
     # ------------------------------------------------------------ conversions
     def slice(self, start: int, stop: int) -> "ColumnBlock":
-        """Return a new block over rows ``start:stop`` (columns are copied
-        slices, so the piece is independent of the parent)."""
+        """Return a new block over rows ``start:stop``.
+
+        On the numpy backend the piece's columns are O(1) zero-copy *views*
+        of this block's arrays (safe because columns are rebind-only); on the
+        list backend they are copied slices, exactly as before v2.
+        """
         return ColumnBlock._unchecked(
-            self.timestamps[start:stop],
-            self.sics[start:stop],
-            {f: col[start:stop] for f, col in self.values.items()},
+            self._timestamps[start:stop],
+            self._sics[start:stop],
+            {f: col[start:stop] for f, col in self._values.items()},
             self.source_id,
         )
 
     def to_tuples(
-        self, start: int = 0, stop: Optional[int] = None
+        self, start: int = 0, stop: Optional[int] = None, fresh: bool = False
     ) -> List[Tuple]:
         """Materialize rows ``start:stop`` as per-tuple objects, exactly as
         the seed paths built them.
 
-        Each tuple receives a *fresh* payload dict (matching the seed, where
-        every ``payload_builder()`` call allocated its own dict), so mutating
-        a materialized tuple never aliases block columns or sibling tuples.
+        Array columns convert through ``ndarray.tolist()``, which yields the
+        identical Python scalars the list backend carries.  Full-block
+        materializations are memoized (and invalidated when a column is
+        rebound); ranges of a memoized block slice the cache.  Tuples may
+        therefore be shared between repeated materializations — callers must
+        treat them as read-only, matching the seed pipeline where window
+        panes and operators share the very same tuple objects.  Callers that
+        hand out *mutable* tuples (``Batch.tuples``, whose seed contract
+        allows in-place SIC rewrites) pass ``fresh=True`` to build brand-new
+        tuples that bypass and never touch the cache.
         """
+        if fresh:
+            return self._build_tuples(start, stop)
+        n = len(self._timestamps)
+        full = start == 0 and (stop is None or stop == n)
+        cache = self._tuple_cache
+        if cache is not None:
+            if full:
+                return cache[:]
+            return cache[start:stop]
+        tuples = self._build_tuples(start, stop)
+        if full:
+            self._tuple_cache = tuples
+            return tuples[:]
+        return tuples
+
+    def _build_tuples(self, start: int, stop: Optional[int]) -> List[Tuple]:
         source_id = self.source_id
-        timestamps = self.timestamps
-        sics = self.sics
-        if start != 0 or stop is not None:
+        timestamps = self._timestamps
+        sics = self._sics
+        ranged = start != 0 or stop is not None
+        if ranged:
             timestamps = timestamps[start:stop]
             sics = sics[start:stop]
-        fields = list(self.values)
+        timestamps = _tolist(timestamps)
+        sics = _tolist(sics)
+        fields = list(self._values)
         if not fields:
             return [
                 Tuple(timestamp=t, sic=s, values={}, source_id=source_id)
@@ -154,17 +385,18 @@ class ColumnBlock:
             ]
         if len(fields) == 1:
             name = fields[0]
-            column = self.values[name]
-            if start != 0 or stop is not None:
+            column = self._values[name]
+            if ranged:
                 column = column[start:stop]
+            column = _tolist(column)
             return [
                 Tuple(timestamp=t, sic=s, values={name: v}, source_id=source_id)
                 for t, s, v in zip(timestamps, sics, column)
             ]
         columns = [
-            self.values[name][start:stop]
-            if (start != 0 or stop is not None)
-            else self.values[name]
+            _tolist(
+                self._values[name][start:stop] if ranged else self._values[name]
+            )
             for name in fields
         ]
         return [
@@ -218,7 +450,8 @@ class ColumnBlock:
 
         This is the pane-close path: ranges routed into a window pane are
         merged directly from their source blocks, so a tuple's columns are
-        copied exactly once between source generation and the operator.
+        copied exactly once between source generation and the operator.  On
+        the numpy backend the merge is one ``np.concatenate`` per column.
         Uniform field sets required; ``source_id`` survives only when shared.
         """
         if len(ranges) == 1:
@@ -227,24 +460,34 @@ class ColumnBlock:
                 return block
             return block.slice(start, stop)
         first_block = ranges[0][0]
-        fields = list(first_block.values)
+        fields = list(first_block._values)
+        for block, _, _ in ranges[1:]:
+            if list(block._values) != fields:
+                raise ValueError(
+                    f"cannot concat ranges with fields {list(block._values)!r} "
+                    f"and {fields!r}"
+                )
+        source_ids = {block.source_id for block, _, _ in ranges}
+        source_id = source_ids.pop() if len(source_ids) == 1 else None
+        if np is not None and all(b.is_array_backed for b, _, _ in ranges):
+            timestamps = np.concatenate(
+                [b._timestamps[lo:hi] for b, lo, hi in ranges]
+            )
+            sics = np.concatenate([b._sics[lo:hi] for b, lo, hi in ranges])
+            values = {
+                f: np.concatenate([b._values[f][lo:hi] for b, lo, hi in ranges])
+                for f in fields
+            }
+            return ColumnBlock._unchecked(timestamps, sics, values, source_id)
         timestamps: List[float] = []
         sics: List[float] = []
         values: Dict[str, List[Any]] = {f: [] for f in fields}
-        source_ids = set()
         for block, start, stop in ranges:
-            if list(block.values) != fields:
-                raise ValueError(
-                    f"cannot concat ranges with fields {list(block.values)!r} "
-                    f"and {fields!r}"
-                )
-            source_ids.add(block.source_id)
-            timestamps.extend(block.timestamps[start:stop])
-            sics.extend(block.sics[start:stop])
-            block_values = block.values
+            timestamps.extend(_tolist(block._timestamps[start:stop]))
+            sics.extend(_tolist(block._sics[start:stop]))
+            block_values = block._values
             for f in fields:
-                values[f].extend(block_values[f][start:stop])
-        source_id = source_ids.pop() if len(source_ids) == 1 else None
+                values[f].extend(_tolist(block_values[f][start:stop]))
         return ColumnBlock._unchecked(timestamps, sics, values, source_id)
 
     @staticmethod
@@ -258,26 +501,17 @@ class ColumnBlock:
             return ColumnBlock([], [], {})
         if len(blocks) == 1:
             b = blocks[0]
+            if b.is_array_backed:
+                return ColumnBlock._unchecked(
+                    b._timestamps.copy(),
+                    b._sics.copy(),
+                    {f: col.copy() for f, col in b._values.items()},
+                    b.source_id,
+                )
             return ColumnBlock(
-                timestamps=list(b.timestamps),
-                sics=list(b.sics),
-                values={f: list(col) for f, col in b.values.items()},
+                timestamps=list(b._timestamps),
+                sics=list(b._sics),
+                values={f: list(col) for f, col in b._values.items()},
                 source_id=b.source_id,
             )
-        fields = list(blocks[0].values)
-        timestamps: List[float] = []
-        sics: List[float] = []
-        values: Dict[str, List[Any]] = {f: [] for f in fields}
-        source_ids = {b.source_id for b in blocks}
-        for b in blocks:
-            if list(b.values) != fields:
-                raise ValueError(
-                    f"cannot concat blocks with fields {list(b.values)!r} "
-                    f"and {fields!r}"
-                )
-            timestamps.extend(b.timestamps)
-            sics.extend(b.sics)
-            for f in fields:
-                values[f].extend(b.values[f])
-        source_id = source_ids.pop() if len(source_ids) == 1 else None
-        return ColumnBlock(timestamps, sics, values, source_id)
+        return ColumnBlock.concat_ranges([(b, 0, len(b)) for b in blocks])

@@ -12,12 +12,44 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Sequence
 
+from .columns import seq_sum
+
+try:  # Guarded: the fairness metrics work without NumPy installed.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    np = None
+
 __all__ = [
     "jains_index",
     "FairnessSummary",
     "summarize_fairness",
     "relative_spread",
+    "summary_moments",
 ]
+
+# Below this many samples the ndarray round-trip costs more than it saves;
+# both branches are bit-identical (sequential-order sums via
+# repro.core.columns.seq_sum), so the cut-over is a pure perf knob.
+_VECTORIZE_MIN = 32
+
+
+def summary_moments(values: List[float]) -> "tuple[float, float, float, float]":
+    """``(mean, variance, min, max)`` of a non-empty float sample.
+
+    The one shared implementation behind :func:`summarize_fairness` and
+    :class:`repro.metrics.collectors.SummaryStats`: vectorized with
+    sequential-order sums above the cut-over, the exact scalar loops below
+    it — bit-identical either way.
+    """
+    if np is not None and len(values) >= _VECTORIZE_MIN:
+        arr = np.asarray(values)
+        mean = seq_sum(arr) / len(values)
+        deviations = arr - mean
+        variance = seq_sum(deviations * deviations) / len(values)
+        return mean, variance, float(arr.min()), float(arr.max())
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return mean, variance, min(values), max(values)
 
 
 def jains_index(values: Iterable[float]) -> float:
@@ -33,8 +65,13 @@ def jains_index(values: Iterable[float]) -> float:
     xs = [float(v) for v in values]
     if not xs:
         return 1.0
-    total = sum(xs)
-    squares = sum(x * x for x in xs)
+    if np is not None and len(xs) >= _VECTORIZE_MIN:
+        arr = np.asarray(xs)
+        total = seq_sum(arr)
+        squares = seq_sum(arr * arr)
+    else:
+        total = sum(xs)
+        squares = sum(x * x for x in xs)
     if squares == 0.0:
         return 1.0
     return (total * total) / (len(xs) * squares)
@@ -45,6 +82,12 @@ def relative_spread(values: Sequence[float]) -> float:
     xs = [float(v) for v in values]
     if not xs:
         return 0.0
+    if np is not None and len(xs) >= _VECTORIZE_MIN:
+        arr = np.asarray(xs)
+        mean = seq_sum(arr) / len(xs)
+        if mean == 0.0:
+            return 0.0
+        return float(arr.max() - arr.min()) / mean
     mean = sum(xs) / len(xs)
     if mean == 0.0:
         return 0.0
@@ -78,13 +121,12 @@ def summarize_fairness(per_query_sic: Mapping[str, float]) -> FairnessSummary:
     values: List[float] = [float(v) for v in per_query_sic.values()]
     if not values:
         return FairnessSummary(0, 0.0, 0.0, 0.0, 0.0, 1.0)
-    mean = sum(values) / len(values)
-    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    mean, variance, minimum, maximum = summary_moments(values)
     return FairnessSummary(
         count=len(values),
         mean=mean,
         std=math.sqrt(variance),
-        minimum=min(values),
-        maximum=max(values),
+        minimum=minimum,
+        maximum=maximum,
         jains_index=jains_index(values),
     )

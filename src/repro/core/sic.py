@@ -28,6 +28,11 @@ from typing import Deque, Dict, Iterable, List, Optional, Sequence
 
 from .tuples import Tuple
 
+try:  # Guarded: the SIC model works without NumPy (list columnar backend).
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    _np = None
+
 __all__ = [
     "source_tuple_sic",
     "propagate_sic",
@@ -78,6 +83,25 @@ def query_result_sic(result_tuple_sics: Iterable[float]) -> float:
     return float(sum(result_tuple_sics))
 
 
+class _RunBucket:
+    """A nondecreasing run of single-tuple arrivals, held as one array.
+
+    Equivalent to the ``[t, 1]`` pair buckets rows ``lo:hi`` of
+    ``timestamps`` would expand to — the estimate reads only the window
+    edges and the total, and expiry advances ``lo`` (one ``np.searchsorted``
+    instead of per-pair pops).  The array is the source block's timestamp
+    column, shared zero-copy: columns are rebind-only, so holding the
+    reference is safe.
+    """
+
+    __slots__ = ("timestamps", "lo", "hi")
+
+    def __init__(self, timestamps, lo: int, hi: int) -> None:
+        self.timestamps = timestamps
+        self.lo = lo
+        self.hi = hi
+
+
 @dataclass
 class _SourceWindow:
     """Arrival bookkeeping for one source over a sliding STW.
@@ -85,10 +109,12 @@ class _SourceWindow:
     Arrivals are aggregated into ``[timestamp, count]`` buckets (one bucket
     per distinct timestamp) instead of one deque entry per tuple, with the
     total count maintained alongside, so recording ``count=k`` arrivals and
-    expiring old ones are O(1) amortized regardless of ``k``.
+    expiring old ones are O(1) amortized regardless of ``k``.  Array-backed
+    runs enter as :class:`_RunBucket` entries — one deque slot per source
+    block instead of one per tuple.
     """
 
-    buckets: Deque[List[float]]
+    buckets: Deque[object]
     total: int
     last_estimate: float
     seeded: Optional[float] = None
@@ -140,10 +166,9 @@ class SourceRateEstimator:
         """Record ``count`` arrivals from ``source_id`` at ``timestamp``.
 
         O(1) amortized in ``count``: arrivals sharing a timestamp merge into
-        one bucket, expiry pops whole buckets, and the estimate refresh reads
-        only the running total and the window edges.  The estimate arithmetic
-        is inlined from :meth:`_estimate` — this is the hottest per-arrival
-        path in the system.
+        one bucket, expiry pops whole buckets (advancing run buckets in
+        place), and the estimate refresh reads only the running total and the
+        window edges — this is the hottest per-arrival path in the system.
         """
         window = self._windows.get(source_id)
         if window is None:
@@ -156,24 +181,46 @@ class SourceRateEstimator:
             # window still expires against this timestamp and the estimate
             # refreshes; no bucket may be appended or the phantom timestamp
             # would stretch the observed span.
-            self._expire(window, timestamp)
+            self._expire_horizon(window, timestamp - self.stw_seconds)
             window.last_estimate = self._estimate(window)
             return
         buckets = window.buckets
-        if buckets and buckets[-1][0] == timestamp:
-            buckets[-1][1] += count
+        tail = buckets[-1] if buckets else None
+        if tail is not None and type(tail) is list and tail[0] == timestamp:
+            # Run buckets never merge: a same-timestamp arrival lands in its
+            # own pair bucket, which (see observe_run) changes neither the
+            # total nor the window edges nor any future expiry.
+            tail[1] += count
         else:
             buckets.append([timestamp, count])
         total = window.total + count
         horizon = timestamp - self.stw_seconds
+        head = buckets[0]
+        if type(head) is not list:
+            # Array-backed run buckets in the window: the general expiry
+            # advances their cursors; off the inlined hot path.
+            window.total = total
+            self._expire_horizon(window, horizon)
+            window.last_estimate = self._estimate(window)
+            return
         # The bucket just touched carries `timestamp`, so the deque can never
         # empty inside this loop.
-        while buckets[0][0] < horizon:
-            total -= buckets.popleft()[1]
+        while head[0] < horizon:
+            total -= head[1]
+            buckets.popleft()
+            head = buckets[0]
+            if type(head) is not list:
+                window.total = total
+                self._expire_horizon(window, horizon)
+                window.last_estimate = self._estimate(window)
+                return
         window.total = total
 
+        # Estimate arithmetic inlined from :meth:`_estimate` — this is the
+        # hottest per-arrival path in the system (head and the just-touched
+        # tail are both pair buckets here).
         observed = float(total)
-        span = buckets[-1][0] - buckets[0][0]
+        span = buckets[-1][0] - head[0]
         if observed >= 2.0 and span > 0:
             stw = self.stw_seconds
             scale = stw / min(stw, span * observed / (observed - 1.0))
@@ -201,19 +248,35 @@ class SourceRateEstimator:
           total nor the window edges (the only inputs to ``_estimate``) nor
           any future expiry (whole-bucket pops keyed on the timestamp).
 
+        Array-backed runs (the columnar v2 fast path) are O(1): the run
+        enters the window as one :class:`_RunBucket` sharing the block's
+        timestamp array zero-copy — behaviourally identical to the expanded
+        ``[t, 1]`` pairs, which only ever influence the estimate through the
+        total and the window edges — with elements already past the run's own
+        horizon trimmed up front by one ``np.searchsorted`` (they would be
+        appended and immediately popped by the expiry loop).
+
         This is the source-batch fast path: generated timestamps are strictly
         increasing within a batch and across batches of one source.
         """
+        if _np is not None and isinstance(timestamps, _np.ndarray):
+            n = len(timestamps)
+            if n == 0:
+                return
+            window = self._window(source_id)
+            horizon = float(timestamps[-1]) - self.stw_seconds
+            keep_from = int(_np.searchsorted(timestamps, horizon, side="left"))
+            window.buckets.append(_RunBucket(timestamps, keep_from, n))
+            window.total += n - keep_from
+            self._expire_horizon(window, horizon)
+            window.last_estimate = self._estimate(window)
+            return
         if not timestamps:
             return
         window = self._window(source_id)
-        buckets = window.buckets
-        buckets.extend([t, 1] for t in timestamps)
-        total = window.total + len(timestamps)
-        horizon = timestamps[-1] - self.stw_seconds
-        while buckets[0][0] < horizon:
-            total -= buckets.popleft()[1]
-        window.total = total
+        window.buckets.extend([t, 1] for t in timestamps)
+        window.total += len(timestamps)
+        self._expire_horizon(window, timestamps[-1] - self.stw_seconds)
         window.last_estimate = self._estimate(window)
 
     def observe_many(self, source_id: str, timestamps: Iterable[float]) -> None:
@@ -228,14 +291,13 @@ class SourceRateEstimator:
         buckets = window.buckets
         horizon_gap = self.stw_seconds
         for timestamp in timestamps:
-            if buckets and buckets[-1][0] == timestamp:
-                buckets[-1][1] += 1
+            tail = buckets[-1] if buckets else None
+            if tail is not None and type(tail) is list and tail[0] == timestamp:
+                tail[1] += 1
             else:
                 buckets.append([timestamp, 1])
             window.total += 1
-            horizon = timestamp - horizon_gap
-            while buckets and buckets[0][0] < horizon:
-                window.total -= buckets.popleft()[1]
+            self._expire_horizon(window, timestamp - horizon_gap)
         window.last_estimate = self._estimate(window)
 
     def _estimate(self, window: _SourceWindow) -> float:
@@ -245,7 +307,11 @@ class SourceRateEstimator:
                 return window.seeded
             return self.min_count
         buckets = window.buckets
-        span = buckets[-1][0] - buckets[0][0]
+        head = buckets[0]
+        tail = buckets[-1]
+        head_t = head.timestamps[head.lo] if type(head) is _RunBucket else head[0]
+        tail_t = tail.timestamps[tail.hi - 1] if type(tail) is _RunBucket else tail[0]
+        span = tail_t - head_t
         if observed >= 2 and span > 0:
             # Scale the partially observed window up to a full STW; once a
             # full STW of history exists the scale factor tends to 1.
@@ -255,7 +321,7 @@ class SourceRateEstimator:
             estimate = window.seeded
         else:
             estimate = observed
-        return max(self.min_count, estimate)
+        return float(max(self.min_count, estimate))
 
     def tuples_per_stw(self, source_id: str) -> float:
         """Return the current estimate of ``|T_s^S|`` for ``source_id``."""
@@ -270,14 +336,29 @@ class SourceRateEstimator:
 
         The bucket contents, running totals and last estimates are recorded
         verbatim, so a restored estimator returns bit-identical estimates —
-        now and after any future arrivals — to the original.
+        now and after any future arrivals — to the original.  Run buckets
+        expand into the ``[t, 1]`` pairs they stand for (the two forms are
+        behaviourally identical), keeping the checkpoint layout stable.
         """
         return {
             "stw_seconds": self.stw_seconds,
             "min_count": self.min_count,
             "windows": {
                 source_id: {
-                    "buckets": [list(bucket) for bucket in window.buckets],
+                    "buckets": [
+                        pair
+                        for bucket in window.buckets
+                        for pair in (
+                            [
+                                [t, 1]
+                                for t in bucket.timestamps[
+                                    bucket.lo:bucket.hi
+                                ].tolist()
+                            ]
+                            if type(bucket) is _RunBucket
+                            else [list(bucket)]
+                        )
+                    ],
                     "total": window.total,
                     "last_estimate": window.last_estimate,
                     "seeded": window.seeded,
@@ -311,10 +392,39 @@ class SourceRateEstimator:
         return list(self._windows)
 
     def _expire(self, window: _SourceWindow, now: float) -> None:
-        horizon = now - self.stw_seconds
+        self._expire_horizon(window, now - self.stw_seconds)
+
+    @staticmethod
+    def _expire_horizon(window: _SourceWindow, horizon: float) -> None:
+        """Drop every arrival strictly below ``horizon`` from the front.
+
+        Pair buckets pop whole; run buckets advance their ``lo`` cursor with
+        one binary search — both remove exactly the arrivals the expanded
+        per-pair deque would, in the same front-to-back order.
+        """
         buckets = window.buckets
-        while buckets and buckets[0][0] < horizon:
-            window.total -= buckets.popleft()[1]
+        while buckets:
+            head = buckets[0]
+            if type(head) is _RunBucket:
+                timestamps = head.timestamps
+                if timestamps[head.hi - 1] < horizon:
+                    window.total -= head.hi - head.lo
+                    buckets.popleft()
+                    continue
+                if timestamps[head.lo] < horizon:
+                    new_lo = head.lo + int(
+                        _np.searchsorted(
+                            timestamps[head.lo:head.hi], horizon, side="left"
+                        )
+                    )
+                    window.total -= new_lo - head.lo
+                    head.lo = new_lo
+                break
+            if head[0] < horizon:
+                window.total -= head[1]
+                buckets.popleft()
+                continue
+            break
 
 
 class SicAssigner:
@@ -383,11 +493,12 @@ class SicAssigner:
         """
         source = block.source_id or "__anonymous__"
         timestamps = block.timestamps
-        if timestamps:
+        if len(timestamps):
             self.estimator.observe_run(source, timestamps)
         per_stw = self.estimator.tuples_per_stw(source)
         sic = source_tuple_sic(per_stw, self.num_sources)
-        block.sics = [sic] * len(timestamps)
+        # Constant column in the block's own backing (ndarray or list).
+        block.sics = block.constant_sics(sic)
         return block
 
     def sic_for(self, source_id: str) -> float:

@@ -13,7 +13,56 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
-__all__ = ["Tuple", "Batch", "BatchHeader", "merge_batches", "total_tuples"]
+try:  # Guarded so the per-tuple data model works without NumPy installed.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    np = None
+
+__all__ = [
+    "Tuple",
+    "Batch",
+    "BatchHeader",
+    "merge_batches",
+    "total_tuples",
+    "seq_sum",
+    "SMALL_COLUMN",
+]
+
+
+# Below this length the ufunc dispatch overhead exceeds builtin sum() over
+# ``tolist()`` — both give bit-identical results, so the cut-over is a pure
+# perf knob (split-fragmented shedding batches are often a handful of rows).
+# Canonical home of the sequential-sum primitive (re-exported by
+# repro.core.columns, which imports this module).
+SMALL_COLUMN = 64
+
+
+def seq_sum(column, initial: float = 0.0) -> float:
+    """Sequential left-to-right sum of ``column`` starting from ``initial``.
+
+    Bit-equal to ``total = initial; for v in column: total += v`` — on array
+    columns the fold is ``np.add.accumulate``'s last element (accumulation is
+    strictly left to right), *never* ``np.sum`` (pairwise summation rounds
+    differently); short arrays and plain lists fold through the builtin
+    ``sum(column, initial)``, which performs the identical additions at C
+    speed.  This is the one reduction primitive every columnar kernel must
+    use so numpy-, list- and tuple-backed runs stay result-identical.
+    """
+    if np is not None and isinstance(column, np.ndarray):
+        n = len(column)
+        if n == 0:
+            return float(initial)
+        if n > SMALL_COLUMN:
+            if initial == 0.0:
+                # ``0.0 + v0 == v0`` exactly: the leading fold is elidable.
+                return float(np.add.accumulate(column)[-1])
+            return float(
+                np.add.accumulate(
+                    np.concatenate((np.asarray([initial]), column))
+                )[-1]
+            )
+        column = column.tolist()
+    return float(sum(column, initial))
 
 _batch_ids = itertools.count()
 
@@ -159,9 +208,13 @@ class Batch:
         batch.origin_fragment_id = origin_fragment_id
         batch._sic_prefix = None
         batch._prefix_start = 0
-        sic = sum(block.sics)
+        sic = seq_sum(block.sics)
         if created_at is None:
-            created_at = min(block.timestamps, default=0.0)
+            timestamps = block.timestamps
+            if np is not None and isinstance(timestamps, np.ndarray):
+                created_at = float(timestamps.min()) if len(timestamps) else 0.0
+            else:
+                created_at = min(timestamps, default=0.0)
         batch.header = BatchHeader(
             query_id=query_id,
             sic=sic,
@@ -176,9 +229,12 @@ class Batch:
         """Per-tuple view; materializes (and caches) for columnar batches."""
         if self._tuples is None:
             # Materialize straight from the (possibly shared) block's
-            # sub-range — one copy, no intermediate sliced block.
+            # sub-range — one copy, no intermediate sliced block.  Fresh
+            # tuples (cache bypassed): this property hands out *mutable*
+            # tuples, which must not alias the block's memoized read-only
+            # materialization shared with window panes and sibling batches.
             self._tuples = self._block.to_tuples(
-                self._block_start, self._block_stop
+                self._block_start, self._block_stop, fresh=True
             )
             # The materialized tuples become the single source of truth:
             # callers may mutate them (e.g. SIC rewrites), which the columns
@@ -270,7 +326,7 @@ class Batch:
         self._sic_prefix = None
         self._prefix_start = 0
         if self._tuples is None:
-            self.header.sic = sum(
+            self.header.sic = seq_sum(
                 self._block.sics[self._block_start:self._block_stop]
             )
         else:
@@ -302,6 +358,17 @@ class Batch:
                 sics = self._block.sics[self._block_start:self._block_stop]
             else:
                 sics = [t.sic for t in self._tuples]
+            if np is not None and isinstance(sics, np.ndarray):
+                if len(sics) > SMALL_COLUMN:
+                    # One vectorized pass; accumulate folds left to right, so
+                    # every prefix entry matches the Python loop bit for bit.
+                    prefix = np.empty(len(sics) + 1)
+                    prefix[0] = 0.0
+                    np.add.accumulate(sics, out=prefix[1:])
+                    self._sic_prefix = prefix
+                    self._prefix_start = 0
+                    return prefix
+                sics = sics.tolist()
             prefix = [0.0] * (len(sics) + 1)
             running = 0.0
             for i, s in enumerate(sics):
@@ -337,8 +404,9 @@ class Batch:
             prefix = self.sic_prefix()
             start = 0
         cut = start + keep_tuples
-        head_sic = prefix[cut] - prefix[start]
-        tail_sic = prefix[start + n] - prefix[cut]
+        # float() keeps headers Python scalars even off an ndarray prefix.
+        head_sic = float(prefix[cut] - prefix[start])
+        tail_sic = float(prefix[start + n] - prefix[cut])
         if self._tuples is None:
             # Columnar split is O(1): both pieces reference sub-ranges of the
             # shared block; columns are only copied if a piece's block is

@@ -12,6 +12,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+from ..core.fairness import summary_moments
+
 __all__ = ["SummaryStats", "TimeSeries", "MetricsCollector"]
 
 
@@ -30,14 +32,15 @@ class SummaryStats:
         values = [float(v) for v in samples]
         if not values:
             return cls(count=0, mean=0.0, std=0.0, minimum=0.0, maximum=0.0)
-        mean = sum(values) / len(values)
-        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        # Shared moments helper (vectorized with sequential-order sums above
+        # its cut-over, exact scalar loops below it — bit-identical).
+        mean, variance, minimum, maximum = summary_moments(values)
         return cls(
             count=len(values),
             mean=mean,
             std=math.sqrt(variance),
-            minimum=min(values),
-            maximum=max(values),
+            minimum=minimum,
+            maximum=maximum,
         )
 
     def as_dict(self) -> Dict[str, float]:

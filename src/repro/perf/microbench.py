@@ -23,6 +23,7 @@ from ..core._reference import (
     ReferenceSourceRateEstimator,
 )
 from ..core.balance_sic import BalanceSicPolicy
+from ..core.columns import use_backend
 from ..core.shedding import BalanceSicShedder
 from ..core.sic import SicAssigner, SourceRateEstimator
 from ..core.tuples import Batch, Tuple
@@ -36,6 +37,9 @@ __all__ = [
     "time_node_ticks",
     "time_generation_sic",
     "time_window_insert",
+    "time_window_insert_v2",
+    "time_aggregate_v2",
+    "time_end_to_end_v2",
     "time_migration",
     "run_end_to_end",
     "time_end_to_end",
@@ -280,6 +284,150 @@ def time_window_insert(
     return sw.elapsed_seconds
 
 
+# Columnar v2 kernel shapes: paper-scale per-block row counts (a 2000 t/s
+# fig12-style source observed over a 0.25 s shedding interval yields 500-row
+# blocks; multi-source streams merge into blocks of a few thousand rows).
+V2_WINDOW_BLOCKS = 100
+V2_WINDOW_TUPLES_PER_BLOCK = 2000
+V2_AGGREGATE_BLOCKS = 100
+V2_AGGREGATE_TUPLES_PER_BLOCK = 2000
+# v2 end-to-end macro: the aggregate workload at paper-scale source rates
+# under mild overload (capacity_fraction 0.9 — the C2 permanent-overload
+# characteristic without the deep-overload split churn of the legacy
+# overload-2 scenario, whose runtime is dominated by the — shared, already
+# heap-optimized — BALANCE-SIC selection rather than the columnar pipeline).
+V2_END_TO_END_QUERIES = 12
+V2_END_TO_END_RATE = 2000.0
+V2_END_TO_END_CAPACITY = 0.9
+V2_END_TO_END_DATASET = "uniform"
+
+
+def _numpy_version() -> Optional[str]:
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - stripped installs
+        return None
+    return numpy.__version__
+
+
+def _build_v2_blocks(blocks: int, tuples_per_block: int, interval: float = 0.25):
+    from ..core.columns import ColumnBlock
+
+    step = interval / tuples_per_block
+    built = []
+    for b in range(blocks):
+        start = b * interval
+        timestamps = [start + (i + 0.5) * step for i in range(tuples_per_block)]
+        built.append(
+            ColumnBlock(
+                timestamps=timestamps,
+                sics=[1e-4] * tuples_per_block,
+                values={"v": [float(i) for i in range(tuples_per_block)]},
+                source_id="s",
+            )
+        )
+    return built
+
+
+def time_window_insert_v2(
+    backend: str = "numpy",
+    blocks: int = V2_WINDOW_BLOCKS,
+    tuples_per_block: int = V2_WINDOW_TUPLES_PER_BLOCK,
+    window_seconds: float = 1.0,
+    registry: Optional[PerfRegistry] = None,
+) -> float:
+    """Seconds to bucket paper-scale blocks into a tumbling window and close
+    its panes, under one columnar backend.
+
+    Both backends run the *same* ``TimeWindow.insert_block`` fast path on the
+    identical workload; only the column storage differs — ``"numpy"``
+    (float64 arrays: change-point run scan, cumsum pane SIC, concatenate pane
+    merge) versus ``"list"`` (the pre-v2 per-element loops).  The ratio is
+    the columnar v2 speedup gated in ``benchmarks/test_bench_micro.py``.
+    """
+    from ..streaming.windows import TimeWindow
+
+    interval = 0.25
+    with use_backend(backend):
+        column_blocks = _build_v2_blocks(blocks, tuples_per_block, interval)
+        horizon = blocks * interval + window_seconds + 1.0
+        window = TimeWindow(window_seconds)
+        with Stopwatch() as sw:
+            for block in column_blocks:
+                window.insert_block(block)
+            panes = window.advance(horizon)
+            total = sum(pane.sic for pane in panes)
+    assert total > 0
+    if registry is not None:
+        registry.record(f"window_v2.{backend}", sw.elapsed_seconds)
+    return sw.elapsed_seconds
+
+
+def time_aggregate_v2(
+    backend: str = "numpy",
+    blocks: int = V2_AGGREGATE_BLOCKS,
+    tuples_per_block: int = V2_AGGREGATE_TUPLES_PER_BLOCK,
+    window_seconds: float = 1.0,
+    registry: Optional[PerfRegistry] = None,
+) -> float:
+    """Seconds to run paper-scale blocks through a windowed aggregate.
+
+    Ingest (window bucketing) plus periodic ``advance_items`` rounds: pane
+    merge, payload-column pull and the reduction itself.  On the numpy
+    backend the qualifying values stay one float64 array and the mean reduces
+    through cumsum's last element; on the list backend every row passes
+    through the per-element extraction loop.  Identical results either way —
+    the ratio is pure representation.
+    """
+    from ..streaming.operators.aggregate import Average
+
+    interval = 0.25
+    with use_backend(backend):
+        column_blocks = _build_v2_blocks(blocks, tuples_per_block, interval)
+        operator = Average("v", window_seconds=window_seconds)
+        outputs = 0
+        with Stopwatch() as sw:
+            for b, block in enumerate(column_blocks):
+                operator.ingest_block(block)
+                outputs += len(operator.advance_items((b + 1) * interval))
+            outputs += len(
+                operator.advance_items(blocks * interval + window_seconds + 1.0)
+            )
+    assert outputs > 0
+    if registry is not None:
+        registry.record(f"aggregate_v2.{backend}", sw.elapsed_seconds)
+    return sw.elapsed_seconds
+
+
+def time_end_to_end_v2(
+    backend: str = "numpy",
+    registry: Optional[PerfRegistry] = None,
+    **kwargs,
+) -> float:
+    """Seconds for one v2 end-to-end macro run under one columnar backend.
+
+    Same full stack as :func:`time_end_to_end` (sources → SIC → node →
+    shedder → windows → operators → coordinator, event runtime), at
+    paper-scale source rates under mild overload; see the V2_END_TO_END_*
+    constants.  Results are bit-identical across backends, so the ratio
+    isolates the column representation end to end.
+    """
+    params = dict(
+        num_queries=V2_END_TO_END_QUERIES,
+        rate=V2_END_TO_END_RATE,
+        capacity_fraction=V2_END_TO_END_CAPACITY,
+        dataset=V2_END_TO_END_DATASET,
+        columnar_backend=backend,
+    )
+    params.update(kwargs)
+    seconds, result = run_end_to_end(**params)
+    # Mild but real overload: the shedder must actually participate.
+    assert any(s.shed_tuples > 0 for s in result.node_summaries)
+    if registry is not None:
+        registry.record(f"end_to_end_v2.{backend}", seconds)
+    return seconds
+
+
 MIGRATION_WINDOW_TUPLES = 100_000
 
 
@@ -360,6 +508,9 @@ def run_end_to_end(
     warmup_seconds: float = END_TO_END_WARMUP,
     columnar: bool = True,
     runtime: str = "event",
+    capacity_fraction: float = 0.5,
+    dataset: str = "gaussian",
+    columnar_backend: Optional[str] = None,
     seed: int = 0,
 ):
     """Run the end-to-end macro-benchmark scenario and return
@@ -381,8 +532,9 @@ def run_end_to_end(
     config = SimulationConfig(
         duration_seconds=duration_seconds,
         warmup_seconds=warmup_seconds,
-        capacity_fraction=0.5,
+        capacity_fraction=capacity_fraction,
         columnar=columnar,
+        columnar_backend=columnar_backend,
         runtime=runtime,
         retain_result_values=True,
         seed=seed,
@@ -397,6 +549,7 @@ def run_end_to_end(
                 kinds[i % len(kinds)],
                 query_id=f"bench-q{i}",
                 rate=rate,
+                dataset=dataset,
                 seed=i,
             )
         )
@@ -491,8 +644,19 @@ def run_microbench(
             entry["speedup"] = entry["reference_ms"] / entry["fast_ms"]
         results["selection"][f"q{num_queries}"] = entry
 
-    fast = time_estimator_ingest(registry=registry) * 1e3
-    reference = time_estimator_ingest(use_reference=True, registry=registry) * 1e3
+    # Sub-millisecond kernel: best-of-3 on *both* sides like the small
+    # selection runs, so the recorded ratio is signal rather than scheduler
+    # noise (and not biased by repeating only one side).
+    fast = (
+        min(time_estimator_ingest(registry=registry) for _ in range(3)) * 1e3
+    )
+    reference = (
+        min(
+            time_estimator_ingest(use_reference=True, registry=registry)
+            for _ in range(3)
+        )
+        * 1e3
+    )
     results["estimator"] = {
         "arrivals": ESTIMATOR_ARRIVALS,
         "chunk": ESTIMATOR_CHUNK,
@@ -569,6 +733,61 @@ def run_microbench(
         "fast_ms": e2e_fast,
         "reference_ms": e2e_reference,
         "speedup": e2e_reference / e2e_fast,
+    }
+
+    # Columnar v2: the NumPy-backed kernels against the list-backed fast
+    # path on identical workloads (both sides run the same code, only the
+    # column storage differs; results are bit-identical).  Best-of-3 like
+    # the other sub-millisecond kernels; the macro run gets best-of-2.
+    win_v2_numpy = (
+        min(time_window_insert_v2("numpy", registry=registry) for _ in range(3))
+        * 1e3
+    )
+    win_v2_list = (
+        min(time_window_insert_v2("list", registry=registry) for _ in range(3))
+        * 1e3
+    )
+    agg_v2_numpy = (
+        min(time_aggregate_v2("numpy", registry=registry) for _ in range(3))
+        * 1e3
+    )
+    agg_v2_list = (
+        min(time_aggregate_v2("list", registry=registry) for _ in range(3))
+        * 1e3
+    )
+    e2e_v2_numpy = (
+        min(time_end_to_end_v2("numpy", registry=registry) for _ in range(2))
+        * 1e3
+    )
+    e2e_v2_list = (
+        min(time_end_to_end_v2("list", registry=registry) for _ in range(2))
+        * 1e3
+    )
+    results["columnar_v2"] = {
+        "numpy_version": _numpy_version(),
+        "window": {
+            "blocks": V2_WINDOW_BLOCKS,
+            "tuples_per_block": V2_WINDOW_TUPLES_PER_BLOCK,
+            "numpy_ms": win_v2_numpy,
+            "list_ms": win_v2_list,
+            "speedup": win_v2_list / win_v2_numpy,
+        },
+        "aggregate": {
+            "blocks": V2_AGGREGATE_BLOCKS,
+            "tuples_per_block": V2_AGGREGATE_TUPLES_PER_BLOCK,
+            "numpy_ms": agg_v2_numpy,
+            "list_ms": agg_v2_list,
+            "speedup": agg_v2_list / agg_v2_numpy,
+        },
+        "end_to_end": {
+            "queries": V2_END_TO_END_QUERIES,
+            "rate": V2_END_TO_END_RATE,
+            "capacity_fraction": V2_END_TO_END_CAPACITY,
+            "dataset": V2_END_TO_END_DATASET,
+            "numpy_ms": e2e_v2_numpy,
+            "list_ms": e2e_v2_list,
+            "speedup": e2e_v2_list / e2e_v2_numpy,
+        },
     }
 
     # Checkpoint/restore of a heavily-buffered window (the state volume a

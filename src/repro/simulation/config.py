@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..core.columns import BACKENDS
 from ..core.stw import StwConfig
 
 __all__ = ["SimulationConfig", "RUNTIMES"]
@@ -49,6 +50,14 @@ class SimulationConfig:
             generation, SIC stamping and window bucketing).  Result-identical
             to the per-tuple path for equal seeds; disable to time or
             differentially test the tuple-at-a-time reference path.
+        columnar_backend: column storage for the columnar pipeline —
+            ``"numpy"`` (float64 ndarrays, the columnar v2 kernels) or
+            ``"list"`` (plain Python lists, the pre-v2 implementation kept as
+            oracle and NumPy-free fallback).  ``None`` (default) uses the
+            process-wide default (:func:`repro.core.columns.get_default_backend`,
+            overridable via the ``REPRO_COLUMNAR_BACKEND`` environment
+            variable).  Seeded runs are bit-exact result-identical across
+            backends; the simulator scopes the setting to the run.
         runtime: execution driver — ``"event"`` (the discrete-event runtime,
             default) or ``"lockstep"`` (the original global tick loop, kept as
             the equivalence oracle).  Seeded homogeneous-interval runs are
@@ -82,6 +91,7 @@ class SimulationConfig:
     enable_sic_updates: bool = True
     coordinator_update_interval: Optional[float] = None
     columnar: bool = True
+    columnar_backend: Optional[str] = None
     runtime: str = "event"
     node_shedding_intervals: Dict[str, float] = field(default_factory=dict)
     checkpoint_interval: Optional[float] = None
@@ -113,6 +123,11 @@ class SimulationConfig:
         if self.runtime not in RUNTIMES:
             raise ValueError(
                 f"runtime must be one of {RUNTIMES}, got {self.runtime!r}"
+            )
+        if self.columnar_backend is not None and self.columnar_backend not in BACKENDS:
+            raise ValueError(
+                f"columnar_backend must be one of {BACKENDS} or None, "
+                f"got {self.columnar_backend!r}"
             )
         for node_id, interval in self.node_shedding_intervals.items():
             if interval <= 0:

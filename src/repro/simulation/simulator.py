@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Optional
 
+from ..core.columns import get_default_backend, use_backend
 from ..federation.fsps import FederatedSystem
 from ..perf import PerfRegistry, Stopwatch
 from ..runtime import EventRuntime
@@ -52,7 +53,17 @@ class Simulator:
         self.clock = SimulationClock(config.shedding_interval)
 
     def run(self) -> RunResult:
-        """Execute warm-up plus measurement period and summarise the run."""
+        """Execute warm-up plus measurement period and summarise the run.
+
+        The columnar backend (``config.columnar_backend``) is scoped to the
+        run: blocks built while the simulation executes use the configured
+        storage, and the process-wide default is restored afterwards.
+        """
+        backend = self.config.columnar_backend or get_default_backend()
+        with use_backend(backend):
+            return self._run()
+
+    def _run(self) -> RunResult:
         timer: Optional[Callable[[], float]] = (
             time.perf_counter if self.measure_shedder_time else None
         )

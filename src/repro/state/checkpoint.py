@@ -28,6 +28,24 @@ from typing import Any, Dict, List, Optional
 from ..core.columns import ColumnBlock
 from ..core.tuples import Batch, Tuple
 
+try:  # Guarded: checkpoints of list-backed blocks work without NumPy.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    np = None
+
+
+def _copy_column(column, lo: int = 0, hi: Optional[int] = None):
+    """Copy one column slice into standalone storage (no aliasing).
+
+    Array columns stay arrays (a ``float64`` memcpy, far cheaper than
+    expanding 10⁵ rows into Python objects on the migration hot path); list
+    columns stay lists.  Either way the copy shares nothing with its source,
+    and :func:`block_from_state` re-normalizes to the active backend.
+    """
+    if np is not None and isinstance(column, np.ndarray):
+        return column[lo:hi].copy() if (lo, hi) != (0, None) else column.copy()
+    return column[lo:hi]
+
 __all__ = [
     "CHECKPOINT_VERSION",
     "CheckpointError",
@@ -73,22 +91,27 @@ def tuple_from_state(state: Dict[str, Any]) -> Tuple:
 def block_to_state(
     block: ColumnBlock, lo: int = 0, hi: Optional[int] = None
 ) -> Dict[str, Any]:
-    """Serialise rows ``lo:hi`` of a column group as copied columns."""
+    """Serialise rows ``lo:hi`` of a column group as copied columns.
+
+    Columns keep their container kind (ndarray or list) — the state is still
+    plain data in the sense that matters (copied, self-contained, version-
+    checked), and restoring under either backend re-normalizes it.
+    """
     if hi is None:
         hi = len(block)
     return {
-        "timestamps": block.timestamps[lo:hi],
-        "sics": block.sics[lo:hi],
-        "values": {f: col[lo:hi] for f, col in block.values.items()},
+        "timestamps": _copy_column(block.timestamps, lo, hi),
+        "sics": _copy_column(block.sics, lo, hi),
+        "values": {f: _copy_column(col, lo, hi) for f, col in block.values.items()},
         "source_id": block.source_id,
     }
 
 
 def block_from_state(state: Dict[str, Any]) -> ColumnBlock:
     return ColumnBlock(
-        timestamps=list(state["timestamps"]),
-        sics=list(state["sics"]),
-        values={f: list(col) for f, col in state["values"].items()},
+        timestamps=_copy_column(state["timestamps"]),
+        sics=_copy_column(state["sics"]),
+        values={f: _copy_column(col) for f, col in state["values"].items()},
         source_id=state["source_id"],
     )
 

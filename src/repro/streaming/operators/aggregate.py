@@ -9,11 +9,23 @@ whole window's SIC to the emitted result.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
+from ...core.columns import seq_sum, to_pylist
 from ...core.tuples import Tuple
 from ..windows import TimeWindow, WindowPane
 from .base import Operator, PaneGroup
+
+try:  # Guarded: the list columnar backend works without NumPy.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    np = None
+
+# The qualifying-value sequence of one window: a float64 array on the fully
+# vectorized path, a plain list everywhere else.  Reductions over arrays go
+# through sequential-order primitives (np.cumsum's last element, np.min/max —
+# bit-equal to the left-to-right Python loop), never pairwise np.sum.
+Values = Union[List[float], "np.ndarray"]
 
 __all__ = [
     "WindowedAggregate",
@@ -59,15 +71,18 @@ class WindowedAggregate(Operator):
         self.output_field = output_field or self.aggregate_name
         self.predicate = predicate
 
-    def _values(self, panes: PaneGroup) -> List[float]:
+    def _values(self, panes: PaneGroup) -> Values:
         """Qualifying values of the window, pulled column-wise when possible.
 
         Columnar panes contribute their payload column directly (with the
         ``Having`` predicate evaluated over the predicate field's column);
         non-columnar panes — and any predicate without a column annotation —
         go through the seed per-tuple loop.  Both paths visit the same rows
-        in the same (timestamp-sorted) order, so the extracted value list is
-        identical either way.
+        in the same (timestamp-sorted) order, so the extracted value
+        sequence is identical either way.  ``float64`` columns (the columnar
+        v2 representation) stay arrays end to end — the predicate becomes a
+        boolean mask and :meth:`_compute` reduces with sequential-order
+        primitives — so the per-row Python loop disappears entirely.
         """
         predicate = self.predicate
         predicate_field = (
@@ -75,19 +90,31 @@ class WindowedAggregate(Operator):
             if predicate is not None
             else None
         )
-        values: List[float] = []
+        # Qualifying values per pane, in pane order: float64 arrays from the
+        # vectorized path, lists from the per-tuple/object-column fallbacks.
+        parts: List[Values] = []
         for port in sorted(panes):
             pane = panes[port]
             if predicate is None:
                 cols = pane.columns(self.field)
                 if cols is not None:
                     (column,) = cols
-                    if column is not None:
-                        for value in column:
-                            if value is None:
-                                continue
-                            values.append(float(value))
-                    # column is None: uniform schema, no row carries the field.
+                    if column is None:
+                        # Uniform schema, no row carries the field.
+                        continue
+                    if (
+                        np is not None
+                        and isinstance(column, np.ndarray)
+                        and column.dtype == np.float64
+                    ):
+                        parts.append(column)
+                        continue
+                    chunk: List[float] = []
+                    for value in column:
+                        if value is None:
+                            continue
+                        chunk.append(float(value))
+                    parts.append(chunk)
                     continue
             elif predicate_field is not None:
                 cols = pane.columns(self.field, predicate_field)
@@ -95,18 +122,44 @@ class WindowedAggregate(Operator):
                     column, predicate_column = cols
                     # predicate_column None: the Having field is absent from
                     # the uniform schema, so every row fails the predicate.
-                    if column is not None and predicate_column is not None:
-                        compare = predicate.column_compare
-                        threshold = predicate.column_threshold
-                        for value, probe in zip(column, predicate_column):
-                            if probe is None or not compare(probe, threshold):
-                                continue
-                            if value is None:
-                                continue
-                            values.append(float(value))
+                    if column is None or predicate_column is None:
+                        continue
+                    compare = predicate.column_compare
+                    threshold = predicate.column_threshold
+                    if (
+                        np is not None
+                        and isinstance(column, np.ndarray)
+                        and column.dtype == np.float64
+                        and isinstance(predicate_column, np.ndarray)
+                        and predicate_column.dtype == np.float64
+                    ):
+                        # Element-wise comparison == the scalar predicate
+                        # applied per row (float64 columns carry no None).
+                        parts.append(column[compare(predicate_column, threshold)])
+                        continue
+                    chunk = []
+                    for value, probe in zip(column, predicate_column):
+                        if probe is None or not compare(probe, threshold):
+                            continue
+                        if value is None:
+                            continue
+                        chunk.append(float(value))
+                    parts.append(chunk)
                     continue
-            self._tuple_values(pane, values)
-        return values
+            chunk = []
+            self._tuple_values(pane, chunk)
+            parts.append(chunk)
+        if not parts:
+            return []
+        if np is not None and all(isinstance(p, np.ndarray) for p in parts):
+            return parts[0] if len(parts) == 1 else np.concatenate(parts)
+        flat: List[float] = []
+        for part in parts:
+            if np is not None and isinstance(part, np.ndarray):
+                flat.extend(part.tolist())
+            else:
+                flat.extend(part)
+        return flat
 
     def _tuple_values(self, pane: WindowPane, values: List[float]) -> None:
         """Seed per-tuple extraction for one pane (appends into ``values``)."""
@@ -120,7 +173,7 @@ class WindowedAggregate(Operator):
                 continue
             values.append(float(value))
 
-    def _compute(self, values: List[float]) -> Optional[float]:
+    def _compute(self, values: Values) -> Optional[float]:
         raise NotImplementedError
 
     def _process(self, panes: PaneGroup, now: float) -> List[Tuple]:
@@ -137,10 +190,10 @@ class Average(WindowedAggregate):
 
     aggregate_name = "avg"
 
-    def _compute(self, values: List[float]) -> Optional[float]:
-        if not values:
+    def _compute(self, values: Values) -> Optional[float]:
+        if len(values) == 0:
             return None
-        return sum(values) / len(values)
+        return seq_sum(values) / len(values)
 
 
 class Sum(WindowedAggregate):
@@ -148,10 +201,10 @@ class Sum(WindowedAggregate):
 
     aggregate_name = "sum"
 
-    def _compute(self, values: List[float]) -> Optional[float]:
-        if not values:
+    def _compute(self, values: Values) -> Optional[float]:
+        if len(values) == 0:
             return None
-        return float(sum(values))
+        return seq_sum(values)
 
 
 class Count(WindowedAggregate):
@@ -186,9 +239,11 @@ class Max(WindowedAggregate):
 
     aggregate_name = "max"
 
-    def _compute(self, values: List[float]) -> Optional[float]:
-        if not values:
+    def _compute(self, values: Values) -> Optional[float]:
+        if len(values) == 0:
             return None
+        if np is not None and isinstance(values, np.ndarray):
+            return float(values.max())
         return max(values)
 
 
@@ -197,9 +252,11 @@ class Min(WindowedAggregate):
 
     aggregate_name = "min"
 
-    def _compute(self, values: List[float]) -> Optional[float]:
-        if not values:
+    def _compute(self, values: Values) -> Optional[float]:
+        if len(values) == 0:
             return None
+        if np is not None and isinstance(values, np.ndarray):
+            return float(values.min())
         return min(values)
 
 
@@ -249,9 +306,12 @@ class GroupByAggregate(Operator):
             if cols is not None:
                 keys, group_values = cols
                 # A None column: uniform schema without the key/value field —
-                # no row can contribute to any group.
+                # no row can contribute to any group.  to_pylist keeps the
+                # keys emitted into output payloads plain Python objects.
                 if keys is not None and group_values is not None:
-                    for key, value in zip(keys, group_values):
+                    for key, value in zip(
+                        to_pylist(keys), to_pylist(group_values)
+                    ):
                         if key is None or value is None:
                             continue
                         groups.setdefault(key, []).append(float(value))

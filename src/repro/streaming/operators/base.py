@@ -140,7 +140,7 @@ class Operator:
                 size = len(block)
                 if size:
                     shares = propagate_sic([input_sic], size)
-                    block.sics = [shares[0]] * size
+                    block.sics = block.constant_sics(shares[0])
                     outputs.append(block)
                     self.emitted_tuples += size
                 else:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ...core.columns import ColumnBlock
+from ...core.columns import ColumnBlock, to_pylist
 from ...core.tuples import Tuple
 from ..windows import TimeWindow, WindowPane
 from .base import Operator, PaneGroup
@@ -141,15 +141,19 @@ class WindowEquiJoin(Operator):
             # A missing key column means no row can carry the key — the
             # per-tuple path would have skipped every row too.
             return []
+        right_keys = to_pylist(right_keys)
+        left_keys = to_pylist(left_keys)
         build: Dict[object, List[int]] = {}
         for j, key in enumerate(right_keys):
             if key is None:
                 continue
             build.setdefault(key, []).append(j)
         left_fields = list(left_block.values)
-        left_columns = [left_block.values[f] for f in left_fields]
+        left_columns = [to_pylist(left_block.values[f]) for f in left_fields]
         right_fields = list(right_block.values)
-        right_columns = [right_block.values[f] for f in right_fields]
+        right_columns = [
+            to_pylist(right_block.values[f]) for f in right_fields
+        ]
         right_prefix = self.right_prefix
         outputs: List[Tuple] = []
         for i, key in enumerate(left_keys):

@@ -16,6 +16,11 @@ from ...core.columns import ColumnBlock
 from ...core.tuples import Tuple
 from .base import Operator, PaneGroup
 
+try:  # Guarded: the list columnar backend works without NumPy.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    np = None
+
 
 def _pane_group_blocks(panes: PaneGroup) -> Optional[List[ColumnBlock]]:
     """All panes of the group as blocks in port order, or ``None``.
@@ -171,6 +176,33 @@ class Filter(Operator):
                 # Uniform schema without the field: the predicate rejects
                 # every row of this block.
                 continue
+            if (
+                np is not None
+                and isinstance(column, np.ndarray)
+                and column.dtype == np.float64
+            ):
+                # Columnar v2: the predicate is one element-wise comparison
+                # (float64 columns carry no None) and survivors are gathered
+                # with a boolean mask per column.
+                mask = compare(column, threshold)
+                survivors = int(np.count_nonzero(mask))
+                if survivors == len(column):
+                    kept.append(block)
+                    continue
+                if survivors == 0:
+                    continue
+                kept.append(
+                    ColumnBlock._unchecked(
+                        block.timestamps[mask],
+                        # Placeholder SIC column: like every _process_columnar
+                        # result, the base class rebinds it with the
+                        # propagated shares before the block is observable.
+                        np.zeros(survivors),
+                        {f: col[mask] for f, col in block.values.items()},
+                        block.source_id,
+                    )
+                )
+                continue
             keep = [
                 i
                 for i, v in enumerate(column)
@@ -180,6 +212,17 @@ class Filter(Operator):
                 kept.append(block)
                 continue
             if not keep:
+                continue
+            if block.is_array_backed:
+                index = np.asarray(keep)
+                kept.append(
+                    ColumnBlock._unchecked(
+                        block.timestamps[index],
+                        np.zeros(len(keep)),
+                        {f: col[index] for f, col in block.values.items()},
+                        block.source_id,
+                    )
+                )
                 continue
             kept.append(
                 ColumnBlock._unchecked(

@@ -19,13 +19,20 @@ from ...core.tuples import Tuple
 from ..windows import TimeWindow, WindowPane
 from .base import Operator, PaneGroup
 
+try:  # Guarded: the list columnar backend works without NumPy.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    np = None
+
 
 def _pane_float_series(pane: WindowPane, field: str) -> List[float]:
     """``field`` of every pane row as floats, column-wise when possible.
 
     Mirrors the seed's ``float(t.values.get(field, 0.0))`` semantics: rows
     without the field contribute ``0.0`` (uniform block schemas make that a
-    whole-pane decision on the columnar path).
+    whole-pane decision on the columnar path).  ``float64`` columns convert
+    through ``tolist()`` — the identical Python floats, one C call — so the
+    sequential Welford/merge consumers keep operating on plain scalars.
     """
     cols = pane.columns(field)
     if cols is not None:
@@ -33,6 +40,10 @@ def _pane_float_series(pane: WindowPane, field: str) -> List[float]:
         if column is None:
             # Uniform schema without the field: every row reads as 0.0.
             return [0.0] * len(pane)
+        if np is not None and isinstance(column, np.ndarray):
+            if column.dtype == np.float64:
+                return column.tolist()
+            return [float(v) for v in column.tolist()]
         return [float(v) for v in column]
     return [float(t.values.get(field, 0.0)) for t in pane.tuples]
 
@@ -229,7 +240,18 @@ class PartialAverage(Operator):
                 # column None: uniform schema without the field — nothing to
                 # average from this pane.
                 if column is not None:
-                    values.extend(float(v) for v in column if v is not None)
+                    if (
+                        np is not None
+                        and isinstance(column, np.ndarray)
+                        and column.dtype == np.float64
+                    ):
+                        # float64 columns carry no None; tolist() yields the
+                        # identical Python floats in one call.
+                        values.extend(column.tolist())
+                    else:
+                        values.extend(
+                            float(v) for v in column if v is not None
+                        )
                 continue
             values.extend(
                 float(t.values[self.field])

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ...core.columns import to_pylist
 from ...core.tuples import Tuple
 from ..windows import TimeWindow
 from .base import Operator, PaneGroup
@@ -22,7 +23,12 @@ __all__ = ["TopK", "TopKMerge"]
 def _collect_best(
     panes: PaneGroup, id_field: str, value_field: str
 ) -> Dict[object, float]:
-    """Best value per identifier across the group, column-wise when possible."""
+    """Best value per identifier across the group, column-wise when possible.
+
+    Columns convert through :func:`to_pylist` before row iteration so the
+    identifiers that end up in output payloads are the identical Python
+    objects on both columnar backends.
+    """
     best: Dict[object, float] = {}
     for port in sorted(panes):
         pane = panes[port]
@@ -32,7 +38,7 @@ def _collect_best(
             # A None column: uniform schema without the id/value field — the
             # pane offers no candidates.
             if idents is not None and values is not None:
-                for ident, value in zip(idents, values):
+                for ident, value in zip(to_pylist(idents), to_pylist(values)):
                     if ident is None or value is None:
                         continue
                     value = float(value)

@@ -40,8 +40,13 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, List, Optional, Sequence
 
-from ..core.columns import ColumnBlock
+from ..core.columns import SMALL_COLUMN, ColumnBlock, seq_sum
 from ..core.tuples import Tuple
+
+try:  # Guarded: the list columnar backend works without NumPy.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    np = None
 from ..state.checkpoint import (
     CheckpointError,
     block_from_state,
@@ -110,7 +115,7 @@ class WindowPane:
             if sic is None:
                 sic = 0.0
                 for block, lo, hi in ranges:
-                    sic += sum(block.sics[lo:hi])
+                    sic += seq_sum(block.sics[lo:hi])
             self.sic = sic
         else:
             self._count = 0
@@ -177,16 +182,24 @@ class WindowPane:
             self._merged = merged
             if self._sort_tuples:
                 timestamps = merged.timestamps
-                ordered = all(
-                    timestamps[i] <= timestamps[i + 1]
-                    for i in range(len(timestamps) - 1)
-                )
-                if not ordered:
-                    # Stable permutation — same reordering a stable sort of
-                    # the materialized tuples by timestamp would apply.
-                    self._order = sorted(
-                        range(len(timestamps)), key=timestamps.__getitem__
+                if np is not None and isinstance(timestamps, np.ndarray):
+                    ordered = bool(np.all(timestamps[1:] >= timestamps[:-1]))
+                    if not ordered:
+                        # Stable permutation — argsort(kind="stable") applies
+                        # the same reordering a stable sort of the
+                        # materialized tuples by timestamp would.
+                        self._order = np.argsort(timestamps, kind="stable")
+                else:
+                    ordered = all(
+                        timestamps[i] <= timestamps[i + 1]
+                        for i in range(len(timestamps) - 1)
                     )
+                    if not ordered:
+                        # Stable permutation — same reordering a stable sort
+                        # of the materialized tuples by timestamp would apply.
+                        self._order = sorted(
+                            range(len(timestamps)), key=timestamps.__getitem__
+                        )
         return self._merged
 
     def timestamps_column(self) -> Optional[List[float]]:
@@ -197,6 +210,8 @@ class WindowPane:
         if self._order is None:
             return merged.timestamps
         timestamps = merged.timestamps
+        if np is not None and isinstance(timestamps, np.ndarray):
+            return timestamps[self._order]
         return [timestamps[i] for i in self._order]
 
     def as_block(self) -> Optional[ColumnBlock]:
@@ -214,6 +229,14 @@ class WindowPane:
         order = self._order
         timestamps = merged.timestamps
         sics = merged.sics
+        if np is not None and isinstance(timestamps, np.ndarray):
+            # Fancy indexing applies the stable permutation per column.
+            return ColumnBlock._unchecked(
+                timestamps[order],
+                sics[order],
+                {f: col[order] for f, col in merged.values.items()},
+                merged.source_id,
+            )
         return ColumnBlock(
             timestamps=[timestamps[i] for i in order],
             sics=[sics[i] for i in order],
@@ -257,6 +280,8 @@ class WindowPane:
             return None
         if self._order is None:
             return column
+        if np is not None and isinstance(column, np.ndarray):
+            return column[self._order]
         return [column[i] for i in self._order]
 
 
@@ -291,10 +316,19 @@ class _PaneAcc:
 
     def add_range(self, block: ColumnBlock, lo: int, hi: int) -> None:
         """Add rows ``lo:hi`` of a block, accumulating SIC element-wise (the
-        identical additions the per-tuple path performs, for bit equality)."""
+        identical additions the per-tuple path performs, for bit equality —
+        array columns fold through ``seq_sum``'s sequential cumsum)."""
         self.items.append((block, lo, hi))
+        sics = block.sics
+        if np is not None and isinstance(sics, np.ndarray):
+            if hi - lo > SMALL_COLUMN:
+                self.sic = seq_sum(sics[lo:hi], initial=self.sic)
+                self.count += hi - lo
+                return
+            sics = sics[lo:hi].tolist()
+            lo, hi = 0, len(sics)
         sic = self.sic
-        for s in block.sics[lo:hi]:
+        for s in sics[lo:hi]:
             sic += s
         self.sic = sic
         self.count += hi - lo
@@ -555,10 +589,22 @@ class TimeWindow(WindowBuffer):
         if hi <= lo:
             return
         timestamps = block.timestamps
+        if np is not None and isinstance(timestamps, np.ndarray):
+            if hi - lo > 32:
+                self._insert_block_array(block, timestamps, lo, hi)
+                return
+            # Short ranges (split-fragmented batches): the scalar run loop
+            # below beats the ufunc dispatch; np.float64 scalars go through
+            # the identical index arithmetic.
+            timestamps = timestamps[lo:hi].tolist()
+            offset = lo
+            lo, hi = 0, len(timestamps)
+        else:
+            offset = 0
         if self.is_sliding or any(
             timestamps[i] > timestamps[i + 1] for i in range(lo, hi - 1)
         ):
-            self.insert(block.to_tuples(lo, hi))
+            self.insert(block.to_tuples(lo + offset, hi + offset))
             return
         index_pair = self._index_pair
         slide = self.slide
@@ -578,13 +624,68 @@ class TimeWindow(WindowBuffer):
             first, last = pair
             if first == last:
                 if last * slide + size > last_closed:
-                    self._acc(last).add_range(block, i, j)
+                    self._acc(last).add_range(block, i + offset, j + offset)
             else:
                 # A tumbling run that straddles pane intervals can only come
                 # from ulp-level rounding in the index arithmetic; route it
                 # through the exact per-tuple path (SIC shares included).
-                self.insert(block.to_tuples(i, j))
+                self.insert(block.to_tuples(i + offset, j + offset))
             i = j
+
+    def _insert_block_array(self, block: ColumnBlock, timestamps, lo, hi) -> None:
+        """Columnar v2 bucket assignment over a ``float64`` timestamp array.
+
+        Pane indices are computed element-wise (``np.floor`` performs the
+        identical per-element divisions and floors as :meth:`_index_pair`, so
+        every row lands in exactly the pane the scalar path would pick) and
+        maximal same-pane runs fall out of one change-point scan instead of
+        per-run binary searches.  Each run joins its pane as a zero-copy
+        ``(block, i, j)`` range in row order — the same insertion order and
+        the same element-wise SIC additions as the per-tuple path, whether or
+        not the timestamps arrive sorted.  Runs that straddle pane intervals
+        and sliding windows fall back to the exact per-tuple path, exactly
+        like the list-backed implementation.
+        """
+        if self.is_sliding:
+            self.insert(block.to_tuples(lo, hi))
+            return
+        segment = (
+            timestamps if lo == 0 and hi == len(timestamps)
+            else timestamps[lo:hi]
+        )
+        slide = self.slide
+        size = self.size
+        # Kept as float64: the floor values are exact small integers, and
+        # skipping the int64 casts saves two ufunc dispatches per block.
+        last_f = np.floor(segment / slide)
+        first_f = np.floor((segment - size) / slide)
+        last_closed = self._last_closed_end
+        change = (last_f[1:] != last_f[:-1]) | (first_f[1:] != first_f[:-1])
+        if not change.any():
+            # Whole segment in one pane — the common case for source blocks.
+            first = int(first_f[0]) + 1
+            last = int(last_f[0])
+            if first == last:
+                if last * slide + size > last_closed:
+                    self._acc(last).add_range(block, lo, hi)
+            else:
+                # Straddling run (ulp-level rounding): exact per-tuple path.
+                self.insert(block.to_tuples(lo, hi))
+            return
+        bounds = (np.flatnonzero(change) + 1).tolist()
+        starts = [0] + bounds
+        stops = bounds + [len(segment)]
+        first_list = first_f[starts].tolist()
+        last_list = last_f[starts].tolist()
+        for s, e, first, last in zip(starts, stops, first_list, last_list):
+            first = int(first) + 1
+            last = int(last)
+            if first == last:
+                if last * slide + size > last_closed:
+                    self._acc(last).add_range(block, lo + s, lo + e)
+            else:
+                # Straddling run (ulp-level rounding): exact per-tuple path.
+                self.insert(block.to_tuples(lo + s, lo + e))
 
     def advance(self, now: float) -> List[WindowPane]:
         closed: List[WindowPane] = []

@@ -20,8 +20,13 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Optional
 
-from ..core.columns import ColumnBlock
+from ..core.columns import ColumnBlock, get_default_backend
 from ..core.tuples import Tuple
+
+try:  # Guarded: the list columnar backend works without NumPy.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    np = None
 from .datasets import PlanetLabLikeValues, ValueDistribution, make_dataset
 
 __all__ = [
@@ -100,12 +105,20 @@ class StreamSource:
         if count <= 0:
             return None
         step = (end - start) / count
-        timestamps = [start + (index + 0.5) * step for index in range(count)]
+        if np is not None and get_default_backend() == "numpy":
+            # Element-wise: (index + 0.5) * step + start performs the exact
+            # per-element operations of the list comprehension below, so the
+            # timestamp column is bit-identical across backends.
+            timestamps = start + (np.arange(count) + 0.5) * step
+            sics = np.zeros(count)
+        else:
+            timestamps = [start + (index + 0.5) * step for index in range(count)]
+            sics = [0.0] * count
         values = self.payload_columns(count)
         self.emitted_tuples += count
         return ColumnBlock(
             timestamps=timestamps,
-            sics=[0.0] * count,
+            sics=sics,
             values=values,
             source_id=self.source_id,
         )

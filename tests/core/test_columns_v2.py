@@ -1,0 +1,299 @@
+"""ColumnBlock v2 (NumPy backend) unit tests.
+
+Covers the satellite edge cases of the columnar v2 work: empty blocks,
+heterogeneous/object-dtype payload columns, view-vs-copy semantics after
+``Batch.split``, memoized ``to_tuples`` materialization with invalidation,
+the sequential-sum determinism primitive, and checkpoint round-trips of
+array-backed window/estimator state.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.columns import (
+    BACKENDS,
+    ColumnBlock,
+    get_default_backend,
+    seq_sum,
+    set_default_backend,
+    use_backend,
+)
+from repro.core.sic import SicAssigner, SourceRateEstimator
+from repro.core.tuples import Batch, Tuple
+from repro.streaming.windows import ImmediateWindow, TimeWindow
+
+
+def make_block(n=10, start=0.0, source_id="s"):
+    return ColumnBlock(
+        timestamps=[start + 0.01 * i for i in range(n)],
+        sics=[1e-3] * n,
+        values={"v": [float(i) for i in range(n)]},
+        source_id=source_id,
+    )
+
+
+class TestBackendSwitch:
+    def test_backends_and_default(self):
+        assert get_default_backend() in BACKENDS
+
+    def test_use_backend_scopes_and_restores(self):
+        before = get_default_backend()
+        with use_backend("list"):
+            assert get_default_backend() == "list"
+            assert isinstance(make_block().timestamps, list)
+        assert get_default_backend() == before
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_backend("arrow")
+
+    def test_numpy_backend_uses_float64_arrays(self):
+        with use_backend("numpy"):
+            block = make_block()
+        assert isinstance(block.timestamps, np.ndarray)
+        assert block.timestamps.dtype == np.float64
+        assert block.sics.dtype == np.float64
+        assert block.values["v"].dtype == np.float64
+
+
+class TestSequentialSum:
+    def test_seq_sum_matches_python_loop_bit_for_bit(self):
+        rng = random.Random(7)
+        values = [rng.uniform(-1e3, 1e3) for _ in range(100_000)]
+        arr = np.asarray(values)
+        total = 0.0
+        for v in values:
+            total += v
+        assert seq_sum(arr) == total
+        chained = 123.456
+        for v in values:
+            chained += v
+        assert seq_sum(arr, initial=123.456) == chained
+
+    def test_seq_sum_small_and_empty(self):
+        assert seq_sum(np.asarray([])) == 0.0
+        assert seq_sum(np.asarray([]), initial=2.5) == 2.5
+        assert seq_sum(np.asarray([1.5, 2.25])) == 3.75
+        assert seq_sum([1.5, 2.25], initial=1.0) == 4.75
+
+
+class TestEmptyBlocks:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_block_roundtrips(self, backend):
+        with use_backend(backend):
+            block = ColumnBlock([], [], {})
+            assert len(block) == 0
+            assert not block
+            assert block.to_tuples() == []
+            assert block.sic_total() == 0.0
+            merged = ColumnBlock.concat([block, ColumnBlock([], [], {})])
+            assert len(merged) == 0
+            piece = block.slice(0, 0)
+            assert len(piece) == 0
+
+    def test_empty_batch_from_block(self):
+        with use_backend("numpy"):
+            batch = Batch.from_block("q", ColumnBlock([], [], {}))
+        assert len(batch) == 0
+        assert batch.header.sic == 0.0
+        assert batch.header.created_at == 0.0
+
+
+class TestObjectColumns:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_heterogeneous_payload_values_preserved(self, backend):
+        values = {
+            "id": ["node-1", "node-2", "node-3"],
+            "tags": [["a"], [], ["b", "c"]],
+            "count": [1, 2, 3],  # ints stay ints (no float64 coercion)
+            "v": [1.0, 2.0, 3.0],
+        }
+        with use_backend(backend):
+            block = ColumnBlock(
+                timestamps=[0.1, 0.2, 0.3],
+                sics=[0.5, 0.25, 0.25],
+                values={f: list(col) for f, col in values.items()},
+                source_id="s",
+            )
+            tuples = block.to_tuples()
+        for i, t in enumerate(tuples):
+            assert t.values["id"] == values["id"][i]
+            assert type(t.values["id"]) is str
+            assert t.values["tags"] == values["tags"][i]
+            assert t.values["count"] == values["count"][i]
+            assert type(t.values["count"]) is int
+            assert type(t.values["v"]) is float
+
+    def test_object_columns_get_object_dtype(self):
+        with use_backend("numpy"):
+            block = ColumnBlock(
+                timestamps=[0.0, 1.0],
+                values={"id": ["a", "b"], "mixed": [1, "x"]},
+            )
+        assert block.values["id"].dtype == object
+        assert block.values["mixed"].dtype == object
+
+    def test_object_columns_concat(self):
+        with use_backend("numpy"):
+            a = ColumnBlock([0.0], values={"id": ["a"]}, source_id="s")
+            b = ColumnBlock([1.0], values={"id": ["b"]}, source_id="s")
+            merged = ColumnBlock.concat_ranges([(a, 0, 1), (b, 0, 1)])
+        assert merged.values["id"].tolist() == ["a", "b"]
+        assert merged.source_id == "s"
+
+
+class TestToTuplesMemoization:
+    def test_full_materialization_is_cached(self):
+        with use_backend("numpy"):
+            block = make_block(5)
+        first = block.to_tuples()
+        second = block.to_tuples()
+        assert first == second
+        # Same Tuple objects (cached), fresh list container per call.
+        assert first is not second
+        assert all(a is b for a, b in zip(first, second))
+        # Ranges of a memoized block slice the cache.
+        assert block.to_tuples(1, 3) == first[1:3]
+        assert block.to_tuples(1, 3)[0] is first[1]
+
+    def test_rebinding_a_column_invalidates_the_cache(self):
+        with use_backend("numpy"):
+            block = make_block(4)
+        before = block.to_tuples()
+        block.sics = block.constant_sics(0.125)
+        after = block.to_tuples()
+        assert before[0] is not after[0]
+        assert all(t.sic == 0.125 for t in after)
+
+    def test_partial_range_does_not_build_the_cache(self):
+        with use_backend("numpy"):
+            block = make_block(6)
+        a = block.to_tuples(0, 2)
+        b = block.to_tuples(0, 2)
+        assert a == b
+        assert a[0] is not b[0]  # no cache was installed by range requests
+
+
+class TestSplitViewSemantics:
+    def test_numpy_split_pieces_are_zero_copy_views(self):
+        with use_backend("numpy"):
+            block = make_block(100)
+            batch = Batch.from_block("q", block)
+            head, tail = batch.split(40)
+            assert len(head) == 40 and len(tail) == 60
+            # Reading a piece's block materializes an O(1) view over the
+            # parent's arrays — no column copies.
+            assert np.shares_memory(head.block.timestamps, block.timestamps)
+            assert np.shares_memory(tail.block.timestamps, block.timestamps)
+            assert head.block.values["v"].base is not None
+            # Header SIC is prefix-derived and exact.
+            assert head.header.sic + tail.header.sic == pytest.approx(
+                batch.header.sic
+            )
+            assert head.block.timestamps.tolist() == block.timestamps[:40].tolist()
+
+    def test_list_split_pieces_are_copies(self):
+        with use_backend("list"):
+            block = make_block(10)
+            batch = Batch.from_block("q", block)
+            head, _ = batch.split(4)
+            assert head.block.timestamps == block.timestamps[:4]
+            assert head.block.timestamps is not block.timestamps
+
+    def test_split_tuples_match_across_backends(self):
+        def pieces(backend):
+            with use_backend(backend):
+                block = make_block(20)
+                batch = Batch.from_block("q", block)
+                head, tail = batch.split(7)
+                return [
+                    (t.timestamp, t.sic, t.values)
+                    for t in head.tuples + tail.tuples
+                ]
+
+        assert pieces("numpy") == pieces("list")
+
+
+class TestArrayStateRoundTrips:
+    def test_time_window_checkpoint_roundtrip_array_backed(self):
+        with use_backend("numpy"):
+            window = TimeWindow(1.0)
+            for b in range(8):
+                window.insert_block(make_block(50, start=b * 0.25))
+            state = window.snapshot()
+            restored = TimeWindow(1.0)
+            restored.restore(state)
+            assert restored.pending_count() == window.pending_count()
+            assert restored.pending_sic() == window.pending_sic()
+            # Restored panes close to identical results.
+            a = [(p.sic, len(p)) for p in window.advance(10.0)]
+            b = [(p.sic, len(p)) for p in restored.advance(10.0)]
+            assert a == b
+
+    def test_restore_under_other_backend_is_result_identical(self):
+        with use_backend("numpy"):
+            window = TimeWindow(1.0)
+            for b in range(8):
+                window.insert_block(make_block(50, start=b * 0.25))
+            state = window.snapshot()
+            panes_numpy = [
+                (p.sic, [t.sic for t in p.tuples]) for p in window.advance(10.0)
+            ]
+        with use_backend("list"):
+            restored = TimeWindow(1.0)
+            restored.restore(state)
+            panes_list = [
+                (p.sic, [t.sic for t in p.tuples])
+                for p in restored.advance(10.0)
+            ]
+        assert panes_numpy == panes_list
+
+    def test_immediate_window_roundtrip_array_backed(self):
+        with use_backend("numpy"):
+            window = ImmediateWindow()
+            window.insert_block(make_block(30))
+            window.insert([Tuple(timestamp=0.4, sic=0.25, values={"v": 9.0})])
+            state = window.snapshot()
+            restored = ImmediateWindow()
+            restored.restore(state)
+            assert restored.pending_sic() == window.pending_sic()
+            (pane_a,) = window.advance(1.0)
+            (pane_b,) = restored.advance(1.0)
+            assert pane_a.sic == pane_b.sic
+            assert [t.values for t in pane_a.tuples] == [
+                t.values for t in pane_b.tuples
+            ]
+
+    def test_estimator_run_buckets_roundtrip(self):
+        with use_backend("numpy"):
+            original = SourceRateEstimator(stw_seconds=2.0)
+            for b in range(6):
+                block = make_block(40, start=b * 0.25)
+                original.observe_run("s", block.timestamps)
+            state = original.snapshot()
+            # Run buckets expand to the plain [t, 1] pair layout.
+            buckets = state["windows"]["s"]["buckets"]
+            assert all(count == 1 for _, count in buckets)
+            restored = SourceRateEstimator(stw_seconds=2.0)
+            restored.restore(state)
+            assert restored.tuples_per_stw("s") == original.tuples_per_stw("s")
+            # Future arrivals produce identical estimates on both.
+            late = make_block(40, start=2.0)
+            original.observe_run("s", late.timestamps)
+            restored.observe_run("s", late.timestamps)
+            assert restored.tuples_per_stw("s") == original.tuples_per_stw("s")
+
+    def test_assigner_array_vs_list_estimates_identical(self):
+        def stamped(backend):
+            with use_backend(backend):
+                assigner = SicAssigner("q", 2, stw_seconds=2.0)
+                out = []
+                for b in range(10):
+                    block = make_block(25, start=b * 0.25)
+                    assigner.assign_block(block)
+                    out.append(list(block.sics))
+                return out
+
+        assert stamped("numpy") == stamped("list")

@@ -186,7 +186,7 @@ class TestEstimatorAndTrackerRoundTrips:
         block_b = make_block(0.5, 20)
         original.assign_block(block_a)
         restored.assign_block(block_b)
-        assert block_a.sics == block_b.sics
+        assert list(block_a.sics) == list(block_b.sics)
 
     def test_tracker_round_trip_preserves_series(self):
         config = StwConfig(stw_seconds=2.0, slide_seconds=0.25)

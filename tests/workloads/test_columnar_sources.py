@@ -155,8 +155,9 @@ class TestSicAssignmentEquivalence:
                 fast.assign(fast_tuples)
                 seed_tuples = ss.generate(start, end)
                 seed.assign(seed_tuples)
-                assert block.sics == [t.sic for t in fast_tuples]
-                assert block.sics == [t.sic for t in seed_tuples]
+                sics = list(block.sics)
+                assert sics == [t.sic for t in fast_tuples]
+                assert sics == [t.sic for t in seed_tuples]
                 # Header SIC sums identically from either representation.
                 assert (
                     Batch.from_block("q", block, created_at=end).sic
