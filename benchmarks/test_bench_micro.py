@@ -31,6 +31,7 @@ from repro.perf.microbench import (
     time_generation_sic,
     time_migration,
     time_node_ticks,
+    time_reliability,
     time_runtime,
     time_selection,
     time_window_insert,
@@ -57,6 +58,12 @@ END_TO_END_V2_SPEEDUP_FLOOR = 1.3
 # to end (ISSUE 3 acceptance criterion; observed ~5-7% on the recording
 # machine — see the `runtime` section of BENCH_shedding.json).
 RUNTIME_OVERHEAD_CEILING = 0.10
+# Reliable delivery on a loss-free network must stay within 10% of the plain
+# best-effort transport end to end (robustness PR acceptance criterion; the
+# two runs are bit-exact result-identical, so the ratio is the pure cost of
+# sequence numbers, acks and retransmission timers — see the `faults` section
+# of BENCH_shedding.json).
+RELIABILITY_OVERHEAD_CEILING = 0.10
 # Checkpoint + restore of a 10⁵-tuple window must stay within this factor of
 # *building* the same window state through the columnar pipeline (ISSUE 4;
 # observed ~1.0× on the recording machine — the serialised round-trip costs
@@ -323,3 +330,39 @@ class TestRuntimeBenchmarks:
         )
         assert event.per_query_sic == lockstep.per_query_sic
         assert event.result_values == lockstep.result_values
+
+
+class TestReliabilityBenchmarks:
+    """Reliable delivery vs the best-effort transport (identical loss-free
+    scenario, identical results — the timing difference is pure transport
+    bookkeeping: sequence numbers, acks, retransmission timers)."""
+
+    def test_reliable_end_to_end(self, benchmark):
+        seconds = benchmark.pedantic(time_reliability, rounds=1, iterations=1)
+        benchmark.extra_info["scenario"] = "aggregate x50, overload 2, reliable"
+        assert seconds > 0
+
+    @skip_perf_asserts
+    def test_reliability_overhead_within_budget(self):
+        off = best_of(2, time_reliability, reliable=False)
+        on = best_of(2, time_reliability, reliable=True)
+        overhead = on / off - 1.0
+        assert overhead <= RELIABILITY_OVERHEAD_CEILING, (
+            f"reliable delivery overhead {overhead * 100:.1f}% exceeds the "
+            f"{RELIABILITY_OVERHEAD_CEILING * 100:.0f}% budget on a loss-free "
+            f"network; on={on * 1e3:.0f} ms off={off * 1e3:.0f} ms"
+        )
+
+    def test_reliable_result_identical(self):
+        """Same seeds -> the reliable run reproduces the best-effort run
+        exactly on a loss-free network (scaled-down scenario)."""
+        _, reliable = run_end_to_end(
+            num_queries=10, rate=200.0, duration_seconds=3.0,
+            reliable_delivery=True,
+        )
+        _, best_effort = run_end_to_end(
+            num_queries=10, rate=200.0, duration_seconds=3.0,
+            reliable_delivery=False,
+        )
+        assert reliable.per_query_sic == best_effort.per_query_sic
+        assert reliable.result_values == best_effort.result_values

@@ -115,6 +115,13 @@ def build_report(quick: bool = False) -> dict:
     speedups["runtime_event_vs_lockstep"] = round(
         results["runtime"]["lockstep_ms"] / results["runtime"]["event_ms"], 2
     )
+    # Reliable-delivery ratio (off / on, ~1.0 on a loss-free network):
+    # recorded so --compare catches the reliable channel's bookkeeping
+    # blowing past its ≤10% overhead budget in a later PR.
+    reliability = results["faults"]["reliability"]
+    speedups["reliability_off_vs_on"] = round(
+        reliability["off_ms"] / reliability["on_ms"], 2
+    )
     # Checkpoint/restore budget (build / roundtrip, ~1.0): the cost of
     # snapshotting + restoring a 10⁵-tuple window relative to building that
     # state through the columnar pipeline.  Recorded so --compare fails when

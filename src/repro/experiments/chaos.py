@@ -1,0 +1,298 @@
+"""Chaos scenario — fairness under a sustained seeded fault schedule.
+
+The paper argues SIC-driven shedding keeps federated stream processing fair
+under adverse conditions; this experiment makes the conditions genuinely
+adverse.  One federation runs the full resilience stack — reliable delivery
+for data/result messages, heartbeat failure detection with automatic
+checkpoint-restore recovery, periodic checkpoints — through a deterministic
+:class:`~repro.faults.FaultPlan`, phase by phase:
+
+1. **steady** — no faults; the resilience stack idles (zero retransmits).
+2. **lossy** — sustained message loss, duplication and delay jitter on every
+   link; one query's coordinator also crashes and fails over mid-phase.  The
+   reliable channel retransmits and dedups; ``updateSIC`` stays best-effort
+   and just gets lossier.
+3. **partition** — one node is fully isolated (data *and* heartbeats).  The
+   failure detector eventually declares it dead — the textbook false
+   positive, handled like a real crash — while the reliable channel buffers
+   the severed links' traffic and redelivers it when the partition heals.
+4. **crash** — a node's process dies silently; heartbeats stop, the detector
+   times out, crash-fails it, and — once the machine "reboots" — rejoins it
+   from the last coordinator-held checkpoints, automatically.
+5. **recovered** — no faults; the federation is whole again.
+
+A fault-free control run (same stack, same seeds, empty plan) provides the
+baseline columns.  The report includes per-phase fairness for both runs,
+detection/recovery latencies, and the transport's exactly-once ledger: after
+a final drain, every data/result message ever sent is delivered, a counted
+duplicate or a counted expiry — zero duplicated and zero silently-lost
+result tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.shedding import make_shedder
+from ..faults import (
+    CoordinatorCrash,
+    FaultInjector,
+    FaultPlan,
+    LossEpisode,
+    NodeCrash,
+    PartitionEpisode,
+)
+from ..federation.deployment import Placement
+from ..federation.fsps import FederatedSystem
+from ..federation.network import Network, ReliabilityConfig, UniformLatency
+from ..federation.node import FspsNode
+from ..runtime import EventRuntime, FailureDetector
+from ..simulation.config import SimulationConfig
+from ..workloads.aggregate import make_aggregate_query
+from ..workloads.generators import compute_node_budgets
+from ..workloads.spec import WorkloadQuery
+from .churn import _PhaseTracker
+from .common import ExperimentResult
+from .testbeds import scaled_config
+
+__all__ = ["run"]
+
+NUM_NODES = 3
+NUM_QUERIES = 6
+KINDS = ("avg", "max", "count")
+PARTITIONED_NODE = "node-1"
+CRASHED_NODE = "node-2"
+FAILOVER_QUERY = "chaos-q0"
+
+PHASE_SECONDS = {"small": 5.0, "medium": 10.0, "paper": 30.0}
+
+# Lossy-phase parameters: ≥5% drop plus duplication, as the reliability
+# acceptance bar demands, and enough jitter to reorder batches in flight.
+DROP_PROBABILITY = 0.08
+DUPLICATE_PROBABILITY = 0.03
+JITTER_SECONDS = 0.02
+
+PHASES = ("steady", "lossy", "partition", "crash", "recovered")
+
+
+def _make_query(index: int, rate: float, seed: int) -> WorkloadQuery:
+    return make_aggregate_query(
+        KINDS[index % len(KINDS)],
+        query_id=f"chaos-q{index}",
+        rate=rate,
+        seed=seed + index,
+    )
+
+
+def _node_for(index: int) -> str:
+    return f"node-{index % NUM_NODES}"
+
+
+def _build(
+    base: SimulationConfig, rate: float, seed: int
+) -> "tuple[FederatedSystem, EventRuntime, FailureDetector, Dict[str, float]]":
+    """One federation with the full resilience stack attached."""
+    queries = [_make_query(i, rate, seed) for i in range(NUM_QUERIES)]
+    placement = Placement(
+        assignments={
+            fragment_id: _node_for(i)
+            for i, query in enumerate(queries)
+            for fragment_id in query.fragments
+        }
+    )
+    node_ids = [f"node-{i}" for i in range(NUM_NODES)]
+    budgets = compute_node_budgets(
+        queries,
+        placement,
+        shedding_interval=base.shedding_interval,
+        capacity_fraction=base.capacity_fraction,
+        node_ids=node_ids,
+    )
+    system = FederatedSystem(
+        stw_config=base.stw_config(),
+        shedding_interval=base.shedding_interval,
+        network=Network(
+            UniformLatency(base.network_latency_seconds),
+            reliability=ReliabilityConfig(),
+        ),
+    )
+
+    def node_factory(node_id: str) -> FspsNode:
+        index = node_ids.index(node_id)
+        return FspsNode(
+            node_id=node_id,
+            shedder=make_shedder(base.shedder, seed=seed + index),
+            budget_per_interval=budgets[node_id],
+            stw_config=base.stw_config(),
+        )
+
+    for node_id in node_ids:
+        system.add_node(node_factory(node_id))
+    for i, query in enumerate(queries):
+        system.deploy_query(
+            query.query_id,
+            query.fragments,
+            query.sources,
+            {fragment_id: _node_for(i) for fragment_id in query.fragments},
+            nominal_rates=query.nominal_rates(),
+        )
+    # Periodic checkpoints feed both recovery paths: fragment restore on
+    # rejoin and coordinator standby promotion on failover.
+    runtime = EventRuntime(
+        system, checkpoint_interval=4 * base.shedding_interval
+    )
+    detector = FailureDetector(
+        runtime,
+        interval=base.shedding_interval,
+        timeout_intervals=4,
+        node_factory=node_factory,
+    )
+    return system, runtime, detector, budgets
+
+
+def _plan(warmup: float, phase_seconds: float, seed: int) -> FaultPlan:
+    """The fault schedule, anchored at absolute simulated times."""
+    p2 = warmup + phase_seconds  # lossy
+    p3 = warmup + 2 * phase_seconds  # partition
+    p4 = warmup + 3 * phase_seconds  # crash
+    return FaultPlan(
+        seed=seed,
+        episodes=(
+            LossEpisode(
+                start=p2,
+                end=p3,
+                drop_probability=DROP_PROBABILITY,
+                duplicate_probability=DUPLICATE_PROBABILITY,
+                jitter_seconds=JITTER_SECONDS,
+            ),
+            CoordinatorCrash(at=p2 + phase_seconds / 2, query_id=FAILOVER_QUERY),
+            PartitionEpisode(
+                start=p3 + 0.5,
+                end=p4 - 1.0,
+                group_a=(PARTITIONED_NODE,),
+                # empty group_b: full isolation — data, results, updateSIC
+                # and heartbeats all stop crossing.
+                group_b=(),
+            ),
+            NodeCrash(
+                at=p4 + 0.25,
+                node_id=CRASHED_NODE,
+                repair_after=phase_seconds / 2,
+            ),
+        ),
+    )
+
+
+def _ledger_notes(name: str, system: FederatedSystem) -> List[str]:
+    """Close and summarise the exactly-once ledger of one run."""
+    system.drain_network()
+    stats = system.network.stats
+    notes: List[str] = []
+    for kind in ("data", "result"):
+        sent = stats.sent.get(kind, 0)
+        delivered = stats.delivered.get(kind, 0)
+        expired = stats.expired.get(kind, 0)
+        duplicates = stats.duplicates.get(kind, 0)
+        retransmits = stats.retransmits.get(kind, 0)
+        lost = sent - delivered - expired
+        notes.append(
+            f"{name} {kind}: {sent} sent = {delivered} delivered + "
+            f"{expired} expired ({lost} unaccounted); {duplicates} duplicate "
+            f"copies suppressed, {retransmits} retransmissions"
+        )
+    notes.append(
+        f"{name} result tuples: {stats.tuples_sent.get('result', 0)} sent, "
+        f"{stats.tuples_delivered.get('result', 0)} delivered, "
+        f"{stats.tuples_expired.get('result', 0)} expired; "
+        f"{system.dispatch_dropped} deliveries dropped at dispatch "
+        f"(departed components)"
+    )
+    return notes
+
+
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    phase_seconds: Optional[float] = None,
+    rate: Optional[float] = None,
+) -> ExperimentResult:
+    """Run the chaos scenario against a fault-free control."""
+    base: SimulationConfig = scaled_config(scale, seed=seed)
+    if phase_seconds is None:
+        phase_seconds = PHASE_SECONDS.get(scale, PHASE_SECONDS["small"])
+    if rate is None:
+        rate = 80.0
+
+    experiment = ExperimentResult(
+        name="chaos",
+        description="fairness under seeded loss, duplication, partition and "
+        "crash faults (reliable delivery + heartbeat recovery) vs a "
+        "fault-free control",
+    )
+    experiment.add_note(
+        f"{NUM_NODES} nodes, {NUM_QUERIES} queries, phases of "
+        f"{phase_seconds:.0f}s; lossy phase drops {DROP_PROBABILITY:.0%} and "
+        f"duplicates {DUPLICATE_PROBABILITY:.0%} of transmissions with "
+        f"{JITTER_SECONDS * 1000:.0f}ms jitter; partition isolates "
+        f"{PARTITIONED_NODE!r}; {CRASHED_NODE!r} crashes silently and "
+        f"auto-rejoins from checkpoints"
+    )
+
+    # Fault-free control: identical stack, no injector.
+    control_system, control_runtime, control_detector, _ = _build(base, rate, seed)
+    control_rows: List[Dict[str, object]] = []
+    control_runtime.run(base.warmup_seconds)
+    control_tracker = _PhaseTracker(control_system)
+    control_detector.on_node_failed = control_tracker.note_failed_node
+    for phase in PHASES:
+        control_tracker.mark()
+        control_runtime.run(phase_seconds)
+        control_rows.append(control_tracker.phase_row(phase))
+    control_notes = _ledger_notes("control", control_system)
+    control_runtime.close()
+
+    # Chaos run: same federation under the fault plan.
+    system, runtime, detector, _ = _build(base, rate, seed)
+    injector = FaultInjector(runtime, _plan(base.warmup_seconds, phase_seconds, seed))
+    runtime.run(base.warmup_seconds)
+    tracker = _PhaseTracker(system)
+    detector.on_node_failed = tracker.note_failed_node
+    for phase, control_row in zip(PHASES, control_rows):
+        tracker.mark()
+        runtime.run(phase_seconds)
+        row = tracker.phase_row(phase)
+        row["control_mean_sic"] = control_row["mean_sic"]
+        row["control_jains"] = control_row["jains_index"]
+        experiment.add_row(**row)
+
+    # Detection / recovery latencies (the partition phase typically adds
+    # false-positive incidents on top of the real crash).
+    for record in detector.detections:
+        experiment.add_note(
+            f"detected {record['node_id']!r} dead at "
+            f"t={record['declared_at']:.2f}s, "
+            f"{record['detection_latency']:.2f}s after its last heartbeat"
+        )
+    for record in detector.recoveries:
+        experiment.add_note(
+            f"recovered {record['node_id']!r} at t={record['recovered_at']:.2f}s, "
+            f"{record['recovery_latency']:.2f}s after it was declared dead"
+        )
+    fault_summary = injector.summary()
+    experiment.add_note(
+        f"injected faults: {fault_summary['drops_by_cause']} transmissions "
+        f"dropped, {fault_summary['duplicated']} duplicated; timeline "
+        f"{[(round(t, 2), what) for t, what in fault_summary['timeline']]}"
+    )
+    for note in _ledger_notes("chaos", system) + control_notes:
+        experiment.add_note(note)
+    if control_detector.detections:
+        experiment.add_note(
+            "WARNING: the fault-free control saw failure detections — "
+            "the detector is not quiescent without faults"
+        )
+    injector.close()
+    detector.close()
+    runtime.close()
+    control_detector.close()
+    return experiment

@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional
 
 from . import (
     ablations,
+    chaos,
     churn,
     migration,
     fig06_sic_correlation_aggregate,
@@ -49,6 +50,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig14": fig14_burstiness_wan.run,
     "related_work": related_work_comparison.run,
     "overhead": overhead.run,
+    "chaos": chaos.run,
     "churn": churn.run,
     "migration": migration.run,
     "ablation_updatesic": ablations.run_update_sic_ablation,

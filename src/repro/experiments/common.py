@@ -60,9 +60,13 @@ def config_with(config: SimulationConfig, **overrides: object) -> SimulationConf
         "enable_sic_updates": config.enable_sic_updates,
         "coordinator_update_interval": config.coordinator_update_interval,
         "columnar": config.columnar,
+        "columnar_backend": config.columnar_backend,
         "runtime": config.runtime,
         "node_shedding_intervals": dict(config.node_shedding_intervals),
         "checkpoint_interval": config.checkpoint_interval,
+        "reliable_delivery": config.reliable_delivery,
+        "heartbeat_interval": config.heartbeat_interval,
+        "heartbeat_timeout_intervals": config.heartbeat_timeout_intervals,
         "retain_result_values": config.retain_result_values,
         "max_result_values": config.max_result_values,
         "seed": config.seed,
@@ -218,7 +222,8 @@ def build_federation(
         shedding_interval=config.shedding_interval,
         network=Network(
             latency_model
-            or UniformLatency(config.network_latency_seconds)
+            or UniformLatency(config.network_latency_seconds),
+            reliability=config.reliability_config(),
         ),
         coordinator_update_interval=config.coordinator_update_interval,
         enable_sic_updates=config.enable_sic_updates,

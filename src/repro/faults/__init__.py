@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the federated simulation.
+
+Declarative, seeded :class:`FaultPlan` schedules (message loss, duplication,
+delay jitter, partitions, slow endpoints, node and coordinator crashes)
+installed onto an event-runtime-driven federation by a
+:class:`FaultInjector`.  Same plan + seed + workload ⇒ same faults, so every
+chaos scenario is replayable; an empty plan injects nothing and leaves
+seeded runs bit-exact.
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    CoordinatorCrash,
+    FaultPlan,
+    LossEpisode,
+    NodeCrash,
+    PartitionEpisode,
+    SlowEpisode,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "LossEpisode",
+    "PartitionEpisode",
+    "SlowEpisode",
+    "NodeCrash",
+    "CoordinatorCrash",
+]

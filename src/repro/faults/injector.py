@@ -1,0 +1,166 @@
+"""Seeded fault injection scheduled through the event runtime.
+
+The :class:`FaultInjector` installs a :class:`~repro.faults.plan.FaultPlan`
+onto a federation driven by an :class:`~repro.runtime.EventRuntime`:
+
+* message-level episodes (loss, duplication, jitter, partitions, slow
+  endpoints) become the network's ``fault_policy`` — evaluated per physical
+  transmission at send time, with every probabilistic decision drawn from
+  one ``random.Random(plan.seed)`` in send order, so a given plan + workload
+  + seed reproduces the exact same faults;
+* crash episodes become :data:`~repro.runtime.scheduler.PRIORITY_FAULT`
+  events on the runtime's scheduler — node crashes go through
+  :meth:`EventRuntime.crash_node_silently` (detection and recovery are the
+  failure detector's job), coordinator crashes through
+  :meth:`EventRuntime.fail_coordinator` (standby promotion is immediate).
+
+The injector keeps cause-level accounting (`drops_by_cause`, duplicate and
+jitter counts, a timeline of crash/repair events) that the chaos experiment
+folds into its report; the network's own :class:`NetworkStats` only knows
+*that* a transmission was dropped, not why.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..federation.network import Message
+from ..runtime.runtime import EventRuntime
+from ..runtime.scheduler import PRIORITY_FAULT
+from .plan import FaultPlan, NodeCrash
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Installs a fault plan onto an event-runtime-driven federation."""
+
+    def __init__(self, runtime: EventRuntime, plan: FaultPlan) -> None:
+        plan.validate()
+        self.runtime = runtime
+        self.system = runtime.system
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        # Cause-level accounting; the network's stats stay cause-agnostic.
+        self.drops_by_cause: Dict[str, int] = {"loss": 0, "partition": 0}
+        self.duplicated = 0
+        self.jittered = 0
+        #: (simulated time, human-readable event) timeline of crash/repair.
+        self.timeline: List[Tuple[float, str]] = []
+        network = self.system.network
+        if network.fault_policy is not None:
+            raise ValueError("the network already has a fault policy installed")
+        network.fault_policy = self._policy
+        self._events = []
+        for crash in plan.node_crashes:
+            self._events.append(
+                runtime.scheduler.schedule(
+                    crash.at, PRIORITY_FAULT, self._make_node_crash(crash)
+                )
+            )
+        for crash in plan.coordinator_crashes:
+            self._events.append(
+                runtime.scheduler.schedule(
+                    crash.at, PRIORITY_FAULT, self._make_coordinator_crash(crash)
+                )
+            )
+
+    # ----------------------------------------------------------- message faults
+    def _policy(
+        self,
+        message: Message,
+        source: str,
+        destination: str,
+        sent_at: float,
+        latency: float,
+    ) -> Tuple[float, ...]:
+        """Decide the delivery times of one physical transmission.
+
+        Returns an empty tuple to drop it, several entries to duplicate it.
+        Partitions are checked first (a severed link loses everything,
+        deterministically, without consuming randomness); probabilistic
+        episodes then draw from the plan RNG in a fixed order per episode.
+        """
+        for episode in self.plan.partitions:
+            if episode.active(sent_at) and episode.severs(source, destination):
+                self.drops_by_cause["partition"] += 1
+                return ()
+        extra = 0.0
+        for episode in self.plan.slow_episodes:
+            if episode.active(sent_at) and episode.touches(source, destination):
+                extra += episode.extra_latency_seconds
+        times = [sent_at + latency + extra]
+        for episode in self.plan.loss_episodes:
+            if not episode.active(sent_at):
+                continue
+            if not episode.matches(message.kind, source, destination):
+                continue
+            if episode.drop_probability and self.rng.random() < episode.drop_probability:
+                self.drops_by_cause["loss"] += 1
+                return ()
+            if (
+                episode.duplicate_probability
+                and self.rng.random() < episode.duplicate_probability
+            ):
+                times.append(times[0])
+                self.duplicated += 1
+            if episode.jitter_seconds:
+                times = [
+                    t + self.rng.random() * episode.jitter_seconds for t in times
+                ]
+                self.jittered += len(times)
+        return tuple(times)
+
+    # ------------------------------------------------------------ crash episodes
+    def _make_node_crash(self, crash: NodeCrash):
+        def fire(now: float) -> None:
+            if crash.node_id not in self.system.nodes:
+                self.timeline.append(
+                    (now, f"crash {crash.node_id}: node absent, skipped")
+                )
+                return
+            self.runtime.crash_node_silently(crash.node_id)
+            self.timeline.append((now, f"crash {crash.node_id}"))
+            if crash.repair_after is not None:
+                self._events.append(
+                    self.runtime.scheduler.schedule(
+                        now + crash.repair_after,
+                        PRIORITY_FAULT,
+                        lambda at: self._repair(crash.node_id, at),
+                    )
+                )
+
+        return fire
+
+    def _repair(self, node_id: str, now: float) -> None:
+        self.runtime.repair_node(node_id)
+        self.timeline.append((now, f"repair {node_id}"))
+
+    def _make_coordinator_crash(self, crash):
+        def fire(now: float) -> None:
+            if crash.query_id not in self.system.queries:
+                self.timeline.append(
+                    (now, f"fail coordinator {crash.query_id}: query absent, skipped")
+                )
+                return
+            self.runtime.fail_coordinator(crash.query_id)
+            self.timeline.append((now, f"fail coordinator {crash.query_id}"))
+
+        return fire
+
+    # ------------------------------------------------------------------ summary
+    def summary(self) -> Dict[str, object]:
+        return {
+            "drops_by_cause": dict(self.drops_by_cause),
+            "duplicated": self.duplicated,
+            "jittered": self.jittered,
+            "timeline": list(self.timeline),
+        }
+
+    def close(self) -> None:
+        """Uninstall the policy and cancel not-yet-fired crash events."""
+        if self.system.network.fault_policy is self._policy:
+            self.system.network.fault_policy = None
+        for event in self._events:
+            event.cancel()

@@ -1,0 +1,246 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a declarative, seeded schedule of adverse conditions
+for one simulated run: lossy/jittery/duplicating episodes, network
+partitions, slow endpoints, silent node crashes and coordinator crashes, all
+anchored at planned *simulated* times.  Plans are plain frozen dataclasses so
+they can be embedded in experiment code, compared and reproduced exactly —
+the same plan, seed and workload always yields the same run
+(:class:`~repro.faults.injector.FaultInjector` owns the only RNG and draws
+from it in send order).
+
+Episode semantics:
+
+* :class:`LossEpisode` — every physical transmission inside ``[start, end)``
+  whose kind/endpoints match is independently dropped with
+  ``drop_probability``, duplicated with ``duplicate_probability`` and
+  delayed by up to ``jitter_seconds`` of uniformly-drawn extra latency.
+* :class:`PartitionEpisode` — transmissions crossing between ``group_a``
+  and ``group_b`` are dropped; an empty ``group_b`` means "the rest of the
+  world", i.e. ``group_a`` is fully isolated.
+* :class:`SlowEpisode` — transmissions touching ``endpoint`` gain a fixed
+  ``extra_latency_seconds`` (an overloaded or far-away site; also the
+  recipe for heartbeat false positives when it exceeds the detector
+  timeout).
+* :class:`NodeCrash` — the node's process dies silently at ``at``
+  (:meth:`EventRuntime.crash_node_silently`); with ``repair_after`` set the
+  machine reboots that many seconds later and the failure detector rejoins
+  it from checkpoints.
+* :class:`CoordinatorCrash` — the query's coordinator fails at ``at`` and a
+  standby is promoted (:meth:`EventRuntime.fail_coordinator`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = [
+    "LossEpisode",
+    "PartitionEpisode",
+    "SlowEpisode",
+    "NodeCrash",
+    "CoordinatorCrash",
+    "FaultPlan",
+]
+
+
+def _check_window(name: str, start: float, end: float) -> None:
+    if start < 0:
+        raise ValueError(f"{name}.start must be non-negative, got {start}")
+    if end <= start:
+        raise ValueError(f"{name} must end after it starts, got [{start}, {end})")
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class LossEpisode:
+    """A window of probabilistic loss, duplication and delay jitter."""
+
+    start: float
+    end: float
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    jitter_seconds: float = 0.0
+    #: restrict to these message kinds (e.g. ``("data", "result")``);
+    #: ``None`` affects every kind, heartbeats and acks included.
+    message_types: Optional[Tuple[str, ...]] = None
+    #: restrict to transmissions touching one of these endpoints; ``None``
+    #: affects every link.
+    endpoints: Optional[Tuple[str, ...]] = None
+
+    def validate(self) -> None:
+        _check_window("LossEpisode", self.start, self.end)
+        _check_probability("drop_probability", self.drop_probability)
+        _check_probability("duplicate_probability", self.duplicate_probability)
+        if self.jitter_seconds < 0:
+            raise ValueError(
+                f"jitter_seconds must be non-negative, got {self.jitter_seconds}"
+            )
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    def matches(self, kind: str, source: str, destination: str) -> bool:
+        if self.message_types is not None and kind not in self.message_types:
+            return False
+        if self.endpoints is not None:
+            if source not in self.endpoints and destination not in self.endpoints:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class PartitionEpisode:
+    """A window during which two endpoint groups cannot reach each other."""
+
+    start: float
+    end: float
+    group_a: Tuple[str, ...]
+    #: empty tuple = everything not in ``group_a`` (full site isolation).
+    group_b: Tuple[str, ...] = ()
+
+    def validate(self) -> None:
+        _check_window("PartitionEpisode", self.start, self.end)
+        if not self.group_a:
+            raise ValueError("PartitionEpisode.group_a must not be empty")
+        overlap = set(self.group_a) & set(self.group_b)
+        if overlap:
+            raise ValueError(
+                f"PartitionEpisode groups overlap on {sorted(overlap)}"
+            )
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    def severs(self, source: str, destination: str) -> bool:
+        in_a = source in self.group_a
+        out_a = destination in self.group_a
+        if not self.group_b:
+            return in_a != out_a
+        in_b = source in self.group_b
+        out_b = destination in self.group_b
+        return (in_a and out_b) or (in_b and out_a)
+
+
+@dataclass(frozen=True)
+class SlowEpisode:
+    """A window during which one endpoint's links gain fixed extra latency."""
+
+    start: float
+    end: float
+    endpoint: str
+    extra_latency_seconds: float
+
+    def validate(self) -> None:
+        _check_window("SlowEpisode", self.start, self.end)
+        if not self.endpoint:
+            raise ValueError("SlowEpisode.endpoint must not be empty")
+        if self.extra_latency_seconds <= 0:
+            raise ValueError(
+                "SlowEpisode.extra_latency_seconds must be positive, got "
+                f"{self.extra_latency_seconds}"
+            )
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    def touches(self, source: str, destination: str) -> bool:
+        return self.endpoint in (source, destination)
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """A silent node crash at ``at``; optionally repaired later."""
+
+    at: float
+    node_id: str
+    #: seconds after the crash at which the machine reboots; ``None`` keeps
+    #: it down for the rest of the run.
+    repair_after: Optional[float] = None
+
+    def validate(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"NodeCrash.at must be non-negative, got {self.at}")
+        if not self.node_id:
+            raise ValueError("NodeCrash.node_id must not be empty")
+        if self.repair_after is not None and self.repair_after <= 0:
+            raise ValueError(
+                f"NodeCrash.repair_after must be positive, got {self.repair_after}"
+            )
+
+
+@dataclass(frozen=True)
+class CoordinatorCrash:
+    """A coordinator crash at ``at``; a standby is promoted immediately."""
+
+    at: float
+    query_id: str
+
+    def validate(self) -> None:
+        if self.at < 0:
+            raise ValueError(
+                f"CoordinatorCrash.at must be non-negative, got {self.at}"
+            )
+        if not self.query_id:
+            raise ValueError("CoordinatorCrash.query_id must not be empty")
+
+
+#: episode types a plan may contain
+_EPISODE_TYPES = (
+    LossEpisode,
+    PartitionEpisode,
+    SlowEpisode,
+    NodeCrash,
+    CoordinatorCrash,
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, validated schedule of fault episodes.
+
+    An empty plan is valid and injects nothing — the differential tests rely
+    on an installed-but-empty plan leaving seeded runs bit-exact.
+    """
+
+    seed: int = 0
+    episodes: Tuple[object, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Accept any sequence for convenience; store a tuple (frozen).
+        object.__setattr__(self, "episodes", tuple(self.episodes))
+        self.validate()
+
+    def validate(self) -> None:
+        for episode in self.episodes:
+            if not isinstance(episode, _EPISODE_TYPES):
+                raise TypeError(
+                    f"unsupported episode type {type(episode).__name__!r}"
+                )
+            episode.validate()
+
+    # Typed views, in plan order.
+    @property
+    def loss_episodes(self) -> Tuple[LossEpisode, ...]:
+        return tuple(e for e in self.episodes if isinstance(e, LossEpisode))
+
+    @property
+    def partitions(self) -> Tuple[PartitionEpisode, ...]:
+        return tuple(e for e in self.episodes if isinstance(e, PartitionEpisode))
+
+    @property
+    def slow_episodes(self) -> Tuple[SlowEpisode, ...]:
+        return tuple(e for e in self.episodes if isinstance(e, SlowEpisode))
+
+    @property
+    def node_crashes(self) -> Tuple[NodeCrash, ...]:
+        return tuple(e for e in self.episodes if isinstance(e, NodeCrash))
+
+    @property
+    def coordinator_crashes(self) -> Tuple[CoordinatorCrash, ...]:
+        return tuple(e for e in self.episodes if isinstance(e, CoordinatorCrash))

@@ -55,6 +55,7 @@ from ..streaming.query import QueryFragment
 from .coordinator import CoordinatorRegistry, QueryCoordinator
 from .network import (
     DataMessage,
+    HeartbeatMessage,
     Message,
     Network,
     ResultMessage,
@@ -214,6 +215,14 @@ class FederatedSystem:
         # fragment and forwarded to its current host (the migration pointer
         # the old host leaves behind).
         self.forwarded_batches = 0
+        # Messages the dispatcher dropped because their component departed
+        # (failed node, undeployed query, stale incarnation).  Closes the
+        # exactly-once ledger: a transport-delivered message either reached
+        # a component handler or is counted here.
+        self.dispatch_dropped = 0
+        # Heartbeat sink (see repro.runtime.heartbeat.FailureDetector);
+        # heartbeats are dropped when no detector is attached.
+        self.failure_detector = None
         self.now = 0.0
         self.ticks = 0
 
@@ -513,6 +522,16 @@ class FederatedSystem:
             coordinator.unregister_hosting_node(node_id)
         return node
 
+    def awaiting_rejoin(self, node_id: str) -> bool:
+        """True if ``node_id`` crash-failed with hosted fragments to restore.
+
+        Recovery managers use this to pick between :meth:`rejoin_node`
+        (restore from checkpoints) and plain :meth:`add_node` — a failed
+        node that hosted nothing has no lost placement to rejoin, and
+        ``rejoin_node`` rejects it.
+        """
+        return node_id in self._lost_placement
+
     def rejoin_node(self, node: FspsNode) -> RejoinReport:
         """Rejoin a crash-failed node id with a fresh node instance.
 
@@ -735,6 +754,29 @@ class FederatedSystem:
         for message in self.network.deliver_due(now):
             self.dispatch(message, now)
 
+    def drain_network(self, deadline: Optional[float] = None) -> float:
+        """Pump the network to quiescence without advancing the federation.
+
+        Sources, shedding rounds and coordinator rounds stay frozen; only
+        in-flight deliveries (and the reliable channel's ack/retransmission
+        machinery they trigger) are processed, in delivery order, until the
+        queue is empty or the next delivery lies beyond ``deadline``.  This
+        is how the exactly-once ledger is closed at the end of a run: after
+        a drain every reliable message ever sent is delivered, a counted
+        duplicate, or a counted expiry — nothing is silently in flight.
+        Returns the time of the last processed delivery (at least ``now``).
+        """
+        now = self.now
+        while True:
+            next_time = self.network.next_delivery_time()
+            if next_time is None:
+                break
+            if deadline is not None and next_time > deadline:
+                break
+            now = max(now, next_time)
+            self.deliver_messages(now)
+        return now
+
     def dispatch(self, message: Message, now: float) -> None:
         """Route one delivered message to its component handler.
 
@@ -765,14 +807,17 @@ class FederatedSystem:
                 self.forwarded_batches += 1
             node = self.nodes.get(destination)
             if node is None:
+                self.dispatch_dropped += 1
                 return
             query = self.queries.get(message.batch.query_id)
             if query is None or message.batch.created_at <= query.deployed_at:
+                self.dispatch_dropped += 1
                 return
             node.on_batch(message.batch)
         elif isinstance(message, ResultMessage):
             query = self.queries.get(message.batch.query_id)
             if query is None or message.batch.created_at <= query.deployed_at:
+                self.dispatch_dropped += 1
                 return
             coordinator = self.coordinators.get(message.batch.query_id)
             if coordinator is not None:
@@ -780,11 +825,19 @@ class FederatedSystem:
         elif isinstance(message, SicUpdateMessage):
             node = self.nodes.get(message.destination)
             if node is None:
+                self.dispatch_dropped += 1
                 return
             query = self.queries.get(message.query_id)
             if query is None or message.sent_at <= query.deployed_at:
+                self.dispatch_dropped += 1
                 return
             node.on_sic_update(message.query_id, message.sic_value)
+        elif isinstance(message, HeartbeatMessage):
+            detector = self.failure_detector
+            if detector is None:
+                self.dispatch_dropped += 1
+                return
+            detector.on_heartbeat(message.node_id, now)
 
     def run_node_round(
         self,

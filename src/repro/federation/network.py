@@ -7,6 +7,28 @@ coordinators' result-SIC updates (``updateSIC``).  The paper evaluates a LAN
 setting (5 ms between Emulab nodes) and an emulated wide-area setting (50 ms,
 §7.4); this module provides the corresponding latency models and an in-flight
 message queue with deterministic delivery order.
+
+On top of the latency model the network optionally runs a **reliable delivery
+channel** for data and result messages (``ReliabilityConfig``): per-link
+sequence numbers, receiver-side in-order dedup, acks travelling back through
+the same lossy network, and timeout-based retransmission with exponential
+backoff from a bounded per-link buffer.  ``updateSIC`` and heartbeat messages
+stay best-effort fire-and-forget, matching the paper's 30-byte ``updateSIC``
+semantics — under a partition nodes simply shed with stale SIC until
+dissemination resumes.
+
+Faults are injected through two transport hooks kept deliberately narrow so
+the fault subsystem (:mod:`repro.faults`) stays decoupled:
+
+* ``fault_policy(message, source, destination, sent_at, latency)`` returns
+  the list of delivery times for one physical transmission — empty to drop
+  it, more than one entry to duplicate it, jittered values to delay it.
+* ``dead_endpoints`` — endpoints whose inbound and outbound transmissions
+  are discarded (crashed processes); retransmission keeps retrying into the
+  void, so a repaired endpoint receives the backlog exactly once.
+
+With both hooks unset and reliability disabled the behaviour is identical to
+the latency-only network.
 """
 
 from __future__ import annotations
@@ -14,7 +36,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple as PyTuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple as PyTuple
 
 from ..core.tuples import Batch
 
@@ -23,9 +45,13 @@ __all__ = [
     "DataMessage",
     "SicUpdateMessage",
     "ResultMessage",
+    "HeartbeatMessage",
+    "AckMessage",
     "LatencyModel",
     "UniformLatency",
     "LatencyMatrix",
+    "ReliabilityConfig",
+    "NetworkStats",
     "Network",
     "LAN_LATENCY_SECONDS",
     "WAN_LATENCY_SECONDS",
@@ -34,7 +60,12 @@ __all__ = [
 LAN_LATENCY_SECONDS = 0.005
 WAN_LATENCY_SECONDS = 0.050
 
-_message_ids = itertools.count()
+# A link is a directed (source endpoint, destination endpoint) pair; the
+# reliable channel keeps its sequence numbers, retransmit buffers and
+# receiver-side dedup state per link.
+Link = PyTuple[str, str]
+
+FaultPolicy = Callable[["Message", str, str, float, float], Sequence[float]]
 
 
 @dataclass
@@ -42,6 +73,9 @@ class Message:
     """Base class of all network messages."""
 
     destination: str
+
+    #: Counter key used by the per-message-type accounting.
+    kind = "message"
 
     def size_bytes(self) -> int:
         return 0
@@ -54,6 +88,8 @@ class DataMessage(Message):
     batch: Batch = None  # type: ignore[assignment]
     target_fragment_id: str = ""
 
+    kind = "data"
+
     def size_bytes(self) -> int:
         # payload_bytes is O(1) for columnar batches (uniform schema) and
         # equals the per-tuple sum(len(t.values) * 8) accounting exactly.
@@ -65,6 +101,8 @@ class ResultMessage(Message):
     """Result batch travelling from a root fragment to its query coordinator."""
 
     batch: Batch = None  # type: ignore[assignment]
+
+    kind = "result"
 
     def size_bytes(self) -> int:
         return self.batch.payload_bytes() + self.batch.meta_data_bytes()
@@ -83,8 +121,47 @@ class SicUpdateMessage(Message):
     sic_value: float = 0.0
     sent_at: float = 0.0
 
+    kind = "sic_update"
+
     def size_bytes(self) -> int:
         return 30
+
+
+@dataclass
+class HeartbeatMessage(Message):
+    """Liveness beacon a node sends to the failure detector's endpoint.
+
+    Best-effort like ``updateSIC``: a lost heartbeat is exactly what makes
+    the failure detector suspect a node, so heartbeats must be subject to
+    the same loss, delay and partition faults as everything else.
+    """
+
+    node_id: str = ""
+    sent_at: float = 0.0
+
+    kind = "heartbeat"
+
+    def size_bytes(self) -> int:
+        return 16
+
+
+@dataclass
+class AckMessage(Message):
+    """Transport-level acknowledgement of one reliable-channel sequence number.
+
+    Consumed by the :class:`Network` itself on delivery — never dispatched to
+    the application — but it crosses the same lossy network as the payload it
+    acknowledges, so a lost ack produces a retransmission the receiver must
+    deduplicate.
+    """
+
+    link: Link = ("", "")
+    seq: int = -1
+
+    kind = "ack"
+
+    def size_bytes(self) -> int:
+        return 20
 
 
 class LatencyModel:
@@ -142,53 +219,355 @@ class LatencyMatrix(LatencyModel):
         return self._pairs.get((source, destination), self.default_seconds)
 
 
+@dataclass
+class ReliabilityConfig:
+    """Tuning of the reliable delivery channel for data/result messages.
+
+    The retransmission timeout of a message is
+    ``max(min_rto_seconds, rto_rtt_multiplier * rtt)`` where ``rtt`` is the
+    round-trip latency of its link at send time; with the multiplier above 1
+    and no faults the ack always lands before the first timeout, so a
+    fault-free run performs zero retransmissions.  Each retry multiplies the
+    timeout by ``backoff_factor`` up to ``max_rto_seconds``; after
+    ``max_retries`` unacknowledged attempts the message is *expired* —
+    counted in :class:`NetworkStats`, never silently discarded.  The per-link
+    retransmit buffer holds at most ``window`` unacknowledged messages;
+    sends beyond it are likewise expired with accounting, so memory stays
+    bounded no matter the loss rate.
+    """
+
+    window: int = 512
+    min_rto_seconds: float = 0.05
+    rto_rtt_multiplier: float = 2.0
+    backoff_factor: float = 2.0
+    max_rto_seconds: float = 2.0
+    max_retries: int = 16
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError(f"window must be positive, got {self.window}")
+        if self.min_rto_seconds <= 0:
+            raise ValueError(
+                f"min_rto_seconds must be positive, got {self.min_rto_seconds}"
+            )
+        if self.rto_rtt_multiplier <= 1.0:
+            raise ValueError(
+                "rto_rtt_multiplier must exceed 1.0 so fault-free acks beat "
+                f"the first timeout, got {self.rto_rtt_multiplier}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be at least 1.0, got {self.backoff_factor}"
+            )
+        if self.max_rto_seconds < self.min_rto_seconds:
+            raise ValueError("max_rto_seconds must be at least min_rto_seconds")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {self.max_retries}")
+
+
+class NetworkStats:
+    """Per-message-type transport accounting.
+
+    Every physical and logical event on the network increments exactly one
+    counter, which is what makes the exactly-once ledger auditable: a sent
+    message is eventually *delivered*, still *pending* (unacked or in
+    flight), or *expired* — never silently lost.  Keys are message kinds
+    (``"data"``, ``"result"``, ``"sic_update"``, ``"heartbeat"``, ``"ack"``).
+    """
+
+    def __init__(self) -> None:
+        #: logical sends (one per ``Network.send`` call)
+        self.sent: Dict[str, int] = {}
+        #: unique messages handed to the application dispatcher
+        self.delivered: Dict[str, int] = {}
+        #: physical transmissions discarded by faults or dead endpoints
+        self.dropped: Dict[str, int] = {}
+        #: received copies suppressed by the reliable channel's dedup
+        self.duplicates: Dict[str, int] = {}
+        #: retransmission attempts performed by the reliable channel
+        self.retransmits: Dict[str, int] = {}
+        #: reliable messages abandoned (retries exhausted / window overflow)
+        self.expired: Dict[str, int] = {}
+        #: batch-tuple counts mirroring sent/delivered/expired for payloads
+        self.tuples_sent: Dict[str, int] = {}
+        self.tuples_delivered: Dict[str, int] = {}
+        self.tuples_expired: Dict[str, int] = {}
+        #: physical bytes put on the wire (includes retransmits, dups, acks)
+        self.bytes_wire = 0
+        #: acks emitted by receivers
+        self.acks_sent = 0
+
+    @staticmethod
+    def _bump(counter: Dict[str, int], kind: str, amount: int = 1) -> None:
+        counter[kind] = counter.get(kind, 0) + amount
+
+    @staticmethod
+    def _total(counter: Dict[str, int]) -> int:
+        return sum(counter.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        """A plain-dict summary for experiment reports and ``RunResult``."""
+        return {
+            "sent": dict(self.sent),
+            "delivered": dict(self.delivered),
+            "dropped": dict(self.dropped),
+            "duplicates": dict(self.duplicates),
+            "retransmits": dict(self.retransmits),
+            "expired": dict(self.expired),
+            "tuples_sent": dict(self.tuples_sent),
+            "tuples_delivered": dict(self.tuples_delivered),
+            "tuples_expired": dict(self.tuples_expired),
+            "bytes_wire": self.bytes_wire,
+            "acks_sent": self.acks_sent,
+        }
+
+
+class _PendingSend:
+    """One unacknowledged reliable message in a sender's retransmit buffer."""
+
+    __slots__ = ("message", "source", "attempts", "rto")
+
+    def __init__(self, message: Message, source: str, rto: float) -> None:
+        self.message = message
+        self.source = source
+        self.attempts = 0
+        self.rto = rto
+
+
 @dataclass(order=True)
 class _InFlight:
     deliver_at: float
     sequence: int
-    message: Message = field(compare=False)
+    message: Optional[Message] = field(compare=False)
+    # Reliable-channel routing of a payload copy (None for best-effort).
+    link: Optional[Link] = field(compare=False, default=None)
+    seq: Optional[int] = field(compare=False, default=None)
+    # Internal control entry (retransmission timer); message is None.
+    control: Optional[PyTuple[str, Link, int]] = field(compare=False, default=None)
 
 
 class Network:
     """In-flight message queue with latency-based delivery times.
 
     Delivery is deterministic: messages are delivered ordered by delivery time
-    and, for equal times, by send order.
+    and, for equal times, by send order.  The tie-break counter is
+    per-instance, so back-to-back simulations in one process see identical
+    orders regardless of how many runs executed before them.
+
+    With ``reliability`` set, data and result messages travel over the
+    reliable channel (sequence numbers, acks, retransmission, in-order
+    receiver dedup); everything else stays fire-and-forget.
     """
 
-    def __init__(self, latency_model: Optional[LatencyModel] = None) -> None:
+    #: message kinds carried by the reliable channel when it is enabled
+    RELIABLE_KINDS = ("data", "result")
+
+    def __init__(
+        self,
+        latency_model: Optional[LatencyModel] = None,
+        reliability: Optional[ReliabilityConfig] = None,
+    ) -> None:
         self.latency_model = latency_model or UniformLatency()
+        self.reliability = reliability
         self._queue: List[_InFlight] = []
+        self._message_ids = itertools.count()
         self.sent_messages = 0
         self.delivered_messages = 0
+        # Logical application payload bytes (excludes retransmissions,
+        # duplicates and acks — see ``stats.bytes_wire`` for physical bytes).
         self.bytes_sent = 0
+        self.bytes_delivered = 0
+        self.stats = NetworkStats()
         # Optional hook invoked as ``send_listener(message, deliver_at)`` on
-        # every send.  The discrete-event runtime uses it to schedule a
-        # delivery event; the lockstep loop leaves it unset (it polls
-        # ``deliver_due`` at every tick instead).
+        # every transmission (``message`` is None for internal control
+        # timers).  The discrete-event runtime uses it to schedule a delivery
+        # event; the lockstep loop leaves it unset (it polls ``deliver_due``
+        # at every tick instead).
         self.send_listener = None
+        # Fault hooks (see module docstring); both unset by default.
+        self.fault_policy: Optional[FaultPolicy] = None
+        self.dead_endpoints: Set[str] = set()
+        # Reliable-channel state, all keyed per directed link.
+        self._next_seq: Dict[Link, int] = {}
+        self._unacked: Dict[Link, Dict[int, _PendingSend]] = {}
+        self._recv_next: Dict[Link, int] = {}
+        self._recv_buffer: Dict[Link, Dict[int, Message]] = {}
 
+    # ------------------------------------------------------------------ sending
     def send(self, message: Message, sent_at: float, source: str) -> float:
-        """Enqueue ``message`` and return its delivery time."""
-        latency = self.latency_model.latency(source, message.destination)
-        deliver_at = sent_at + latency
-        heapq.heappush(
-            self._queue, _InFlight(deliver_at, next(_message_ids), message)
-        )
+        """Enqueue ``message`` and return its nominal delivery time."""
+        kind = message.kind
         self.sent_messages += 1
         self.bytes_sent += message.size_bytes()
-        if self.send_listener is not None:
-            self.send_listener(message, deliver_at)
+        self.stats._bump(self.stats.sent, kind)
+        batch = getattr(message, "batch", None)
+        if batch is not None:
+            self.stats._bump(self.stats.tuples_sent, kind, len(batch))
+        latency = self.latency_model.latency(source, message.destination)
+        deliver_at = sent_at + latency
+        if self.reliability is None or kind not in self.RELIABLE_KINDS:
+            self._transmit(message, source, sent_at)
+            return deliver_at
+        link = (source, message.destination)
+        pending = self._unacked.setdefault(link, {})
+        if len(pending) >= self.reliability.window:
+            # Bounded retransmit buffer: refuse the send with accounting —
+            # a silent drop would defeat the exactly-once ledger.
+            self._expire(message)
+            return deliver_at
+        seq = self._next_seq.get(link, 0)
+        self._next_seq[link] = seq + 1
+        rtt = latency + self.latency_model.latency(message.destination, source)
+        rto = max(self.reliability.min_rto_seconds, rtt * self.reliability.rto_rtt_multiplier)
+        pending[seq] = _PendingSend(message, source, rto)
+        self._transmit(message, source, sent_at, link=link, seq=seq)
+        self._push_control(("rtx", link, seq), sent_at + rto)
         return deliver_at
 
+    def _transmit(
+        self,
+        message: Message,
+        source: str,
+        sent_at: float,
+        link: Optional[Link] = None,
+        seq: Optional[int] = None,
+    ) -> None:
+        """Put one physical copy of ``message`` on the wire (or drop it)."""
+        destination = message.destination
+        if source in self.dead_endpoints or destination in self.dead_endpoints:
+            self.stats._bump(self.stats.dropped, message.kind)
+            return
+        latency = self.latency_model.latency(source, destination)
+        if self.fault_policy is not None:
+            times = self.fault_policy(message, source, destination, sent_at, latency)
+        else:
+            times = (sent_at + latency,)
+        if not times:
+            self.stats._bump(self.stats.dropped, message.kind)
+            return
+        for deliver_at in times:
+            self.stats.bytes_wire += message.size_bytes()
+            heapq.heappush(
+                self._queue,
+                _InFlight(deliver_at, next(self._message_ids), message, link, seq),
+            )
+            if self.send_listener is not None:
+                self.send_listener(message, deliver_at)
+
+    def _push_control(self, control: PyTuple[str, Link, int], at: float) -> None:
+        heapq.heappush(
+            self._queue,
+            _InFlight(at, next(self._message_ids), None, control=control),
+        )
+        if self.send_listener is not None:
+            self.send_listener(None, at)
+
+    def _send_ack(self, link: Link, seq: int, now: float) -> None:
+        # The ack crosses the network in the reverse direction and is subject
+        # to the same faults as any other transmission.
+        self.stats.acks_sent += 1
+        ack = AckMessage(destination=link[0], link=link, seq=seq)
+        self._transmit(ack, link[1], now)
+
+    def _expire(self, message: Message) -> None:
+        self.stats._bump(self.stats.expired, message.kind)
+        batch = getattr(message, "batch", None)
+        if batch is not None:
+            self.stats._bump(self.stats.tuples_expired, message.kind, len(batch))
+
+    # ----------------------------------------------------------------- delivery
     def deliver_due(self, now: float) -> List[Message]:
-        """Pop and return every message whose delivery time is ``<= now``."""
+        """Pop every entry due ``<= now``; return application-bound messages.
+
+        Transport-internal traffic — acks, retransmission timers, duplicate
+        and out-of-order copies — is consumed here and never reaches the
+        dispatcher.
+        """
         due: List[Message] = []
         while self._queue and self._queue[0].deliver_at <= now:
-            due.append(heapq.heappop(self._queue).message)
+            entry = heapq.heappop(self._queue)
+            if entry.control is not None:
+                self._handle_control(entry.control, now)
+                continue
+            message = entry.message
+            if message.destination in self.dead_endpoints:
+                self.stats._bump(self.stats.dropped, message.kind)
+                continue
+            if isinstance(message, AckMessage):
+                self._unacked.get(message.link, {}).pop(message.seq, None)
+                continue
+            if entry.link is None:
+                due.append(message)
+                self._count_delivered(message)
+                continue
+            self._receive_reliable(entry.link, entry.seq, message, now, due)
         self.delivered_messages += len(due)
         return due
 
+    def _receive_reliable(
+        self,
+        link: Link,
+        seq: int,
+        message: Message,
+        now: float,
+        due: List[Message],
+    ) -> None:
+        """Ack, deduplicate and in-order-release one reliable payload copy."""
+        expected = self._recv_next.get(link, 0)
+        # Always ack what arrived — a duplicate usually means the previous
+        # ack was lost, so the sender still needs one.
+        self._send_ack(link, seq, now)
+        if seq < expected:
+            self.stats._bump(self.stats.duplicates, message.kind)
+            return
+        if seq > expected:
+            buffer = self._recv_buffer.setdefault(link, {})
+            if seq in buffer:
+                self.stats._bump(self.stats.duplicates, message.kind)
+            else:
+                buffer[seq] = message
+            return
+        # seq == expected: release it plus any contiguous buffered run.
+        due.append(message)
+        self._count_delivered(message)
+        nxt = expected + 1
+        buffer = self._recv_buffer.get(link)
+        if buffer:
+            while nxt in buffer:
+                held = buffer.pop(nxt)
+                due.append(held)
+                self._count_delivered(held)
+                nxt += 1
+        self._recv_next[link] = nxt
+
+    def _handle_control(self, control: PyTuple[str, Link, int], now: float) -> None:
+        _, link, seq = control
+        pending = self._unacked.get(link, {}).get(seq)
+        if pending is None:
+            return  # acked in the meantime; timer is stale
+        assert self.reliability is not None
+        pending.attempts += 1
+        if pending.attempts > self.reliability.max_retries:
+            del self._unacked[link][seq]
+            self._expire(pending.message)
+            return
+        self.stats._bump(self.stats.retransmits, pending.message.kind)
+        self._transmit(pending.message, pending.source, now, link=link, seq=seq)
+        pending.rto = min(
+            self.reliability.max_rto_seconds,
+            pending.rto * self.reliability.backoff_factor,
+        )
+        self._push_control(("rtx", link, seq), now + pending.rto)
+
+    def _count_delivered(self, message: Message) -> None:
+        kind = message.kind
+        self.stats._bump(self.stats.delivered, kind)
+        self.bytes_delivered += message.size_bytes()
+        batch = getattr(message, "batch", None)
+        if batch is not None:
+            self.stats._bump(self.stats.tuples_delivered, kind, len(batch))
+
+    # -------------------------------------------------------------- inspection
     def in_flight(self) -> int:
         return len(self._queue)
 
@@ -196,3 +575,11 @@ class Network:
         if not self._queue:
             return None
         return self._queue[0].deliver_at
+
+    def reliable_pending(self) -> int:
+        """Unacknowledged reliable messages across all sender buffers."""
+        return sum(len(pending) for pending in self._unacked.values())
+
+    def reorder_buffered(self) -> int:
+        """Out-of-order messages held back by receivers awaiting a gap fill."""
+        return sum(len(buffer) for buffer in self._recv_buffer.values())

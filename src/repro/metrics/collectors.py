@@ -14,7 +14,33 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..core.fairness import summary_moments
 
-__all__ = ["SummaryStats", "TimeSeries", "MetricsCollector"]
+__all__ = [
+    "SummaryStats",
+    "TimeSeries",
+    "MetricsCollector",
+    "summarize_network",
+]
+
+
+def summarize_network(network) -> Dict[str, object]:
+    """Flatten a :class:`~repro.federation.network.Network`'s accounting.
+
+    One plain dictionary combining the legacy top-level counters with the
+    per-message-type :class:`NetworkStats` ledger — what ``RunResult.network``
+    carries and the experiment reports print.  ``delivered`` counts unique
+    application-dispatched messages; retransmissions, duplicates, drops and
+    expirations are itemised per message kind under ``stats``.
+    """
+    return {
+        "sent_messages": network.sent_messages,
+        "delivered_messages": network.delivered_messages,
+        "bytes_sent": network.bytes_sent,
+        "bytes_delivered": network.bytes_delivered,
+        "in_flight": network.in_flight(),
+        "reliable_pending": network.reliable_pending(),
+        "reorder_buffered": network.reorder_buffered(),
+        "stats": network.stats.as_dict(),
+    }
 
 
 @dataclass

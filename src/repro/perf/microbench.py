@@ -44,6 +44,7 @@ __all__ = [
     "run_end_to_end",
     "time_end_to_end",
     "time_runtime",
+    "time_reliability",
     "run_microbench",
 ]
 
@@ -511,6 +512,7 @@ def run_end_to_end(
     capacity_fraction: float = 0.5,
     dataset: str = "gaussian",
     columnar_backend: Optional[str] = None,
+    reliable_delivery: bool = False,
     seed: int = 0,
 ):
     """Run the end-to-end macro-benchmark scenario and return
@@ -536,6 +538,7 @@ def run_end_to_end(
         columnar=columnar,
         columnar_backend=columnar_backend,
         runtime=runtime,
+        reliable_delivery=reliable_delivery,
         retain_result_values=True,
         seed=seed,
     )
@@ -595,6 +598,29 @@ def time_runtime(
     assert any(s.shed_tuples > 0 for s in result.node_summaries)
     if registry is not None:
         name = "runtime.lockstep" if use_lockstep else "runtime.event"
+        registry.record(name, seconds)
+    return seconds
+
+
+def time_reliability(
+    reliable: bool = True,
+    registry: Optional[PerfRegistry] = None,
+    **kwargs,
+) -> float:
+    """Seconds for one end-to-end run with or without reliable delivery.
+
+    Same macro-benchmark scenario as :func:`time_end_to_end`, varying only
+    ``SimulationConfig.reliable_delivery``.  With zero faults the reliable
+    channel changes nothing observable (the differential tests assert
+    bit-exact result identity), so the ratio is the pure bookkeeping cost of
+    sequence numbers, acks and retransmission timers on a loss-free network —
+    required to stay within 10% (asserted in ``benchmarks/test_bench_micro.py``
+    and recorded in the ``faults`` section of ``BENCH_shedding.json``).
+    """
+    seconds, result = run_end_to_end(reliable_delivery=reliable, **kwargs)
+    assert any(s.shed_tuples > 0 for s in result.node_summaries)
+    if registry is not None:
+        name = "reliability.on" if reliable else "reliability.off"
         registry.record(name, seconds)
     return seconds
 
@@ -826,5 +852,19 @@ def run_microbench(
         "event_ms": rt_event,
         "lockstep_ms": rt_lockstep,
         "overhead_pct": (rt_event / rt_lockstep - 1.0) * 100.0,
+    }
+
+    # Reliable-delivery overhead on a loss-free network: same macro scenario,
+    # varying only `reliable_delivery` (results are bit-identical, so the
+    # ratio is pure transport bookkeeping).  Gated at ≤10% like the runtime.
+    rel_off = min(time_reliability(False, registry=registry) for _ in range(2)) * 1e3
+    rel_on = min(time_reliability(True, registry=registry) for _ in range(2)) * 1e3
+    results["faults"] = {
+        "reliability": {
+            "queries": END_TO_END_QUERIES,
+            "off_ms": rel_off,
+            "on_ms": rel_on,
+            "overhead_pct": (rel_on / rel_off - 1.0) * 100.0,
+        },
     }
     return results

@@ -5,10 +5,13 @@ discrete-event scheduler: source generation, per-node shedding rounds,
 coordinator ``updateSIC`` rounds and network deliveries are independently
 scheduled events, enabling heterogeneous per-node shedding intervals and
 mid-run cluster / query lifecycle changes while staying result-identical to
-the lockstep loop for homogeneous, seeded runs.
+the lockstep loop for homogeneous, seeded runs.  The
+:class:`~repro.runtime.heartbeat.FailureDetector` adds heartbeat-based
+failure detection and automatic checkpoint-restore recovery on top.
 """
 
+from .heartbeat import FailureDetector
 from .runtime import EventRuntime
 from .scheduler import EventScheduler, ScheduledEvent
 
-__all__ = ["EventRuntime", "EventScheduler", "ScheduledEvent"]
+__all__ = ["EventRuntime", "EventScheduler", "ScheduledEvent", "FailureDetector"]

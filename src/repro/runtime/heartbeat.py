@@ -1,0 +1,179 @@
+"""Heartbeat-based failure detection and automatic recovery.
+
+The paper's FSPS sites are autonomous: nobody calls ``fail_node`` when a
+machine dies.  The :class:`FailureDetector` closes that loop for the event
+runtime — every ``interval`` simulated seconds each running node emits a
+:class:`~repro.federation.network.HeartbeatMessage` towards the coordinator
+endpoint **through the network**, so heartbeats suffer the same latency, loss
+and partitions as everything else.  A node unheard of for
+``timeout_intervals`` consecutive intervals is declared dead, which drives
+the existing manual recovery path automatically:
+
+``declare dead`` → :meth:`EventRuntime.fail_node` (lost-placement recording,
+source unrouting) → once the endpoint is reachable again and a
+``node_factory`` is configured → :meth:`EventRuntime.rejoin_node` (restore
+hosted fragments from the coordinator-held checkpoints) or plain
+:meth:`EventRuntime.add_node` when the node hosted nothing.
+
+Because heartbeats are best-effort, sustained loss can produce **false
+positives**: a live node declared dead.  The detector treats those exactly
+like real crashes — fail, then checkpoint-restore rejoin — which is the
+safe behaviour (the alternative, ignoring silence, turns every real crash
+into an undetected one).  Detection and recovery latencies are recorded per
+incident for the chaos experiment's report.
+
+Determinism: the sweep iterates nodes in sorted id order, all decisions
+derive from simulated time, and with zero injected faults every heartbeat
+arrives — the detector then never mutates the federation, so enabling it
+cannot change a fault-free run's results (it only adds heartbeat traffic to
+the message counters).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..federation.fsps import COORDINATOR_ENDPOINT
+from ..federation.network import HeartbeatMessage
+from ..federation.node import FspsNode
+from .runtime import EventRuntime
+from .scheduler import PRIORITY_FAULT
+
+__all__ = ["FailureDetector"]
+
+
+class FailureDetector:
+    """Periodic heartbeat sweep attached to an :class:`EventRuntime`.
+
+    Args:
+        runtime: the event runtime driving the federation.
+        interval: heartbeat period in simulated seconds.
+        timeout_intervals: number of silent intervals before a node is
+            declared dead; the detection timeout is
+            ``interval * timeout_intervals``.
+        node_factory: ``node_id -> FspsNode`` builder used to reconstruct a
+            declared-dead node once its endpoint is reachable again.  Without
+            one the detector only *detects* (fail_node); recovery stays
+            manual.
+    """
+
+    def __init__(
+        self,
+        runtime: EventRuntime,
+        interval: float,
+        timeout_intervals: int = 3,
+        node_factory: Optional[Callable[[str], FspsNode]] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if timeout_intervals < 1:
+            raise ValueError(
+                f"timeout_intervals must be at least 1, got {timeout_intervals}"
+            )
+        self.runtime = runtime
+        self.system = runtime.system
+        self.interval = float(interval)
+        self.timeout = float(interval) * timeout_intervals
+        self.node_factory = node_factory
+        # node id -> simulated time of the last heartbeat *received* (not
+        # sent); initialised to attach time so a node gets a full timeout of
+        # grace before its first beacon can land.
+        self.last_seen: Dict[str, float] = {
+            node_id: runtime.now for node_id in self.system.nodes
+        }
+        # node id -> time it was declared dead; cleared on recovery.
+        self.dead: Dict[str, float] = {}
+        self.detections: List[Dict[str, float]] = []
+        self.recoveries: List[Dict[str, float]] = []
+        # Optional hook called with the failed FspsNode right after a
+        # declare-dead; experiment trackers use it to fold the departing
+        # node's counters before the object is dropped.
+        self.on_node_failed: Optional[Callable[[FspsNode], None]] = None
+        if self.system.failure_detector is not None:
+            raise ValueError("the system already has a failure detector attached")
+        self.system.failure_detector = self
+        self._event = runtime.scheduler.schedule(
+            runtime.scheduler.now + self.interval, PRIORITY_FAULT, self._sweep
+        )
+
+    # ------------------------------------------------------------------ inbound
+    def on_heartbeat(self, node_id: str, now: float) -> None:
+        """Record a heartbeat delivery (called by the system dispatcher)."""
+        previous = self.last_seen.get(node_id, 0.0)
+        if now > previous:
+            self.last_seen[node_id] = now
+
+    # -------------------------------------------------------------------- sweep
+    def _sweep(self, now: float) -> None:
+        system = self.system
+        runtime = self.runtime
+        # Emit beacons from every node whose process is actually running —
+        # a silently-crashed node has no round stream and sends nothing
+        # (its endpoint would drop the send anyway while it is dead).
+        for node_id in sorted(system.nodes):
+            self.last_seen.setdefault(node_id, now)
+            if not runtime.node_running(node_id):
+                continue
+            system.network.send(
+                HeartbeatMessage(
+                    destination=COORDINATOR_ENDPOINT, node_id=node_id, sent_at=now
+                ),
+                sent_at=now,
+                source=node_id,
+            )
+        # Declare nodes silent for longer than the timeout dead and run the
+        # crash-failure path (lost-placement recording, source unrouting).
+        for node_id in sorted(system.nodes):
+            last = self.last_seen.get(node_id, now)
+            if now - last > self.timeout:
+                failed = runtime.fail_node(node_id)
+                if self.on_node_failed is not None:
+                    self.on_node_failed(failed)
+                self.dead[node_id] = now
+                self.detections.append(
+                    {
+                        "node_id": node_id,
+                        "last_seen": last,
+                        "declared_at": now,
+                        "detection_latency": now - last,
+                    }
+                )
+        # Recover declared-dead nodes whose endpoint is reachable again: a
+        # fresh process rejoins from the coordinator-held checkpoints (or
+        # joins empty if the node hosted nothing when it was declared dead).
+        if self.node_factory is not None:
+            for node_id in sorted(self.dead):
+                if node_id in system.network.dead_endpoints:
+                    continue  # machine still down
+                node = self.node_factory(node_id)
+                if system.awaiting_rejoin(node_id):
+                    runtime.rejoin_node(node)
+                else:
+                    runtime.add_node(node)
+                declared_at = self.dead.pop(node_id)
+                self.last_seen[node_id] = now
+                self.recoveries.append(
+                    {
+                        "node_id": node_id,
+                        "declared_at": declared_at,
+                        "recovered_at": now,
+                        "recovery_latency": now - declared_at,
+                    }
+                )
+        self._event = runtime.scheduler.schedule(
+            now + self.interval, PRIORITY_FAULT, self._sweep
+        )
+
+    # ------------------------------------------------------------------ summary
+    def summary(self) -> Dict[str, object]:
+        return {
+            "detections": list(self.detections),
+            "recoveries": list(self.recoveries),
+            "still_dead": sorted(self.dead),
+        }
+
+    def close(self) -> None:
+        """Stop the sweep and detach from the system."""
+        self._event.cancel()
+        if self.system.failure_detector is self:
+            self.system.failure_detector = None

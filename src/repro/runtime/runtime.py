@@ -238,10 +238,49 @@ class EventRuntime:
 
     def fail_node(self, node_id: str) -> FspsNode:
         """Crash-fail a node mid-run: rounds stop, state handled by the FSPS."""
+        self._sync_system_clock()
         node = self.system.fail_node(node_id)
         self._cancel("node", node_id)
         self._node_intervals.pop(node_id, None)
         return node
+
+    def crash_node_silently(self, node_id: str) -> None:
+        """Kill a node the way a real machine dies: without telling anyone.
+
+        The node's shedding rounds stop and its network endpoint goes dead
+        (inbound and outbound transmissions are discarded), but the
+        federation's control plane is *not* informed — the node stays in
+        ``system.nodes``, sources keep routing to it, and no lost-placement
+        record is taken.  Detecting the silence and driving the
+        :meth:`fail_node` → :meth:`rejoin_node` recovery is the failure
+        detector's job (:mod:`repro.runtime.heartbeat`); fault plans use this
+        entry point for planned crashes (:mod:`repro.faults`).
+        """
+        if node_id not in self.system.nodes:
+            raise ValueError(f"node {node_id!r} does not exist")
+        self._cancel("node", node_id)
+        self.system.network.dead_endpoints.add(node_id)
+
+    def repair_node(self, node_id: str) -> None:
+        """Bring a silently-crashed endpoint back online (machine reboot).
+
+        Only the network endpoint is revived; the process state is gone.  If
+        the crash was detected in the meantime, the failure detector's next
+        sweep rebuilds the node and rejoins it from checkpoints.  If it was
+        *not* detected yet, the node cannot simply resume — its rounds were
+        cancelled and its in-memory state is stale — so the endpoint repair
+        also leaves recovery to the detector.
+        """
+        self.system.network.dead_endpoints.discard(node_id)
+
+    def node_running(self, node_id: str) -> bool:
+        """True if the node's shedding-round stream is scheduled.
+
+        Distinguishes a live node from a silently-crashed one still present
+        in ``system.nodes``: only a running process emits heartbeats, so the
+        failure detector keys its beacons off this rather than membership.
+        """
+        return ("node", node_id) in self._events
 
     def rejoin_node(
         self, node: FspsNode, shedding_interval: Optional[float] = None

@@ -24,6 +24,7 @@ from typing import Callable, List, Optional
 __all__ = [
     "EventScheduler",
     "ScheduledEvent",
+    "PRIORITY_FAULT",
     "PRIORITY_SOURCE",
     "PRIORITY_DELIVERY",
     "PRIORITY_NODE",
@@ -44,6 +45,11 @@ PRIORITY_DELIVERY = 1
 PRIORITY_NODE = 2
 PRIORITY_COORDINATOR = 3
 PRIORITY_POST_DELIVERY = 4
+# Fault-injection and failure-detector events fire before anything else at
+# their instant: a crash planned for time t must be visible to t's source,
+# delivery and shedding phases, exactly as if the machine died just before
+# the instant began.
+PRIORITY_FAULT = -1
 
 
 class ScheduledEvent:

@@ -71,6 +71,19 @@ class SimulationConfig:
             (failover) fresh.  Event runtime only; ``None`` disables
             periodic checkpointing.  Checkpoints never mutate state, so
             enabling them does not change a run's results.
+        reliable_delivery: run data/result messages over the network's
+            reliable channel (per-link sequence numbers, acks, retransmit
+            with exponential backoff, receiver-side dedup) instead of
+            fire-and-forget.  With no injected faults this changes no
+            results (asserted differentially); under loss it gives
+            exactly-once delivery.  ``updateSIC`` and heartbeats stay
+            best-effort either way.
+        heartbeat_interval: cadence (seconds) of the heartbeat-based failure
+            detector's sweeps; ``None`` (default) disables the detector.
+            Event runtime only.  With zero injected faults every heartbeat
+            arrives and the detector never acts.
+        heartbeat_timeout_intervals: silent sweeps before a node is declared
+            dead (detection timeout = interval × this).
         retain_result_values: keep every result tuple's payload on the query
             coordinators (needed by the SIC-correlation experiments, which
             align degraded and perfect runs window by window).  Off by
@@ -95,6 +108,9 @@ class SimulationConfig:
     runtime: str = "event"
     node_shedding_intervals: Dict[str, float] = field(default_factory=dict)
     checkpoint_interval: Optional[float] = None
+    reliable_delivery: bool = False
+    heartbeat_interval: Optional[float] = None
+    heartbeat_timeout_intervals: int = 3
     retain_result_values: bool = False
     max_result_values: Optional[int] = None
     seed: int = 0
@@ -140,6 +156,15 @@ class SimulationConfig:
                 f"checkpoint_interval must be positive, got "
                 f"{self.checkpoint_interval}"
             )
+        if self.heartbeat_interval is not None and self.heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive, got {self.heartbeat_interval}"
+            )
+        if self.heartbeat_timeout_intervals < 1:
+            raise ValueError(
+                f"heartbeat_timeout_intervals must be at least 1, got "
+                f"{self.heartbeat_timeout_intervals}"
+            )
         if self.max_result_values is not None and self.max_result_values <= 0:
             raise ValueError(
                 f"max_result_values must be positive, got {self.max_result_values}"
@@ -162,3 +187,13 @@ class SimulationConfig:
         return StwConfig(
             stw_seconds=self.stw_seconds, slide_seconds=self.shedding_interval
         )
+
+    def reliability_config(self):
+        """The network :class:`ReliabilityConfig` for this run (or ``None``)."""
+        if not self.reliable_delivery:
+            return None
+        # Imported lazily: the simulation package stays importable without
+        # pulling the federation layer in at module-import time.
+        from ..federation.network import ReliabilityConfig
+
+        return ReliabilityConfig()

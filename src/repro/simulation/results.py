@@ -54,6 +54,10 @@ class RunResult:
     messages_sent: int = 0
     bytes_sent: int = 0
     result_values: Dict[str, List[Dict[str, object]]] = field(default_factory=dict)
+    # Flattened transport accounting (see metrics.collectors.summarize_network):
+    # bytes_delivered plus the per-message-type sent/delivered/dropped/
+    # duplicate/retransmit/expired ledger of the run's Network.
+    network: Dict[str, object] = field(default_factory=dict)
     extra: Dict[str, object] = field(default_factory=dict)
 
     # --------------------------------------------------------------- fairness

@@ -16,8 +16,9 @@ from typing import Callable, Dict, List, Optional
 
 from ..core.columns import get_default_backend, use_backend
 from ..federation.fsps import FederatedSystem
+from ..metrics.collectors import summarize_network
 from ..perf import PerfRegistry, Stopwatch
-from ..runtime import EventRuntime
+from ..runtime import EventRuntime, FailureDetector
 from .clock import SimulationClock
 from .config import SimulationConfig
 from .results import NodeSummary, RunResult
@@ -89,9 +90,21 @@ class Simulator:
                 timer=timer,
                 checkpoint_interval=self.config.checkpoint_interval,
             )
+            # Detection-only failure detector (no node_factory): it declares
+            # silent nodes dead and records latencies; automatic rejoin needs
+            # a factory and is wired by the chaos experiment harness.
+            detector = None
+            if self.config.heartbeat_interval is not None:
+                detector = FailureDetector(
+                    runtime,
+                    interval=self.config.heartbeat_interval,
+                    timeout_intervals=self.config.heartbeat_timeout_intervals,
+                )
             try:
                 runtime.run(ticks=total_ticks)
             finally:
+                if detector is not None:
+                    detector.close()
                 runtime.close()
             for _ in range(total_ticks):
                 self.clock.advance()
@@ -139,4 +152,5 @@ class Simulator:
             messages_sent=self.system.network.sent_messages,
             bytes_sent=self.system.network.bytes_sent,
             result_values=result_values,
+            network=summarize_network(self.system.network),
         )

@@ -78,7 +78,10 @@ class LocalEngine:
         system = FederatedSystem(
             stw_config=self.config.stw_config(),
             shedding_interval=self.config.shedding_interval,
-            network=Network(UniformLatency(self.config.network_latency_seconds)),
+            network=Network(
+                UniformLatency(self.config.network_latency_seconds),
+                reliability=self.config.reliability_config(),
+            ),
             coordinator_update_interval=self.config.coordinator_update_interval,
             enable_sic_updates=self.config.enable_sic_updates,
             columnar=self.config.columnar,

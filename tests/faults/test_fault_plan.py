@@ -1,0 +1,121 @@
+"""Unit tests for fault plans and the injector's deterministic policy."""
+
+import pytest
+
+from repro.faults import (
+    CoordinatorCrash,
+    FaultPlan,
+    LossEpisode,
+    NodeCrash,
+    PartitionEpisode,
+    SlowEpisode,
+)
+
+
+class TestEpisodeValidation:
+    def test_loss_episode_rejects_bad_windows_and_probabilities(self):
+        with pytest.raises(ValueError):
+            FaultPlan(episodes=(LossEpisode(start=-1.0, end=2.0),))
+        with pytest.raises(ValueError):
+            FaultPlan(episodes=(LossEpisode(start=2.0, end=2.0),))
+        with pytest.raises(ValueError):
+            FaultPlan(episodes=(LossEpisode(start=0.0, end=1.0, drop_probability=1.5),))
+        with pytest.raises(ValueError):
+            FaultPlan(
+                episodes=(LossEpisode(start=0.0, end=1.0, duplicate_probability=-0.1),)
+            )
+        with pytest.raises(ValueError):
+            FaultPlan(
+                episodes=(LossEpisode(start=0.0, end=1.0, jitter_seconds=-0.01),)
+            )
+
+    def test_partition_episode_rejects_empty_and_overlapping_groups(self):
+        with pytest.raises(ValueError):
+            FaultPlan(episodes=(PartitionEpisode(start=0.0, end=1.0, group_a=()),))
+        with pytest.raises(ValueError):
+            FaultPlan(
+                episodes=(
+                    PartitionEpisode(
+                        start=0.0, end=1.0, group_a=("a",), group_b=("a", "b")
+                    ),
+                )
+            )
+
+    def test_slow_episode_requires_positive_extra_latency(self):
+        with pytest.raises(ValueError):
+            FaultPlan(
+                episodes=(
+                    SlowEpisode(
+                        start=0.0, end=1.0, endpoint="n", extra_latency_seconds=0.0
+                    ),
+                )
+            )
+
+    def test_crash_episodes_validate_fields(self):
+        with pytest.raises(ValueError):
+            FaultPlan(episodes=(NodeCrash(at=-1.0, node_id="n"),))
+        with pytest.raises(ValueError):
+            FaultPlan(episodes=(NodeCrash(at=1.0, node_id=""),))
+        with pytest.raises(ValueError):
+            FaultPlan(episodes=(NodeCrash(at=1.0, node_id="n", repair_after=0.0),))
+        with pytest.raises(ValueError):
+            FaultPlan(episodes=(CoordinatorCrash(at=1.0, query_id=""),))
+
+    def test_plan_rejects_unknown_episode_types(self):
+        with pytest.raises(TypeError):
+            FaultPlan(episodes=("not-an-episode",))
+
+
+class TestEpisodeSemantics:
+    def test_loss_episode_window_is_half_open(self):
+        episode = LossEpisode(start=1.0, end=2.0, drop_probability=0.5)
+        assert not episode.active(0.99)
+        assert episode.active(1.0)
+        assert episode.active(1.99)
+        assert not episode.active(2.0)
+
+    def test_loss_episode_filters_kinds_and_endpoints(self):
+        episode = LossEpisode(
+            start=0.0,
+            end=1.0,
+            drop_probability=1.0,
+            message_types=("data",),
+            endpoints=("node-1",),
+        )
+        assert episode.matches("data", "node-1", "node-2")
+        assert episode.matches("data", "node-0", "node-1")
+        assert not episode.matches("result", "node-1", "node-2")
+        assert not episode.matches("data", "node-0", "node-2")
+
+    def test_partition_severs_cross_group_links_only(self):
+        episode = PartitionEpisode(
+            start=0.0, end=1.0, group_a=("a1", "a2"), group_b=("b1",)
+        )
+        assert episode.severs("a1", "b1")
+        assert episode.severs("b1", "a2")
+        assert not episode.severs("a1", "a2")
+        assert not episode.severs("b1", "c")
+        assert not episode.severs("c", "a1")  # c is in neither named group
+
+    def test_empty_group_b_isolates_group_a_from_everything(self):
+        episode = PartitionEpisode(start=0.0, end=1.0, group_a=("a",))
+        assert episode.severs("a", "anything")
+        assert episode.severs("anything", "a")
+        assert not episode.severs("x", "y")
+
+    def test_typed_views_preserve_plan_order(self):
+        loss = LossEpisode(start=0.0, end=1.0, drop_probability=0.1)
+        part = PartitionEpisode(start=1.0, end=2.0, group_a=("a",))
+        crash = NodeCrash(at=3.0, node_id="n")
+        plan = FaultPlan(seed=5, episodes=[crash, loss, part])
+        assert plan.episodes == (crash, loss, part)
+        assert plan.loss_episodes == (loss,)
+        assert plan.partitions == (part,)
+        assert plan.node_crashes == (crash,)
+        assert plan.slow_episodes == ()
+        assert plan.coordinator_crashes == ()
+
+    def test_empty_plan_is_valid(self):
+        plan = FaultPlan()
+        assert plan.episodes == ()
+        assert plan.seed == 0

@@ -5,8 +5,10 @@ import pytest
 from repro.core.tuples import Batch, Tuple
 from repro.federation.network import (
     DataMessage,
+    HeartbeatMessage,
     LatencyMatrix,
     Network,
+    ReliabilityConfig,
     ResultMessage,
     SicUpdateMessage,
     UniformLatency,
@@ -151,3 +153,182 @@ class TestNetwork:
         )
         delivered = [m.query_id for m in network.deliver_due(0.1)]
         assert delivered == ["s", "f"]
+
+    def test_message_id_counter_is_per_instance(self):
+        # Back-to-back simulations in one process must see identical
+        # tie-break orders: a fresh network's delivery order cannot depend on
+        # how many messages earlier networks sent.
+        def run_sequence():
+            network = Network(UniformLatency(0.0))
+            for qid in ("a", "b", "c"):
+                network.send(
+                    SicUpdateMessage(destination="dst", query_id=qid, sic_value=0.1),
+                    0.0,
+                    "src",
+                )
+            return [m.query_id for m in network.deliver_due(1.0)]
+
+        first = run_sequence()
+        # Burn counter state on an unrelated instance in between.
+        other = Network(UniformLatency(0.0))
+        for _ in range(100):
+            other.send(
+                SicUpdateMessage(destination="x", query_id="noise", sic_value=0.0),
+                0.0,
+                "y",
+            )
+        assert run_sequence() == first
+
+
+def pump(network):
+    delivered = []
+    while network.in_flight():
+        delivered.extend(network.deliver_due(network.next_delivery_time()))
+    return delivered
+
+
+class TestFaultHooks:
+    def test_fault_policy_can_drop_duplicate_and_delay(self):
+        network = Network(UniformLatency(0.01))
+        calls = []
+
+        def policy(message, source, destination, sent_at, latency):
+            calls.append((message.kind, source, destination))
+            if message.kind == "sic_update":
+                return ()  # drop
+            return (sent_at + latency, sent_at + latency + 0.5)  # duplicate
+
+        network.fault_policy = policy
+        network.send(
+            SicUpdateMessage(destination="n0", query_id="q", sic_value=0.1), 0.0, "c"
+        )
+        network.send(HeartbeatMessage(destination="c", node_id="n0"), 0.0, "n0")
+        assert network.stats.dropped == {"sic_update": 1}
+        # Best-effort duplication without the reliable channel reaches the
+        # application twice — dedup is the reliable channel's job.
+        delivered = pump(network)
+        assert [m.kind for m in delivered] == ["heartbeat", "heartbeat"]
+        assert calls[0] == ("sic_update", "c", "n0")
+
+    def test_dead_endpoint_drops_at_send_and_at_delivery(self):
+        network = Network(UniformLatency(0.01))
+        network.send(HeartbeatMessage(destination="c", node_id="n0"), 0.0, "n0")
+        network.dead_endpoints.add("c")  # dies while the beacon is in flight
+        assert network.deliver_due(1.0) == []
+        assert network.stats.dropped == {"heartbeat": 1}
+        network.send(HeartbeatMessage(destination="c", node_id="n1"), 1.0, "n1")
+        assert network.in_flight() == 0  # never put on the wire
+        assert network.stats.dropped == {"heartbeat": 2}
+
+
+class TestReliabilityConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ReliabilityConfig(window=0)
+        with pytest.raises(ValueError):
+            ReliabilityConfig(min_rto_seconds=0.0)
+        with pytest.raises(ValueError):
+            ReliabilityConfig(rto_rtt_multiplier=1.0)
+        with pytest.raises(ValueError):
+            ReliabilityConfig(backoff_factor=0.9)
+        with pytest.raises(ValueError):
+            ReliabilityConfig(min_rto_seconds=1.0, max_rto_seconds=0.5)
+        with pytest.raises(ValueError):
+            ReliabilityConfig(max_retries=-1)
+
+
+class TestReliableChannel:
+    def test_dropped_copy_is_retransmitted_and_delivered_once(self):
+        network = Network(UniformLatency(0.01), reliability=ReliabilityConfig())
+        attempts = []
+
+        def policy(message, source, destination, sent_at, latency):
+            if message.kind == "data":
+                attempts.append(sent_at)
+                if len(attempts) == 1:
+                    return ()  # eat the first copy
+            return (sent_at + latency,)
+
+        network.fault_policy = policy
+        message = DataMessage(destination="n1", batch=batch(), target_fragment_id="f")
+        network.send(message, sent_at=0.0, source="n0")
+        delivered = pump(network)
+        assert delivered == [message]
+        assert network.stats.retransmits == {"data": 1}
+        assert network.stats.delivered == {"data": 1}
+        assert network.reliable_pending() == 0
+        # The retransmission happened one RTO after the original send.
+        assert attempts[1] == pytest.approx(0.05)
+
+    def test_lost_ack_causes_duplicate_which_is_suppressed(self):
+        network = Network(UniformLatency(0.01), reliability=ReliabilityConfig())
+        acks_seen = []
+
+        def policy(message, source, destination, sent_at, latency):
+            if message.kind == "ack":
+                acks_seen.append(sent_at)
+                if len(acks_seen) == 1:
+                    return ()  # lose the first ack
+            return (sent_at + latency,)
+
+        network.fault_policy = policy
+        message = DataMessage(destination="n1", batch=batch(), target_fragment_id="f")
+        network.send(message, sent_at=0.0, source="n0")
+        delivered = pump(network)
+        # Delivered to the application exactly once despite the retransmit
+        # the lost ack provoked; the duplicate copy was counted, and the
+        # duplicate's re-ack finally cleared the sender's buffer.
+        assert delivered == [message]
+        assert network.stats.duplicates == {"data": 1}
+        assert network.stats.retransmits == {"data": 1}
+        assert len(acks_seen) == 2
+        assert network.reliable_pending() == 0
+
+    def test_retries_exhausted_expires_with_accounting(self):
+        config = ReliabilityConfig(max_retries=3)
+        network = Network(UniformLatency(0.01), reliability=config)
+        network.fault_policy = lambda *a: ()  # total blackout
+        message = DataMessage(destination="n1", batch=batch(n=4), target_fragment_id="f")
+        network.send(message, sent_at=0.0, source="n0")
+        pump(network)
+        assert network.stats.expired == {"data": 1}
+        assert network.stats.tuples_expired == {"data": 4}
+        assert network.stats.retransmits == {"data": 3}
+        assert network.reliable_pending() == 0
+
+    def test_dead_destination_receives_backlog_exactly_once_after_repair(self):
+        network = Network(UniformLatency(0.01), reliability=ReliabilityConfig())
+        network.dead_endpoints.add("n1")
+        message = DataMessage(destination="n1", batch=batch(), target_fragment_id="f")
+        network.send(message, sent_at=0.0, source="n0")
+        # While the endpoint is down the channel keeps retrying into the void.
+        for _ in range(3):
+            network.deliver_due(network.next_delivery_time())
+        assert network.reliable_pending() == 1
+        network.dead_endpoints.discard("n1")  # machine reboots
+        delivered = pump(network)
+        assert delivered == [message]
+        assert network.stats.delivered == {"data": 1}
+        assert network.reliable_pending() == 0
+
+    def test_best_effort_kinds_bypass_the_reliable_channel(self):
+        network = Network(UniformLatency(0.01), reliability=ReliabilityConfig())
+        network.send(
+            SicUpdateMessage(destination="n0", query_id="q", sic_value=0.1), 0.0, "c"
+        )
+        network.send(HeartbeatMessage(destination="c", node_id="n0"), 0.0, "n0")
+        pump(network)
+        assert network.reliable_pending() == 0
+        assert network.stats.acks_sent == 0
+
+    def test_bytes_delivered_and_wire_accounting(self):
+        network = Network(UniformLatency(0.01), reliability=ReliabilityConfig())
+        message = ResultMessage(destination="coord", batch=batch())
+        network.send(message, sent_at=0.0, source="n0")
+        pump(network)
+        size = message.size_bytes()
+        assert network.bytes_sent == size
+        assert network.bytes_delivered == size
+        # Physical bytes include the ack the receiver sent back.
+        assert network.stats.bytes_wire == size + 20
+        assert network.stats.acks_sent == 1

@@ -1,0 +1,193 @@
+"""Lifecycle edge cases under injected faults, plus the chaos experiment.
+
+These tests drive the full resilience stack — reliable delivery, heartbeat
+failure detection, checkpoint-restore recovery — through the fault schedules
+that historically break such stacks:
+
+* a node crashing while the reliable channel still holds unacknowledged
+  messages for it (the retransmit backlog must redeliver exactly once after
+  the rejoin, not vanish and not double);
+* a partition healing while a coordinator failover is in progress on the
+  isolated side;
+* a heartbeat false positive — a slow-but-alive node declared dead and
+  rejoined, repeatedly, without wedging the federation.
+"""
+
+import pytest
+
+from repro.experiments import chaos
+from repro.experiments.testbeds import scaled_config
+from repro.faults import (
+    CoordinatorCrash,
+    FaultInjector,
+    FaultPlan,
+    LossEpisode,
+    NodeCrash,
+    PartitionEpisode,
+    SlowEpisode,
+)
+
+SEED = 7
+
+
+def build_stack(seed=SEED, rate=60.0):
+    """A 3-node federation with the full resilience stack attached."""
+    base = scaled_config("small", seed=seed)
+    system, runtime, detector, _ = chaos._build(base, rate, seed)
+    return system, runtime, detector
+
+
+def run_with_plan(plan, duration=10.0, seed=SEED):
+    system, runtime, detector = build_stack(seed=seed)
+    injector = FaultInjector(runtime, plan)
+    runtime.run(duration)
+    system.drain_network()
+    summary = injector.summary()
+    injector.close()
+    detector.close()
+    runtime.close()
+    return system, detector, summary
+
+
+def assert_ledger_closed(system):
+    """Every reliable send is delivered or expired — nothing unaccounted."""
+    stats = system.network.stats
+    for kind in ("data", "result"):
+        sent = stats.sent.get(kind, 0)
+        delivered = stats.delivered.get(kind, 0)
+        expired = stats.expired.get(kind, 0)
+        assert sent == delivered + expired, (
+            f"{kind}: {sent} sent != {delivered} delivered + {expired} expired"
+        )
+    assert system.network.reliable_pending() == 0
+    assert system.network.in_flight() == 0
+
+
+class TestCrashDuringRetransmitWindow:
+    def test_backlog_redelivered_exactly_once_after_rejoin(self):
+        # Loss targeted at node-2 fills its retransmit window right before
+        # the node's process dies; the machine reboots 1.5 s later and the
+        # detector rejoins it from checkpoints.  The backlog must drain into
+        # the rejoined node with nothing expired and nothing double-counted.
+        plan = FaultPlan(
+            seed=SEED,
+            episodes=(
+                LossEpisode(
+                    start=2.5,
+                    end=3.5,
+                    drop_probability=0.5,
+                    endpoints=(chaos.CRASHED_NODE,),
+                ),
+                NodeCrash(at=3.0, node_id=chaos.CRASHED_NODE, repair_after=1.5),
+            ),
+        )
+        system, detector, summary = run_with_plan(plan)
+        assert any(f"crash {chaos.CRASHED_NODE}" == what for _, what in summary["timeline"])
+        assert any(f"repair {chaos.CRASHED_NODE}" == what for _, what in summary["timeline"])
+        # Detected, recovered, and back in the federation.
+        assert any(d["node_id"] == chaos.CRASHED_NODE for d in detector.detections)
+        assert any(r["node_id"] == chaos.CRASHED_NODE for r in detector.recoveries)
+        assert chaos.CRASHED_NODE in system.nodes
+        # The crash forced real retransmissions...
+        stats = system.network.stats
+        assert stats.retransmits.get("data", 0) > 0
+        # ...and still nothing was lost or duplicated at the application.
+        assert stats.expired.get("data", 0) == 0
+        assert stats.tuples_sent["data"] == stats.tuples_delivered["data"]
+        assert_ledger_closed(system)
+
+
+class TestPartitionHealRacesFailover:
+    def test_failover_during_partition_then_heal(self):
+        # node-1 is fully isolated for 3 s; near the end of the partition the
+        # coordinator of a query hosted on node-1 crashes and a standby is
+        # promoted.  The heal then releases the isolated side's backlog into
+        # the reorganised federation.
+        plan = FaultPlan(
+            seed=SEED,
+            episodes=(
+                PartitionEpisode(
+                    start=3.0, end=6.0, group_a=(chaos.PARTITIONED_NODE,)
+                ),
+                CoordinatorCrash(at=5.75, query_id="chaos-q1"),
+            ),
+        )
+        system, detector, summary = run_with_plan(plan)
+        assert summary["drops_by_cause"]["partition"] > 0
+        assert any("fail coordinator chaos-q1" == what for _, what in summary["timeline"])
+        # The isolated node was declared dead (the textbook false positive)
+        # and recovered every time its endpoint proved reachable again.
+        flaps = [d for d in detector.detections if d["node_id"] == chaos.PARTITIONED_NODE]
+        assert flaps
+        assert chaos.PARTITIONED_NODE in system.nodes
+        assert detector.summary()["still_dead"] == []
+        # The promoted coordinator still serves the query.
+        assert "chaos-q1" in system.queries
+        assert_ledger_closed(system)
+
+
+class TestHeartbeatFalsePositive:
+    def test_slow_node_declared_dead_then_rejoined(self):
+        # node-1 stays alive but its links gain 2 s of latency — double the
+        # detector timeout — so its heartbeats arrive too late.  The detector
+        # must treat it as crashed (fail + checkpoint-restore rejoin) and the
+        # federation must come out whole once the slowness passes.
+        plan = FaultPlan(
+            seed=SEED,
+            episodes=(
+                SlowEpisode(
+                    start=3.0,
+                    end=5.0,
+                    endpoint=chaos.PARTITIONED_NODE,
+                    extra_latency_seconds=2.0,
+                ),
+            ),
+        )
+        system, detector, summary = run_with_plan(plan)
+        # Nothing actually crashed...
+        assert not any("crash" in what for _, what in summary["timeline"])
+        # ...yet the slow node was declared dead at least once and rejoined.
+        false_positives = [
+            d for d in detector.detections if d["node_id"] == chaos.PARTITIONED_NODE
+        ]
+        assert false_positives
+        assert all(
+            d["detection_latency"] >= detector.timeout for d in false_positives
+        )
+        assert any(
+            r["node_id"] == chaos.PARTITIONED_NODE for r in detector.recoveries
+        )
+        assert detector.summary()["still_dead"] == []
+        assert len(system.nodes) == chaos.NUM_NODES
+        assert_ledger_closed(system)
+
+
+class TestChaosExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return chaos.run(scale="small", seed=0, phase_seconds=3.0, rate=60.0)
+
+    def test_reports_every_phase_with_control_columns(self, result):
+        assert [row["phase"] for row in result.rows] == list(chaos.PHASES)
+        for row in result.rows:
+            assert 0.0 <= row["jains_index"] <= 1.0
+            assert 0.0 <= row["control_jains"] <= 1.0
+
+    def test_faults_were_injected_and_recovered(self, result):
+        notes = "\n".join(result.notes)
+        assert "detected" in notes and "recovered" in notes
+        assert "fail coordinator" in notes
+
+    def test_exactly_once_ledgers_close(self, result):
+        ledger_notes = [n for n in result.notes if "unaccounted" in n]
+        # data + result for both the chaos run and the control.
+        assert len(ledger_notes) == 4
+        for note in ledger_notes:
+            assert "(0 unaccounted)" in note
+
+    def test_control_run_is_quiescent(self, result):
+        assert not any(n.startswith("WARNING") for n in result.notes)
+        control_data = next(
+            n for n in result.notes if n.startswith("control data:")
+        )
+        assert "0 retransmissions" in control_data

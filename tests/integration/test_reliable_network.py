@@ -1,0 +1,179 @@
+"""Differential and exactly-once tests for the reliable delivery channel.
+
+Acceptance bar (robustness PR): turning reliable delivery on over a
+fault-free network must be **invisible** — seeded runs are bit-exact
+result-identical to the plain latency-only network under LAN, WAN and
+zero-latency models and under both drivers.  Under a loss-only fault
+schedule (sustained drop + duplication + jitter) the channel must deliver
+every data/result message exactly once: after a final drain the transport
+ledger closes with zero expiries, zero unaccounted messages and zero
+duplicate deliveries reaching the application.
+"""
+
+import pytest
+
+from repro.experiments.common import build_federation
+from repro.faults import FaultInjector, FaultPlan, LossEpisode
+from repro.runtime import EventRuntime
+from repro.simulation.config import SimulationConfig
+from repro.simulation.simulator import Simulator
+from repro.workloads.generators import WorkloadSpec, generate_complex_workload
+
+DROP = 0.08
+DUPLICATE = 0.05
+JITTER = 0.02
+
+
+def federated_config(latency=0.005, reliable=False, heartbeat=None, runtime="event"):
+    return SimulationConfig(
+        duration_seconds=6.0,
+        warmup_seconds=2.0,
+        stw_seconds=6.0,
+        capacity_fraction=0.4,
+        network_latency_seconds=latency,
+        reliable_delivery=reliable,
+        heartbeat_interval=heartbeat,
+        runtime=runtime,
+        retain_result_values=True,
+        seed=3,
+    )
+
+
+def run_federated(config):
+    spec = WorkloadSpec(
+        num_queries=6,
+        fragments_per_query=(1, 2),
+        kinds=("avg-all", "top5", "cov"),
+        source_rate=40.0,
+        seed=3,
+    )
+    queries = generate_complex_workload(spec)
+    system = build_federation(queries, num_nodes=3, config=config)
+    return Simulator(system, config).run()
+
+
+def assert_results_identical(a, b):
+    """The application-visible outcome of two runs is bit-exact the same."""
+    assert a.per_query_sic == b.per_query_sic
+    assert a.sic_time_series == b.sic_time_series
+    assert a.result_values == b.result_values
+    assert len(a.node_summaries) == len(b.node_summaries)
+    for x, y in zip(a.node_summaries, b.node_summaries):
+        assert x.node_id == y.node_id
+        assert x.received_tuples == y.received_tuples
+        assert x.kept_tuples == y.kept_tuples
+        assert x.shed_tuples == y.shed_tuples
+
+
+class TestFaultFreeTransparency:
+    """Reliability on + zero faults ≡ the latency-only network."""
+
+    @pytest.mark.parametrize("latency", [0.005, 0.05, 0.0], ids=["lan", "wan", "zero"])
+    def test_reliable_run_identical_to_baseline(self, latency):
+        baseline = run_federated(federated_config(latency=latency, reliable=False))
+        reliable = run_federated(federated_config(latency=latency, reliable=True))
+        assert_results_identical(reliable, baseline)
+        # Acks ride the transport-internal path: the logical message and
+        # byte counters are untouched by the reliability layer.
+        assert reliable.messages_sent == baseline.messages_sent
+        assert reliable.bytes_sent == baseline.bytes_sent
+
+    @pytest.mark.parametrize("latency", [0.005, 0.0], ids=["lan", "zero"])
+    def test_no_spurious_retransmissions(self, latency):
+        # The RTO always exceeds the fault-free round trip (including the
+        # min_rto floor at zero latency), so acks beat every first timeout.
+        result = run_federated(federated_config(latency=latency, reliable=True))
+        stats = result.network["stats"]
+        assert stats["retransmits"] == {}
+        assert stats["duplicates"] == {}
+        assert stats["expired"] == {}
+        assert stats["acks_sent"] > 0
+
+    def test_event_and_lockstep_drivers_identical_with_reliability(self):
+        event = run_federated(federated_config(reliable=True, runtime="event"))
+        lockstep = run_federated(federated_config(reliable=True, runtime="lockstep"))
+        assert_results_identical(event, lockstep)
+        assert event.messages_sent == lockstep.messages_sent
+
+    def test_heartbeats_do_not_change_results(self):
+        # With zero faults every heartbeat arrives, the detector never
+        # mutates the federation, and the run's results stay bit-exact
+        # (only the message counters grow by the beacon traffic).
+        baseline = run_federated(federated_config(reliable=True))
+        with_detector = run_federated(
+            federated_config(reliable=True, heartbeat=0.25)
+        )
+        assert_results_identical(with_detector, baseline)
+        assert with_detector.messages_sent > baseline.messages_sent
+        assert with_detector.network["stats"]["sent"]["heartbeat"] > 0
+
+
+class TestExactlyOnceUnderLoss:
+    """A loss-only schedule loses and duplicates nothing, provably."""
+
+    def _run_lossy(self, seed=11):
+        config = federated_config(reliable=True)
+        spec = WorkloadSpec(
+            num_queries=6,
+            fragments_per_query=(1, 2),
+            kinds=("avg-all", "top5", "cov"),
+            source_rate=40.0,
+            seed=3,
+        )
+        system = build_federation(
+            generate_complex_workload(spec), num_nodes=3, config=config
+        )
+        runtime = EventRuntime(system)
+        plan = FaultPlan(
+            seed=seed,
+            episodes=(
+                LossEpisode(
+                    start=0.0,
+                    end=8.0,
+                    drop_probability=DROP,
+                    duplicate_probability=DUPLICATE,
+                    jitter_seconds=JITTER,
+                ),
+            ),
+        )
+        injector = FaultInjector(runtime, plan)
+        runtime.run(8.0)
+        system.drain_network()
+        summary = injector.summary()
+        injector.close()
+        runtime.close()
+        return system, summary
+
+    def test_ledger_closes_with_zero_loss(self):
+        system, summary = self._run_lossy()
+        stats = system.network.stats
+        # The schedule genuinely dropped and duplicated traffic...
+        assert summary["drops_by_cause"]["loss"] > 0
+        assert summary["duplicated"] > 0
+        for kind in ("data", "result"):
+            # ...the channel retransmitted through it...
+            assert stats.retransmits.get(kind, 0) > 0
+            # ...and every logical send was delivered exactly once: no
+            # expiries, no unaccounted messages, duplicates suppressed.
+            assert stats.expired.get(kind, 0) == 0
+            assert stats.sent[kind] == stats.delivered[kind]
+            assert stats.tuples_sent[kind] == stats.tuples_delivered[kind]
+        assert stats._total(stats.duplicates) > 0
+        # Fully drained: no unacked messages, nothing buffered, wire empty.
+        assert system.network.reliable_pending() == 0
+        assert system.network.reorder_buffered() == 0
+        assert system.network.in_flight() == 0
+
+    def test_lossy_runs_reproduce_exactly(self):
+        first_system, first_summary = self._run_lossy(seed=11)
+        second_system, second_summary = self._run_lossy(seed=11)
+        assert first_summary == second_summary
+        assert (
+            first_system.network.stats.as_dict()
+            == second_system.network.stats.as_dict()
+        )
+
+    def test_different_fault_seed_changes_the_faults(self):
+        _, summary_a = self._run_lossy(seed=11)
+        _, summary_b = self._run_lossy(seed=12)
+        assert summary_a["drops_by_cause"] != summary_b["drops_by_cause"]
