@@ -32,6 +32,7 @@ from repro.perf.microbench import (
     time_migration,
     time_node_ticks,
     time_reliability,
+    time_result_accounting,
     time_runtime,
     time_selection,
     time_window_insert,
@@ -64,6 +65,12 @@ RUNTIME_OVERHEAD_CEILING = 0.10
 # sequence numbers, acks and retransmission timers — see the `faults` section
 # of BENCH_shedding.json).
 RELIABILITY_OVERHEAD_CEILING = 0.10
+# Exactly-once result accounting must stay within 10% of an unaccounted run
+# end to end (robustness PR acceptance criterion; without crashes the ledger
+# only ever advances watermarks, the two runs are bit-exact result-identical,
+# and the ratio is the pure cost of stamping batches and updating ledger
+# lanes — see the `faults` section of BENCH_shedding.json).
+RESULT_ACCOUNTING_OVERHEAD_CEILING = 0.10
 # Checkpoint + restore of a 10⁵-tuple window must stay within this factor of
 # *building* the same window state through the columnar pipeline (ISSUE 4;
 # observed ~1.0× on the recording machine — the serialised round-trip costs
@@ -366,3 +373,46 @@ class TestReliabilityBenchmarks:
         )
         assert reliable.per_query_sic == best_effort.per_query_sic
         assert reliable.result_values == best_effort.result_values
+
+
+class TestResultAccountingBenchmarks:
+    """Exactly-once result accounting vs an unaccounted run (identical
+    fault-free scenario, identical results — the timing difference is pure
+    bookkeeping: watermark stamps on emitted batches plus coordinator ledger
+    lane updates)."""
+
+    def test_accounted_end_to_end(self, benchmark):
+        seconds = benchmark.pedantic(
+            time_result_accounting, rounds=1, iterations=1
+        )
+        benchmark.extra_info["scenario"] = "aggregate x50, overload 2, exactly-once"
+        assert seconds > 0
+
+    @skip_perf_asserts
+    def test_result_accounting_overhead_within_budget(self):
+        off = best_of(2, time_result_accounting, accounting=False)
+        on = best_of(2, time_result_accounting, accounting=True)
+        overhead = on / off - 1.0
+        assert overhead <= RESULT_ACCOUNTING_OVERHEAD_CEILING, (
+            f"exactly-once accounting overhead {overhead * 100:.1f}% exceeds "
+            f"the {RESULT_ACCOUNTING_OVERHEAD_CEILING * 100:.0f}% budget on a "
+            f"fault-free run; on={on * 1e3:.0f} ms off={off * 1e3:.0f} ms"
+        )
+
+    def test_accounted_result_identical(self):
+        """Same seeds -> the accounted run reproduces the unaccounted run
+        exactly on a fault-free run, and the ledger closes with zero
+        unaccounted tuples (scaled-down scenario)."""
+        _, accounted = run_end_to_end(
+            num_queries=10, rate=200.0, duration_seconds=3.0,
+            result_accounting=True,
+        )
+        _, plain = run_end_to_end(
+            num_queries=10, rate=200.0, duration_seconds=3.0,
+            result_accounting=False,
+        )
+        assert accounted.per_query_sic == plain.per_query_sic
+        assert accounted.result_values == plain.result_values
+        assert accounted.result_accounting["enabled"] is True
+        assert accounted.result_accounting["unaccounted_tuples"] == 0
+        assert plain.result_accounting["enabled"] is False

@@ -20,6 +20,12 @@ The report contains three sections:
 path is more than 2× slower than the recorded ``current`` numbers — a cheap
 perf-regression gate for future PRs.  ``--quick`` skips the slow reference
 run at 1000 queries (used by CI smoke runs).
+
+The report also carries a ``soak`` section: tracked bounded memory across a
+short fail/rejoin soak (see :mod:`repro.experiments.soak`).  ``--compare``
+gates it too — the run must keep its exactly-once ledger closed, never
+overflow a bounded ingress queue, hold bounded memory flat (±5% across
+cycles) and stay under the recorded peak with the usual 2× headroom.
 """
 
 from __future__ import annotations
@@ -54,6 +60,13 @@ SEED_BASELINE = {
 }
 
 REGRESSION_FACTOR = 2.0
+
+#: Tracked bounded memory may drift at most this fraction between the first
+#: post-warm-up soak sample and the last (the flat-memory acceptance bar).
+SOAK_GROWTH_CEILING = 0.05
+
+#: Fail/rejoin cycles in the report's soak probe — the acceptance minimum.
+SOAK_PROBE_CYCLES = 20
 
 
 def git_revision() -> str:
@@ -122,6 +135,13 @@ def build_report(quick: bool = False) -> dict:
     speedups["reliability_off_vs_on"] = round(
         reliability["off_ms"] / reliability["on_ms"], 2
     )
+    # Exactly-once accounting ratio (off / on, ~1.0 on a fault-free run):
+    # recorded so --compare catches the watermark-stamp + ledger-lane
+    # bookkeeping blowing past its ≤10% overhead budget in a later PR.
+    exactly_once = results["faults"]["exactly_once"]
+    speedups["result_accounting_off_vs_on"] = round(
+        exactly_once["off_ms"] / exactly_once["on_ms"], 2
+    )
     # Checkpoint/restore budget (build / roundtrip, ~1.0): the cost of
     # snapshotting + restoring a 10⁵-tuple window relative to building that
     # state through the columnar pipeline.  Recorded so --compare fails when
@@ -144,6 +164,56 @@ def build_report(quick: bool = False) -> dict:
         "baseline": SEED_BASELINE,
         "current": results,
         "speedup_vs_reference": speedups,
+        "soak": run_soak_probe(),
+    }
+
+
+def run_soak_probe(cycles: int = SOAK_PROBE_CYCLES) -> dict:
+    """Bounded-memory soak probe recorded as the report's ``soak`` section.
+
+    Runs the small-scale soak scenario (fail/rejoin every cycle, coordinator
+    failover every third) and samples :class:`repro.perf.memwatch.MemoryWatch`
+    after each cycle.  The byte figures are estimates from fixed per-entry
+    sizes, so they are machine-independent: two runs of the same tree produce
+    the same numbers, which is what lets ``--compare`` gate on them.
+    """
+    from repro.experiments.soak import build_soak_federation, run_cycle
+    from repro.experiments.testbeds import scaled_config
+    from repro.perf.memwatch import MemoryWatch
+
+    base = scaled_config("small", seed=0)
+    system, runtime, node_factory = build_soak_federation(base, rate=80.0, seed=0)
+    memwatch = MemoryWatch()
+    runtime.run(base.warmup_seconds)
+    memwatch.sample(system, now=runtime.now, scheduler=runtime.scheduler)
+    unaccounted = 0
+    for cycle in range(cycles):
+        row = run_cycle(system, runtime, node_factory, cycle)
+        unaccounted += row["unaccounted_tuples"]
+        memwatch.sample(system, now=runtime.now, scheduler=runtime.scheduler)
+    overflow = sum(
+        node.stats.ingress_overflow_tuples for node in system.nodes.values()
+    )
+    paced = system.total_paced_tuples()
+    # Skip the first two samples (the 6 s STW windows are still filling,
+    # which reads as growth but is the bounded window reaching steady state)
+    # and average six samples — two whole failover periods — at each end so
+    # the crash/failover phase jitter cancels (same policy as the soak
+    # experiment).
+    summary = memwatch.summary(skip_initial=2, window=6)
+    runtime.close()
+    growth = summary["bounded_growth_fraction"]
+    return {
+        "cycles": cycles,
+        "unaccounted_tuples": unaccounted,
+        "ingress_overflow_tuples": overflow,
+        "paced_tuples": paced,
+        "first_bounded_bytes": summary["first_bounded_bytes"],
+        "last_bounded_bytes": summary["last_bounded_bytes"],
+        "peak_bounded_bytes": summary["peak_bounded_bytes"],
+        "bounded_growth_fraction": (
+            growth if growth is None else round(growth, 4)
+        ),
     }
 
 
@@ -152,9 +222,12 @@ def compare(report_path: Path, current: dict) -> int:
 
     Compares the fast-vs-reference *speedup ratios*, which are
     machine-independent (both sides ran on the same machine in both
-    reports), never the absolute milliseconds.
+    reports), never the absolute milliseconds.  Also gates the ``soak``
+    section: ledger closed, no ingress overflow, bounded memory flat and
+    under the recorded peak with the usual 2× headroom.
     """
-    recorded = json.loads(report_path.read_text()).get("speedup_vs_reference", {})
+    recorded_report = json.loads(report_path.read_text())
+    recorded = recorded_report.get("speedup_vs_reference", {})
     failures = []
     for label, new_ratio in current["speedup_vs_reference"].items():
         old_ratio = recorded.get(label)
@@ -162,6 +235,36 @@ def compare(report_path: Path, current: dict) -> int:
             failures.append(
                 f"{label}: speedup {new_ratio:.2f}x vs recorded "
                 f"{old_ratio:.2f}x (fell by more than {REGRESSION_FACTOR}x)"
+            )
+    soak = current.get("soak", {})
+    if soak:
+        if soak["unaccounted_tuples"]:
+            failures.append(
+                f"soak: exactly-once ledger left "
+                f"{soak['unaccounted_tuples']} tuples unaccounted"
+            )
+        if soak["ingress_overflow_tuples"]:
+            failures.append(
+                f"soak: bounded ingress overflowed "
+                f"{soak['ingress_overflow_tuples']} tuples (pacing must "
+                f"engage before the hard cap)"
+            )
+        growth = soak["bounded_growth_fraction"]
+        if growth is not None and abs(growth) > SOAK_GROWTH_CEILING:
+            failures.append(
+                f"soak: tracked bounded memory drifted {growth * 100:.1f}% "
+                f"across {soak['cycles']} fail/rejoin cycles (ceiling "
+                f"±{SOAK_GROWTH_CEILING * 100:.0f}%)"
+            )
+        recorded_peak = recorded_report.get("soak", {}).get("peak_bounded_bytes")
+        if (
+            recorded_peak
+            and soak["peak_bounded_bytes"] > recorded_peak * REGRESSION_FACTOR
+        ):
+            failures.append(
+                f"soak: peak tracked memory {soak['peak_bounded_bytes']} B "
+                f"vs recorded {recorded_peak} B (grew by more than "
+                f"{REGRESSION_FACTOR}x)"
             )
     if failures:
         print("PERF REGRESSION:")

@@ -24,6 +24,7 @@ from .sic import (
     query_result_sic,
     source_tuple_sic,
 )
+from .bounded import BoundedLog
 from .columns import ColumnBlock
 from .stw import ResultSicTracker, StwConfig, StwRegistry
 from .tuples import Batch, BatchHeader, Tuple, merge_batches, total_tuples
@@ -55,6 +56,7 @@ __all__ = [
     "StwConfig",
     "StwRegistry",
     "Batch",
+    "BoundedLog",
     "BatchHeader",
     "ColumnBlock",
     "Tuple",

@@ -1,0 +1,70 @@
+"""Bounded append-only event logs.
+
+Long soak runs (repeated crash/rejoin cycles over simulated hours) append to
+diagnostic event lists — the fault injector's crash/repair timeline, the
+failure detector's per-incident records — that would otherwise grow without
+bound.  :class:`BoundedLog` mirrors the ``max_retained_results`` pattern of
+the query coordinator: keep the most recent ``maxlen`` entries, count the
+rest, so summaries still report the true event count while memory stays
+flat.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, TypeVar
+
+__all__ = ["BoundedLog"]
+
+T = TypeVar("T")
+
+
+class BoundedLog:
+    """Append-only log retaining only the most recent ``maxlen`` entries.
+
+    Iteration, ``len()`` and indexing cover the *retained* entries (oldest
+    first); ``dropped`` counts evicted ones and ``total`` the lifetime
+    append count.  Intended as a drop-in replacement for plain list
+    accumulators that are only ever appended to and read back.
+    """
+
+    __slots__ = ("_entries", "dropped")
+
+    def __init__(self, maxlen: int = 256) -> None:
+        if maxlen <= 0:
+            raise ValueError(f"maxlen must be positive, got {maxlen}")
+        self._entries: deque = deque(maxlen=maxlen)
+        #: Number of entries evicted to honour the bound.
+        self.dropped = 0
+
+    @property
+    def maxlen(self) -> int:
+        return self._entries.maxlen  # type: ignore[return-value]
+
+    @property
+    def total(self) -> int:
+        """Lifetime number of appended entries (retained + dropped)."""
+        return len(self._entries) + self.dropped
+
+    def append(self, entry: T) -> None:
+        if len(self._entries) == self._entries.maxlen:
+            self.dropped += 1
+        self._entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._entries)
+
+    def __getitem__(self, index):
+        return self._entries[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"BoundedLog(len={len(self._entries)}, dropped={self.dropped}, "
+            f"maxlen={self._entries.maxlen})"
+        )

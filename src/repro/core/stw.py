@@ -97,6 +97,15 @@ class ResultSicTracker:
         """Time series of snapshots taken via :meth:`snapshot`."""
         return list(self._history)
 
+    def window_event_count(self) -> int:
+        """Unexpired events in the sliding window (memwatch probe)."""
+        return len(self._events)
+
+    def history_size(self) -> int:
+        """Snapshot samples retained so far (memwatch probe; grows linearly
+        with simulated time by design — one sample per shedding interval)."""
+        return len(self._history)
+
     def mean_sic(self, skip_initial: int = 0) -> float:
         """Mean of the snapshot history (optionally skipping warm-up samples)."""
         samples = [v for _, v in self._history[skip_initial:]]
@@ -112,6 +121,18 @@ class ResultSicTracker:
         if observed <= 0:
             return 0.0
         return min(1.0, observed / self.config.stw_seconds)
+
+    def expire(self, now: float) -> None:
+        """Drop events that left the sliding window.
+
+        :meth:`current_sic` expires lazily, but a tracker whose value is
+        never read (e.g. a node-local tracker shadowed by coordinator
+        ``updateSIC`` reports) would otherwise accumulate events without
+        bound; hosts call this once per round to keep the window flat.
+        Expiry never changes a later reading — expired events contribute
+        nothing to any sum taken at or after ``now``.
+        """
+        self._expire(now)
 
     def _expire(self, now: float) -> None:
         horizon = now - self.config.stw_seconds

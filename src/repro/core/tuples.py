@@ -147,6 +147,8 @@ class Batch:
         "batch_id",
         "header",
         "origin_fragment_id",
+        "origin_epoch",
+        "origin_seq",
         "_tuples",
         "_block",
         "_block_start",
@@ -171,6 +173,11 @@ class Batch:
         # Which fragment produced this batch (None for source batches); nodes
         # use it to route the batch to the right entry operator downstream.
         self.origin_fragment_id = origin_fragment_id
+        # Exactly-once output watermark: root fragments stamp their emitted
+        # result batches with their (epoch, seq) counters so the coordinator
+        # can deduplicate crash-replayed output.  ``None`` everywhere else.
+        self.origin_epoch: Optional[int] = None
+        self.origin_seq: Optional[int] = None
         # Cumulative-SIC prefix array, shared with batches produced by
         # ``split`` so repeated splitting never re-sums tuple SIC values.
         self._sic_prefix: Optional[List[float]] = None
@@ -206,6 +213,8 @@ class Batch:
         batch._block_start = 0
         batch._block_stop = len(block)
         batch.origin_fragment_id = origin_fragment_id
+        batch.origin_epoch = None
+        batch.origin_seq = None
         batch._sic_prefix = None
         batch._prefix_start = 0
         sic = seq_sum(block.sics)
@@ -454,6 +463,10 @@ class Batch:
         piece._block_start = block_start
         piece._block_stop = block_stop
         piece.origin_fragment_id = self.origin_fragment_id
+        # Split pieces never inherit the output watermark: a stamp names one
+        # emitted batch exactly, and two halves sharing it would double-count.
+        piece.origin_epoch = None
+        piece.origin_seq = None
         piece._sic_prefix = prefix
         piece._prefix_start = prefix_start
         piece.header = BatchHeader(

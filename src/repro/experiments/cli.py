@@ -33,6 +33,7 @@ from . import (
     fig14_burstiness_wan,
     overhead,
     related_work_comparison,
+    soak,
 )
 from .common import ExperimentResult
 
@@ -52,6 +53,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "overhead": overhead.run,
     "chaos": chaos.run,
     "churn": churn.run,
+    "soak": soak.run,
     "migration": migration.run,
     "ablation_updatesic": ablations.run_update_sic_ablation,
     "ablation_selection": ablations.run_selection_ablation,

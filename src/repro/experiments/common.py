@@ -67,6 +67,10 @@ def config_with(config: SimulationConfig, **overrides: object) -> SimulationConf
         "reliable_delivery": config.reliable_delivery,
         "heartbeat_interval": config.heartbeat_interval,
         "heartbeat_timeout_intervals": config.heartbeat_timeout_intervals,
+        "result_accounting": config.result_accounting,
+        "max_ingress_tuples": config.max_ingress_tuples,
+        "ingress_high_fraction": config.ingress_high_fraction,
+        "ingress_low_fraction": config.ingress_low_fraction,
         "retain_result_values": config.retain_result_values,
         "max_result_values": config.max_result_values,
         "seed": config.seed,
@@ -230,6 +234,7 @@ def build_federation(
         columnar=config.columnar,
         retain_results=config.retain_result_values,
         max_retained_results=config.max_result_values,
+        result_accounting=config.result_accounting,
     )
     shedder_kind = shedder_name or config.shedder
     for index, node_id in enumerate(node_ids):
@@ -240,6 +245,9 @@ def build_federation(
                 shedder=shedder,
                 budget_per_interval=budgets[node_id],
                 stw_config=config.stw_config(),
+                max_ingress_tuples=config.max_ingress_tuples,
+                ingress_high_fraction=config.ingress_high_fraction,
+                ingress_low_fraction=config.ingress_low_fraction,
             )
         )
     for query in queries:

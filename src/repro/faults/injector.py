@@ -23,8 +23,9 @@ folds into its report; the network's own :class:`NetworkStats` only knows
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
+from ..core.bounded import BoundedLog
 from ..federation.network import Message
 from ..runtime.runtime import EventRuntime
 from ..runtime.scheduler import PRIORITY_FAULT
@@ -36,7 +37,12 @@ __all__ = ["FaultInjector"]
 class FaultInjector:
     """Installs a fault plan onto an event-runtime-driven federation."""
 
-    def __init__(self, runtime: EventRuntime, plan: FaultPlan) -> None:
+    def __init__(
+        self,
+        runtime: EventRuntime,
+        plan: FaultPlan,
+        max_timeline_events: int = 256,
+    ) -> None:
         plan.validate()
         self.runtime = runtime
         self.system = runtime.system
@@ -47,7 +53,9 @@ class FaultInjector:
         self.duplicated = 0
         self.jittered = 0
         #: (simulated time, human-readable event) timeline of crash/repair.
-        self.timeline: List[Tuple[float, str]] = []
+        #: Bounded so soak runs with thousands of cycles keep flat memory;
+        #: ``timeline.dropped`` counts evicted entries.
+        self.timeline: BoundedLog = BoundedLog(maxlen=max_timeline_events)
         network = self.system.network
         if network.fault_policy is not None:
             raise ValueError("the network already has a fault policy installed")
@@ -156,6 +164,7 @@ class FaultInjector:
             "duplicated": self.duplicated,
             "jittered": self.jittered,
             "timeline": list(self.timeline),
+            "timeline_dropped": self.timeline.dropped,
         }
 
     def close(self) -> None:

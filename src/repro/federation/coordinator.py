@@ -24,6 +24,7 @@ from typing import Deque, Dict, List, Optional, Set, Tuple as PyTuple
 from ..core.stw import ResultSicTracker, StwConfig
 from ..core.tuples import Batch
 from ..state.checkpoint import CheckpointError, FragmentCheckpoint
+from ..state.ledger import DEDUPLICATE, ResultLedger
 
 __all__ = ["QueryCoordinator", "CoordinatorRegistry"]
 
@@ -44,6 +45,11 @@ class QueryCoordinator:
         max_retained_results: cap on retained result payloads per query; when
             the cap is reached the oldest payloads are discarded.  ``None``
             keeps every payload (the pre-bounding behaviour).
+        result_accounting: run arriving result batches through the
+            exactly-once :class:`~repro.state.ledger.ResultLedger` — crash
+            replay below the acknowledged ``(fragment, epoch, seq)``
+            watermark is deduplicated before it reaches the tracker, and
+            watermark gaps are accounted as lost to the crash.
     """
 
     def __init__(
@@ -54,6 +60,7 @@ class QueryCoordinator:
         home_node: str = "coordinator",
         retain_results: bool = False,
         max_retained_results: Optional[int] = None,
+        result_accounting: bool = True,
     ) -> None:
         if update_interval <= 0:
             raise ValueError(f"update_interval must be positive, got {update_interval}")
@@ -71,6 +78,9 @@ class QueryCoordinator:
         self.result_values: Deque[Dict[str, object]] = deque(
             maxlen=max_retained_results
         )
+        self.ledger: Optional[ResultLedger] = (
+            ResultLedger() if result_accounting else None
+        )
         self.updates_sent = 0
         self._last_update_time: Optional[float] = None
 
@@ -84,6 +94,15 @@ class QueryCoordinator:
 
     def on_result(self, batch: Batch, now: float) -> None:
         """Handle a result batch received from the query's root fragment."""
+        ledger = self.ledger
+        if ledger is not None and ledger.observe(
+            batch.origin_fragment_id,
+            batch.origin_epoch,
+            batch.origin_seq,
+            len(batch),
+        ) == DEDUPLICATE:
+            # Crash-replayed output: the original delivery already counted.
+            return
         retain = self.retain_results
         for t in batch:
             self.tracker.record_result(t.timestamp, t.sic)
@@ -98,6 +117,11 @@ class QueryCoordinator:
 
     # Seed-era name, kept as the compatibility surface.
     record_result = on_result
+
+    def accounted_tuples(self) -> int:
+        """Recorded plus deduplicated result tuples (the loss-audit total)."""
+        deduped = self.ledger.deduped_tuples if self.ledger is not None else 0
+        return self.result_tuples + deduped
 
     def current_sic(self, now: float) -> float:
         return self.tracker.current_sic(now)
@@ -151,6 +175,11 @@ class QueryCoordinator:
             "updates_sent": self.updates_sent,
             "last_update_time": self._last_update_time,
             "tracker": self.tracker.snapshot_state(),
+            "ledger": (
+                self.ledger.snapshot_state()
+                if self.ledger is not None
+                else None
+            ),
         }
 
     def restore_state(self, state: Dict[str, object]) -> None:
@@ -171,6 +200,15 @@ class QueryCoordinator:
         self.updates_sent = state["updates_sent"]
         self._last_update_time = state["last_update_time"]
         self.tracker.restore_state(state["tracker"])
+        if self.ledger is not None:
+            ledger_state = state.get("ledger")
+            if ledger_state is not None:
+                # Rolls back in sympathy with the tracker: arrivals the
+                # failed coordinator saw after this snapshot re-deliver (or
+                # surface as lost) against the restored watermarks.
+                self.ledger.restore_state(ledger_state)
+            else:
+                self.ledger = ResultLedger()
 
 
 class CoordinatorRegistry:
@@ -182,11 +220,13 @@ class CoordinatorRegistry:
         update_interval: float = 0.25,
         retain_results: bool = False,
         max_retained_results: Optional[int] = None,
+        result_accounting: bool = True,
     ) -> None:
         self.stw_config = stw_config
         self.update_interval = update_interval
         self.retain_results = retain_results
         self.max_retained_results = max_retained_results
+        self.result_accounting = result_accounting
         self._coordinators: Dict[str, QueryCoordinator] = {}
         # Coordinator-layer durable stores: the latest fragment checkpoints
         # (fragment id -> envelope; node rejoin restores from these) and the
@@ -204,6 +244,7 @@ class CoordinatorRegistry:
                 update_interval=self.update_interval,
                 retain_results=self.retain_results,
                 max_retained_results=self.max_retained_results,
+                result_accounting=self.result_accounting,
             )
         return self._coordinators[query_id]
 
@@ -247,6 +288,21 @@ class CoordinatorRegistry:
         """The last stored checkpoint of ``fragment_id``, or ``None``."""
         return self._fragment_checkpoints.get(fragment_id)
 
+    def discard_checkpoint(self, fragment_id: str) -> bool:
+        """Drop a consumed fragment checkpoint (e.g. after a successful
+        rejoin restore).  The envelope is stale the moment its state is live
+        again — the next checkpoint round records a fresh one — so keeping
+        it only grows the store.  Returns whether an envelope was held."""
+        return self._fragment_checkpoints.pop(fragment_id, None) is not None
+
+    def checkpoint_store_size(self) -> int:
+        """Number of fragment envelopes currently held (memwatch input)."""
+        return len(self._fragment_checkpoints)
+
+    def standby_store_size(self) -> int:
+        """Number of standby coordinator snapshots held (memwatch input)."""
+        return len(self._standby_states)
+
     def checkpoint_coordinator(self, query_id: str, now: float) -> None:
         """Refresh the standby state of a live coordinator."""
         coordinator = self._coordinators.get(query_id)
@@ -275,8 +331,15 @@ class CoordinatorRegistry:
             update_interval=self.update_interval,
             retain_results=self.retain_results,
             max_retained_results=self.max_retained_results,
+            result_accounting=self.result_accounting,
         )
-        standby = self._standby_states.get(query_id)
+        # The standby snapshot is consumed by the promotion: keeping it
+        # would only grow the store with state the promoted coordinator now
+        # carries live (the next checkpoint round records a fresh one).  A
+        # second failover before that round starts blank — and the blank
+        # restore is exactly accounted as lost_to_crash by the system-level
+        # result ledger rather than silently restoring stale watermarks.
+        standby = self._standby_states.pop(query_id, None)
         if standby is not None:
             promoted.restore_state(standby)
         self._coordinators[query_id] = promoted

@@ -181,6 +181,7 @@ class FederatedSystem:
         columnar: bool = True,
         retain_results: bool = False,
         max_retained_results: Optional[int] = None,
+        result_accounting: bool = True,
     ) -> None:
         if shedding_interval <= 0:
             raise ValueError(
@@ -201,6 +202,7 @@ class FederatedSystem:
             update_interval=update_interval,
             retain_results=retain_results,
             max_retained_results=max_retained_results,
+            result_accounting=result_accounting,
         )
         self.nodes: Dict[str, FspsNode] = {}
         self.queries: Dict[str, DeployedQuery] = {}
@@ -223,6 +225,23 @@ class FederatedSystem:
         # Heartbeat sink (see repro.runtime.heartbeat.FailureDetector);
         # heartbeats are dropped when no detector is attached.
         self.failure_detector = None
+        # Exactly-once result accounting (tuple-level closure terms; see
+        # :meth:`result_accounting_report`).  Every result tuple that reaches
+        # dispatch is counted in ``result_tuples_arrived`` and ends up in
+        # exactly one of: a live coordinator's recorded/deduplicated
+        # counters, ``dropped_result_tuples`` (departed component),
+        # ``result_tuples_lost_to_crash`` (coordinator failover rollback) or
+        # ``result_tuples_retired`` (query undeployed) — so the identity
+        # closes at *any* instant, not only after a drain.
+        self.result_accounting = result_accounting
+        self.result_tuples_arrived = 0
+        self.dropped_result_tuples = 0
+        self.result_tuples_lost_to_crash = 0
+        self.result_tuples_retired = 0
+        # (query_id, fragment_id, epoch) -> final emitted seq of a watermark
+        # epoch closed by a blank restart; the report folds the undelivered
+        # tail into lost_to_crash without perturbing live dedup lanes.
+        self._epoch_tails: Dict[tuple, int] = {}
         self.now = 0.0
         self.ticks = 0
 
@@ -360,6 +379,15 @@ class FederatedSystem:
                 del lost[fragment_id]
             if not lost:
                 del self._lost_placement[node_id]
+        coordinator = self.coordinators.get(query_id)
+        if coordinator is not None and self.result_accounting:
+            # The coordinator's counters leave the live sum with it; keep
+            # the tuple-closure identity balanced by retiring them.
+            self.result_tuples_retired += coordinator.accounted_tuples()
+        self._epoch_tails = {
+            key: seq for key, seq in self._epoch_tails.items()
+            if key[0] != query_id
+        }
         return self.coordinators.remove(query_id)
 
     def migrate_fragment(
@@ -581,7 +609,23 @@ class FederatedSystem:
                     0.0, crash_sic - checkpoint.pending_sic
                 )
                 report.restored_fragments.append(fragment_id)
+                # The envelope is consumed: its state is live again, so the
+                # held copy is stale from this instant (the next checkpoint
+                # round stores a fresh one).  Dropping it keeps the store
+                # bounded by the number of *currently checkpointed*
+                # fragments instead of accumulating superseded snapshots.
+                self.coordinators.discard_checkpoint(fragment_id)
             else:
+                if fragment.is_root:
+                    # Close the watermark epoch the blank restart abandons:
+                    # emissions past the coordinator's acknowledged seq can
+                    # only be in flight or crash-lost, and the report folds
+                    # the residual into lost_to_crash once the run drains.
+                    epoch, seq = fragment.output_watermark
+                    if seq > 0:
+                        self._epoch_tails[
+                            (query.query_id, fragment.fragment_id, epoch)
+                        ] = seq
                 fragment.reset_state()
                 node.host_fragment(fragment)
                 report.fragments_without_checkpoint.append(fragment_id)
@@ -644,6 +688,14 @@ class FederatedSystem:
         if query is None:
             raise ValueError(f"query {query_id!r} is not deployed")
         failed, promoted = self.coordinators.fail_over(query_id)
+        if self.result_accounting:
+            # Result tuples the failed coordinator accounted beyond the
+            # promoted standby's restored state died with it — the ledger
+            # books them as crash loss so the tuple-closure identity keeps
+            # holding against the rolled-back live counters.
+            self.result_tuples_lost_to_crash += max(
+                0, failed.accounted_tuples() - promoted.accounted_tuples()
+            )
         promoted.hosting_nodes = {
             self.placement[fragment_id]
             for fragment_id in query.fragments
@@ -704,6 +756,89 @@ class FederatedSystem:
     def total_received_tuples(self) -> int:
         return sum(node.stats.received_tuples for node in self.nodes.values())
 
+    def total_paced_tuples(self) -> int:
+        """Tuples held back at the sources by ingress backpressure."""
+        return sum(node.stats.paced_tuples for node in self.nodes.values())
+
+    def epoch_tail_count(self) -> int:
+        """Closed-epoch tail records currently held (memwatch probe)."""
+        return len(self._epoch_tails)
+
+    def result_accounting_report(self) -> Dict[str, object]:
+        """Close the exactly-once result ledger across the whole federation.
+
+        Tuple-level identity (holds at any instant)::
+
+            arrived == recorded + deduped + dropped + lost_to_crash + retired
+
+        plus the batch-level watermark algebra per dedup lane.  The
+        ``unaccounted_tuples`` entry is the identity residual and must be
+        zero; ``watermark_residual_batches`` counts current-epoch emissions
+        not yet acknowledged (in flight during a run, crash-lost or
+        transport-expired after a drain).
+        """
+        if not self.result_accounting:
+            return {"enabled": False}
+        recorded = 0
+        deduped = 0
+        lost_gap_batches = 0
+        lane_problems: List[str] = []
+        for coordinator in self.coordinators.all():
+            recorded += coordinator.result_tuples
+            ledger = coordinator.ledger
+            if ledger is None:
+                continue
+            deduped += ledger.deduped_tuples
+            lost_gap_batches += ledger.lost_batches
+            lane_problems.extend(ledger.check_closure())
+        # Tail residuals: emissions of epochs closed by a blank restart that
+        # never reached (and can no longer reach) the coordinator...
+        tail_batches = 0
+        for (query_id, fragment_id, epoch), seq in self._epoch_tails.items():
+            coordinator = self.coordinators.get(query_id)
+            acked = (
+                coordinator.ledger.acked(fragment_id, epoch)
+                if coordinator is not None and coordinator.ledger is not None
+                else 0
+            )
+            tail_batches += max(0, seq - acked)
+        # ...and of the epochs still live on root fragments (in flight while
+        # running; zero after a loss-free drain).
+        residual = 0
+        for query in self.queries.values():
+            coordinator = self.coordinators.get(query.query_id)
+            if coordinator is None or coordinator.ledger is None:
+                continue
+            for fragment in query.fragments.values():
+                if not fragment.is_root:
+                    continue
+                epoch, seq = fragment.output_watermark
+                residual += max(
+                    0, seq - coordinator.ledger.acked(fragment.fragment_id, epoch)
+                )
+        arrived = self.result_tuples_arrived
+        unaccounted = (
+            arrived
+            - recorded
+            - deduped
+            - self.dropped_result_tuples
+            - self.result_tuples_lost_to_crash
+            - self.result_tuples_retired
+        )
+        return {
+            "enabled": True,
+            "arrived_tuples": arrived,
+            "recorded_tuples": recorded,
+            "deduped_tuples": deduped,
+            "dropped_tuples": self.dropped_result_tuples,
+            "lost_to_crash_tuples": self.result_tuples_lost_to_crash,
+            "retired_tuples": self.result_tuples_retired,
+            "unaccounted_tuples": unaccounted,
+            "lost_to_crash_batches": lost_gap_batches + tail_batches,
+            "watermark_residual_batches": residual,
+            "lane_problems": lane_problems,
+        }
+
     # ---------------------------------------------------------- event handlers
     def generate_query_sources(
         self, query: DeployedQuery, start: float, end: float
@@ -742,6 +877,24 @@ class FederatedSystem:
                     fragment_id=route.fragment_id,
                     origin_fragment_id=None,
                 )
+            node = self.nodes.get(route.node_id)
+            if node is not None and node.max_ingress_tuples is not None:
+                # Overload backpressure: a bounded-ingress node pushes back
+                # on its sources *before* memory grows.  Pacing happens
+                # after SIC assignment, so the generator RNG and the rate
+                # estimator advance exactly as in the unpaced run; tuples
+                # beyond the node's current credit are held back at the
+                # source and accounted as paced (source-side shedding — the
+                # degradation ladder's first rung).
+                credit = node.ingress_credit()
+                size = len(batch)
+                if credit <= 0:
+                    node.note_paced(size)
+                    continue
+                if size > credit:
+                    batch, excess = batch.split(credit)
+                    node.note_paced(len(excess))
+                node.reserve_ingress(len(batch))
             message = DataMessage(
                 destination=route.node_id,
                 batch=batch,
@@ -815,13 +968,21 @@ class FederatedSystem:
                 return
             node.on_batch(message.batch)
         elif isinstance(message, ResultMessage):
-            query = self.queries.get(message.batch.query_id)
-            if query is None or message.batch.created_at <= query.deployed_at:
+            batch = message.batch
+            accounting = self.result_accounting
+            if accounting:
+                self.result_tuples_arrived += len(batch)
+            query = self.queries.get(batch.query_id)
+            if query is None or batch.created_at <= query.deployed_at:
                 self.dispatch_dropped += 1
+                if accounting:
+                    self.dropped_result_tuples += len(batch)
                 return
-            coordinator = self.coordinators.get(message.batch.query_id)
+            coordinator = self.coordinators.get(batch.query_id)
             if coordinator is not None:
-                coordinator.on_result(message.batch, now)
+                coordinator.on_result(batch, now)
+            elif accounting:
+                self.dropped_result_tuples += len(batch)
         elif isinstance(message, SicUpdateMessage):
             node = self.nodes.get(message.destination)
             if node is None:

@@ -24,7 +24,7 @@ the optional ``shedding_interval`` attribute (heterogeneous per-node rounds).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple as PyTuple
 
 from ..core.cost_model import CostModel, CostModelConfig
 from ..core.shedding import Shedder
@@ -53,6 +53,14 @@ class NodeStats:
     processed_cost: float = 0.0
     shedder_invocations: int = 0
     shedder_time_seconds: float = 0.0
+    # Overload-backpressure counters (bounded ingress only).  ``paced``
+    # tuples were held back at the sources while the node was above its
+    # high watermark (the graceful rung of the degradation ladder);
+    # ``overflow`` tuples hit the hard cap itself — with sources pacing
+    # correctly this stays zero, which the soak harness asserts.
+    paced_tuples: int = 0
+    ingress_overflow_tuples: int = 0
+    backpressure_engagements: int = 0
 
     @property
     def shed_fraction(self) -> float:
@@ -92,6 +100,16 @@ class FspsNode:
             *round*, so a node halving its interval should also halve its
             budget.  The lockstep loop ignores this attribute — it runs every
             node at the global interval by construction.
+        max_ingress_tuples: bound on the input buffer (tuples).  ``None``
+            (the default) keeps the pre-backpressure unbounded buffer.  When
+            set, sources consult :meth:`ingress_credit` before sending and
+            pace their generation against it; the cap itself is enforced in
+            :meth:`on_batch` as the last line of defence (overflow is
+            counted and dropped instead of growing memory).
+        ingress_high_fraction / ingress_low_fraction: hysteresis watermarks
+            as fractions of ``max_ingress_tuples`` — backpressure engages at
+            the high watermark and releases once occupancy falls back to the
+            low one, so sources do not flap every batch.
     """
 
     def __init__(
@@ -103,6 +121,9 @@ class FspsNode:
         site: Optional[str] = None,
         cost_model_config: Optional[CostModelConfig] = None,
         shedding_interval: Optional[float] = None,
+        max_ingress_tuples: Optional[int] = None,
+        ingress_high_fraction: float = 0.8,
+        ingress_low_fraction: float = 0.5,
     ) -> None:
         if budget_per_interval <= 0:
             raise ValueError(
@@ -111,6 +132,15 @@ class FspsNode:
         if shedding_interval is not None and shedding_interval <= 0:
             raise ValueError(
                 f"shedding_interval must be positive, got {shedding_interval}"
+            )
+        if max_ingress_tuples is not None and max_ingress_tuples <= 0:
+            raise ValueError(
+                f"max_ingress_tuples must be positive, got {max_ingress_tuples}"
+            )
+        if not 0.0 < ingress_low_fraction <= ingress_high_fraction <= 1.0:
+            raise ValueError(
+                "ingress watermarks must satisfy 0 < low <= high <= 1, got "
+                f"low={ingress_low_fraction}, high={ingress_high_fraction}"
             )
         self.node_id = node_id
         self.site = site or node_id
@@ -134,6 +164,22 @@ class FspsNode:
         # fragment id; built lazily and invalidated when hosting changes, so
         # routing never rebuilds a candidate list per batch.
         self._query_fragment_cache: Dict[str, Optional[QueryFragment]] = {}
+        # Bounded-ingress backpressure state (inactive when the cap is None).
+        self.max_ingress_tuples = max_ingress_tuples
+        if max_ingress_tuples is not None:
+            self._ingress_high = max(
+                1, int(max_ingress_tuples * ingress_high_fraction)
+            )
+            self._ingress_low = max(
+                0, int(max_ingress_tuples * ingress_low_fraction)
+            )
+        else:
+            self._ingress_high = self._ingress_low = 0
+        self._backpressured = False
+        # Tuples promised to in-flight sends (sources reserved credit for
+        # them); counted as occupancy so several sources pacing within the
+        # same round cannot jointly overshoot the cap.
+        self._ingress_reserved = 0
 
     # ------------------------------------------------------------------ wiring
     def host_fragment(self, fragment: QueryFragment) -> None:
@@ -289,13 +335,74 @@ class FspsNode:
 
     # --------------------------------------------------------------- messaging
     def on_batch(self, batch: Batch) -> None:
-        """Handle an incoming data batch: append it to the input buffer."""
+        """Handle an incoming data batch: append it to the input buffer.
+
+        With a bounded ingress queue the cap is enforced here as the last
+        line of defence: tuples beyond it are dropped and counted as
+        overflow instead of growing memory.  Sources that consult
+        :meth:`ingress_credit` (the intended protocol) never trip it —
+        backpressure engages at the high watermark first.
+        """
+        size = len(batch)
+        self.stats.received_tuples += size
+        self._ingress_reserved = max(0, self._ingress_reserved - size)
+        cap = self.max_ingress_tuples
+        if cap is not None:
+            room = cap - self._input_buffer_tuples
+            if room <= 0:
+                self.stats.ingress_overflow_tuples += size
+                self._update_backpressure()
+                return
+            if size > room:
+                batch, overflow = batch.split(room)
+                self.stats.ingress_overflow_tuples += len(overflow)
+                size = room
         self._input_buffer.append(batch)
-        self._input_buffer_tuples += len(batch)
-        self.stats.received_tuples += len(batch)
+        self._input_buffer_tuples += size
+        if cap is not None:
+            self._update_backpressure()
 
     # Seed-era name, kept as the compatibility surface.
     enqueue = on_batch
+
+    # ----------------------------------------------------- ingress backpressure
+    def ingress_credit(self) -> int:
+        """Tuples this node currently accepts from its sources.
+
+        Zero while backpressured (occupancy crossed the high watermark and
+        has not yet fallen back to the low one); otherwise the remaining
+        room under the hard cap, net of credit already reserved by other
+        sources this round.  Unbounded nodes never push back.
+        """
+        cap = self.max_ingress_tuples
+        if cap is None:
+            return 2**62
+        self._update_backpressure()
+        if self._backpressured:
+            return 0
+        return max(0, cap - self._input_buffer_tuples - self._ingress_reserved)
+
+    def reserve_ingress(self, num_tuples: int) -> None:
+        """Promise buffer room to an in-flight send (released on arrival)."""
+        self._ingress_reserved += num_tuples
+        self._update_backpressure()
+
+    def note_paced(self, num_tuples: int) -> None:
+        """Account tuples a source held back under backpressure."""
+        self.stats.paced_tuples += num_tuples
+
+    @property
+    def backpressured(self) -> bool:
+        return self._backpressured
+
+    def _update_backpressure(self) -> None:
+        occupancy = self._input_buffer_tuples + self._ingress_reserved
+        if self._backpressured:
+            if occupancy <= self._ingress_low:
+                self._backpressured = False
+        elif occupancy >= self._ingress_high:
+            self._backpressured = True
+            self.stats.backpressure_engagements += 1
 
     def on_sic_update(self, query_id: str, sic_value: float) -> None:
         """Handle an ``updateSIC`` message from a query coordinator."""
@@ -307,6 +414,13 @@ class FspsNode:
     def input_buffer_size(self) -> int:
         """Number of tuples currently waiting in the input buffer."""
         return self._input_buffer_tuples
+
+    def tracker_footprint(self) -> "PyTuple[int, int]":
+        """(window events, history samples) over the node's local result-SIC
+        trackers — the memwatch probes for this node's tracker state."""
+        events = sum(t.window_event_count() for t in self._local_trackers.values())
+        history = sum(t.history_size() for t in self._local_trackers.values())
+        return events, history
 
     # --------------------------------------------------------------- main loop
     def on_shed_round(
@@ -328,6 +442,11 @@ class FspsNode:
         buffered_tuples = self._input_buffer_tuples
         self._input_buffer = []
         self._input_buffer_tuples = 0
+        if self.max_ingress_tuples is not None:
+            # Draining the buffer is what releases backpressure (hysteresis:
+            # occupancy must fall to the low watermark, not merely below
+            # the high one).
+            self._update_backpressure()
         overloaded = buffered_tuples > capacity
         result.overloaded = overloaded
         if overloaded:
@@ -350,6 +469,11 @@ class FspsNode:
             kept = buffered
             result.kept_tuples = buffered_tuples
         self.stats.kept_tuples += result.kept_tuples
+
+        # Keep the local tracker windows flat even when coordinator updates
+        # shadow them (their lazy expiry in current_sic() never runs then).
+        for tracker in self._local_trackers.values():
+            tracker.expire(now)
 
         # Route kept batches to their fragments and record the kept SIC in the
         # node's local estimate of each query's result SIC.

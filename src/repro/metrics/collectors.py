@@ -18,7 +18,9 @@ __all__ = [
     "SummaryStats",
     "TimeSeries",
     "MetricsCollector",
+    "summarize_backpressure",
     "summarize_network",
+    "summarize_result_accounting",
 ]
 
 
@@ -41,6 +43,43 @@ def summarize_network(network) -> Dict[str, object]:
         "reorder_buffered": network.reorder_buffered(),
         "stats": network.stats.as_dict(),
     }
+
+
+def summarize_backpressure(system) -> Dict[str, object]:
+    """Flatten a federation's ingress-backpressure accounting.
+
+    Per node: the configured bound, tuples paced back at the sources,
+    tuples refused by the hard cap (``overflow`` — zero when pacing engages
+    early enough) and how often the high watermark was crossed.  All zeros
+    (and ``bounded: False``) when no node bounds its ingress.
+    """
+    per_node: Dict[str, Dict[str, object]] = {}
+    for node_id in sorted(system.nodes):
+        node = system.nodes[node_id]
+        per_node[node_id] = {
+            "max_ingress_tuples": node.max_ingress_tuples,
+            "paced_tuples": node.stats.paced_tuples,
+            "overflow_tuples": node.stats.ingress_overflow_tuples,
+            "engagements": node.stats.backpressure_engagements,
+        }
+    return {
+        "bounded": any(
+            entry["max_ingress_tuples"] is not None for entry in per_node.values()
+        ),
+        "paced_tuples": sum(e["paced_tuples"] for e in per_node.values()),
+        "overflow_tuples": sum(e["overflow_tuples"] for e in per_node.values()),
+        "engagements": sum(e["engagements"] for e in per_node.values()),
+        "per_node": per_node,
+    }
+
+
+def summarize_result_accounting(system) -> Dict[str, object]:
+    """The federation's exactly-once result ledger closure.
+
+    Thin alias of :meth:`FederatedSystem.result_accounting_report`, kept
+    here so run summaries source all their sections from one module.
+    """
+    return system.result_accounting_report()
 
 
 @dataclass

@@ -8,6 +8,14 @@ into hot loops: a :class:`Stopwatch` built on ``time.perf_counter`` and a
 trajectory that future optimisation PRs are measured against.
 """
 
+from .memwatch import MemorySample, MemoryWatch
 from .stopwatch import PerfRegistry, Stopwatch, TimerStat, default_registry
 
-__all__ = ["Stopwatch", "TimerStat", "PerfRegistry", "default_registry"]
+__all__ = [
+    "MemorySample",
+    "MemoryWatch",
+    "Stopwatch",
+    "TimerStat",
+    "PerfRegistry",
+    "default_registry",
+]

@@ -45,6 +45,7 @@ __all__ = [
     "time_end_to_end",
     "time_runtime",
     "time_reliability",
+    "time_result_accounting",
     "run_microbench",
 ]
 
@@ -513,6 +514,7 @@ def run_end_to_end(
     dataset: str = "gaussian",
     columnar_backend: Optional[str] = None,
     reliable_delivery: bool = False,
+    result_accounting: bool = True,
     seed: int = 0,
 ):
     """Run the end-to-end macro-benchmark scenario and return
@@ -539,6 +541,7 @@ def run_end_to_end(
         columnar_backend=columnar_backend,
         runtime=runtime,
         reliable_delivery=reliable_delivery,
+        result_accounting=result_accounting,
         retain_result_values=True,
         seed=seed,
     )
@@ -621,6 +624,29 @@ def time_reliability(
     assert any(s.shed_tuples > 0 for s in result.node_summaries)
     if registry is not None:
         name = "reliability.on" if reliable else "reliability.off"
+        registry.record(name, seconds)
+    return seconds
+
+
+def time_result_accounting(
+    accounting: bool = True,
+    registry: Optional[PerfRegistry] = None,
+    **kwargs,
+) -> float:
+    """Seconds for one end-to-end run with or without result accounting.
+
+    Same macro-benchmark scenario as :func:`time_end_to_end`, varying only
+    ``SimulationConfig.result_accounting``.  With no crashes the ledger only
+    ever advances watermarks (nothing is deduplicated), so the runs are
+    result-identical and the ratio is the pure bookkeeping cost of stamping
+    and lane updates — required to stay within 10% (asserted in
+    ``benchmarks/test_bench_micro.py`` and recorded in the ``faults`` section
+    of ``BENCH_shedding.json``).
+    """
+    seconds, result = run_end_to_end(result_accounting=accounting, **kwargs)
+    assert any(s.shed_tuples > 0 for s in result.node_summaries)
+    if registry is not None:
+        name = "result_accounting.on" if accounting else "result_accounting.off"
         registry.record(name, seconds)
     return seconds
 
@@ -859,12 +885,29 @@ def run_microbench(
     # ratio is pure transport bookkeeping).  Gated at ≤10% like the runtime.
     rel_off = min(time_reliability(False, registry=registry) for _ in range(2)) * 1e3
     rel_on = min(time_reliability(True, registry=registry) for _ in range(2)) * 1e3
+    # Exactly-once result accounting on a crash-free run: same macro scenario,
+    # varying only `result_accounting` (stamping always happens; the ledger's
+    # lane updates are the measured delta).  Gated at ≤10% like the above.
+    acct_off = (
+        min(time_result_accounting(False, registry=registry) for _ in range(2))
+        * 1e3
+    )
+    acct_on = (
+        min(time_result_accounting(True, registry=registry) for _ in range(2))
+        * 1e3
+    )
     results["faults"] = {
         "reliability": {
             "queries": END_TO_END_QUERIES,
             "off_ms": rel_off,
             "on_ms": rel_on,
             "overhead_pct": (rel_on / rel_off - 1.0) * 100.0,
+        },
+        "exactly_once": {
+            "queries": END_TO_END_QUERIES,
+            "off_ms": acct_off,
+            "on_ms": acct_on,
+            "overhead_pct": (acct_on / acct_off - 1.0) * 100.0,
         },
     }
     return results

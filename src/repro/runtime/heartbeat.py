@@ -31,8 +31,9 @@ the message counters).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
+from ..core.bounded import BoundedLog
 from ..federation.fsps import COORDINATOR_ENDPOINT
 from ..federation.network import HeartbeatMessage
 from ..federation.node import FspsNode
@@ -55,6 +56,8 @@ class FailureDetector:
             declared-dead node once its endpoint is reachable again.  Without
             one the detector only *detects* (fail_node); recovery stays
             manual.
+        max_incident_records: bound on the retained detection/recovery
+            records (oldest evicted first, evictions counted).
     """
 
     def __init__(
@@ -63,6 +66,7 @@ class FailureDetector:
         interval: float,
         timeout_intervals: int = 3,
         node_factory: Optional[Callable[[str], FspsNode]] = None,
+        max_incident_records: int = 256,
     ) -> None:
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
@@ -83,8 +87,10 @@ class FailureDetector:
         }
         # node id -> time it was declared dead; cleared on recovery.
         self.dead: Dict[str, float] = {}
-        self.detections: List[Dict[str, float]] = []
-        self.recoveries: List[Dict[str, float]] = []
+        # Per-incident records, bounded like the injector timeline so long
+        # soaks keep flat memory; ``.dropped`` counts evicted entries.
+        self.detections: BoundedLog = BoundedLog(maxlen=max_incident_records)
+        self.recoveries: BoundedLog = BoundedLog(maxlen=max_incident_records)
         # Optional hook called with the failed FspsNode right after a
         # declare-dead; experiment trackers use it to fold the departing
         # node's counters before the object is dropped.
@@ -169,6 +175,8 @@ class FailureDetector:
         return {
             "detections": list(self.detections),
             "recoveries": list(self.recoveries),
+            "detections_dropped": self.detections.dropped,
+            "recoveries_dropped": self.recoveries.dropped,
             "still_dead": sorted(self.dead),
         }
 

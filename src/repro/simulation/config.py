@@ -84,6 +84,19 @@ class SimulationConfig:
             arrives and the detector never acts.
         heartbeat_timeout_intervals: silent sweeps before a node is declared
             dead (detection timeout = interval × this).
+        result_accounting: maintain the coordinator-side result ledger that
+            deduplicates replayed root-fragment output after crash recovery
+            and accounts checkpoint-gap losses (exactly-once results).  On by
+            default; the off-path exists so the overhead can be timed.
+        max_ingress_tuples: bound on each node's ingress buffer (tuples).
+            ``None`` (default) leaves ingress unbounded, matching the
+            pre-backpressure behaviour.  When set, sources are paced against
+            the node's remaining credit before memory grows, and the cap is
+            enforced as a last defence (overflow counted, never buffered).
+        ingress_high_fraction / ingress_low_fraction: hysteresis thresholds
+            for backpressure as fractions of ``max_ingress_tuples`` —
+            pacing engages when occupancy reaches the high watermark and
+            releases once it drains to the low one.
         retain_result_values: keep every result tuple's payload on the query
             coordinators (needed by the SIC-correlation experiments, which
             align degraded and perfect runs window by window).  Off by
@@ -111,6 +124,10 @@ class SimulationConfig:
     reliable_delivery: bool = False
     heartbeat_interval: Optional[float] = None
     heartbeat_timeout_intervals: int = 3
+    result_accounting: bool = True
+    max_ingress_tuples: Optional[int] = None
+    ingress_high_fraction: float = 0.8
+    ingress_low_fraction: float = 0.5
     retain_result_values: bool = False
     max_result_values: Optional[int] = None
     seed: int = 0
@@ -164,6 +181,16 @@ class SimulationConfig:
             raise ValueError(
                 f"heartbeat_timeout_intervals must be at least 1, got "
                 f"{self.heartbeat_timeout_intervals}"
+            )
+        if self.max_ingress_tuples is not None and self.max_ingress_tuples <= 0:
+            raise ValueError(
+                f"max_ingress_tuples must be positive, got {self.max_ingress_tuples}"
+            )
+        if not (0.0 < self.ingress_low_fraction <= self.ingress_high_fraction <= 1.0):
+            raise ValueError(
+                "ingress watermark fractions must satisfy "
+                "0 < low <= high <= 1, got "
+                f"low={self.ingress_low_fraction} high={self.ingress_high_fraction}"
             )
         if self.max_result_values is not None and self.max_result_values <= 0:
             raise ValueError(

@@ -58,6 +58,12 @@ class RunResult:
     # bytes_delivered plus the per-message-type sent/delivered/dropped/
     # duplicate/retransmit/expired ledger of the run's Network.
     network: Dict[str, object] = field(default_factory=dict)
+    # Ingress-backpressure accounting (metrics.collectors.summarize_backpressure):
+    # paced/overflow/engagement counts, total and per node.
+    backpressure: Dict[str, object] = field(default_factory=dict)
+    # Exactly-once result-ledger closure (FederatedSystem.result_accounting_report):
+    # arrived == recorded + deduped + dropped + lost_to_crash + retired.
+    result_accounting: Dict[str, object] = field(default_factory=dict)
     extra: Dict[str, object] = field(default_factory=dict)
 
     # --------------------------------------------------------------- fairness

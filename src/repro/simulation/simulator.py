@@ -16,7 +16,11 @@ from typing import Callable, Dict, List, Optional
 
 from ..core.columns import get_default_backend, use_backend
 from ..federation.fsps import FederatedSystem
-from ..metrics.collectors import summarize_network
+from ..metrics.collectors import (
+    summarize_backpressure,
+    summarize_network,
+    summarize_result_accounting,
+)
 from ..perf import PerfRegistry, Stopwatch
 from ..runtime import EventRuntime, FailureDetector
 from .clock import SimulationClock
@@ -153,4 +157,6 @@ class Simulator:
             bytes_sent=self.system.network.bytes_sent,
             result_values=result_values,
             network=summarize_network(self.system.network),
+            backpressure=summarize_backpressure(self.system),
+            result_accounting=summarize_result_accounting(self.system),
         )

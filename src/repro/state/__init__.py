@@ -24,11 +24,15 @@ from .checkpoint import (
     tuple_from_state,
     tuple_to_state,
 )
+from .ledger import DEDUPLICATE, DELIVER, ResultLedger
 
 __all__ = [
     "CHECKPOINT_VERSION",
     "CheckpointError",
+    "DEDUPLICATE",
+    "DELIVER",
     "FragmentCheckpoint",
+    "ResultLedger",
     "batch_from_state",
     "batch_to_state",
     "block_from_state",

@@ -131,6 +131,11 @@ def batch_to_state(batch: Batch) -> Dict[str, Any]:
         "fragment_id": batch.fragment_id,
         "origin_fragment_id": batch.origin_fragment_id,
     }
+    if batch.origin_seq is not None:
+        # Exactly-once output watermark: recorded only when present so the
+        # serialised layout of ordinary (unstamped) batches is unchanged.
+        state["origin_epoch"] = batch.origin_epoch
+        state["origin_seq"] = batch.origin_seq
     view = batch.block_view()
     if view is not None:
         block, lo, hi = view
@@ -159,6 +164,9 @@ def batch_from_state(state: Dict[str, Any]) -> Batch:
         )
     # Restore the recorded header SIC over the re-summed one (see docstring).
     batch.header.sic = state["sic"]
+    if "origin_seq" in state:
+        batch.origin_epoch = state["origin_epoch"]
+        batch.origin_seq = state["origin_seq"]
     return batch
 
 

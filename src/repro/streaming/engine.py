@@ -87,12 +87,16 @@ class LocalEngine:
             columnar=self.config.columnar,
             retain_results=self.config.retain_result_values,
             max_retained_results=self.config.max_result_values,
+            result_accounting=self.config.result_accounting,
         )
         node = FspsNode(
             node_id=self.node_id,
             shedder=self.shedder,
             budget_per_interval=budgets[self.node_id],
             stw_config=self.config.stw_config(),
+            max_ingress_tuples=self.config.max_ingress_tuples,
+            ingress_high_fraction=self.config.ingress_high_fraction,
+            ingress_low_fraction=self.config.ingress_low_fraction,
         )
         system.add_node(node)
         for query in self._queries:

@@ -220,6 +220,14 @@ class QueryFragment:
         self._adjacency: Dict[str, List[PyTuple[str, int]]] = defaultdict(list)
         self._pending_cost = 0.0
         self._pending_tuples = 0
+        # Exactly-once output watermark (root fragments only).  ``seq``
+        # counts emitted result batches within the current epoch and rolls
+        # back with the rest of the state on checkpoint restore, so crash
+        # replay re-stamps the original sequence numbers; ``epoch`` bumps
+        # only on a *blank* restart (``reset_state``), opening a fresh
+        # dedup lane at the coordinator.
+        self._output_epoch = 0
+        self._output_seq = 0
 
     # ---------------------------------------------------------------- building
     def add_operator(self, operator: Operator) -> Operator:
@@ -360,6 +368,11 @@ class QueryFragment:
                 output.downstream.append(batch)
         return output
 
+    @property
+    def output_watermark(self) -> PyTuple[int, int]:
+        """The ``(epoch, seq)`` stamp of the most recently emitted result."""
+        return self._output_epoch, self._output_seq
+
     def pending_tuples(self) -> int:
         """Tuples buffered inside the fragment's operator windows."""
         return sum(op.pending_tuples() for op in self.operators.values())
@@ -379,6 +392,10 @@ class QueryFragment:
             },
             "pending_cost": self._pending_cost,
             "pending_tuples": self._pending_tuples,
+            "output_watermark": {
+                "epoch": self._output_epoch,
+                "seq": self._output_seq,
+            },
         }
 
     def restore(self, state: Dict[str, object]) -> None:
@@ -407,6 +424,10 @@ class QueryFragment:
             self.operators[op_id].restore(op_state)
         self._pending_cost = state["pending_cost"]
         self._pending_tuples = state["pending_tuples"]
+        watermark = state.get("output_watermark")
+        if watermark is not None:  # pre-watermark checkpoints leave it as-is
+            self._output_epoch = int(watermark["epoch"])
+            self._output_seq = int(watermark["seq"])
 
     def reset_state(self) -> None:
         """Discard all buffered operator state (crash loss, no checkpoint)."""
@@ -414,6 +435,11 @@ class QueryFragment:
             operator.reset_state()
         self._pending_cost = 0.0
         self._pending_tuples = 0
+        # Blank restart: previously emitted output can never be re-emitted,
+        # so open a fresh watermark epoch instead of colliding with the
+        # sequence numbers the lost incarnation already used.
+        self._output_epoch += 1
+        self._output_seq = 0
 
     # ----------------------------------------------------------------- helpers
     def _ingest(self, operator_id: str, tuples: Sequence[Tuple], port: int) -> None:
@@ -472,26 +498,32 @@ class QueryFragment:
                 if len(items) == 1
                 else ColumnBlock.concat(items)  # type: ignore[arg-type]
             )
-            return Batch.from_block(
+            batch = Batch.from_block(
                 self.query_id,
                 block,
                 created_at=now,
                 fragment_id=fragment_id,
                 origin_fragment_id=self.fragment_id,
             )
-        tuples: List[Tuple] = []
-        for item in items:
-            if isinstance(item, ColumnBlock):
-                tuples.extend(item.to_tuples())
-            else:
-                tuples.append(item)
-        return Batch(
-            self.query_id,
-            tuples,
-            created_at=now,
-            fragment_id=fragment_id,
-            origin_fragment_id=self.fragment_id,
-        )
+        else:
+            tuples: List[Tuple] = []
+            for item in items:
+                if isinstance(item, ColumnBlock):
+                    tuples.extend(item.to_tuples())
+                else:
+                    tuples.append(item)
+            batch = Batch(
+                self.query_id,
+                tuples,
+                created_at=now,
+                fragment_id=fragment_id,
+                origin_fragment_id=self.fragment_id,
+            )
+        if self.is_root:
+            self._output_seq += 1
+            batch.origin_epoch = self._output_epoch
+            batch.origin_seq = self._output_seq
+        return batch
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
