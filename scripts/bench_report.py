@@ -122,6 +122,11 @@ def build_report(quick: bool = False) -> dict:
     speedups["columnar_v2_end_to_end"] = round(
         columnar_v2["end_to_end"]["speedup"], 2
     )
+    # Fused fragment execution (staged v2 / fused on the identical numpy
+    # paper-scale scenario): watched by --compare like the other ratios.
+    speedups["fused_end_to_end"] = round(
+        results["fused"]["end_to_end"]["speedup"], 2
+    )
     # Execution-driver ratio (lockstep / event, ~1.0): recorded so --compare
     # catches the discrete-event runtime blowing past its ≤10% overhead
     # budget in a later PR, like any other fast-path regression.

@@ -76,6 +76,24 @@ __all__ = [
 
 BACKENDS = ("numpy", "list")
 
+# Materialization accounting: every `_build_tuples` call bumps the default
+# perf registry's `columns.materializations` / `columns.materialized_rows`
+# counters, so the microbench (and ad-hoc profiling) can quantify how much
+# of a run still falls back to per-tuple objects.  Imported lazily to keep
+# `repro.core` free of an import-time dependency on `repro.perf`.
+_materialization_registry = None
+
+
+def _count_materialization(rows: int) -> None:
+    global _materialization_registry
+    registry = _materialization_registry
+    if registry is None:
+        from ..perf.stopwatch import default_registry
+
+        registry = _materialization_registry = default_registry()
+    registry.incr("columns.materializations")
+    registry.incr("columns.materialized_rows", rows)
+
 _backend = os.environ.get(
     "REPRO_COLUMNAR_BACKEND", "numpy" if np is not None else "list"
 )
@@ -377,6 +395,7 @@ class ColumnBlock:
             sics = sics[start:stop]
         timestamps = _tolist(timestamps)
         sics = _tolist(sics)
+        _count_materialization(len(timestamps))
         fields = list(self._values)
         if not fields:
             return [

@@ -51,6 +51,7 @@ from ..core.fairness import FairnessSummary, summarize_fairness
 from ..core.sic import SicAssigner
 from ..core.stw import StwConfig
 from ..core.tuples import Batch, Tuple
+from ..streaming.fused import fused_execution_active
 from ..streaming.query import QueryFragment
 from .coordinator import CoordinatorRegistry, QueryCoordinator
 from .network import (
@@ -87,13 +88,21 @@ class SourceRoute:
     estimator — but the data is lost, like tuples sent into a dead site).
     """
 
-    __slots__ = ("source_id", "fragment_id", "node_id", "generate", "generate_block")
+    __slots__ = (
+        "source_id",
+        "fragment_id",
+        "node_id",
+        "generate",
+        "generate_block",
+        "generate_fused",
+    )
 
     source_id: str
     fragment_id: Optional[str]
     node_id: Optional[str]
     generate: Callable[[float, float], List[Tuple]]
     generate_block: Optional[Callable[[float, float], object]]
+    generate_fused: Optional[Callable[[float, float], object]]
 
 
 @dataclass
@@ -340,6 +349,7 @@ class FederatedSystem:
                     node_id=node_id,
                     generate=source.generate,
                     generate_block=getattr(source, "generate_block", None),
+                    generate_fused=getattr(source, "generate_block_fused", None),
                 )
             )
 
@@ -845,12 +855,20 @@ class FederatedSystem:
     ) -> None:
         """One source-generation round for ``query`` over ``(start, end]``."""
         columnar = self.columnar
+        # Fused source generation (generate → SIC assignment → pacing in one
+        # columnar pass per source) rides the same flag as fused fragment
+        # execution, so fusion=off runs are the untouched staged pipeline
+        # end to end.  The emitted stream is bit-identical either way.
+        fused = columnar and fused_execution_active()
         assigner = query.sic_assigner
         query_id = query.query_id
         for route in query.source_plan:
             generate_block = route.generate_block
             if columnar and generate_block is not None:
-                block = generate_block(start, end)
+                if fused and route.generate_fused is not None:
+                    block = route.generate_fused(start, end)
+                else:
+                    block = generate_block(start, end)
                 if not block:
                     continue
                 assigner.assign_block(block)

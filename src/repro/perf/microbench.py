@@ -40,6 +40,7 @@ __all__ = [
     "time_window_insert_v2",
     "time_aggregate_v2",
     "time_end_to_end_v2",
+    "time_end_to_end_fused",
     "time_migration",
     "run_end_to_end",
     "time_end_to_end",
@@ -412,7 +413,9 @@ def time_end_to_end_v2(
     shedder → windows → operators → coordinator, event runtime), at
     paper-scale source rates under mild overload; see the V2_END_TO_END_*
     constants.  Results are bit-identical across backends, so the ratio
-    isolates the column representation end to end.
+    isolates the column representation end to end.  Fusion is off on both
+    sides: the numpy-vs-list ratio keeps its staged-vs-staged meaning (the
+    fused ratio is measured separately by :func:`time_end_to_end_fused`).
     """
     params = dict(
         num_queries=V2_END_TO_END_QUERIES,
@@ -420,6 +423,7 @@ def time_end_to_end_v2(
         capacity_fraction=V2_END_TO_END_CAPACITY,
         dataset=V2_END_TO_END_DATASET,
         columnar_backend=backend,
+        fusion="off",
     )
     params.update(kwargs)
     seconds, result = run_end_to_end(**params)
@@ -427,6 +431,35 @@ def time_end_to_end_v2(
     assert any(s.shed_tuples > 0 for s in result.node_summaries)
     if registry is not None:
         registry.record(f"end_to_end_v2.{backend}", seconds)
+    return seconds
+
+
+def time_end_to_end_fused(
+    fusion: str = "on",
+    registry: Optional[PerfRegistry] = None,
+    **kwargs,
+) -> float:
+    """Seconds for one paper-scale macro run under one fusion mode.
+
+    Same scenario as :func:`time_end_to_end_v2` on the numpy backend; the
+    ``fusion="on"`` / ``fusion="off"`` ratio isolates the fragment plan
+    compiler (fused single-pass prefix vs staged per-operator dispatch).
+    Results are bit-identical across modes, so the ratio is pure execution
+    cost.
+    """
+    params = dict(
+        num_queries=V2_END_TO_END_QUERIES,
+        rate=V2_END_TO_END_RATE,
+        capacity_fraction=V2_END_TO_END_CAPACITY,
+        dataset=V2_END_TO_END_DATASET,
+        columnar_backend="numpy",
+        fusion=fusion,
+    )
+    params.update(kwargs)
+    seconds, result = run_end_to_end(**params)
+    assert any(s.shed_tuples > 0 for s in result.node_summaries)
+    if registry is not None:
+        registry.record(f"end_to_end_fused.{fusion}", seconds)
     return seconds
 
 
@@ -513,6 +546,7 @@ def run_end_to_end(
     capacity_fraction: float = 0.5,
     dataset: str = "gaussian",
     columnar_backend: Optional[str] = None,
+    fusion: str = "on",
     reliable_delivery: bool = False,
     result_accounting: bool = True,
     seed: int = 0,
@@ -539,6 +573,7 @@ def run_end_to_end(
         capacity_fraction=capacity_fraction,
         columnar=columnar,
         columnar_backend=columnar_backend,
+        fusion=fusion,
         runtime=runtime,
         reliable_delivery=reliable_delivery,
         result_accounting=result_accounting,
@@ -839,6 +874,30 @@ def run_microbench(
             "numpy_ms": e2e_v2_numpy,
             "list_ms": e2e_v2_list,
             "speedup": e2e_v2_list / e2e_v2_numpy,
+        },
+    }
+
+    # Fused fragment execution: the plan compiler's single-pass prefix
+    # against staged v2 on the identical paper-scale scenario (numpy backend
+    # both sides, results bit-identical).  Best-of-3: the macro run is tens
+    # of milliseconds and the gated ratio must be stable.
+    e2e_fused = (
+        min(time_end_to_end_fused("on", registry=registry) for _ in range(3))
+        * 1e3
+    )
+    e2e_staged = (
+        min(time_end_to_end_fused("off", registry=registry) for _ in range(3))
+        * 1e3
+    )
+    results["fused"] = {
+        "end_to_end": {
+            "queries": V2_END_TO_END_QUERIES,
+            "rate": V2_END_TO_END_RATE,
+            "capacity_fraction": V2_END_TO_END_CAPACITY,
+            "dataset": V2_END_TO_END_DATASET,
+            "fused_ms": e2e_fused,
+            "staged_ms": e2e_staged,
+            "speedup": e2e_staged / e2e_fused,
         },
     }
 

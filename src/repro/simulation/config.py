@@ -15,6 +15,7 @@ from typing import Dict, Optional
 
 from ..core.columns import BACKENDS
 from ..core.stw import StwConfig
+from ..streaming.fused import FUSION_MODES
 
 __all__ = ["SimulationConfig", "RUNTIMES"]
 
@@ -97,6 +98,15 @@ class SimulationConfig:
             for backpressure as fractions of ``max_ingress_tuples`` —
             pacing engages when occupancy reaches the high watermark and
             releases once it drains to the low one.
+        fusion: fused fragment execution — ``"on"`` (default) compiles
+            fusible linear fragments (receiver → annotated filters → tumbling
+            aggregate → output) into single-pass columnar plans
+            (:mod:`repro.streaming.fused`); ``"off"`` forces the staged
+            operator-at-a-time pipeline everywhere.  Fusion only ever
+            activates on the numpy columnar backend (the list backend always
+            runs staged, as the equivalence oracle) and is bit-exact
+            result-identical to the staged path for equal seeds.  The
+            simulator scopes the setting to the run, like the backend.
         retain_result_values: keep every result tuple's payload on the query
             coordinators (needed by the SIC-correlation experiments, which
             align degraded and perfect runs window by window).  Off by
@@ -118,6 +128,7 @@ class SimulationConfig:
     coordinator_update_interval: Optional[float] = None
     columnar: bool = True
     columnar_backend: Optional[str] = None
+    fusion: str = "on"
     runtime: str = "event"
     node_shedding_intervals: Dict[str, float] = field(default_factory=dict)
     checkpoint_interval: Optional[float] = None
@@ -161,6 +172,10 @@ class SimulationConfig:
             raise ValueError(
                 f"columnar_backend must be one of {BACKENDS} or None, "
                 f"got {self.columnar_backend!r}"
+            )
+        if self.fusion not in FUSION_MODES:
+            raise ValueError(
+                f"fusion must be one of {FUSION_MODES}, got {self.fusion!r}"
             )
         for node_id, interval in self.node_shedding_intervals.items():
             if interval <= 0:

@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..core.columns import get_default_backend, use_backend
 from ..federation.fsps import FederatedSystem
+from ..streaming.fused import use_fusion
 from ..metrics.collectors import (
     summarize_backpressure,
     summarize_network,
@@ -60,12 +61,14 @@ class Simulator:
     def run(self) -> RunResult:
         """Execute warm-up plus measurement period and summarise the run.
 
-        The columnar backend (``config.columnar_backend``) is scoped to the
-        run: blocks built while the simulation executes use the configured
-        storage, and the process-wide default is restored afterwards.
+        The columnar backend (``config.columnar_backend``) and the fusion
+        mode (``config.fusion``) are scoped to the run: blocks built while
+        the simulation executes use the configured storage, fragments compile
+        (or decline) fused plans per the configured mode, and the
+        process-wide defaults are restored afterwards.
         """
         backend = self.config.columnar_backend or get_default_backend()
-        with use_backend(backend):
+        with use_backend(backend), use_fusion(self.config.fusion):
             return self._run()
 
     def _run(self) -> RunResult:

@@ -25,6 +25,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple as PyTuple
 from ..core.columns import ColumnBlock
 from ..core.tuples import Batch, Tuple
 from ..state.checkpoint import CheckpointError
+from .fused import compile_fused_plan, fused_execution_active
 from .operators.base import Emitted, Operator
 
 __all__ = ["Edge", "QueryGraph", "QueryFragment", "FragmentOutput"]
@@ -228,6 +229,10 @@ class QueryFragment:
         # dedup lane at the coordinator.
         self._output_epoch = 0
         self._output_seq = 0
+        # Fused execution plan (compiled lazily on first process() while the
+        # numpy backend is active; structural, so compiled once per wiring).
+        self._fused_plan_cache: Optional[object] = None
+        self._fused_checked = False
 
     # ---------------------------------------------------------------- building
     def add_operator(self, operator: Operator) -> Operator:
@@ -284,6 +289,9 @@ class QueryFragment:
             raise ValueError(f"fragment {self.name} contains a cycle")
         self._order = order
         self._adjacency = adjacency
+        # Rewiring invalidates any compiled fused plan.
+        self._fused_plan_cache = None
+        self._fused_checked = False
 
     # --------------------------------------------------------------- execution
     @property
@@ -339,12 +347,35 @@ class QueryFragment:
             self._ingest(op_id, tuples, port)
 
     def process(self, now: float) -> FragmentOutput:
-        """Advance all operators to ``now`` and collect outputs."""
+        """Advance all operators to ``now`` and collect outputs.
+
+        When fused execution is active and this fragment compiles to a
+        :class:`~repro.streaming.fused.FusedPlan`, the receiver→filters→
+        aggregate-ingest prefix runs as one columnar pass and only the
+        windowed suffix advances through the staged loop; otherwise (or when
+        the plan declines a non-fusible tick) the full staged loop runs.
+        """
         if not self._order:
             self.finalize()
+        plan = self._fused_plan()
+        if plan is not None and plan.run_prefix(self, now):
+            return self._advance(plan.suffix_ids, now)
+        return self._advance(self._order, now)
+
+    def _fused_plan(self):
+        """The fragment's compiled fused plan, or ``None`` (staged only)."""
+        if not fused_execution_active():
+            return None
+        if not self._fused_checked:
+            self._fused_plan_cache = compile_fused_plan(self)
+            self._fused_checked = True
+        return self._fused_plan_cache
+
+    def _advance(self, order: Sequence[str], now: float) -> FragmentOutput:
+        """Advance ``order``'s operators in sequence and collect outputs."""
         output = FragmentOutput()
         exit_items: List[Emitted] = []
-        for op_id in self._order:
+        for op_id in order:
             operator = self.operators[op_id]
             produced = operator.advance_items(now)
             if not produced:

@@ -17,6 +17,11 @@ from __future__ import annotations
 import random
 from typing import List, Optional
 
+try:  # Guarded: the list columnar backend works without NumPy.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    np = None
+
 __all__ = [
     "ValueDistribution",
     "GaussianValues",
@@ -88,17 +93,63 @@ class UniformValues(ValueDistribution):
             raise ValueError(f"high must exceed low, got [{low}, {high}]")
         self.low = float(low)
         self.high = float(high)
+        # Vectorized draw state (sample_array): a persistent NumPy
+        # RandomState seeded by transplanting self.rng's Mersenne-Twister
+        # state.  While `_rs_live` the RandomState *is* the stream; any
+        # scalar draw syncs the state back into self.rng first, so mixing
+        # sample()/sample_many()/sample_array() keeps one exact stream.
+        self._rs = None
+        self._rs_live = False
+
+    def _sync_scalar(self) -> None:
+        """Fold the vectorized generator's state back into ``self.rng``."""
+        state = self._rs.get_state()
+        # RandomState and random.Random share the MT19937 core: 624 uint32
+        # key words plus a position index round-trip losslessly.
+        self.rng.setstate((3, tuple(state[1].tolist()) + (int(state[2]),), None))
+        self._rs_live = False
 
     def sample(self) -> float:
+        if self._rs_live:
+            self._sync_scalar()
         return self.rng.uniform(self.low, self.high)
 
     def sample_many(self, count: int) -> List[float]:
         # random.uniform(a, b) is exactly `a + (b - a) * random()`; inlining
         # it with the width hoisted draws the identical stream ~2x faster.
+        if self._rs_live:
+            self._sync_scalar()
         random = self.rng.random
         low = self.low
         width = self.high - self.low
         return [low + width * random() for _ in range(count)]
+
+    def sample_array(self, count: int):
+        """``count`` draws as a float64 array, continuing the same stream.
+
+        Bit-exact against :meth:`sample_many`: ``random_sample`` produces
+        the identical 53-bit doubles the Mersenne Twister gives
+        ``random.random()``, and the affine transform matches the inlined
+        ``low + width * random()`` arithmetic.  Returns ``None`` without
+        consuming any draws when NumPy is unavailable.
+        """
+        if np is None:
+            return None
+        rs = self._rs
+        if not self._rs_live:
+            state = self.rng.getstate()
+            if rs is None:
+                rs = self._rs = np.random.RandomState()
+            rs.set_state(
+                ("MT19937", np.asarray(state[1][:624], dtype=np.uint32), state[1][624])
+            )
+            self._rs_live = True
+        column = (self.high - self.low) * rs.random_sample(count)
+        if self.low == 0.0:
+            # `0.0 + x` is bit-identical to `x` for every non-negative x the
+            # scaled draw can produce; skip the add (and its temp array).
+            return column
+        return self.low + column
 
 
 class ExponentialValues(ValueDistribution):

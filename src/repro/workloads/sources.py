@@ -27,6 +27,8 @@ try:  # Guarded: the list columnar backend works without NumPy.
     import numpy as np
 except ImportError:  # pragma: no cover - exercised only on stripped installs
     np = None
+if np is not None:
+    from ..core.kernels import build_source_block
 from .datasets import PlanetLabLikeValues, ValueDistribution, make_dataset
 
 __all__ = [
@@ -123,6 +125,51 @@ class StreamSource:
             source_id=self.source_id,
         )
 
+    def generate_block_fused(self, start: float, end: float) -> Optional[ColumnBlock]:
+        """Fused :meth:`generate_block`: same output, assembled in one pass.
+
+        When the numpy backend is active and :meth:`payload_columns_fused`
+        hands back ready-made float64 arrays, the block is built through the
+        unchecked constructor — skipping the per-value float scan that
+        payload normalization otherwise performs on every generated column.
+        Falls back to :meth:`generate_block` (without consuming any RNG
+        draws or rate carry) in every other case, so the emitted stream is
+        bit-identical either way.
+        """
+        if np is None or get_default_backend() != "numpy":
+            return self.generate_block(start, end)
+        count = self.tuples_for_interval(start, end)
+        if count <= 0:
+            return None
+        step = (end - start) / count
+        columns = self.payload_columns_fused(count)
+        fast = columns is not None and all(
+            isinstance(column, np.ndarray) and column.dtype == np.float64
+            for column in columns.values()
+        )
+        if columns is None:
+            columns = self.payload_columns(count)
+        self.emitted_tuples += count
+        if fast:
+            return build_source_block(self.source_id, start, step, count, columns)
+        timestamps = start + (np.arange(count) + 0.5) * step
+        return ColumnBlock(
+            timestamps=timestamps,
+            sics=np.zeros(count),
+            values=columns,
+            source_id=self.source_id,
+        )
+
+    def payload_columns_fused(self, count: int) -> Optional[Dict[str, object]]:
+        """Payload columns as ready-made float64 arrays, or ``None``.
+
+        Sources whose distributions can draw vectorized (same RNG stream,
+        bit-exact values — e.g. :meth:`UniformValues.sample_array`) override
+        this; the default opts out and :meth:`generate_block_fused` falls
+        back to the scalar :meth:`payload_columns` draw.
+        """
+        return None
+
     def payload_columns(self, count: int) -> Dict[str, List[object]]:
         """Payload values for ``count`` tuples, one column per field.
 
@@ -175,6 +222,15 @@ class ValueSource(StreamSource):
 
     def payload_columns(self, count: int) -> Dict[str, List[object]]:
         return {"v": self.distribution.sample_many(count)}
+
+    def payload_columns_fused(self, count: int) -> Optional[Dict[str, object]]:
+        sample_array = getattr(self.distribution, "sample_array", None)
+        if sample_array is None:
+            return None
+        column = sample_array(count)
+        if column is None:  # distribution cannot vectorize (e.g. no NumPy)
+            return None
+        return {"v": column}
 
 
 class CpuSource(StreamSource):
@@ -316,5 +372,16 @@ class BurstySource:
             self.base.rate = original_rate * self.burst_multiplier
         try:
             return self.base.generate_block(start, end)
+        finally:
+            self.base.rate = original_rate
+
+    def generate_block_fused(self, start: float, end: float) -> Optional[ColumnBlock]:
+        """Fused :meth:`generate_block`: one burst draw, then the base fused path."""
+        original_rate = self.base.rate
+        if self.rng.random() < self.burst_probability:
+            self.bursts += 1
+            self.base.rate = original_rate * self.burst_multiplier
+        try:
+            return self.base.generate_block_fused(start, end)
         finally:
             self.base.rate = original_rate

@@ -297,3 +297,29 @@ class TestArrayStateRoundTrips:
                 return out
 
         assert stamped("numpy") == stamped("list")
+
+
+class TestMaterializationCounter:
+    def test_build_tuples_bumps_default_registry(self):
+        from repro.perf.stopwatch import default_registry
+
+        registry = default_registry()
+        before = registry.counters.get("columns.materializations", 0.0)
+        before_rows = registry.counters.get("columns.materialized_rows", 0.0)
+        block = make_block(7)
+        block.to_tuples()
+        assert registry.counters["columns.materializations"] == before + 1
+        assert registry.counters["columns.materialized_rows"] == before_rows + 7
+
+    def test_memoized_to_tuples_counts_once(self):
+        from repro.perf.stopwatch import default_registry
+
+        registry = default_registry()
+        block = make_block(5)
+        block.to_tuples()
+        after_first = registry.counters["columns.materializations"]
+        block.to_tuples()          # memoized full-block hit
+        block.to_tuples(1, 3)      # slice of the memoized cache
+        assert registry.counters["columns.materializations"] == after_first
+        block.to_tuples(fresh=True)  # fresh bypasses the cache: counts again
+        assert registry.counters["columns.materializations"] == after_first + 1

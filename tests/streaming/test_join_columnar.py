@@ -162,3 +162,108 @@ class TestJoinColumnarIdentity:
         mixed = join_mixed.advance(3.0)
         reference = run_join({0: [left], 1: [right]}, columnar=False)
         assert_same_outputs(mixed, reference)
+
+
+def run_join_normalised(blocks_by_port, columnar, horizon=3.0, items=False):
+    join = WindowEquiJoin(
+        left_key="id", right_key="id", window_seconds=1.0, columnar_output=True
+    )
+    for port, blocks in blocks_by_port.items():
+        for block in blocks:
+            if columnar:
+                join.ingest_block(block, port=port)
+            else:
+                join.ingest(block.to_tuples(), port=port)
+    if items:
+        return join.advance_items(horizon)
+    return join.advance(horizon)
+
+
+class TestJoinColumnarOutput:
+    """The opt-in prefix-normalised merge emits uniform-schema blocks."""
+
+    def test_emits_a_column_block(self):
+        blocks = {
+            0: [cpu_block(["a", "b", "c"], [0.9, 0.5, 0.1])],
+            1: [mem_block(["b", "c", "d"], [512.0, 256.0, 128.0])],
+        }
+        items = run_join_normalised(blocks, columnar=True, items=True)
+        assert len(items) == 1
+        assert isinstance(items[0], ColumnBlock)
+        # Shared "id" is prefixed on every row; uniform schema.
+        assert list(items[0].values) == ["id", "cpu", "right_id", "mem"]
+
+    def test_block_output_matches_row_output(self):
+        blocks = {
+            0: [cpu_block(["a", "a", "b"], [0.1, 0.2, 0.3], sic=0.03)],
+            1: [mem_block(["a", "a", "b"], [1.0, 2.0, 3.0], sic=0.05)],
+        }
+        columnar = run_join_normalised(blocks, columnar=True)
+        per_tuple = run_join_normalised(blocks, columnar=False)
+        assert len(columnar) == 5  # 2x2 'a' cross product + 1 'b'
+        assert_same_outputs(columnar, per_tuple)
+
+    def test_normalisation_differs_from_default_only_on_equal_shared_fields(self):
+        # Shared "v": equal on the 'x' pair, different on the 'y' pair.  The
+        # default rule prefixes only 'y'; the normalised rule prefixes both.
+        left = ColumnBlock(
+            timestamps=[0.0, 0.01],
+            sics=[0.01, 0.01],
+            values={"id": ["x", "y"], "v": [1.0, 2.0]},
+        )
+        right = ColumnBlock(
+            timestamps=[0.0, 0.01],
+            sics=[0.01, 0.01],
+            values={"id": ["x", "y"], "v": [1.0, 99.0]},
+        )
+        blocks = {0: [left], 1: [right]}
+        default = run_join(blocks, columnar=True)
+        normalised = run_join_normalised(blocks, columnar=True)
+        assert len(default) == len(normalised) == 2
+        for d, n in zip(default, normalised):
+            assert d.timestamp == n.timestamp
+            assert d.sic == n.sic
+        by_id = {t.values["id"]: t.values for t in normalised}
+        # Uniform schema on every row, including where the values were equal.
+        assert by_id["x"]["v"] == 1.0 and by_id["x"]["right_v"] == 1.0
+        assert by_id["y"]["v"] == 2.0 and by_id["y"]["right_v"] == 99.0
+        default_by_id = {t.values["id"]: t.values for t in default}
+        assert "right_v" not in default_by_id["x"]  # default rule unchanged
+
+    def test_none_and_missing_keys(self):
+        blocks = {
+            0: [cpu_block(["a", None, "b"], [0.1, 0.2, 0.3])],
+            1: [mem_block([None, "b"], [1.0, 2.0])],
+        }
+        columnar = run_join_normalised(blocks, columnar=True)
+        per_tuple = run_join_normalised(blocks, columnar=False)
+        assert len(columnar) == 1
+        assert_same_outputs(columnar, per_tuple)
+        missing = {
+            0: [cpu_block(["a"], [0.5])],
+            1: [ColumnBlock(timestamps=[0.0], sics=[0.01], values={"mem": [1.0]})],
+        }
+        assert run_join_normalised(missing, columnar=True) == []
+
+    def test_sic_propagation_matches_row_path(self):
+        blocks = {
+            0: [cpu_block(["a", "b"], [0.1, 0.2], sic=0.03)],
+            1: [mem_block(["a", "b"], [1.0, 2.0], sic=0.05)],
+        }
+        columnar = run_join_normalised(blocks, columnar=True)
+        per_tuple = run_join_normalised(blocks, columnar=False)
+        assert columnar
+        assert sum(t.sic for t in columnar) == pytest.approx(2 * 0.03 + 2 * 0.05)
+        assert [t.sic for t in columnar] == [t.sic for t in per_tuple]
+
+    def test_mixed_representation_falls_back_to_rows(self):
+        join = WindowEquiJoin(
+            left_key="id", right_key="id", window_seconds=1.0, columnar_output=True
+        )
+        left = cpu_block(["a", "b"], [0.1, 0.2])
+        right = mem_block(["a", "b"], [1.0, 2.0])
+        join.ingest_block(left, port=0)
+        join.ingest(right.to_tuples(), port=1)
+        mixed = join.advance(3.0)
+        reference = run_join_normalised({0: [left], 1: [right]}, columnar=False)
+        assert_same_outputs(mixed, reference)
