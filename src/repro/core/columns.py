@@ -65,6 +65,7 @@ except ImportError:  # pragma: no cover - exercised only on stripped installs
 
 __all__ = [
     "ColumnBlock",
+    "ColumnAppender",
     "BACKENDS",
     "get_default_backend",
     "set_default_backend",
@@ -534,3 +535,168 @@ class ColumnBlock:
                 source_id=b.source_id,
             )
         return ColumnBlock.concat_ranges([(b, 0, len(b)) for b in blocks])
+
+
+class ColumnAppender:
+    """Amortized column builder for the pane-merge path.
+
+    :meth:`ColumnBlock.concat_ranges` merges a pane by building a per-column
+    list of slices and handing each to ``np.concatenate`` — one slice-list
+    walk and one concatenate call per column per merge, over and over for
+    sliding panes.  The appender instead streams the ranges once, in order,
+    into preallocated buffers that **double on overflow**, and the merge
+    trims views in O(columns).  It is built fresh at merge time (pane
+    ``column()``/``tuples`` access, or the fused drain), so panes whose
+    columns are never materialized — the common case, since the pane SIC is
+    maintained incrementally — pay nothing.
+
+    Exactness: rows are copied verbatim in insertion order, so the built
+    block is element-identical to the ``concat_ranges`` merge of the same
+    ranges, and the pane SIC stays the accumulator's sequential-order sum
+    (the appender never touches it).  The first range is held lazily so the
+    ubiquitous one-block pane keeps the zero-copy view fast path.
+
+    Only uniform array-backed input is supported: :meth:`append_range`
+    returns ``False`` — and the caller must abandon the appender, falling
+    back to the legacy merge — when NumPy is absent, a block is
+    list-backed, or a range changes the field set or a column dtype.
+    """
+
+    __slots__ = (
+        "_first",
+        "_fields",
+        "_keys",
+        "_source_id",
+        "_timestamps",
+        "_sics",
+        "_values",
+        "_len",
+        "_cap",
+    )
+
+    def __init__(self) -> None:
+        self._first: Optional[tuple] = None
+        self._fields: Optional[List[str]] = None
+        self._len = 0
+        self._cap = 0
+
+    def __len__(self) -> int:
+        if self._first is not None:
+            _, lo, hi = self._first
+            return hi - lo
+        return self._len
+
+    def append_range(self, block: ColumnBlock, lo: int, hi: int) -> bool:
+        if np is None or not block.is_array_backed:
+            return False
+        if self._fields is None and self._first is None:
+            self._first = (block, lo, hi)
+            return True
+        if self._first is not None:
+            held, held_lo, held_hi = self._first
+            if not self._start_buffers(held, held_lo, held_hi, hi - lo):
+                return False
+            self._first = None
+        values = block._values
+        # Ordered comparison, like concat_ranges' uniformity check: a pane
+        # whose sources disagree on field order is heterogeneous and takes
+        # the per-tuple path, exactly as it did before the appender.
+        if tuple(values) != self._keys:
+            return False
+        timestamps = self._timestamps
+        sics = self._sics
+        mine = self._values
+        block_ts = block._timestamps
+        block_sics = block._sics
+        # `is not` first: NumPy interns builtin dtypes, so the identity test
+        # settles the hot path; the `!=` fallback keeps exotic equal-but-
+        # distinct dtype instances on the fast path too (a false mismatch
+        # would only abandon the appender, never corrupt it).
+        if block_ts.dtype is not timestamps.dtype and block_ts.dtype != timestamps.dtype:
+            return False
+        if block_sics.dtype is not sics.dtype and block_sics.dtype != sics.dtype:
+            return False
+        for f in self._fields:
+            col, own = values[f], mine[f]
+            if col.dtype is not own.dtype and col.dtype != own.dtype:
+                return False
+        if block.source_id != self._source_id:
+            # concat_ranges keeps a source id only when every range shares it.
+            self._source_id = None
+        n = hi - lo
+        start = self._len
+        end = start + n
+        if end > self._cap:
+            self._reserve(end)
+        self._timestamps[start:end] = block_ts[lo:hi]
+        self._sics[start:end] = block_sics[lo:hi]
+        mine = self._values
+        for f in self._fields:
+            mine[f][start:end] = values[f][lo:hi]
+        self._len = end
+        return True
+
+    def _start_buffers(
+        self, block: ColumnBlock, lo: int, hi: int, upcoming: int
+    ) -> bool:
+        if not block.is_array_backed:
+            return False
+        self._fields = list(block._values)
+        self._keys = tuple(self._fields)
+        self._source_id = block.source_id
+        n = hi - lo
+        # One doubling of headroom beyond the two ranges in hand: a pane of
+        # similar-sized ranges then merges without ever paying a regrow, and
+        # the fill factor stays above one quarter (above one half as soon as
+        # a third such range lands).
+        cap = 16
+        while cap < (n + upcoming) * 2:
+            cap *= 2
+        self._timestamps = np.empty(cap, dtype=block._timestamps.dtype)
+        self._sics = np.empty(cap, dtype=block._sics.dtype)
+        self._values = {
+            f: np.empty(cap, dtype=col.dtype) for f, col in block._values.items()
+        }
+        self._cap = cap
+        self._timestamps[:n] = block._timestamps[lo:hi]
+        self._sics[:n] = block._sics[lo:hi]
+        for f in self._fields:
+            self._values[f][:n] = block._values[f][lo:hi]
+        self._len = n
+        return True
+
+    def _reserve(self, need: int) -> None:
+        if need <= self._cap:
+            return
+        cap = self._cap
+        while cap < need:
+            cap *= 2
+        filled = self._len
+
+        def grown(buf):
+            fresh = np.empty(cap, dtype=buf.dtype)
+            fresh[:filled] = buf[:filled]
+            return fresh
+
+        self._timestamps = grown(self._timestamps)
+        self._sics = grown(self._sics)
+        self._values = {f: grown(col) for f, col in self._values.items()}
+        self._cap = cap
+
+    def build(self) -> ColumnBlock:
+        """The accumulated rows as one block (trimmed views of the buffers).
+
+        Single-shot: call at pane close and append nothing afterwards — the
+        returned block's columns alias the internal buffers.
+        """
+        if self._first is not None:
+            return ColumnBlock.concat_ranges([self._first])
+        if self._fields is None:
+            return ColumnBlock([], [], {})
+        n = self._len
+        return ColumnBlock._unchecked(
+            self._timestamps[:n],
+            self._sics[:n],
+            {f: col[:n] for f, col in self._values.items()},
+            self._source_id,
+        )

@@ -13,9 +13,12 @@ EXPERIMENTS.md records a reference run.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict, List, Optional
+
+from ..simulation.config import RUNTIMES
 
 from . import (
     ablations,
@@ -84,7 +87,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--list", action="store_true", help="list experiments and exit")
     parser.add_argument("--output", default=None, help="also write the tables to a file")
+    parser.add_argument(
+        "--runtime",
+        default=None,
+        choices=RUNTIMES,
+        help="execution-driver override for every run (sets REPRO_RUNTIME; "
+        "'sharded' reruns the experiment on per-site shards, bit-identical "
+        "to 'event')",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard count for --runtime sharded (sets REPRO_WORKERS)",
+    )
     args = parser.parse_args(argv)
+
+    # The experiments build their SimulationConfigs internally, so the
+    # overrides travel the same way CI's matrix legs set them: via the
+    # process-wide environment defaults.
+    if args.runtime is not None:
+        os.environ["REPRO_RUNTIME"] = args.runtime
+    if args.workers is not None:
+        os.environ["REPRO_WORKERS"] = str(args.workers)
 
     if args.list or args.experiment is None:
         print("available experiments:")

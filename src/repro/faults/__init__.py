@@ -8,7 +8,7 @@ chaos scenario is replayable; an empty plan injects nothing and leaves
 seeded runs bit-exact.
 """
 
-from .injector import FaultInjector
+from .injector import FaultInjector, link_seed
 from .plan import (
     CoordinatorCrash,
     FaultPlan,
@@ -26,4 +26,5 @@ __all__ = [
     "SlowEpisode",
     "NodeCrash",
     "CoordinatorCrash",
+    "link_seed",
 ]

@@ -5,9 +5,18 @@ onto a federation driven by an :class:`~repro.runtime.EventRuntime`:
 
 * message-level episodes (loss, duplication, jitter, partitions, slow
   endpoints) become the network's ``fault_policy`` — evaluated per physical
-  transmission at send time, with every probabilistic decision drawn from
-  one ``random.Random(plan.seed)`` in send order, so a given plan + workload
-  + seed reproduces the exact same faults;
+  transmission at send time, with every probabilistic decision drawn from a
+  **per-link** child RNG seeded by a stable hash of
+  ``(plan.seed, source, destination)``, so a given plan + workload + seed
+  reproduces the exact same faults *per link*.  Per-link streams (rather
+  than one global RNG consumed in send order) make the fault schedule
+  depend only on each link's own transmission sequence — which every
+  runtime preserves (per-link FIFO is the sharded runtime's merge
+  invariant) — not on how sends across different links happen to
+  interleave, so the same seed injects the same faults under the event
+  and sharded drivers alike.  The child seed comes from SHA-256, not the
+  builtin ``hash()``: the builtin is salted per process
+  (``PYTHONHASHSEED``), which would break cross-process reproducibility;
 * crash episodes become :data:`~repro.runtime.scheduler.PRIORITY_FAULT`
   events on the runtime's scheduler — node crashes go through
   :meth:`EventRuntime.crash_node_silently` (detection and recovery are the
@@ -22,6 +31,7 @@ folds into its report; the network's own :class:`NetworkStats` only knows
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Dict, Tuple
 
@@ -31,7 +41,21 @@ from ..runtime.runtime import EventRuntime
 from ..runtime.scheduler import PRIORITY_FAULT
 from .plan import FaultPlan, NodeCrash
 
-__all__ = ["FaultInjector"]
+__all__ = ["FaultInjector", "link_seed"]
+
+
+def link_seed(seed: int, source: str, destination: str) -> int:
+    """Stable 64-bit child seed for one directed link's fault RNG.
+
+    Derived via SHA-256 over a ``seed:source:destination`` encoding —
+    deterministic across processes and Python versions, unlike the builtin
+    ``hash()`` (salted by ``PYTHONHASHSEED``) which must never be used for
+    reproducible seeding.
+    """
+    digest = hashlib.sha256(
+        f"{seed}:{source}:{destination}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 class FaultInjector:
@@ -47,7 +71,9 @@ class FaultInjector:
         self.runtime = runtime
         self.system = runtime.system
         self.plan = plan
-        self.rng = random.Random(plan.seed)
+        # One child RNG per directed link, created on first use; see the
+        # module docstring for the reproducibility contract.
+        self._link_rngs: Dict[Tuple[str, str], random.Random] = {}
         # Cause-level accounting; the network's stats stay cause-agnostic.
         self.drops_by_cause: Dict[str, int] = {"loss": 0, "partition": 0}
         self.duplicated = 0
@@ -88,7 +114,9 @@ class FaultInjector:
         Returns an empty tuple to drop it, several entries to duplicate it.
         Partitions are checked first (a severed link loses everything,
         deterministically, without consuming randomness); probabilistic
-        episodes then draw from the plan RNG in a fixed order per episode.
+        episodes then draw from the link's child RNG in a fixed order per
+        episode — the draw sequence depends only on this link's own
+        transmission order.
         """
         for episode in self.plan.partitions:
             if episode.active(sent_at) and episode.severs(source, destination):
@@ -99,24 +127,30 @@ class FaultInjector:
             if episode.active(sent_at) and episode.touches(source, destination):
                 extra += episode.extra_latency_seconds
         times = [sent_at + latency + extra]
+        rng = None
         for episode in self.plan.loss_episodes:
             if not episode.active(sent_at):
                 continue
             if not episode.matches(message.kind, source, destination):
                 continue
-            if episode.drop_probability and self.rng.random() < episode.drop_probability:
+            if rng is None:
+                link = (source, destination)
+                rng = self._link_rngs.get(link)
+                if rng is None:
+                    rng = self._link_rngs[link] = random.Random(
+                        link_seed(self.plan.seed, source, destination)
+                    )
+            if episode.drop_probability and rng.random() < episode.drop_probability:
                 self.drops_by_cause["loss"] += 1
                 return ()
             if (
                 episode.duplicate_probability
-                and self.rng.random() < episode.duplicate_probability
+                and rng.random() < episode.duplicate_probability
             ):
                 times.append(times[0])
                 self.duplicated += 1
             if episode.jitter_seconds:
-                times = [
-                    t + self.rng.random() * episode.jitter_seconds for t in times
-                ]
+                times = [t + rng.random() * episode.jitter_seconds for t in times]
                 self.jittered += len(times)
         return tuple(times)
 

@@ -425,6 +425,24 @@ class FederatedSystem:
         is what makes a seeded run with a graceful migration result-identical
         to the same run without it (``tests/integration/test_migration.py``).
         """
+        fragment, checkpoint = self.extract_fragment_for_migration(
+            fragment_id, target_node_id
+        )
+        return self.apply_fragment_migration(fragment, checkpoint, target_node_id)
+
+    def extract_fragment_for_migration(
+        self, fragment_id: str, target_node_id: str
+    ):
+        """Step 1 of a migration: validate, drain and detach at the source.
+
+        Split out of :meth:`migrate_fragment` so a distributed driver (the
+        multiprocess sharded runtime) can run the extraction on the replica
+        that owns the source node, ship ``(fragment, checkpoint)`` over the
+        wire, and apply the rest everywhere.  Returns the detached fragment
+        plus its :class:`~repro.state.FragmentCheckpoint`; the placement
+        table still points at the source until
+        :meth:`apply_fragment_migration` runs.
+        """
         source_id = self.placement.get(fragment_id)
         if source_id is None:
             raise ValueError(f"fragment {fragment_id!r} is not placed")
@@ -432,8 +450,7 @@ class FederatedSystem:
             raise ValueError(
                 f"fragment {fragment_id!r} is already on {target_node_id!r}"
             )
-        target = self.nodes.get(target_node_id)
-        if target is None:
+        if target_node_id not in self.nodes:
             raise ValueError(f"target node {target_node_id!r} does not exist")
         source = self.nodes[source_id]
         fragment = source.fragments.get(fragment_id)
@@ -441,17 +458,26 @@ class FederatedSystem:
             raise ValueError(
                 f"fragment {fragment_id!r} is not hosted on {source_id!r}"
             )
-        query = self.queries.get(fragment.query_id)
-        if query is None:
+        if fragment.query_id not in self.queries:
             raise ValueError(
                 f"fragment {fragment_id!r} belongs to undeployed query "
                 f"{fragment.query_id!r}"
             )
-
         # 1. drain + checkpoint: state and buffered batches leave the source.
         checkpoint = source.checkpoint_fragment(
             fragment_id, now=self.now, detach=True
         )
+        return fragment, checkpoint
+
+    def apply_fragment_migration(
+        self, fragment, checkpoint, target_node_id: str
+    ) -> MigrationReport:
+        """Steps 2–3 of a migration: reroute the plan and resume at the target."""
+        fragment_id = fragment.fragment_id
+        source_id = self.placement[fragment_id]
+        source = self.nodes[source_id]
+        target = self.nodes[target_node_id]
+        query = self.queries[fragment.query_id]
         # 2. reroute: new sends (sources and upstream fragments) target B;
         #    in-flight messages follow the placement table on delivery.
         self.placement[fragment_id] = target_node_id
@@ -854,6 +880,21 @@ class FederatedSystem:
         self, query: DeployedQuery, start: float, end: float
     ) -> None:
         """One source-generation round for ``query`` over ``(start, end]``."""
+        for route in query.source_plan:
+            self.generate_source_route(query, route, start, end)
+
+    def generate_source_route(
+        self, query: DeployedQuery, route: SourceRoute, start: float, end: float
+    ) -> None:
+        """One generation round of a single source route over ``(start, end]``.
+
+        The unit the sharded runtime schedules independently: each route's
+        recurring source event lives on the shard of the node it feeds, which
+        is safe because the rate estimator keeps per-source-id windows (routes
+        never share estimator state) and every route feeding one node runs on
+        that node's shard in ``(query rank, route index)`` order — the same
+        relative order the single-heap runtime produces.
+        """
         columnar = self.columnar
         # Fused source generation (generate → SIC assignment → pacing in one
         # columnar pass per source) rides the same flag as fused fragment
@@ -862,63 +903,62 @@ class FederatedSystem:
         fused = columnar and fused_execution_active()
         assigner = query.sic_assigner
         query_id = query.query_id
-        for route in query.source_plan:
-            generate_block = route.generate_block
-            if columnar and generate_block is not None:
-                if fused and route.generate_fused is not None:
-                    block = route.generate_fused(start, end)
-                else:
-                    block = generate_block(start, end)
-                if not block:
-                    continue
-                assigner.assign_block(block)
-                if route.node_id is None:
-                    continue
-                batch = Batch.from_block(
-                    query_id,
-                    block,
-                    created_at=end,
-                    fragment_id=route.fragment_id,
-                    origin_fragment_id=None,
-                )
+        generate_block = route.generate_block
+        if columnar and generate_block is not None:
+            if fused and route.generate_fused is not None:
+                block = route.generate_fused(start, end)
             else:
-                payload_tuples: List[Tuple] = route.generate(start, end)
-                if not payload_tuples:
-                    continue
-                assigner.assign(payload_tuples)
-                if route.node_id is None:
-                    continue
-                batch = Batch(
-                    query_id,
-                    payload_tuples,
-                    created_at=end,
-                    fragment_id=route.fragment_id,
-                    origin_fragment_id=None,
-                )
-            node = self.nodes.get(route.node_id)
-            if node is not None and node.max_ingress_tuples is not None:
-                # Overload backpressure: a bounded-ingress node pushes back
-                # on its sources *before* memory grows.  Pacing happens
-                # after SIC assignment, so the generator RNG and the rate
-                # estimator advance exactly as in the unpaced run; tuples
-                # beyond the node's current credit are held back at the
-                # source and accounted as paced (source-side shedding — the
-                # degradation ladder's first rung).
-                credit = node.ingress_credit()
-                size = len(batch)
-                if credit <= 0:
-                    node.note_paced(size)
-                    continue
-                if size > credit:
-                    batch, excess = batch.split(credit)
-                    node.note_paced(len(excess))
-                node.reserve_ingress(len(batch))
-            message = DataMessage(
-                destination=route.node_id,
-                batch=batch,
-                target_fragment_id=route.fragment_id,
+                block = generate_block(start, end)
+            if not block:
+                return
+            assigner.assign_block(block)
+            if route.node_id is None:
+                return
+            batch = Batch.from_block(
+                query_id,
+                block,
+                created_at=end,
+                fragment_id=route.fragment_id,
+                origin_fragment_id=None,
             )
-            self.network.send(message, sent_at=end, source=route.source_id)
+        else:
+            payload_tuples: List[Tuple] = route.generate(start, end)
+            if not payload_tuples:
+                return
+            assigner.assign(payload_tuples)
+            if route.node_id is None:
+                return
+            batch = Batch(
+                query_id,
+                payload_tuples,
+                created_at=end,
+                fragment_id=route.fragment_id,
+                origin_fragment_id=None,
+            )
+        node = self.nodes.get(route.node_id)
+        if node is not None and node.max_ingress_tuples is not None:
+            # Overload backpressure: a bounded-ingress node pushes back
+            # on its sources *before* memory grows.  Pacing happens
+            # after SIC assignment, so the generator RNG and the rate
+            # estimator advance exactly as in the unpaced run; tuples
+            # beyond the node's current credit are held back at the
+            # source and accounted as paced (source-side shedding — the
+            # degradation ladder's first rung).
+            credit = node.ingress_credit()
+            size = len(batch)
+            if credit <= 0:
+                node.note_paced(size)
+                return
+            if size > credit:
+                batch, excess = batch.split(credit)
+                node.note_paced(len(excess))
+            node.reserve_ingress(len(batch))
+        message = DataMessage(
+            destination=route.node_id,
+            batch=batch,
+            target_fragment_id=route.fragment_id,
+        )
+        self.network.send(message, sent_at=end, source=route.source_id)
 
     def deliver_messages(self, now: float) -> None:
         """Deliver and dispatch every message due at ``now``."""

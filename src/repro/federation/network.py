@@ -170,6 +170,17 @@ class LatencyModel:
     def latency(self, source: str, destination: str) -> float:
         raise NotImplementedError
 
+    def min_latency(self) -> float:
+        """Lower bound on the latency between any pair of *distinct* endpoints.
+
+        The sharded runtime's conservative lookahead horizon: a shard may
+        safely run ``min_latency`` seconds past the last cross-shard barrier
+        because no boundary message can arrive sooner.  Same-endpoint
+        traffic (latency 0) never crosses shards, so it does not bound the
+        window.
+        """
+        raise NotImplementedError
+
 
 class UniformLatency(LatencyModel):
     """A single latency between every pair of distinct endpoints."""
@@ -182,6 +193,9 @@ class UniformLatency(LatencyModel):
     def latency(self, source: str, destination: str) -> float:
         if source == destination:
             return 0.0
+        return self.seconds
+
+    def min_latency(self) -> float:
         return self.seconds
 
 
@@ -217,6 +231,11 @@ class LatencyMatrix(LatencyModel):
         if source == destination:
             return 0.0
         return self._pairs.get((source, destination), self.default_seconds)
+
+    def min_latency(self) -> float:
+        if not self._pairs:
+            return self.default_seconds
+        return min(self.default_seconds, min(self._pairs.values()))
 
 
 @dataclass
@@ -337,7 +356,15 @@ class _PendingSend:
 @dataclass(order=True)
 class _InFlight:
     deliver_at: float
-    sequence: int
+    # Tie-break for equal delivery times.  A plain int from the network's
+    # monotonic counter by default (global transmit order); when a
+    # ``sequence_hook`` is installed this is whatever the hook returns —
+    # the sharded runtime supplies ``(send time, phase priority, sender
+    # context rank, intra-context index)`` tuples, which encode the same
+    # transmit order without depending on which shard transmitted first in
+    # wall-clock terms.  A run uses one shape throughout, so comparisons
+    # never mix int with tuple.
+    sequence: object
     message: Optional[Message] = field(compare=False)
     # Reliable-channel routing of a payload copy (None for best-effort).
     link: Optional[Link] = field(compare=False, default=None)
@@ -384,6 +411,29 @@ class Network:
         # event; the lockstep loop leaves it unset (it polls ``deliver_due``
         # at every tick instead).
         self.send_listener = None
+        # Optional hook returning the ordering element used in place of the
+        # monotonic transmit counter (see ``_InFlight.sequence``).  Installed
+        # by the sharded runtime, which needs equal-time delivery order to be
+        # a property of *what* was sent rather than of shard interleaving.
+        self.sequence_hook: Optional[Callable[[], object]] = None
+        # Shard-partitioned in-flight queues (see ``attach_shards``); None
+        # when the network runs single-queue.
+        self._shard_queues: Optional[List[List[_InFlight]]] = None
+        self._shard_router: Optional[Callable[[_InFlight], int]] = None
+        # Invoked as ``enqueue_listener(entry, shard)`` after an entry lands
+        # on a shard queue; the sharded runtime schedules the matching
+        # delivery event on the owning shard's scheduler from here.
+        self.enqueue_listener: Optional[Callable[[_InFlight, int], None]] = None
+        # Invoked as ``shard_sink(entry, shard)`` *before* an entry lands on
+        # a shard queue; returning True consumes it (no local queue, no
+        # enqueue listener).  Worker processes intercept traffic bound for
+        # shards they do not own here (the boundary outbox).
+        self.shard_sink: Optional[Callable[[_InFlight, int], bool]] = None
+        # ``(deliver_at, sequence)`` of the in-flight entry currently being
+        # processed by the delivery path, or None.  Sends performed while
+        # processing a delivery (acks, placement forwards, retransmits) use
+        # it as their ordering context under the sharded runtime.
+        self.delivery_context: Optional[PyTuple[float, object]] = None
         # Fault hooks (see module docstring); both unset by default.
         self.fault_policy: Optional[FaultPolicy] = None
         self.dead_endpoints: Set[str] = set()
@@ -409,6 +459,14 @@ class Network:
             self._transmit(message, source, sent_at)
             return deliver_at
         link = (source, message.destination)
+        if kind == "result":
+            # Results from every query a node hosts share the coordinator
+            # endpoint; giving each query its own reliable lane keeps a
+            # link's in-order receive state on a single shard (deliveries of
+            # result traffic drain on the query's home shard).  The real
+            # endpoint names still drive latency, ack routing and
+            # dead-endpoint checks.
+            link = link + (message.batch.query_id,)
         pending = self._unacked.setdefault(link, {})
         if len(pending) >= self.reliability.window:
             # Bounded retransmit buffer: refuse the send with accounting —
@@ -447,20 +505,32 @@ class Network:
             return
         for deliver_at in times:
             self.stats.bytes_wire += message.size_bytes()
-            heapq.heappush(
-                self._queue,
-                _InFlight(deliver_at, next(self._message_ids), message, link, seq),
+            self._enqueue(
+                _InFlight(deliver_at, self._next_sequence(), message, link, seq)
             )
             if self.send_listener is not None:
                 self.send_listener(message, deliver_at)
 
     def _push_control(self, control: PyTuple[str, Link, int], at: float) -> None:
-        heapq.heappush(
-            self._queue,
-            _InFlight(at, next(self._message_ids), None, control=control),
-        )
+        self._enqueue(_InFlight(at, self._next_sequence(), None, control=control))
         if self.send_listener is not None:
             self.send_listener(None, at)
+
+    def _next_sequence(self) -> object:
+        if self.sequence_hook is not None:
+            return self.sequence_hook()
+        return next(self._message_ids)
+
+    def _enqueue(self, entry: _InFlight) -> None:
+        if self._shard_queues is not None:
+            shard = self._shard_router(entry)
+            if self.shard_sink is not None and self.shard_sink(entry, shard):
+                return
+            heapq.heappush(self._shard_queues[shard], entry)
+            if self.enqueue_listener is not None:
+                self.enqueue_listener(entry, shard)
+        else:
+            heapq.heappush(self._queue, entry)
 
     def _send_ack(self, link: Link, seq: int, now: float) -> None:
         # The ack crosses the network in the reverse direction and is subject
@@ -475,34 +545,106 @@ class Network:
         if batch is not None:
             self.stats._bump(self.stats.tuples_expired, message.kind, len(batch))
 
+    # ------------------------------------------------------------------ sharding
+    def attach_shards(
+        self, num_shards: int, router: Callable[[_InFlight], int]
+    ) -> None:
+        """Partition the in-flight queue into per-shard FIFO heaps.
+
+        ``router`` maps an in-flight entry to the shard that owns its
+        *destination* (delivery side), so each shard drains exactly the
+        traffic bound for its own endpoints via :meth:`deliver_due_shard`.
+        Existing in-flight entries are re-routed into the shard queues.
+        """
+        if self._shard_queues is not None:
+            raise RuntimeError("network already sharded")
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        self._shard_router = router
+        queues: List[List[_InFlight]] = [[] for _ in range(num_shards)]
+        self._shard_queues = queues
+        pending, self._queue = self._queue, []
+        for entry in pending:
+            heapq.heappush(queues[router(entry)], entry)
+
+    def detach_shards(self) -> None:
+        """Merge the shard queues back into the single global queue."""
+        if self._shard_queues is None:
+            return
+        for queue in self._shard_queues:
+            for entry in queue:
+                heapq.heappush(self._queue, entry)
+        self._shard_queues = None
+        self._shard_router = None
+
     # ----------------------------------------------------------------- delivery
     def deliver_due(self, now: float) -> List[Message]:
         """Pop every entry due ``<= now``; return application-bound messages.
 
         Transport-internal traffic — acks, retransmission timers, duplicate
         and out-of-order copies — is consumed here and never reaches the
-        dispatcher.
+        dispatcher.  When the network is sharded this merges all shard
+        queues back into the global ``(deliver_at, sequence)`` order (used
+        by ``drain_network`` at collect time; the sharded run loop itself
+        drains per shard).
         """
         due: List[Message] = []
-        while self._queue and self._queue[0].deliver_at <= now:
-            entry = heapq.heappop(self._queue)
+        if self._shard_queues is None:
+            self._drain_heap(self._queue, now, due)
+        else:
+            # Gather every due entry across shards, then process in the
+            # global total order so the reliable channel and accounting see
+            # the same sequence a single queue would have produced.
+            ready: List[_InFlight] = []
+            for queue in self._shard_queues:
+                while queue and queue[0].deliver_at <= now:
+                    ready.append(heapq.heappop(queue))
+            ready.sort()
+            for entry in ready:
+                self._process_entry(entry, now, due)
+        self.delivered_messages += len(due)
+        return due
+
+    def deliver_due_shard(self, shard: int, now: float) -> List[Message]:
+        """Pop one shard's entries due ``<= now`` in ``(time, sequence)`` order.
+
+        Only meaningful after :meth:`attach_shards`; sends triggered while
+        processing (acks, retransmits) are routed back through ``_enqueue``
+        and may land on other shards' queues.
+        """
+        due: List[Message] = []
+        self._drain_heap(self._shard_queues[shard], now, due)
+        self.delivered_messages += len(due)
+        return due
+
+    def _drain_heap(
+        self, queue: List[_InFlight], now: float, due: List[Message]
+    ) -> None:
+        while queue and queue[0].deliver_at <= now:
+            entry = heapq.heappop(queue)
+            self._process_entry(entry, now, due)
+
+    def _process_entry(self, entry: _InFlight, now: float, due: List[Message]) -> None:
+        prev_ctx = self.delivery_context
+        self.delivery_context = (entry.deliver_at, entry.sequence)
+        try:
             if entry.control is not None:
                 self._handle_control(entry.control, now)
-                continue
+                return
             message = entry.message
             if message.destination in self.dead_endpoints:
                 self.stats._bump(self.stats.dropped, message.kind)
-                continue
+                return
             if isinstance(message, AckMessage):
                 self._unacked.get(message.link, {}).pop(message.seq, None)
-                continue
+                return
             if entry.link is None:
                 due.append(message)
                 self._count_delivered(message)
-                continue
+                return
             self._receive_reliable(entry.link, entry.seq, message, now, due)
-        self.delivered_messages += len(due)
-        return due
+        finally:
+            self.delivery_context = prev_ctx
 
     def _receive_reliable(
         self,
@@ -569,12 +711,20 @@ class Network:
 
     # -------------------------------------------------------------- inspection
     def in_flight(self) -> int:
-        return len(self._queue)
+        total = len(self._queue)
+        if self._shard_queues is not None:
+            total += sum(len(queue) for queue in self._shard_queues)
+        return total
 
     def next_delivery_time(self) -> Optional[float]:
-        if not self._queue:
+        times = []
+        if self._queue:
+            times.append(self._queue[0].deliver_at)
+        if self._shard_queues is not None:
+            times.extend(q[0].deliver_at for q in self._shard_queues if q)
+        if not times:
             return None
-        return self._queue[0].deliver_at
+        return min(times)
 
     def reliable_pending(self) -> int:
         """Unacknowledged reliable messages across all sender buffers."""

@@ -14,6 +14,7 @@ observed every 0.25 s shedding interval).
 
 from __future__ import annotations
 
+import os
 import random
 from typing import Dict, List, Mapping, Optional, Tuple as PyTuple
 
@@ -47,6 +48,8 @@ __all__ = [
     "time_runtime",
     "time_reliability",
     "time_result_accounting",
+    "run_sharded_scenario",
+    "time_sharded",
     "run_microbench",
 ]
 
@@ -63,6 +66,18 @@ END_TO_END_WARMUP = 1.0
 GENERATION_SOURCES = 8
 GENERATION_TICKS = 100
 GENERATION_RATE = 2000.0
+
+# Sharded-federation macro-benchmark scenario: a multi-site WAN deployment
+# (latency 50 ms, so the conservative lookahead windows carry real work)
+# with twice as many sites as worker shards — each of the 4 shards owns two
+# sites and the per-interval node work dominates the boundary merge.
+SHARDED_NODES = 8
+SHARDED_QUERIES = 12
+SHARDED_WORKERS = 4
+SHARDED_RATE = 60.0
+SHARDED_DURATION = 4.0
+SHARDED_WARMUP = 0.5
+SHARDED_LATENCY = 0.05
 
 
 def build_selection_workload(
@@ -686,6 +701,106 @@ def time_result_accounting(
     return seconds
 
 
+def run_sharded_scenario(
+    runtime: str = "event",
+    workers: int = SHARDED_WORKERS,
+    processes: bool = False,
+    num_nodes: int = SHARDED_NODES,
+    num_queries: int = SHARDED_QUERIES,
+    rate: float = SHARDED_RATE,
+    duration_seconds: float = SHARDED_DURATION,
+    latency_seconds: float = SHARDED_LATENCY,
+    seed: int = 0,
+):
+    """Run the multi-site federation macro-scenario and return
+    ``(seconds, RunResult)``.
+
+    Unlike :func:`run_end_to_end` (a single-node ``LocalEngine``
+    deployment, where sharding has nothing to partition) this builds a
+    WAN federation of ``num_nodes`` sites sharing a complex workload, the
+    deployment shape the sharded runtime exists for.  With equal seeds
+    the single-heap event driver, inline shards and the multiprocessing
+    worker pool are result-identical (the differential suite in
+    ``tests/integration/test_sharded_runtime.py`` asserts it bit for
+    bit), so a timing difference isolates exactly the execution driver.
+    """
+    from ..experiments.common import build_federation
+    from ..simulation.config import SimulationConfig
+    from ..simulation.simulator import Simulator
+    from ..workloads.generators import WorkloadSpec, generate_complex_workload
+
+    config = SimulationConfig(
+        duration_seconds=duration_seconds,
+        warmup_seconds=SHARDED_WARMUP,
+        stw_seconds=4.0,
+        capacity_fraction=0.5,
+        network_latency_seconds=latency_seconds,
+        runtime=runtime,
+        workers=workers,
+        sharded_processes=processes and runtime == "sharded",
+        seed=seed,
+    )
+    spec = WorkloadSpec(
+        num_queries=num_queries,
+        fragments_per_query=(1, 2),
+        kinds=("avg-all", "top5", "cov"),
+        source_rate=rate,
+        seed=seed,
+    )
+    system = build_federation(
+        generate_complex_workload(spec), num_nodes=num_nodes, config=config
+    )
+    with Stopwatch() as sw:
+        result = Simulator(system, config).run()
+    return sw.elapsed_seconds, result
+
+
+def time_sharded(
+    mode: str = "event",
+    workers: int = SHARDED_WORKERS,
+    registry: Optional[PerfRegistry] = None,
+    **kwargs,
+):
+    """Seconds for one federation macro-run under one execution driver.
+
+    ``mode`` selects the driver: ``"event"`` (single heap), ``"inline"``
+    (per-site shards merged in-process) or ``"multiprocess"`` (shards on
+    forked workers).  Returns ``(seconds, fingerprint)`` where the
+    fingerprint collects the run's observable outcome (per-query SIC and
+    message accounting) so callers can assert the modes computed the same
+    run before trusting a ratio between their timings.
+
+    The inline-vs-event ratio is machine-independent bookkeeping overhead;
+    the multiprocess speedup is *not* — it scales with available cores, so
+    consumers must record ``os.cpu_count()`` alongside and gate on it.
+    """
+    if mode == "event":
+        seconds, result = run_sharded_scenario(
+            runtime="event", workers=workers, **kwargs
+        )
+    elif mode == "inline":
+        seconds, result = run_sharded_scenario(
+            runtime="sharded", workers=workers, processes=False, **kwargs
+        )
+    elif mode == "multiprocess":
+        seconds, result = run_sharded_scenario(
+            runtime="sharded", workers=workers, processes=True, **kwargs
+        )
+    else:
+        raise ValueError(
+            "mode must be 'event', 'inline' or 'multiprocess', got "
+            f"{mode!r}"
+        )
+    fingerprint = (
+        result.per_query_sic,
+        result.messages_sent,
+        result.bytes_sent,
+    )
+    if registry is not None:
+        registry.record(f"sharded.{mode}", seconds)
+    return seconds, fingerprint
+
+
 def run_microbench(
     selection_queries: Optional[Mapping[int, bool]] = None,
     registry: Optional[PerfRegistry] = None,
@@ -968,5 +1083,45 @@ def run_microbench(
             "on_ms": acct_on,
             "overhead_pct": (acct_on / acct_off - 1.0) * 100.0,
         },
+    }
+
+    # Sharded multi-core federation: the multi-site WAN macro-scenario under
+    # the single-heap event driver, inline shards, and (where fork exists)
+    # the multiprocessing worker pool.  Fingerprints are compared so the
+    # recorded ratios are between runs proven to compute the same result.
+    # Inline-vs-event overhead is machine-independent and gated by
+    # `--compare`; the multiprocess speedup scales with available cores, so
+    # `cpu_count` is recorded alongside and the ≥2×@4-workers acceptance
+    # gate (benchmarks/test_bench_micro.py) only arms on ≥4-CPU machines.
+    sharded_ms: Dict[str, Optional[float]] = {"multiprocess": None}
+    fingerprints: Dict[str, object] = {}
+    modes = [("event", 2), ("inline", 2)]
+    if hasattr(os, "fork"):
+        modes.append(("multiprocess", 1))
+    for mode, repeats in modes:
+        laps = []
+        for _ in range(repeats):
+            seconds, fingerprints[mode] = time_sharded(mode, registry=registry)
+            laps.append(seconds)
+        sharded_ms[mode] = min(laps) * 1e3
+    for mode in fingerprints:
+        assert fingerprints[mode] == fingerprints["event"], mode
+    multiprocess_ms = sharded_ms["multiprocess"]
+    results["sharded"] = {
+        "nodes": SHARDED_NODES,
+        "queries": SHARDED_QUERIES,
+        "workers": SHARDED_WORKERS,
+        "cpu_count": os.cpu_count(),
+        "event_ms": sharded_ms["event"],
+        "inline_ms": sharded_ms["inline"],
+        "multiprocess_ms": multiprocess_ms,
+        "inline_overhead_pct": (
+            (sharded_ms["inline"] / sharded_ms["event"] - 1.0) * 100.0
+        ),
+        "multiprocess_speedup": (
+            None
+            if multiprocess_ms is None
+            else sharded_ms["event"] / multiprocess_ms
+        ),
     }
     return results

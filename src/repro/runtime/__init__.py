@@ -13,5 +13,13 @@ failure detection and automatic checkpoint-restore recovery on top.
 from .heartbeat import FailureDetector
 from .runtime import EventRuntime
 from .scheduler import EventScheduler, ScheduledEvent
+from .sharded import ShardedRuntime, ShardPlan
 
-__all__ = ["EventRuntime", "EventScheduler", "ScheduledEvent", "FailureDetector"]
+__all__ = [
+    "EventRuntime",
+    "EventScheduler",
+    "ScheduledEvent",
+    "FailureDetector",
+    "ShardedRuntime",
+    "ShardPlan",
+]

@@ -53,9 +53,16 @@ PRIORITY_FAULT = -1
 
 
 class ScheduledEvent:
-    """A scheduled callback; ordered by ``(time, priority, seq)``."""
+    """A scheduled callback; ordered by ``(time, priority, seq)``.
 
-    __slots__ = ("time", "priority", "seq", "fn", "cancelled", "_scheduler")
+    ``rank`` is optional cross-scheduler ordering metadata: the sharded
+    runtime stamps every lineage-spawned event with its action token so
+    barrier instants can merge events from several schedulers in the exact
+    order one global heap would have popped them.  The scheduler itself
+    never reads it.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "cancelled", "_scheduler", "rank")
 
     def __init__(
         self,
@@ -71,6 +78,7 @@ class ScheduledEvent:
         self.fn = fn
         self.cancelled = False
         self._scheduler = scheduler
+        self.rank = None
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it is skipped when popped."""
@@ -182,6 +190,118 @@ class EventScheduler:
             self.now = end
         self.processed_events += processed
         return processed
+
+    def run_window(self, end: float) -> int:
+        """Process every event with ``time < end`` (strict), in order.
+
+        The conservative time-windowing of the sharded runtime needs a
+        *strict-exclusive* horizon: a boundary message sent at ``T`` over a
+        link with latency equal to the lookahead arrives exactly at the
+        window end and must land in the *next* window, after the barrier
+        exchange — an inclusive horizon would silently miss it.  ``now`` is
+        left at the last processed instant (not advanced to ``end``), so the
+        window-end instant can still be scheduled into and processed by
+        :meth:`run_instant`.
+        """
+        heap = self._heap
+        processed = 0
+        while heap and heap[0].time < end:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            self.now = event.time
+            self.current_priority = event.priority
+            try:
+                event.fn(event.time)
+            finally:
+                self.current_priority = None
+            processed += 1
+        self.processed_events += processed
+        return processed
+
+    def run_instant(self, time: float, priority: int) -> int:
+        """Process the events at exactly ``(time, priority)``, in seq order.
+
+        Barrier instants (window ends that carry global events — faults,
+        checkpoint rounds, the run horizon) are phase-stepped across shards:
+        the sharded runtime calls this per shard per phase priority so that
+        every shard observes a globally consistent phase order at the
+        barrier, exactly like the single-heap runtime's ``(time, priority,
+        seq)`` pops.  Events the callbacks schedule at the same
+        ``(time, priority)`` are processed in the same call (the
+        POST_DELIVERY cascade), at higher priorities by later phases.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot run instant {time} before current time {self.now}"
+            )
+        heap = self._heap
+        processed = 0
+        while heap and heap[0].time == time and heap[0].priority <= priority:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            if event.priority < priority:
+                # A lower-priority event at the barrier instant means a
+                # phase was scheduled into after its pass ran; that breaks
+                # the lockstep phase order the barrier stepping reproduces.
+                raise RuntimeError(
+                    f"event at ({time}, {event.priority}) scheduled after "
+                    f"its barrier phase ran (current phase {priority})"
+                )
+            self.now = event.time
+            self.current_priority = event.priority
+            try:
+                event.fn(event.time)
+            finally:
+                self.current_priority = None
+            processed += 1
+        if time > self.now:
+            self.now = time
+        self.processed_events += processed
+        return processed
+
+    def peek_instant(self, time: float, priority: int) -> Optional[ScheduledEvent]:
+        """The next pending event at exactly ``(time, priority)``, unpopped."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        if heap and heap[0].time == time and heap[0].priority == priority:
+            return heap[0]
+        return None
+
+    def run_one(self, time: float, priority: int) -> None:
+        """Pop and run exactly one event at ``(time, priority)``.
+
+        Caller must have :meth:`peek_instant`-ed it — the heap top is
+        assumed to be a live event at that exact instant.  Used by the
+        sharded runtime's rank-merged barrier phases, which pick the next
+        event across several schedulers before running it.
+        """
+        event = heapq.heappop(self._heap)
+        assert (
+            not event.cancelled
+            and event.time == time
+            and event.priority == priority
+        )
+        self.now = event.time
+        self.current_priority = event.priority
+        try:
+            event.fn(event.time)
+        finally:
+            self.current_priority = None
+        self.processed_events += 1
+
+    def has_events_at(self, time: float, priority: int) -> bool:
+        """True if a pending event sits at exactly ``(time, priority)``."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        return bool(heap) and heap[0].time == time and heap[0].priority == priority
 
     def next_event_time(self) -> Optional[float]:
         """Time of the earliest pending (non-cancelled) event, if any."""

@@ -1,0 +1,693 @@
+"""Forked worker processes executing the sharded runtime's shard windows.
+
+:class:`ShardWorkerPool` is the multiprocess backend of
+:class:`~repro.runtime.sharded.ShardedRuntime` (``processes=True``).  Each
+shard gets one forked worker holding a **full replica** of the federation
+(fork-time copy-on-write); a worker executes only its own shard's scheduler,
+so the replica's other sites go stale — by design: the conservative
+time-windowing guarantees nothing a worker computes inside a window depends
+on another shard's state, and everything that *does* cross sites travels as
+an explicit boundary message.
+
+Protocol (strict request/response over one pipe per worker):
+
+* ``window end`` / ``barrier t`` — run the owned shard (and, at barriers,
+  the replicated control lane) exactly like the inline loop would; reply
+  with the **boundary outbox**: traffic routed to shards this worker does
+  not own, serialised through :mod:`repro.state.wire`.  The parent routes
+  each outbox entry to its owning worker (``inject``) *before* the next
+  window or barrier command, so an entry delivering exactly at the new
+  frontier is in place when that instant executes.  Action tokens travel
+  with the entries — the receiving heap merges them into exactly the global
+  order the single-heap runtime would have produced.
+* ``lifecycle`` — between-run operations are **broadcast**: every replica
+  (workers and the parent itself) executes the same operation, which keeps
+  all replicas structurally identical (placements, routes, schedules,
+  checkpoint stores).  Lifecycle operations never touch the network
+  (checkpoints, migration extraction/adoption, fail/rejoin are all direct
+  state transfers), so replication cannot double-count traffic; sends a
+  replica *would* route to a shard it does not own are simply dropped — the
+  owning replica enqueues its own identical copy.  Where replicas disagree
+  (a stale replica computes stale loss accounting), the reply of the
+  **owning** worker — the one whose shard hosts the touched site — is
+  authoritative; migration ships the owner's checkpoint to every replica so
+  the moved state is bit-exact everywhere.
+* ``collect`` (at close) — workers report their authoritative slices:
+  network/ledger scalar counters as deltas against the fork-time baseline
+  (window work is disjoint across workers, so the deltas sum exactly;
+  per-operation lifecycle deltas are attributed to the owning worker only),
+  per-node statistics and per-query coordinator state from their owners,
+  and the owned shards' remaining in-flight entries plus per-link reliable
+  state.  The parent patches its replica with all of it, after which the
+  ordinary single-process collection path reads the exact final state.
+
+Restrictions (all raise with instructions to run inline shards instead):
+zero-latency models (no positive lookahead window), fault injection and
+heartbeat detection (their control events are scheduled post-fork, which
+replicas would never see), and mid-run deploy/undeploy/add/remove churn
+(shipping live query plans across the process boundary is not supported).
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import traceback
+from typing import Any, Dict, List, Optional, Tuple as PyTuple
+
+from ..state.wire import (
+    entry_from_wire,
+    entry_to_wire,
+    message_from_wire,
+    message_to_wire,
+    pending_send_from_wire,
+    pending_send_to_wire,
+)
+from .scheduler import PRIORITY_COORDINATOR, PRIORITY_POST_DELIVERY
+from .sharded import _PHASES
+
+__all__ = ["ShardWorkerPool"]
+
+# Operations whose argument payloads (live fragments, operator pipelines,
+# generator closures) cannot be shipped to forked replicas.
+_UNSUPPORTED_OPS = ("deploy_query", "undeploy_query", "add_node", "remove_node")
+
+# Lifecycle operations whose *return value* carries owner-authoritative data
+# and is plain enough to pickle back (reports, coordinator ledgers).  All
+# other operations return the parent replica's local result — structurally
+# identical, but live objects (a failed node still holds operator closures)
+# that cannot cross the pipe.
+_SHIP_RESULT = frozenset({"rejoin_node", "fail_coordinator"})
+
+# Scalar counters merged across workers at collect time (see _flat_scalars).
+_NET_SCALARS = ("sent_messages", "delivered_messages", "bytes_sent", "bytes_delivered")
+_STATS_DICTS = (
+    "sent",
+    "delivered",
+    "dropped",
+    "duplicates",
+    "retransmits",
+    "expired",
+    "tuples_sent",
+    "tuples_delivered",
+    "tuples_expired",
+)
+_STATS_SCALARS = ("bytes_wire", "acks_sent")
+_SYSTEM_SCALARS = (
+    "result_tuples_arrived",
+    "dropped_result_tuples",
+    "result_tuples_lost_to_crash",
+    "result_tuples_retired",
+)
+
+
+# ------------------------------------------------------------- scalar algebra
+def _flat_scalars(system) -> Dict[tuple, float]:
+    """Every cumulative counter of a run as one flat ``{key: value}`` dict."""
+    network = system.network
+    flat: Dict[tuple, float] = {}
+    for name in _NET_SCALARS:
+        flat[("net", name)] = getattr(network, name)
+    stats = network.stats
+    for name in _STATS_DICTS:
+        for kind, value in getattr(stats, name).items():
+            flat[("stats", name, kind)] = value
+    for name in _STATS_SCALARS:
+        flat[("stats", name)] = getattr(stats, name)
+    for name in _SYSTEM_SCALARS:
+        flat[("sys", name)] = getattr(system, name, 0)
+    return flat
+
+
+def _apply_scalars(system, flat: Dict[tuple, float]) -> None:
+    network = system.network
+    stats = network.stats
+    for name in _STATS_DICTS:
+        getattr(stats, name).clear()
+    for key, value in flat.items():
+        group = key[0]
+        if group == "net":
+            setattr(network, key[1], value)
+        elif group == "sys":
+            setattr(system, key[1], value)
+        elif len(key) == 3:
+            getattr(stats, key[1])[key[2]] = value
+        else:
+            setattr(stats, key[1], value)
+
+
+def _diff_scalars(
+    after: Dict[tuple, float], before: Dict[tuple, float]
+) -> Dict[tuple, float]:
+    delta: Dict[tuple, float] = {}
+    for key in set(after) | set(before):
+        d = after.get(key, 0) - before.get(key, 0)
+        if d:
+            delta[key] = d
+    return delta
+
+
+def _add_scalars(into: Dict[tuple, float], delta: Dict[tuple, float]) -> None:
+    for key, value in delta.items():
+        into[key] = into.get(key, 0) + value
+
+
+# ---------------------------------------------------------------- worker side
+def _link_sender_shard(plan, link) -> int:
+    return plan.endpoint_shard(link[0])
+
+
+def _link_receiver_shard(plan, link) -> int:
+    # Per-query result lanes (3-tuple links) drain on the query's home
+    # shard; everything else drains where its destination endpoint lives —
+    # mirrors ShardedRuntime._route_entry.
+    if len(link) > 2:
+        return plan.query_shard.get(link[2], 0)
+    return plan.endpoint_shard(link[1])
+
+
+def _worker_main(runtime, shard: int, conn) -> None:
+    """Command loop of one forked shard worker (see module docstring)."""
+    system = runtime.system
+    network = runtime.network
+    sched = runtime._shards[shard]
+    outbox: List[PyTuple[int, dict]] = []
+    broadcast = [False]  # replicated-execution mode: drop boundary traffic
+    discount: Dict[tuple, float] = {}  # replicated counter deltas (non-owner)
+    stash: Dict[str, Any] = {}
+
+    def sink(entry, dest: int) -> bool:
+        if dest == shard:
+            return False
+        if not broadcast[0]:
+            outbox.append((dest, entry_to_wire(entry)))
+        return True
+
+    network.shard_sink = sink
+
+    def run_replicated(fn, *args):
+        """Run a broadcast operation, bookkeeping its replicated deltas."""
+        before = _flat_scalars(system)
+        broadcast[0] = True
+        try:
+            result = fn(*args)
+        finally:
+            broadcast[0] = False
+        delta = _diff_scalars(_flat_scalars(system), before)
+        _add_scalars(discount, delta)
+        return result, delta
+
+    def flush() -> List[PyTuple[int, dict]]:
+        out, outbox[:] = list(outbox), []
+        return out
+
+    while True:
+        try:
+            cmd = conn.recv()
+        except EOFError:
+            break
+        op = cmd[0]
+        try:
+            if op == "window":
+                runtime._started = True
+                runtime._run_shard_window(sched, cmd[1])
+                runtime._frontier = cmd[1]
+                conn.send(("ok", flush()))
+            elif op == "barrier":
+                runtime._started = True
+                t = cmd[1]
+                runtime._frontier = t
+                for priority in _PHASES:
+                    if priority == PRIORITY_COORDINATOR:
+                        # Checkpoint rounds (the only control events sharing
+                        # this phase) interleave with the shard's coordinator
+                        # rounds in spawn-rank order, like the inline
+                        # barrier.  They are sendless — every control event
+                        # a worker can still see is (fault injection and
+                        # heartbeats are rejected up front) — so no counter
+                        # discount is needed around them.
+                        runtime._run_merged_instant(
+                            (sched, runtime._control), t, priority
+                        )
+                        continue
+                    runtime._run_instant(sched, t, priority)
+                    delta = run_replicated(
+                        runtime._run_instant, runtime._control, t, priority
+                    )[1]
+                    if shard == 0:
+                        # Control events are replicated on every worker; only
+                        # worker 0's counter contributions survive the merge.
+                        _add_scalars(discount, {k: -v for k, v in delta.items()})
+                progress = True
+                while progress:
+                    progress = False
+                    if sched.has_events_at(t, PRIORITY_POST_DELIVERY):
+                        runtime._run_instant(sched, t, PRIORITY_POST_DELIVERY)
+                        progress = True
+                    if runtime._control.has_events_at(t, PRIORITY_POST_DELIVERY):
+                        delta = run_replicated(
+                            runtime._run_instant,
+                            runtime._control,
+                            t,
+                            PRIORITY_POST_DELIVERY,
+                        )[1]
+                        if shard == 0:
+                            _add_scalars(
+                                discount, {k: -v for k, v in delta.items()}
+                            )
+                        progress = True
+                conn.send(("ok", flush()))
+            elif op == "inject":
+                for dest, wire in cmd[1]:
+                    entry = entry_from_wire(wire)
+                    heapq.heappush(network._shard_queues[dest], entry)
+                    runtime._on_enqueue(entry, dest)
+                conn.send(("ok", None))
+            elif op == "lifecycle":
+                name, args, kwargs, owner = cmd[1], cmd[2], cmd[3], cmd[4]
+                fn = getattr(runtime, "_local_" + name)
+                result, delta = run_replicated(lambda: fn(*args, **kwargs))
+                if owner:
+                    # The owner's replicated deltas are the true ones: hand
+                    # them to the parent and drop them from the discount so
+                    # they are counted exactly once in the merge.
+                    _add_scalars(discount, {k: -v for k, v in delta.items()})
+                    payload = result if name in _SHIP_RESULT else None
+                    conn.send(("ok", (payload, delta)))
+                else:
+                    conn.send(("ok", None))
+            elif op == "migrate_extract":
+                fragment_id, target, owner = cmd[1], cmd[2], cmd[3]
+                (fragment, checkpoint), _ = run_replicated(
+                    system.extract_fragment_for_migration, fragment_id, target
+                )
+                stash["migration"] = fragment
+                if owner:
+                    # Queue entries already travelling towards the old host
+                    # leave with the fragment: only this worker's copy of
+                    # them is real, so they cross the pipe and re-enter on
+                    # the shard owning the new host (see _rehome_inflight).
+                    # A same-shard move keeps them right here.
+                    moved = []
+                    if runtime._plan.endpoint_shard(target) != shard:
+                        moved = [
+                            entry_to_wire(entry)
+                            for entry in runtime._extract_inflight_for(
+                                fragment_id, shard
+                            )
+                        ]
+                    conn.send(("ok", (checkpoint, moved)))
+                else:
+                    conn.send(("ok", None))
+            elif op == "migrate_apply":
+                checkpoint, target, owner = cmd[1], cmd[2], cmd[3]
+                fragment = stash.pop("migration")
+                report, delta = run_replicated(
+                    system.apply_fragment_migration, fragment, checkpoint, target
+                )
+                if owner:
+                    _add_scalars(discount, {k: -v for k, v in delta.items()})
+                    conn.send(("ok", (report, delta)))
+                else:
+                    conn.send(("ok", None))
+            elif op == "finish":
+                horizon, ticks = cmd[1], cmd[2]
+                runtime._frontier = horizon
+                for s in (sched, runtime._control):
+                    if horizon > s.now:
+                        s.now = horizon
+                system.now = horizon
+                system.ticks += ticks
+                conn.send(("ok", None))
+            elif op == "collect":
+                conn.send(("ok", _collect_worker(runtime, shard, discount)))
+            elif op == "exit":
+                conn.send(("ok", None))
+                break
+            else:  # pragma: no cover - protocol bug
+                conn.send(("err", f"unknown command {op!r}"))
+        except Exception:
+            conn.send(("err", traceback.format_exc()))
+    conn.close()
+
+
+def _collect_worker(runtime, shard: int, discount: Dict[tuple, float]) -> dict:
+    """This worker's authoritative slice of the final run state."""
+    system = runtime.system
+    network = runtime.network
+    plan = runtime._plan
+    nodes = {
+        node_id: dict(vars(node.stats))
+        for node_id, node in system.nodes.items()
+        if plan.node_shard.get(node_id) == shard
+    }
+    watermarks = {}
+    epoch_tails = {}
+    for query in system.queries.values():
+        for fragment in query.fragments.values():
+            host = system.placement.get(fragment.fragment_id)
+            if host is None or plan.node_shard.get(host) != shard:
+                continue
+            if fragment.is_root:
+                watermarks[(query.query_id, fragment.fragment_id)] = (
+                    fragment.output_watermark
+                )
+    for key, seq in system._epoch_tails.items():
+        host = system.placement.get(key[1])
+        if host is not None and plan.node_shard.get(host) == shard:
+            epoch_tails[key] = seq
+    coordinators = {}
+    for coordinator in system.coordinators.all():
+        if plan.query_shard.get(coordinator.query_id, 0) != shard:
+            continue
+        coordinators[coordinator.query_id] = {
+            "state": coordinator.snapshot_state(system.now),
+            "result_values": list(coordinator.result_values),
+        }
+    return {
+        "scalars": _flat_scalars(system),
+        "discount": dict(discount),
+        "queue": [entry_to_wire(e) for e in network._shard_queues[shard]],
+        "reliable": {
+            "next_seq": {
+                link: seq
+                for link, seq in network._next_seq.items()
+                if _link_sender_shard(plan, link) == shard
+            },
+            "unacked": {
+                link: {s: pending_send_to_wire(p) for s, p in pending.items()}
+                for link, pending in network._unacked.items()
+                if _link_sender_shard(plan, link) == shard
+            },
+            "recv_next": {
+                link: value
+                for link, value in network._recv_next.items()
+                if _link_receiver_shard(plan, link) == shard
+            },
+            "recv_buffer": {
+                link: {s: message_to_wire(m) for s, m in buffer.items()}
+                for link, buffer in network._recv_buffer.items()
+                if _link_receiver_shard(plan, link) == shard
+            },
+        },
+        "nodes": nodes,
+        "watermarks": watermarks,
+        "epoch_tails": epoch_tails,
+        "coordinators": coordinators,
+    }
+
+
+# ---------------------------------------------------------------- parent side
+class ShardWorkerPool:
+    """One forked worker process per shard, driven by the parent run loop."""
+
+    def __init__(self, runtime) -> None:
+        self._rt = runtime
+        network = runtime.network
+        lookahead = network.latency_model.min_latency()
+        if lookahead <= 0:
+            raise ValueError(
+                "sharded_processes requires a strictly positive minimum "
+                "cross-site latency (the conservative lookahead window); "
+                "zero-latency models must run inline shards"
+            )
+        if network.fault_policy is not None:
+            raise ValueError(
+                "sharded_processes cannot replicate a fault policy attached "
+                "before the fork deterministically; run fault injection with "
+                "inline shards"
+            )
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise RuntimeError(
+                "sharded_processes requires the fork start method; run "
+                "inline shards on this platform"
+            ) from exc
+        # Fork-time counter baseline: identical in the parent and (by
+        # inheritance) every worker — the anchor of the delta merge.
+        self._baseline = _flat_scalars(runtime.system)
+        self._lifecycle_deltas: Dict[tuple, float] = {}
+        self._pipes = []
+        self._procs = []
+        self._closed = False
+        for shard in range(len(runtime._shards)):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(runtime, shard, child_conn),
+                daemon=True,
+                name=f"repro-shard-{shard}",
+            )
+            proc.start()
+            child_conn.close()
+            self._pipes.append(parent_conn)
+            self._procs.append(proc)
+
+    # ------------------------------------------------------------ primitives
+    def _send(self, commands) -> List[int]:
+        """Dispatch one command per worker; returns the indices sent to."""
+        if isinstance(commands, tuple):
+            commands = [commands] * len(self._pipes)
+        live = [i for i, cmd in enumerate(commands) if cmd is not None]
+        for index in live:
+            self._pipes[index].send(commands[index])
+        return live
+
+    def _gather(self, live: List[int]) -> List[Any]:
+        replies: List[Any] = [None] * len(self._pipes)
+        failures = []
+        for index in live:
+            status, value = self._pipes[index].recv()
+            if status == "err":
+                failures.append(f"[shard {index}]\n{value}")
+            else:
+                replies[index] = value
+        if failures:
+            raise RuntimeError("shard worker failed:\n" + "\n".join(failures))
+        return replies
+
+    def _broadcast(self, commands) -> List[Any]:
+        """Send one command per worker (or the same to all); gather replies."""
+        return self._gather(self._send(commands))
+
+    def _route(self, outboxes) -> None:
+        """Deliver every boundary entry to the worker owning its shard."""
+        per_worker: List[List[PyTuple[int, dict]]] = [
+            [] for _ in self._pipes
+        ]
+        for outbox in outboxes:
+            if not outbox:
+                continue
+            for dest, wire in outbox:
+                per_worker[dest].append((dest, wire))
+        commands = [
+            ("inject", batch) if batch else None for batch in per_worker
+        ]
+        if any(cmd is not None for cmd in commands):
+            self._broadcast(commands)
+
+    def _parent_control(self, t: float) -> None:
+        """Advance the parent's replicated control lane through instant ``t``.
+
+        Keeps ``_control.next_event_time()`` (the barrier schedule the run
+        loop steers by) accurate; the data its events touch on the parent
+        replica is stale and patched over at collect time.
+        """
+        rt = self._rt
+        rt._frontier = t
+        for priority in _PHASES:
+            rt._run_instant(rt._control, t, priority)
+        while rt._control.has_events_at(t, PRIORITY_POST_DELIVERY):
+            rt._run_instant(rt._control, t, PRIORITY_POST_DELIVERY)
+
+    # -------------------------------------------------------------- run loop
+    def run_to(self, horizon: float, ticks: int) -> None:
+        rt = self._rt
+        lookahead = rt.network.latency_model.min_latency()
+        while rt._frontier < horizon:
+            end = min(horizon, rt._frontier + lookahead)
+            barrier = rt._control.next_event_time()
+            if barrier is not None and barrier < end:
+                end = barrier
+            self._route(self._broadcast(("window", end)))
+            rt._frontier = end
+            if barrier is not None and barrier == end and end < horizon:
+                self._parent_control(end)
+                self._route(self._broadcast(("barrier", end)))
+        self._parent_control(horizon)
+        self._route(self._broadcast(("barrier", horizon)))
+        self._broadcast(("finish", horizon, ticks))
+        rt._frontier = horizon
+        for sched in rt._shards:
+            if horizon > sched.now:
+                sched.now = horizon
+        if horizon > rt._control.now:
+            rt._control.now = horizon
+
+    # ------------------------------------------------------------- lifecycle
+    def lifecycle(self, op: str, args, kwargs):
+        rt = self._rt
+        if op in _UNSUPPORTED_OPS:
+            raise NotImplementedError(
+                f"{op} is not supported with sharded_processes (live query "
+                "plans cannot cross the process boundary); run mid-run "
+                "deployment churn with inline shards"
+            )
+        if op == "migrate_fragment":
+            return self._migrate(*args)
+        owner = self._lifecycle_owner(op, args)
+        # The commands go out *before* the parent executes: argument objects
+        # must cross the pipe in their pre-operation state (rejoining a node,
+        # say, hosts fragments on it whose operator closures do not pickle).
+        # Validation stays consistent — every replica applies the same checks
+        # to the same state, so an invalid operation raises on all of them
+        # and mutates none.
+        live = self._send(
+            [
+                ("lifecycle", op, args, kwargs, index == owner)
+                for index in range(len(self._pipes))
+            ]
+        )
+        try:
+            local = getattr(rt, "_local_" + op)(*args, **kwargs)
+        finally:
+            replies = self._gather(live)
+        if owner is None:
+            return local
+        result, delta = replies[owner]
+        _add_scalars(self._lifecycle_deltas, delta)
+        return result if result is not None else local
+
+    def _lifecycle_owner(self, op: str, args) -> Optional[int]:
+        """The worker whose replica truly hosts the operation's target."""
+        plan = self._rt._plan
+        if op in ("fail_node", "crash_node_silently", "repair_node"):
+            return plan.node_shard.get(args[0])
+        if op == "rejoin_node":
+            return plan.node_shard.get(args[0].node_id)
+        if op == "fail_coordinator":
+            return plan.query_shard.get(args[0], 0)
+        return None  # checkpoint_now &c: every replica agrees structurally
+
+    def _migrate(self, fragment_id: str, target_node_id: str):
+        rt = self._rt
+        plan = rt._plan
+        rt._sync_system_clock()
+        source_id = rt.system.placement.get(fragment_id)
+        # Parent extracts first — validation errors surface here, before any
+        # replica mutated.  The *owner's* checkpoint is the true state; it
+        # is shipped to every replica (parent included), so the fragment
+        # resumes bit-identically wherever it is applied.
+        fragment, _ = rt.system.extract_fragment_for_migration(
+            fragment_id, target_node_id
+        )
+        source_owner = plan.node_shard.get(source_id, 0)
+        target_owner = plan.node_shard.get(target_node_id, 0)
+        replies = self._broadcast(
+            [
+                ("migrate_extract", fragment_id, target_node_id, index == source_owner)
+                for index in range(len(self._pipes))
+            ]
+        )
+        checkpoint, moved = replies[source_owner]
+        replies = self._broadcast(
+            [
+                ("migrate_apply", checkpoint, target_node_id, index == target_owner)
+                for index in range(len(self._pipes))
+            ]
+        )
+        rt.system.apply_fragment_migration(fragment, checkpoint, target_node_id)
+        if moved:
+            # The fragment's in-flight batches follow it to the new host's
+            # shard (see ShardedRuntime._rehome_inflight): the source owner
+            # extracted them, the target owner re-enqueues them.
+            self._broadcast(
+                [
+                    ("inject", [(target_owner, wire) for wire in moved])
+                    if index == target_owner
+                    else None
+                    for index in range(len(self._pipes))
+                ]
+            )
+        report, delta = replies[target_owner]
+        _add_scalars(self._lifecycle_deltas, delta)
+        return report
+
+    # ----------------------------------------------------------------- close
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._patch(self._broadcast(("collect",)))
+        finally:
+            for pipe in self._pipes:
+                try:
+                    pipe.send(("exit",))
+                    pipe.recv()
+                except (OSError, EOFError, BrokenPipeError):
+                    pass
+                pipe.close()
+            for proc in self._procs:
+                proc.join(timeout=10)
+                if proc.is_alive():  # pragma: no cover - hung worker
+                    proc.terminate()
+
+    def _patch(self, replies: List[dict]) -> None:
+        """Overwrite the parent replica with the workers' authoritative state."""
+        rt = self._rt
+        system = rt.system
+        network = rt.network
+        # Counters: fork baseline + the sum of each worker's own (window)
+        # deltas + each lifecycle operation's owner-attributed delta.
+        total = dict(self._baseline)
+        for reply in replies:
+            delta = _diff_scalars(reply["scalars"], self._baseline)
+            _add_scalars(total, delta)
+            _add_scalars(total, {k: -v for k, v in reply["discount"].items()})
+        _add_scalars(total, self._lifecycle_deltas)
+        _apply_scalars(system, total)
+        # In-flight queues: each shard's surviving entries from its owner.
+        next_seq: Dict[tuple, int] = {}
+        unacked: Dict[tuple, dict] = {}
+        recv_next: Dict[tuple, int] = {}
+        recv_buffer: Dict[tuple, dict] = {}
+        for shard, reply in enumerate(replies):
+            entries = [entry_from_wire(w) for w in reply["queue"]]
+            heapq.heapify(entries)
+            network._shard_queues[shard] = entries
+            reliable = reply["reliable"]
+            next_seq.update(reliable["next_seq"])
+            for link, pending in reliable["unacked"].items():
+                unacked[link] = {
+                    seq: pending_send_from_wire(p) for seq, p in pending.items()
+                }
+            recv_next.update(reliable["recv_next"])
+            for link, buffer in reliable["recv_buffer"].items():
+                recv_buffer[link] = {
+                    seq: message_from_wire(m) for seq, m in buffer.items()
+                }
+            for node_id, stats in reply["nodes"].items():
+                node = system.nodes.get(node_id)
+                if node is not None:
+                    for name, value in stats.items():
+                        setattr(node.stats, name, value)
+            for (query_id, fragment_id), watermark in reply["watermarks"].items():
+                query = system.queries.get(query_id)
+                if query is not None and fragment_id in query.fragments:
+                    fragment = query.fragments[fragment_id]
+                    fragment._output_epoch, fragment._output_seq = watermark
+            for key, seq in reply["epoch_tails"].items():
+                system._epoch_tails[key] = seq
+            for query_id, payload in reply["coordinators"].items():
+                coordinator = system.coordinators.get(query_id)
+                if coordinator is None:
+                    continue
+                coordinator.restore_state(payload["state"])
+                coordinator.result_values.clear()
+                coordinator.result_values.extend(payload["result_values"])
+        network._next_seq = next_seq
+        network._unacked = unacked
+        network._recv_next = recv_next
+        network._recv_buffer = recv_buffer

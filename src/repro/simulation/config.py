@@ -10,6 +10,7 @@ factor").
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -21,8 +22,46 @@ __all__ = ["SimulationConfig", "RUNTIMES"]
 
 # Execution drivers: "event" is the discrete-event runtime
 # (:mod:`repro.runtime`); "lockstep" is the original global tick loop, kept
-# as the equivalence oracle and perf baseline.
-RUNTIMES = ("event", "lockstep")
+# as the equivalence oracle and perf baseline; "sharded" partitions the
+# event runtime by site into per-shard schedulers (inline by default,
+# ``sharded_processes=True`` for a multiprocessing worker pool) with results
+# bit-identical to "event".
+RUNTIMES = ("event", "lockstep", "sharded")
+
+
+def _default_runtime() -> str:
+    """Process-wide runtime default, overridable via ``REPRO_RUNTIME``.
+
+    Lets CI run the whole tier-1 suite under the sharded driver
+    (``REPRO_RUNTIME=sharded``) without touching each test's config, the
+    same pattern as ``REPRO_COLUMNAR_BACKEND`` / ``REPRO_FUSION``.
+    """
+    value = os.environ.get("REPRO_RUNTIME", "").strip().lower()
+    if not value:
+        return "event"
+    if value not in RUNTIMES:
+        raise ValueError(
+            f"REPRO_RUNTIME must be one of {RUNTIMES}, got {value!r}"
+        )
+    return value
+
+
+def _default_workers() -> int:
+    """Process-wide shard-count default, overridable via ``REPRO_WORKERS``.
+
+    Companion to ``REPRO_RUNTIME``: lets CI (and the experiments CLI) vary
+    how many per-site shards the sharded driver uses without touching each
+    test's config.  Ignored by the other runtimes.
+    """
+    value = os.environ.get("REPRO_WORKERS", "").strip()
+    if not value:
+        return 2
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_WORKERS must be an integer, got {value!r}"
+        ) from None
 
 
 @dataclass
@@ -129,7 +168,10 @@ class SimulationConfig:
     columnar: bool = True
     columnar_backend: Optional[str] = None
     fusion: str = "on"
-    runtime: str = "event"
+    runtime: str = field(default_factory=_default_runtime)
+    workers: int = field(default_factory=_default_workers)
+    sharded_processes: bool = False
+    shard_partition: Dict[str, int] = field(default_factory=dict)
     node_shedding_intervals: Dict[str, float] = field(default_factory=dict)
     checkpoint_interval: Optional[float] = None
     reliable_delivery: bool = False
@@ -167,6 +209,25 @@ class SimulationConfig:
         if self.runtime not in RUNTIMES:
             raise ValueError(
                 f"runtime must be one of {RUNTIMES}, got {self.runtime!r}"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be at least 1, got {self.workers}")
+        for node_id, shard in self.shard_partition.items():
+            if not (0 <= shard < self.workers):
+                raise ValueError(
+                    f"shard_partition[{node_id!r}] must be in [0, "
+                    f"{self.workers}), got {shard}"
+                )
+        if self.sharded_processes and self.runtime != "sharded":
+            raise ValueError(
+                "sharded_processes requires runtime='sharded', got "
+                f"runtime={self.runtime!r}"
+            )
+        if self.sharded_processes and self.heartbeat_interval is not None:
+            raise ValueError(
+                "sharded_processes cannot run heartbeat failure detection "
+                "(the detector schedules control events after the workers "
+                "fork); use inline shards (sharded_processes=False)"
             )
         if self.columnar_backend is not None and self.columnar_backend not in BACKENDS:
             raise ValueError(

@@ -23,7 +23,7 @@ from ..metrics.collectors import (
     summarize_result_accounting,
 )
 from ..perf import PerfRegistry, Stopwatch
-from ..runtime import EventRuntime, FailureDetector
+from ..runtime import EventRuntime, FailureDetector, ShardedRuntime
 from .clock import SimulationClock
 from .config import SimulationConfig
 from .results import NodeSummary, RunResult
@@ -91,12 +91,23 @@ class Simulator:
             # the system can be reused (e.g. under the lockstep driver).
             # Lifecycle experiments that keep driving a run build on
             # EventRuntime directly instead (see repro.experiments.churn).
-            runtime = EventRuntime(
-                self.system,
-                node_intervals=self.config.node_shedding_intervals,
-                timer=timer,
-                checkpoint_interval=self.config.checkpoint_interval,
-            )
+            if self.config.runtime == "sharded":
+                runtime = ShardedRuntime(
+                    self.system,
+                    node_intervals=self.config.node_shedding_intervals,
+                    timer=timer,
+                    checkpoint_interval=self.config.checkpoint_interval,
+                    workers=self.config.workers,
+                    processes=self.config.sharded_processes,
+                    partition=self.config.shard_partition,
+                )
+            else:
+                runtime = EventRuntime(
+                    self.system,
+                    node_intervals=self.config.node_shedding_intervals,
+                    timer=timer,
+                    checkpoint_interval=self.config.checkpoint_interval,
+                )
             # Detection-only failure detector (no node_factory): it declares
             # silent nodes dead and records latencies; automatic rejoin needs
             # a factory and is wired by the chaos experiment harness.

@@ -59,7 +59,7 @@ try:  # Guarded: the list backend (and its CI leg) works without NumPy.
 except ImportError:  # pragma: no cover - exercised only on stripped installs
     np = None
 
-from ..core.columns import ColumnBlock, get_default_backend
+from ..core.columns import ColumnAppender, ColumnBlock, get_default_backend
 from ..core.tuples import seq_sum
 from .operators.aggregate import Average, Count, Max, Min, Sum
 from .operators.stateless import Filter, OutputOperator, SourceReceiver
@@ -288,7 +288,15 @@ class FusedPlan:
         # incrementally-maintained SIC total.
         window._acc = _PaneAcc()
         count = acc.count
-        merged = ColumnBlock.concat_ranges(items)
+        appender = ColumnAppender()
+        if all(appender.append_range(b, lo, hi) for b, lo, hi in items):
+            # Uniform array-backed ranges: one in-order pass into the
+            # appender's preallocated buffers; build() trims views —
+            # element-identical to the concat_ranges merge of the same
+            # ranges.
+            merged = appender.build()
+        else:
+            merged = ColumnBlock.concat_ranges(items)
         receiver.emitted_tuples += count
         # == propagate_sic([acc.sic], count)[0]: a one-element sum is exact.
         share = acc.sic / count

@@ -40,7 +40,7 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, List, Optional, Sequence
 
-from ..core.columns import SMALL_COLUMN, ColumnBlock, seq_sum
+from ..core.columns import SMALL_COLUMN, ColumnAppender, ColumnBlock, seq_sum
 from ..core.tuples import Tuple
 
 try:  # Guarded: the list columnar backend works without NumPy.
@@ -167,18 +167,30 @@ class WindowPane:
             return None
         if self._merged is None:
             ranges = self._ranges
-            first_fields = list(ranges[0][0].values)
-            if any(
-                list(block.values) != first_fields for block, _, _ in ranges[1:]
-            ):
-                # Heterogeneous payload schemas in one pane (several sources
-                # with different fields bound to the same port): there is no
-                # meaningful merged column view, so materialize the tuples —
-                # every caller then takes the per-tuple path, which tolerates
-                # mixed payload dicts exactly like the seed did.
-                self.tuples
-                return None
-            merged = ColumnBlock.concat_ranges(ranges)
+            appender = ColumnAppender()
+            if all(appender.append_range(b, lo, hi) for b, lo, hi in ranges):
+                # Uniform array-backed ranges (the ubiquitous case): one
+                # in-order pass into preallocated grow-by-doubling buffers,
+                # trimmed to views — element-identical to the concat_ranges
+                # merge, without the per-column slice lists it builds.
+                merged = appender.build()
+            else:
+                first_fields = list(ranges[0][0].values)
+                if any(
+                    list(block.values) != first_fields
+                    for block, _, _ in ranges[1:]
+                ):
+                    # Heterogeneous payload schemas in one pane (several
+                    # sources with different fields bound to the same port):
+                    # there is no meaningful merged column view, so
+                    # materialize the tuples — every caller then takes the
+                    # per-tuple path, which tolerates mixed payload dicts
+                    # exactly like the seed did.
+                    self.tuples
+                    return None
+                # List-backed blocks (or a dtype change mid-pane): the
+                # legacy merge handles what the appender refused.
+                merged = ColumnBlock.concat_ranges(ranges)
             self._merged = merged
             if self._sort_tuples:
                 timestamps = merged.timestamps
@@ -291,7 +303,10 @@ class _PaneAcc:
     ``items`` holds, in insertion order, either :class:`Tuple` objects
     (per-tuple path) or ``(block, lo, hi)`` column ranges (columnar path) —
     plain 3-tuples, so the type test against the ``Tuple`` dataclass is
-    unambiguous.  Ranges defer all column copying to pane close.
+    unambiguous.  Ranges defer all column copying to the pane's *merge*
+    (``WindowPane.column()`` / the fused drain): most panes only ever have
+    their incrementally-maintained SIC read, so copying rows at insert time
+    would be pure waste on the hot bucketing path.
     """
 
     __slots__ = ("items", "sic", "count")

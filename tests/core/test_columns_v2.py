@@ -323,3 +323,119 @@ class TestMaterializationCounter:
         assert registry.counters["columns.materializations"] == after_first
         block.to_tuples(fresh=True)  # fresh bypasses the cache: counts again
         assert registry.counters["columns.materializations"] == after_first + 1
+
+
+class TestColumnAppender:
+    """Grow-by-doubling pane buffers: element-identical to concat_ranges."""
+
+    def _ranges(self, specs):
+        out = []
+        for n, offset in specs:
+            block = ColumnBlock(
+                [offset + 0.1 * i for i in range(n)],
+                [0.5 + 0.01 * i for i in range(n)],
+                {"v": [float(offset + i) for i in range(n)]},
+                source_id="s0",
+            )
+            out.append((block, 0, n))
+        return out
+
+    def _assert_equal(self, built, merged):
+        assert list(built.timestamps) == list(merged.timestamps)
+        assert list(built.sics) == list(merged.sics)
+        assert set(built.values) == set(merged.values)
+        for field in merged.values:
+            assert list(built.values[field]) == list(merged.values[field])
+        assert built.source_id == merged.source_id
+
+    def test_matches_concat_ranges_bit_for_bit(self):
+        from repro.core.columns import ColumnAppender
+
+        ranges = self._ranges([(3, 0), (5, 10), (2, 20), (40, 30)])
+        appender = ColumnAppender()
+        for block, lo, hi in ranges:
+            assert appender.append_range(block, lo, hi)
+        self._assert_equal(appender.build(), ColumnBlock.concat_ranges(ranges))
+
+    def test_single_range_stays_lazy_zero_copy(self):
+        from repro.core.columns import ColumnAppender
+
+        (item,) = self._ranges([(4, 0)])
+        appender = ColumnAppender()
+        assert appender.append_range(*item)
+        built = appender.build()
+        # One-range panes keep concat_ranges' zero-copy fast path: the
+        # built block *is* the source block (full range, no copies).
+        assert built is item[0]
+
+    def test_partial_ranges_copy_the_window(self):
+        from repro.core.columns import ColumnAppender
+
+        ranges = self._ranges([(6, 0), (6, 10)])
+        sliced = [(b, 1, 5) for b, _, _ in ranges]
+        appender = ColumnAppender()
+        for item in sliced:
+            assert appender.append_range(*item)
+        self._assert_equal(appender.build(), ColumnBlock.concat_ranges(sliced))
+
+    def test_degrades_on_list_backend(self):
+        from repro.core.columns import ColumnAppender
+
+        with use_backend("list"):
+            (item,) = self._ranges([(3, 0)])
+            appender = ColumnAppender()
+            assert not appender.append_range(*item)
+
+    def test_degrades_on_schema_change(self):
+        from repro.core.columns import ColumnAppender
+
+        a = ColumnBlock([0.0], [0.5], {"v": [1.0]})
+        b = ColumnBlock([1.0], [0.5], {"w": [1.0]})
+        appender = ColumnAppender()
+        assert appender.append_range(a, 0, 1)
+        assert not appender.append_range(b, 0, 1)
+
+    def test_degrades_on_dtype_change(self):
+        from repro.core.columns import ColumnAppender
+
+        a = ColumnBlock([0.0], [0.5], {"v": [1.0]})
+        b = ColumnBlock([1.0], [0.5], {"v": ["tag"]})  # object column
+        appender = ColumnAppender()
+        assert appender.append_range(a, 0, 1)
+        assert not appender.append_range(b, 0, 1)
+
+    def test_mixed_source_ids_drop_to_none(self):
+        from repro.core.columns import ColumnAppender
+
+        a = ColumnBlock([0.0], [0.5], {"v": [1.0]}, source_id="s0")
+        b = ColumnBlock([1.0], [0.6], {"v": [2.0]}, source_id="s1")
+        appender = ColumnAppender()
+        assert appender.append_range(a, 0, 1)
+        assert appender.append_range(b, 0, 1)
+        built = appender.build()
+        assert built.source_id is None
+        merged = ColumnBlock.concat_ranges([(a, 0, 1), (b, 0, 1)])
+        assert merged.source_id is None
+
+    def test_object_columns_carry_identical_objects(self):
+        from repro.core.columns import ColumnAppender
+
+        payload = {"k": 1}
+        a = ColumnBlock([0.0, 0.1], [0.5, 0.5], {"v": ["x", payload]})
+        b = ColumnBlock([1.0, 1.1], [0.6, 0.6], {"v": [payload, "y"]})
+        appender = ColumnAppender()
+        assert appender.append_range(a, 0, 2)
+        assert appender.append_range(b, 0, 2)
+        built = appender.build()
+        assert built.values["v"][1] is payload
+        assert built.values["v"][2] is payload
+
+    def test_growth_over_many_appends(self):
+        from repro.core.columns import ColumnAppender
+
+        ranges = self._ranges([(1, i) for i in range(100)])
+        appender = ColumnAppender()
+        for item in ranges:
+            assert appender.append_range(*item)
+        assert len(appender) == 100
+        self._assert_equal(appender.build(), ColumnBlock.concat_ranges(ranges))
